@@ -1,0 +1,40 @@
+"""Shared driver for the per-benchmark Table I benches (experiments E2-E6).
+
+Each bench module parametrizes over the paper's distance sweep ``d = 2..5``,
+times the kriging replay of the recorded ground-truth trajectory (the
+operation the paper's method adds to a DSE flow) and records the reproduced
+Table I row both in ``benchmark.extra_info`` and as a text artefact.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.replay import replay_trace
+from repro.experiments.reporting import format_row
+from repro.experiments.table1 import Table1Row
+
+
+def run_table1_bench(benchmark, setup, distance, artifact_writer):
+    """Benchmark one (benchmark, distance) Table I cell."""
+    trace = setup.record_trajectory()
+
+    def replay():
+        return replay_trace(
+            trace,
+            benchmark=setup.name,
+            metric_kind=setup.metric_kind,
+            distance=distance,
+            nn_min=1,
+            variogram="auto",
+        )
+
+    stats = benchmark.pedantic(replay, rounds=3, iterations=1, warmup_rounds=1)
+    row = Table1Row.from_stats(
+        stats, metric_label=setup.metric_label, nv=setup.problem.num_variables
+    )
+    benchmark.extra_info["p_percent"] = round(row.p_percent, 2)
+    benchmark.extra_info["mean_neighbors"] = round(row.mean_neighbors, 2)
+    benchmark.extra_info["max_error"] = round(row.max_error, 4)
+    benchmark.extra_info["mean_error"] = round(row.mean_error, 4)
+    benchmark.extra_info["n_configs"] = row.n_configs
+    artifact_writer(f"table1_{setup.name}_d{distance}.txt", format_row(row) + "\n")
+    return row

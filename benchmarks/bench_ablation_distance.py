@@ -1,0 +1,46 @@
+"""E11 — ablation: distance-metric choice (ours).
+
+The paper's Algorithms use the L1 norm to find support configurations.  This
+bench replays the FFT trajectory under L1 / L2 / Linf neighbourhoods at the
+same radius: Linf balls contain more lattice points than L1 balls, so the
+interpolation rate rises while per-interpolation support quality drops.
+"""
+
+import pytest
+
+from repro.experiments.replay import replay_trace
+
+METRICS = ["l1", "l2", "linf"]
+
+
+@pytest.mark.parametrize("metric", METRICS)
+def test_ablation_distance_metric(benchmark, fft_full, metric, artifact_writer):
+    trace = fft_full.record_trajectory()
+
+    stats = benchmark.pedantic(
+        lambda: replay_trace(
+            trace,
+            benchmark="fft",
+            metric_kind=fft_full.metric_kind,
+            distance=3,
+            nn_min=1,
+            metric=metric,
+            variogram="auto",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    artifact_writer(
+        f"ablation_distance_{metric}.txt",
+        f"metric={metric}: p={stats.p_percent:.2f}% j={stats.mean_neighbors:.2f} "
+        f"mu_eps={stats.mean_error:.3f}\n",
+    )
+    benchmark.extra_info["p_percent"] = round(stats.p_percent, 2)
+
+    if metric != "l1":
+        base = replay_trace(
+            trace, metric_kind=fft_full.metric_kind, distance=3, nn_min=1,
+            metric="l1", variogram="auto",
+        )
+        # A ball of radius d in L2/Linf contains the L1 ball.
+        assert stats.p_percent >= base.p_percent - 1e-9

@@ -1,0 +1,41 @@
+"""E12 — ablation (ours): ordinary vs universal kriging.
+
+Ordinary kriging (the paper's Eqs. 7-10) assumes a locally constant mean and
+therefore falls back to nearest-neighbour behaviour on the one-sided support
+sets that greedy trajectories produce.  Universal kriging with a linear
+drift reproduces affine trends exactly.  This bench replays the FIR and IIR
+trajectories — the two benchmarks whose trajectories are dominated by
+directional phase-1 walks — under both interpolators.
+"""
+
+import pytest
+
+from repro.experiments.replay import replay_trace
+
+
+@pytest.mark.parametrize("name", ["fir", "iir"])
+@pytest.mark.parametrize("interpolator", ["ordinary", "universal"])
+def test_ablation_universal(benchmark, name, interpolator, request, artifact_writer):
+    setup = request.getfixturevalue(f"{name}_full")
+    trace = setup.record_trajectory()
+
+    stats = benchmark.pedantic(
+        lambda: replay_trace(
+            trace,
+            benchmark=name,
+            metric_kind=setup.metric_kind,
+            distance=4,
+            nn_min=1,
+            variogram="auto",
+            interpolator=interpolator,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    artifact_writer(
+        f"ablation_universal_{name}_{interpolator}.txt",
+        f"{name} interpolator={interpolator}: p={stats.p_percent:.2f}% "
+        f"mu_eps={stats.mean_error:.3f} max_eps={stats.max_error:.3f}\n",
+    )
+    benchmark.extra_info["mean_error_bits"] = round(stats.mean_error, 3)
+    assert stats.mean_error < 4.0

@@ -1,0 +1,60 @@
+"""E8 — decision divergence: kriging in the optimization loop.
+
+Paper, Section IV: "the number of different decisions ... approximately
+ranges 10 %.  Nevertheless, the optimization algorithm compensates these
+different choices to end with a similar result."
+
+We measure the divergence on the signal benchmarks under two policies:
+
+* the default neighbourhood policy (high interpolation rate), and
+* the variance-gated policy (interpolations with high kriging variance fall
+  back to simulation), which trades interpolation rate for decision fidelity.
+"""
+
+import pytest
+
+from repro.experiments.decisions import measure_decision_divergence
+
+
+@pytest.mark.parametrize("name", ["fir", "iir", "fft"])
+@pytest.mark.parametrize("gated", [False, True], ids=["default", "variance-gated"])
+def test_decision_divergence(benchmark, name, gated, request, artifact_writer):
+    setup = request.getfixturevalue(f"{name}_full")
+    setup.record_trajectory()  # reference run cached outside the timing
+    max_variance = 0.5 if gated else None
+
+    divergence = benchmark.pedantic(
+        lambda: measure_decision_divergence(
+            setup, distance=3, nn_min=1, max_variance=max_variance
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    tag = "gated" if gated else "default"
+    lines = [
+        f"benchmark={name} policy={tag}",
+        f"different decisions (position-wise): {divergence.different_decisions_percent:.1f}%",
+        f"budget difference (order-insensitive): {divergence.budget_difference_percent:.1f}%",
+        f"reference solution:  {divergence.reference_solution} (cost {divergence.reference_cost:.0f})",
+        f"kriging solution:    {divergence.kriging_solution} (cost {divergence.kriging_cost:.0f})",
+        f"cost gap: {divergence.cost_gap_percent:+.1f}%",
+        f"simulations: {divergence.n_simulations_reference} -> {divergence.n_simulations_kriging}",
+    ]
+    artifact_writer(f"decision_divergence_{name}_{tag}.txt", "\n".join(lines) + "\n")
+    benchmark.extra_info["different_decisions_percent"] = round(
+        divergence.different_decisions_percent, 1
+    )
+    benchmark.extra_info["budget_difference_percent"] = round(
+        divergence.budget_difference_percent, 1
+    )
+    benchmark.extra_info["cost_gap_percent"] = round(divergence.cost_gap_percent, 1)
+
+    if gated:
+        # Verified commits add a few anchor simulations, so allow a small
+        # overhead; the pay-off is that the gated policy must end "with a
+        # similar result" (the paper's claim).
+        assert divergence.n_simulations_kriging <= 1.1 * divergence.n_simulations_reference
+        assert abs(divergence.cost_gap_percent) <= 20.0
+        assert divergence.budget_difference_percent <= 25.0
+    else:
+        assert divergence.n_simulations_kriging <= divergence.n_simulations_reference

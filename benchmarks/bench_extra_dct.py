@@ -1,0 +1,25 @@
+"""Extra benchmark (beyond the paper): Table-I-style rows for the 8x8 DCT.
+
+Demonstrates that the registry/replay pipeline extends to new kernels: the
+DCT's `Nv = 6` sits between the paper's IIR and FFT, and so do its
+interpolation statistics.
+"""
+
+import pytest
+
+from benchmarks._table1_common import run_table1_bench
+from repro.experiments.registry import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def dct_full():
+    setup = build_benchmark("dct", "full")
+    setup.record_trajectory()
+    return setup
+
+
+@pytest.mark.parametrize("distance", [2, 3])
+def test_extra_dct_rows(benchmark, dct_full, distance, artifact_writer):
+    row = run_table1_bench(benchmark, dct_full, distance, artifact_writer)
+    assert 30.0 <= row.p_percent <= 95.0
+    assert row.mean_error < 2.0

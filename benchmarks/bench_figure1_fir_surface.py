@@ -1,0 +1,25 @@
+"""E1 — Figure 1: the FIR noise-power surface over (w_mul, w_add).
+
+Times the exhaustive surface evaluation and records the rendered surface as
+an artefact; the shape assertions encode the figure's qualitative content
+(monotone staircase, tens of dB of dynamic range, plateaus where one source
+dominates).
+"""
+
+import numpy as np
+
+from repro.experiments.figure1 import fir_noise_surface, render_surface, surface_is_monotone
+
+
+def test_figure1_fir_surface(benchmark, artifact_writer):
+    def compute():
+        return fir_noise_surface(word_lengths=range(6, 21), n_samples=1024)
+
+    surface, grid = benchmark.pedantic(compute, rounds=2, iterations=1, warmup_rounds=1)
+    artifact_writer("figure1_fir_surface.txt", render_surface(surface, grid) + "\n")
+
+    assert surface_is_monotone(surface)
+    assert surface.max() - surface.min() > 40.0
+    # Plateaus: with a very fine accumulator, extra adder bits change nothing.
+    assert surface[2, -1] == np.clip(surface[2, -1], surface[2, -2] - 0.2, surface[2, -2] + 0.2)
+    benchmark.extra_info["dynamic_range_db"] = round(float(surface.max() - surface.min()), 1)

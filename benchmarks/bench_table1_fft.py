@@ -1,0 +1,13 @@
+"""E4 — Table I, FFT rows (Nv = 10, noise-power metric, d = 2..5)."""
+
+import pytest
+
+from benchmarks._table1_common import run_table1_bench
+
+
+@pytest.mark.parametrize("distance", [2, 3, 4, 5])
+def test_table1_fft(benchmark, fft_full, distance, artifact_writer):
+    row = run_table1_bench(benchmark, fft_full, distance, artifact_writer)
+    # Paper: p = 78.1 / 89.1 / 91.9 / 95.6 %, mu eps = 0.18-0.68 bits.
+    assert row.p_percent >= 55.0
+    assert row.mean_error < 1.5

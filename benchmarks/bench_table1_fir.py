@@ -1,0 +1,13 @@
+"""E2 — Table I, FIR rows (Nv = 2, noise-power metric, d = 2..5)."""
+
+import pytest
+
+from benchmarks._table1_common import run_table1_bench
+
+
+@pytest.mark.parametrize("distance", [2, 3, 4, 5])
+def test_table1_fir(benchmark, fir_full, distance, artifact_writer):
+    row = run_table1_bench(benchmark, fir_full, distance, artifact_writer)
+    # Reproduction shape checks (paper: p = 33.3 / 52.8 / 58.3 / 66.7 %).
+    assert 15.0 <= row.p_percent <= 85.0
+    assert row.mean_error < 4.0  # equivalent bits

@@ -1,0 +1,13 @@
+"""E5 — Table I, HEVC motion-compensation rows (Nv = 23, d = 2..5)."""
+
+import pytest
+
+from benchmarks._table1_common import run_table1_bench
+
+
+@pytest.mark.parametrize("distance", [2, 3, 4, 5])
+def test_table1_hevc(benchmark, hevc_full, distance, artifact_writer):
+    row = run_table1_bench(benchmark, hevc_full, distance, artifact_writer)
+    # Paper: p = 87.4 / 93.3 / 95.6 / 96.0 %, mu eps = 0.07-0.52 bits.
+    assert row.p_percent >= 70.0
+    assert row.mean_error < 1.0

@@ -1,0 +1,13 @@
+"""E3 — Table I, IIR rows (Nv = 5, noise-power metric, d = 2..5)."""
+
+import pytest
+
+from benchmarks._table1_common import run_table1_bench
+
+
+@pytest.mark.parametrize("distance", [2, 3, 4, 5])
+def test_table1_iir(benchmark, iir_full, distance, artifact_writer):
+    row = run_table1_bench(benchmark, iir_full, distance, artifact_writer)
+    # Paper: p = 47.5 / 64.5 / 70.9 / 77.3 %, mu eps = 0.44-1.24 bits.
+    assert 30.0 <= row.p_percent <= 95.0
+    assert row.mean_error < 2.5

@@ -1,0 +1,18 @@
+"""E6 — Table I, SqueezeNet sensitivity rows (Nv = 10, classification rate).
+
+The trajectory recording runs the steepest-descent noise budgeting with
+exhaustive simulation (a few minutes at the full scale); the timed portion is
+the kriging replay, as in the other Table I benches.
+"""
+
+import pytest
+
+from benchmarks._table1_common import run_table1_bench
+
+
+@pytest.mark.parametrize("distance", [2, 3, 4, 5])
+def test_table1_squeezenet(benchmark, squeezenet_full, distance, artifact_writer):
+    row = run_table1_bench(benchmark, squeezenet_full, distance, artifact_writer)
+    # Paper: p = 78.3 / 89.3 / 91.4 / 93.1 %, mu eps = 3.5-12.2 % relative.
+    assert row.p_percent >= 60.0
+    assert row.mean_error < 0.25  # relative difference

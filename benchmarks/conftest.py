@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Trajectory recording (the optimizer run with exhaustive simulation) is the
+expensive, one-off part of every Table I experiment; it is cached per session
+so each distance/ablation variant only pays for the replay.  Reproduced table
+rows are written to ``benchmarks/results/`` so the artefacts survive the
+timing run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import build_benchmark
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> pathlib.Path:
+    """Write a reproduced table/figure to ``benchmarks/results/<name>``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def artifact_writer():
+    return save_artifact
+
+
+def _setup_fixture(name: str, scale: str = "full"):
+    @pytest.fixture(scope="session", name=f"{name}_full")
+    def fixture():
+        setup = build_benchmark(name, scale)
+        setup.record_trajectory()
+        return setup
+
+    return fixture
+
+
+fir_full = _setup_fixture("fir")
+iir_full = _setup_fixture("iir")
+fft_full = _setup_fixture("fft")
+hevc_full = _setup_fixture("hevc")
+squeezenet_full = _setup_fixture("squeezenet")

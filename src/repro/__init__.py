@@ -1,0 +1,58 @@
+"""Kriging-based error evaluation for approximate computing systems.
+
+Reproduction of Bonnot, Menard, Desnos — *Fast Kriging-based Error
+Evaluation for Approximate Computing Systems*, DATE 2020.
+
+Public API overview
+-------------------
+
+Core method (paper Section III):
+
+* :class:`~repro.core.estimator.KrigingEstimator` — the
+  interpolate-or-simulate metric evaluator;
+* :func:`~repro.core.kriging.ordinary_kriging` /
+  :func:`~repro.core.kriging.simple_kriging` — the interpolators (Eqs. 7-10);
+* :func:`~repro.core.variogram.empirical_semivariogram` (Eq. 4) and the
+  variogram models/fitting in :mod:`repro.core.models` /
+  :mod:`repro.core.fitting`.
+
+Optimization algorithms (Section III-B):
+
+* :class:`~repro.optimization.minplusone.MinPlusOneOptimizer` — Algorithms
+  1-2 (``min+1 bit`` word-length optimization);
+* :class:`~repro.optimization.descent.NoiseBudgetingDescent` — the
+  sensitivity-analysis greedy descent;
+* :class:`~repro.optimization.problem.DSEProblem` and
+  :class:`~repro.optimization.problem.MetricSense` — the Eq. 1 problem.
+
+Benchmarks (Section IV): :mod:`repro.signal` (FIR/IIR/FFT),
+:mod:`repro.video` (HEVC motion compensation), :mod:`repro.neural`
+(SqueezeNet sensitivity), all built on :mod:`repro.fixedpoint`.
+
+Experiments: :mod:`repro.experiments` regenerates Table I, Figure 1, the
+timing projections and the decision-divergence measurement.
+"""
+
+from repro.core.estimator import EstimationOutcome, KrigingEstimator
+from repro.core.kriging import KrigingResult, ordinary_kriging, simple_kriging
+from repro.core.variogram import EmpiricalVariogram, empirical_semivariogram
+from repro.optimization.descent import NoiseBudgetingDescent
+from repro.optimization.minplusone import MinPlusOneOptimizer
+from repro.optimization.problem import DSEProblem, MetricSense
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KrigingEstimator",
+    "EstimationOutcome",
+    "ordinary_kriging",
+    "simple_kriging",
+    "KrigingResult",
+    "empirical_semivariogram",
+    "EmpiricalVariogram",
+    "DSEProblem",
+    "MetricSense",
+    "MinPlusOneOptimizer",
+    "NoiseBudgetingDescent",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baselines the paper compares against (Section II, related works).
+
+* :mod:`~repro.baselines.axis_interpolation` — Sedano et al. [18]-style 1-D
+  interpolation: each variable's metric contribution is interpolated along
+  its own axis only (the "first step of the considered heuristic"), so only
+  configurations on a previously sampled axis line can be estimated;
+* :mod:`~repro.baselines.analytical` — the classical analytical
+  noise-power model (uniform-quantization noise, unit-gain propagation),
+  representing the "analytical approaches" of the related work: instant but
+  structurally biased on real data paths.
+"""
+
+from repro.baselines.analytical import AnalyticalNoiseModel
+from repro.baselines.axis_interpolation import AxisInterpolationEstimator
+
+__all__ = ["AxisInterpolationEstimator", "AnalyticalNoiseModel"]

@@ -1,0 +1,112 @@
+"""Analytical noise-power baseline (Section II, "analytical approaches").
+
+The classical closed-form model for fixed-point noise: every quantization
+node ``i`` contributes ``k_i * q_i^2 / 12`` of output noise power, where
+``q_i = 2^(-frac_bits_i(w_i))`` is the node's step and ``k_i`` an effective
+noise gain (number of roundings times the path power gain).  The gains can
+be supplied from first principles or calibrated from a handful of
+simulations.
+
+The model is instantaneous to evaluate but structurally biased on real data
+paths (correlated errors, saturation, exact-alignment effects), which is
+exactly why the paper pursues simulation + kriging instead.  It serves here
+as the analytical comparator in the baseline benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.noise import power_to_db
+from repro.utils.validation import check_integer_vector
+
+__all__ = ["AnalyticalNoiseModel"]
+
+
+class AnalyticalNoiseModel:
+    """Closed-form additive quantization-noise model.
+
+    Parameters
+    ----------
+    integer_bits:
+        Per-node integer bits (step ``q_i = 2^(integer_bits_i + 1 - w_i)``
+        for signed nodes).
+    gains:
+        Per-node effective noise gains ``k_i``; defaults to 1.
+    signed:
+        Whether nodes carry a sign bit.
+    """
+
+    def __init__(
+        self,
+        integer_bits: object,
+        *,
+        gains: object | None = None,
+        signed: bool = True,
+    ) -> None:
+        self.integer_bits = check_integer_vector("integer_bits", integer_bits)
+        n = self.integer_bits.size
+        if gains is None:
+            self.gains = np.ones(n)
+        else:
+            self.gains = np.asarray(gains, dtype=np.float64)
+            if self.gains.shape != (n,):
+                raise ValueError(f"gains must have shape ({n},), got {self.gains.shape}")
+            if np.any(self.gains < 0):
+                raise ValueError("gains must be non-negative")
+        self.signed = signed
+
+    @property
+    def num_variables(self) -> int:
+        """Number of modelled quantization nodes."""
+        return self.integer_bits.size
+
+    def steps(self, word_lengths: object) -> np.ndarray:
+        """Quantization steps ``q_i`` for a word-length vector."""
+        w = check_integer_vector("word_lengths", word_lengths, minimum=1)
+        if w.size != self.num_variables:
+            raise ValueError(
+                f"expected {self.num_variables} word-lengths, got {w.size}"
+            )
+        frac = w - int(self.signed) - self.integer_bits
+        return np.exp2(-frac.astype(np.float64))
+
+    def noise_power(self, word_lengths: object) -> float:
+        """Predicted output noise power (linear scale)."""
+        q = self.steps(word_lengths)
+        return float(np.sum(self.gains * q * q / 12.0))
+
+    def noise_power_db(self, word_lengths: object) -> float:
+        """Predicted output noise power in dB."""
+        return power_to_db(self.noise_power(word_lengths))
+
+    def calibrate(self, configurations: object, measured_powers: object) -> "AnalyticalNoiseModel":
+        """Fit the gains to measured noise powers (non-negative least squares).
+
+        Parameters
+        ----------
+        configurations:
+            ``(m, Nv)`` word-length vectors that were simulated.
+        measured_powers:
+            Linear-scale measured noise powers, length ``m``.
+
+        Returns
+        -------
+        AnalyticalNoiseModel
+            A new model with calibrated gains.
+        """
+        configs = np.asarray(configurations, dtype=np.int64)
+        powers = np.asarray(measured_powers, dtype=np.float64)
+        if configs.ndim != 2 or configs.shape[1] != self.num_variables:
+            raise ValueError(
+                f"configurations must be (m, {self.num_variables}), got {configs.shape}"
+            )
+        if powers.shape != (configs.shape[0],):
+            raise ValueError("measured_powers length mismatch")
+        design = np.stack([self.steps(c) ** 2 / 12.0 for c in configs])
+        from scipy.optimize import nnls
+
+        gains, _ = nnls(design, powers)
+        return AnalyticalNoiseModel(
+            self.integer_bits, gains=gains, signed=self.signed
+        )

@@ -1,0 +1,146 @@
+"""Per-axis 1-D interpolation baseline (after Sedano et al., paper ref. [18]).
+
+The competing interpolation method discussed in Section II: "Interpolation
+is only used during the first step of the considered heuristic for which
+only the contribution of a single variable on the metric is considered.
+This approach does not consider a Nv-dimension hypercube."
+
+The baseline therefore keeps, per variable, the metric samples observed
+along that variable's axis (all other variables equal to the query's), and
+answers a query by 1-D piecewise-linear interpolation *only* when the query
+lies on an axis line with at least two bracketing samples.  Off-axis
+queries — the bulk of a greedy trajectory once several variables move —
+cannot be estimated, which is precisely the limitation kriging removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["AxisInterpolationEstimator", "AxisEstimateOutcome"]
+
+SimulateFn = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class AxisEstimateOutcome:
+    """Result of one query to the axis-interpolation baseline."""
+
+    value: float
+    interpolated: bool
+    axis: int | None = None
+    exact_hit: bool = False
+
+
+@dataclass
+class AxisInterpolationStats:
+    """Counters mirroring :class:`repro.core.estimator.EstimatorStats`."""
+
+    n_simulated: int = 0
+    n_interpolated: int = 0
+    n_exact_hits: int = 0
+
+    @property
+    def n_queries(self) -> int:
+        """Total queries answered."""
+        return self.n_simulated + self.n_interpolated + self.n_exact_hits
+
+    @property
+    def interpolated_fraction(self) -> float:
+        """Share of queries answered without a fresh simulation."""
+        total = self.n_queries
+        if total == 0:
+            return 0.0
+        return (self.n_interpolated + self.n_exact_hits) / total
+
+
+class AxisInterpolationEstimator:
+    """Simulate-or-interpolate policy restricted to single-axis lines.
+
+    Parameters
+    ----------
+    simulate:
+        The expensive metric evaluation.
+    num_variables:
+        Configuration dimension ``Nv``.
+    require_bracketing:
+        When true (default), interpolation needs samples on *both* sides of
+        the query along the axis (pure interpolation); otherwise two samples
+        on one side allow linear extrapolation.
+    """
+
+    def __init__(
+        self,
+        simulate: SimulateFn,
+        num_variables: int,
+        *,
+        require_bracketing: bool = True,
+    ) -> None:
+        if num_variables < 1:
+            raise ValueError(f"num_variables must be >= 1, got {num_variables}")
+        self._simulate = simulate
+        self.num_variables = num_variables
+        self.require_bracketing = require_bracketing
+        self.stats = AxisInterpolationStats()
+        self._samples: dict[tuple[int, ...], float] = {}
+
+    @staticmethod
+    def _key(config: np.ndarray) -> tuple[int, ...]:
+        return tuple(int(round(float(x))) for x in config)
+
+    def _axis_candidates(self, config: np.ndarray) -> tuple[int, list[tuple[int, float]]] | None:
+        """Find an axis along which stored samples differ from ``config`` only
+        in that coordinate, returning ``(axis, [(coord, value), ...])``."""
+        key = self._key(config)
+        best: tuple[int, list[tuple[int, float]]] | None = None
+        for axis in range(self.num_variables):
+            line: list[tuple[int, float]] = []
+            for sample_key, value in self._samples.items():
+                if all(
+                    sample_key[i] == key[i] for i in range(self.num_variables) if i != axis
+                ):
+                    line.append((sample_key[axis], value))
+            if len(line) >= 2 and (best is None or len(line) > len(best[1])):
+                best = (axis, sorted(line))
+        return best
+
+    def evaluate(self, configuration: object) -> AxisEstimateOutcome:
+        """Answer a metric query, interpolating along an axis when possible."""
+        config = np.asarray(configuration, dtype=np.float64)
+        if config.shape != (self.num_variables,):
+            raise ValueError(
+                f"configuration must have shape ({self.num_variables},), got {config.shape}"
+            )
+        key = self._key(config)
+        if key in self._samples:
+            self.stats.n_exact_hits += 1
+            return AxisEstimateOutcome(
+                value=self._samples[key], interpolated=True, exact_hit=True
+            )
+
+        candidate = self._axis_candidates(config)
+        if candidate is not None:
+            axis, line = candidate
+            coords = np.array([c for c, _ in line], dtype=float)
+            values = np.array([v for _, v in line], dtype=float)
+            x = float(key[axis])
+            bracketed = coords.min() <= x <= coords.max()
+            if bracketed or not self.require_bracketing:
+                if bracketed:
+                    estimate = float(np.interp(x, coords, values))
+                else:
+                    # Linear extrapolation from the two closest samples.
+                    order = np.argsort(np.abs(coords - x))[:2]
+                    (x0, x1), (y0, y1) = coords[order], values[order]
+                    slope = (y1 - y0) / (x1 - x0) if x1 != x0 else 0.0
+                    estimate = float(y0 + slope * (x - x0))
+                self.stats.n_interpolated += 1
+                return AxisEstimateOutcome(value=estimate, interpolated=True, axis=axis)
+
+        value = float(self._simulate(config))
+        self._samples[key] = value
+        self.stats.n_simulated += 1
+        return AxisEstimateOutcome(value=value, interpolated=False)

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``table1``
+    Record (or load) a benchmark trajectory and print its Table I rows.
+``figure1``
+    Render the FIR noise-power surface (paper Figure 1).
+``record``
+    Run a benchmark's reference optimization and save the trajectory JSON.
+``replay``
+    Replay a saved trajectory under the kriging policy.
+``benchmarks``
+    List the available benchmark setups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figure1 import fir_noise_surface, render_surface
+from repro.experiments.registry import (
+    BENCHMARK_NAMES,
+    EXTRA_BENCHMARK_NAMES,
+    SCALES,
+    build_benchmark,
+)
+from repro.experiments.replay import MetricKind, replay_trace
+from repro.experiments.reporting import format_table1
+from repro.experiments.table1 import DISTANCES, rows_for_setup
+from repro.optimization.serialize import load_trace, save_trace
+
+__all__ = ["main", "build_parser"]
+
+ALL_BENCHMARKS = BENCHMARK_NAMES + EXTRA_BENCHMARK_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kriging-based error evaluation for approximate computing "
+        "(reproduction of Bonnot et al., DATE 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="reproduce Table I rows for a benchmark")
+    p_table.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p_table.add_argument("--scale", choices=SCALES, default="small")
+    p_table.add_argument(
+        "--distances", type=int, nargs="+", default=list(DISTANCES), metavar="D"
+    )
+    p_table.add_argument("--nn-min", type=int, default=1)
+    p_table.add_argument("--variogram", default="auto")
+
+    p_fig = sub.add_parser("figure1", help="render the FIR noise-power surface")
+    p_fig.add_argument("--min-wl", type=int, default=6)
+    p_fig.add_argument("--max-wl", type=int, default=20)
+    p_fig.add_argument("--samples", type=int, default=1024)
+
+    p_rec = sub.add_parser("record", help="record a benchmark trajectory to JSON")
+    p_rec.add_argument("benchmark", choices=ALL_BENCHMARKS)
+    p_rec.add_argument("output", help="output JSON path")
+    p_rec.add_argument("--scale", choices=SCALES, default="small")
+
+    p_rep = sub.add_parser("replay", help="replay a recorded trajectory")
+    p_rep.add_argument("trace", help="trajectory JSON from 'record'")
+    p_rep.add_argument("--distance", type=float, default=3.0)
+    p_rep.add_argument("--nn-min", type=int, default=1)
+    p_rep.add_argument("--variogram", default="auto")
+    p_rep.add_argument(
+        "--metric-kind",
+        choices=[k.value for k in MetricKind],
+        default=MetricKind.NOISE_POWER_DB.value,
+    )
+
+    sub.add_parser("benchmarks", help="list available benchmarks")
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    setup = build_benchmark(args.benchmark, args.scale)
+    rows = rows_for_setup(
+        setup,
+        distances=tuple(args.distances),
+        nn_min=args.nn_min,
+        variogram=args.variogram,
+    )
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    if args.min_wl >= args.max_wl:
+        print("error: --min-wl must be below --max-wl", file=sys.stderr)
+        return 2
+    surface, grid = fir_noise_surface(
+        word_lengths=range(args.min_wl, args.max_wl + 1), n_samples=args.samples
+    )
+    print(render_surface(surface, grid))
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    setup = build_benchmark(args.benchmark, args.scale)
+    trace = setup.record_trajectory()
+    path = save_trace(trace, args.output)
+    unique = trace.unique_first_visits()
+    print(f"recorded {len(unique)} configurations to {path}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    stats = replay_trace(
+        trace,
+        metric_kind=MetricKind(args.metric_kind),
+        distance=args.distance,
+        nn_min=args.nn_min,
+        variogram=args.variogram,
+    )
+    unit = "bits" if stats.metric_kind is MetricKind.NOISE_POWER_DB else "rel"
+    print(
+        f"configs={stats.n_configs} p={stats.p_percent:.2f}% "
+        f"j={stats.mean_neighbors:.2f} "
+        f"max_eps={stats.max_error:.4f} {unit} mu_eps={stats.mean_error:.4f} {unit}"
+    )
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    for name in ALL_BENCHMARKS:
+        setup = build_benchmark(name, "small")
+        print(
+            f"{name:<12s} Nv={setup.problem.num_variables:<3d} "
+            f"metric={setup.metric_label:<20s} optimizer={setup.optimizer_kind}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "figure1": _cmd_figure1,
+    "record": _cmd_record,
+    "replay": _cmd_replay,
+    "benchmarks": _cmd_benchmarks,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

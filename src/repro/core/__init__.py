@@ -1,0 +1,71 @@
+"""Kriging-based metric estimation — the paper's core contribution.
+
+The package implements the full geostatistical pipeline of Section III:
+
+1. :mod:`~repro.core.variogram` — the empirical semi-variogram of the metric
+   values measured so far (paper Eq. 4);
+2. :mod:`~repro.core.models` / :mod:`~repro.core.fitting` — parametric
+   variogram models and their weighted-least-squares identification;
+3. :mod:`~repro.core.kriging` — the ordinary-kriging linear system
+   (paper Eqs. 7–10, "simple kriging" in the paper's nomenclature) and the
+   textbook simple-kriging variant;
+4. :mod:`~repro.core.estimator` — :class:`KrigingEstimator`, the
+   interpolate-or-simulate policy of Algorithms 1–2: a configuration with
+   more than ``Nn_min`` previously *simulated* configurations within L1
+   distance ``d`` is interpolated, anything else is simulated and added to
+   the support cache.
+"""
+
+from repro.core.cache import SimulationCache
+from repro.core.crossval import (
+    CrossValidationResult,
+    loo_cross_validate,
+    select_variogram_loo,
+)
+from repro.core.distances import DistanceMetric, distance, pairwise_distances
+from repro.core.estimator import EstimationOutcome, KrigingEstimator
+from repro.core.fitting import FittedVariogram, fit_variogram, select_variogram
+from repro.core.kriging import KrigingResult, ordinary_kriging, simple_kriging
+from repro.core.universal import linear_drift, quadratic_drift, universal_kriging
+from repro.core.models import (
+    ExponentialVariogram,
+    GaussianVariogram,
+    LinearVariogram,
+    NuggetVariogram,
+    PowerVariogram,
+    SphericalVariogram,
+    VariogramModel,
+)
+from repro.core.neighborhood import find_neighbors
+from repro.core.variogram import EmpiricalVariogram, empirical_semivariogram
+
+__all__ = [
+    "DistanceMetric",
+    "distance",
+    "pairwise_distances",
+    "empirical_semivariogram",
+    "EmpiricalVariogram",
+    "VariogramModel",
+    "LinearVariogram",
+    "SphericalVariogram",
+    "ExponentialVariogram",
+    "GaussianVariogram",
+    "PowerVariogram",
+    "NuggetVariogram",
+    "fit_variogram",
+    "select_variogram",
+    "FittedVariogram",
+    "ordinary_kriging",
+    "simple_kriging",
+    "universal_kriging",
+    "linear_drift",
+    "quadratic_drift",
+    "KrigingResult",
+    "find_neighbors",
+    "SimulationCache",
+    "KrigingEstimator",
+    "EstimationOutcome",
+    "loo_cross_validate",
+    "select_variogram_loo",
+    "CrossValidationResult",
+]

@@ -1,0 +1,76 @@
+"""Store of simulated configurations (the paper's ``W_sim`` / ``lambda_sim``).
+
+Only *simulated* configurations enter the cache: "If the configuration is
+interpolated, it is not used for kriging other configurations"
+(Section III-B).  The cache also serves as an exact-hit memo so a
+configuration is never simulated twice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SimulationCache"]
+
+
+class SimulationCache:
+    """Append-only store of ``(configuration, metric value)`` pairs.
+
+    Parameters
+    ----------
+    num_variables:
+        Dimension ``Nv`` of the configuration vectors.
+    """
+
+    def __init__(self, num_variables: int) -> None:
+        if num_variables < 1:
+            raise ValueError(f"num_variables must be >= 1, got {num_variables}")
+        self.num_variables = num_variables
+        self._points: list[np.ndarray] = []
+        self._values: list[float] = []
+        self._index: dict[tuple[int, ...], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> np.ndarray:
+        """``(n, Nv)`` matrix of simulated configurations (``W_sim``)."""
+        if not self._points:
+            return np.empty((0, self.num_variables))
+        return np.vstack(self._points)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Metric values aligned with :attr:`points` (``lambda_sim``)."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    @staticmethod
+    def _key(configuration: np.ndarray) -> tuple[int, ...]:
+        return tuple(int(round(float(x))) for x in configuration)
+
+    def add(self, configuration: object, value: float) -> None:
+        """Record a simulated configuration and its measured metric value."""
+        config = np.asarray(configuration, dtype=np.float64)
+        if config.ndim != 1 or config.size != self.num_variables:
+            raise ValueError(
+                f"configuration must have shape ({self.num_variables},), got {config.shape}"
+            )
+        if not np.isfinite(value):
+            raise ValueError(f"metric value must be finite, got {value}")
+        key = self._key(config)
+        if key in self._index:
+            raise ValueError(f"configuration {key} already simulated")
+        self._index[key] = len(self._points)
+        self._points.append(config.copy())
+        self._values.append(float(value))
+
+    def lookup(self, configuration: object) -> float | None:
+        """Exact-hit value for ``configuration``, or ``None`` if never simulated."""
+        config = np.asarray(configuration, dtype=np.float64)
+        index = self._index.get(self._key(config))
+        return self._values[index] if index is not None else None
+
+    def __contains__(self, configuration: object) -> bool:
+        config = np.asarray(configuration, dtype=np.float64)
+        return self._key(config) in self._index

@@ -1,0 +1,122 @@
+"""Leave-one-out cross-validation diagnostics for kriging setups.
+
+Standard geostatistical practice for choosing a variogram model and judging
+whether kriging is trustworthy on a data set: predict each sample from all
+the others and score the residuals.  Two scores are reported:
+
+* RMSE of the residuals (absolute interpolation quality);
+* the mean *standardized* squared residual ``(z - z_hat)^2 / sigma^2``,
+  which should be close to 1 when the kriging variance is well calibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.distances import DistanceMetric
+from repro.core.fitting import MODEL_KINDS, fit_variogram
+from repro.core.kriging import ordinary_kriging
+from repro.core.variogram import empirical_semivariogram
+
+__all__ = ["CrossValidationResult", "loo_cross_validate", "select_variogram_loo"]
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Leave-one-out diagnostics of one variogram model on one data set."""
+
+    kind: str
+    residuals: np.ndarray
+    variances: np.ndarray
+
+    @property
+    def rmse(self) -> float:
+        """Root-mean-square leave-one-out prediction error."""
+        return float(np.sqrt(np.mean(self.residuals**2)))
+
+    @property
+    def mean_standardized_square(self) -> float:
+        """Mean of ``residual^2 / kriging_variance`` (ideal: ~1)."""
+        safe = np.maximum(self.variances, 1e-12)
+        return float(np.mean(self.residuals**2 / safe))
+
+    @property
+    def n_points(self) -> int:
+        """Number of cross-validated samples."""
+        return int(self.residuals.size)
+
+
+def loo_cross_validate(
+    points: np.ndarray,
+    values: np.ndarray,
+    variogram: Callable[[np.ndarray], np.ndarray],
+    *,
+    kind: str = "custom",
+    metric: DistanceMetric | str = DistanceMetric.L1,
+    max_support: int | None = None,
+) -> CrossValidationResult:
+    """Leave-one-out kriging residuals under a fixed variogram.
+
+    Parameters
+    ----------
+    points, values:
+        The sampled configurations and metric values.
+    variogram:
+        The variogram function under test.
+    max_support:
+        Optional cap on the support size per prediction (closest first) to
+        keep the n^2 solve affordable on large samples.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    vals = np.asarray(values, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] < 3:
+        raise ValueError("cross-validation needs at least 3 points")
+    if vals.shape != (pts.shape[0],):
+        raise ValueError("values length mismatch")
+
+    residuals = np.empty(pts.shape[0])
+    variances = np.empty(pts.shape[0])
+    for i in range(pts.shape[0]):
+        mask = np.arange(pts.shape[0]) != i
+        support_pts = pts[mask]
+        support_vals = vals[mask]
+        if max_support is not None and support_pts.shape[0] > max_support:
+            dist = np.sum(np.abs(support_pts - pts[i]), axis=1)
+            closest = np.argsort(dist, kind="stable")[:max_support]
+            support_pts = support_pts[closest]
+            support_vals = support_vals[closest]
+        result = ordinary_kriging(support_pts, support_vals, pts[i], variogram, metric=metric)
+        residuals[i] = result.estimate - vals[i]
+        variances[i] = result.variance
+    return CrossValidationResult(kind=kind, residuals=residuals, variances=variances)
+
+
+def select_variogram_loo(
+    points: np.ndarray,
+    values: np.ndarray,
+    *,
+    kinds: Sequence[str] = MODEL_KINDS,
+    metric: DistanceMetric | str = DistanceMetric.L1,
+    max_support: int | None = 24,
+) -> CrossValidationResult:
+    """Pick the variogram family with the lowest leave-one-out RMSE.
+
+    A heavier but more honest alternative to the weighted-SSE selection of
+    :func:`repro.core.fitting.select_variogram`: it scores models by actual
+    prediction quality instead of curve fit.
+    """
+    if not kinds:
+        raise ValueError("kinds must be non-empty")
+    emp = empirical_semivariogram(points, values, metric=metric)
+    results = []
+    for kind in kinds:
+        fit = fit_variogram(emp, kind)
+        results.append(
+            loo_cross_validate(
+                points, values, fit.model, kind=kind, metric=metric, max_support=max_support
+            )
+        )
+    return min(results, key=lambda r: r.rmse)

@@ -1,0 +1,92 @@
+"""Distances between approximation-source configurations.
+
+The paper measures configuration proximity with the L1 norm (Algorithms 1-2,
+line "dCur = ||w - w_sim||_1"); L2 and Linf are provided for the ablation
+study (experiment E11 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["DistanceMetric", "distance", "pairwise_distances", "distances_to"]
+
+
+class DistanceMetric(enum.Enum):
+    """Norm used to compare configurations in the ``Nv``-cube."""
+
+    L1 = "l1"
+    L2 = "l2"
+    LINF = "linf"
+
+    @classmethod
+    def coerce(cls, value: "DistanceMetric | str") -> "DistanceMetric":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(f"unknown distance metric {value!r}; expected one of {valid}") from exc
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    array = np.asarray(x, dtype=np.float64)
+    if array.ndim == 1:
+        return array[None, :]
+    if array.ndim != 2:
+        raise ValueError(f"configurations must be 1-D or 2-D, got shape {array.shape}")
+    return array
+
+
+def distance(
+    a: np.ndarray, b: np.ndarray, metric: DistanceMetric | str = DistanceMetric.L1
+) -> float:
+    """Distance between two configuration vectors."""
+    metric = DistanceMetric.coerce(metric)
+    diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    if diff.ndim != 1:
+        raise ValueError(f"expected 1-D configurations, got shape {diff.shape}")
+    if metric is DistanceMetric.L1:
+        return float(np.sum(np.abs(diff)))
+    if metric is DistanceMetric.L2:
+        return float(np.sqrt(np.sum(diff * diff)))
+    return float(np.max(np.abs(diff)))
+
+
+def distances_to(
+    points: np.ndarray,
+    query: np.ndarray,
+    metric: DistanceMetric | str = DistanceMetric.L1,
+) -> np.ndarray:
+    """Distances from every row of ``points`` to the single ``query`` vector."""
+    metric = DistanceMetric.coerce(metric)
+    pts = _as_2d(points)
+    q = np.asarray(query, dtype=np.float64)
+    if q.ndim != 1 or q.size != pts.shape[1]:
+        raise ValueError(
+            f"query shape {q.shape} incompatible with points of dim {pts.shape[1]}"
+        )
+    diff = pts - q[None, :]
+    if metric is DistanceMetric.L1:
+        return np.sum(np.abs(diff), axis=1)
+    if metric is DistanceMetric.L2:
+        return np.sqrt(np.sum(diff * diff, axis=1))
+    return np.max(np.abs(diff), axis=1)
+
+
+def pairwise_distances(
+    points: np.ndarray, metric: DistanceMetric | str = DistanceMetric.L1
+) -> np.ndarray:
+    """Full symmetric distance matrix between the rows of ``points``."""
+    metric = DistanceMetric.coerce(metric)
+    pts = _as_2d(points)
+    diff = pts[:, None, :] - pts[None, :, :]
+    if metric is DistanceMetric.L1:
+        return np.sum(np.abs(diff), axis=2)
+    if metric is DistanceMetric.L2:
+        return np.sqrt(np.sum(diff * diff, axis=2))
+    return np.max(np.abs(diff), axis=2)

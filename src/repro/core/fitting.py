@@ -1,0 +1,135 @@
+"""Identification of a parametric variogram model from the empirical one.
+
+Section III-A: "From the already measured values of lambda, the
+semi-variogram can be computed and identified to a particular type of
+semi-variogram."  Identification is a weighted least-squares fit over the
+empirical lags, weighted by pair counts (lags estimated from more pairs count
+more).  :func:`select_variogram` fits several model families and keeps the
+one with the smallest weighted residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.models import (
+    ExponentialVariogram,
+    GaussianVariogram,
+    LinearVariogram,
+    PowerVariogram,
+    SphericalVariogram,
+    VariogramModel,
+)
+from repro.core.variogram import EmpiricalVariogram
+
+__all__ = ["FittedVariogram", "fit_variogram", "select_variogram", "MODEL_KINDS"]
+
+MODEL_KINDS = ("linear", "spherical", "exponential", "gaussian", "power")
+"""Model families understood by :func:`fit_variogram`."""
+
+
+@dataclass(frozen=True)
+class FittedVariogram:
+    """Result of a variogram identification."""
+
+    kind: str
+    model: VariogramModel
+    weighted_sse: float
+
+    def __call__(self, h: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the fitted ``gamma(h)``."""
+        return self.model(h)
+
+
+def _fit_linear(emp: EmpiricalVariogram) -> FittedVariogram:
+    h, g, w = emp.lags, emp.gammas, emp.counts.astype(np.float64)
+    denom = float(np.sum(w * h * h))
+    slope = float(np.sum(w * h * g)) / denom if denom > 0 else 1.0
+    slope = max(slope, 1e-12)
+    model = LinearVariogram(slope=slope)
+    sse = float(np.sum(w * (model(h) - g) ** 2))
+    return FittedVariogram("linear", model, sse)
+
+
+def _fit_bounded(emp: EmpiricalVariogram, kind: str) -> FittedVariogram:
+    h, g, w = emp.lags, emp.gammas, emp.counts.astype(np.float64)
+    sqrt_w = np.sqrt(w)
+    sill0 = max(float(np.max(g)), 1e-12)
+    range0 = max(float(h[np.argmax(g >= 0.95 * sill0)]), float(h[0]))
+    classes = {
+        "spherical": SphericalVariogram,
+        "exponential": ExponentialVariogram,
+        "gaussian": GaussianVariogram,
+    }
+    cls = classes[kind]
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        sill, rng, nugget = params
+        model = cls(sill=max(sill, 1e-12), range_=max(rng, 1e-9), nugget_=max(nugget, 0.0))
+        return sqrt_w * (np.asarray(model(h)) - g)
+
+    result = optimize.least_squares(
+        residuals,
+        x0=np.array([sill0, range0, 0.0]),
+        bounds=(np.array([1e-12, 1e-9, 0.0]), np.array([np.inf, np.inf, np.inf])),
+        max_nfev=200,
+    )
+    sill, rng, nugget = result.x
+    model = cls(sill=max(float(sill), 1e-12), range_=max(float(rng), 1e-9), nugget_=max(float(nugget), 0.0))
+    sse = float(np.sum(w * (np.asarray(model(h)) - g) ** 2))
+    return FittedVariogram(kind, model, sse)
+
+
+def _fit_power(emp: EmpiricalVariogram) -> FittedVariogram:
+    h, g, w = emp.lags, emp.gammas, emp.counts.astype(np.float64)
+    sqrt_w = np.sqrt(w)
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        scale, exponent = params
+        model = PowerVariogram(scale=max(scale, 1e-12), exponent=float(np.clip(exponent, 1e-3, 1.999)))
+        return sqrt_w * (np.asarray(model(h)) - g)
+
+    scale0 = max(float(np.max(g)) / max(float(np.max(h)), 1.0), 1e-12)
+    result = optimize.least_squares(
+        residuals,
+        x0=np.array([scale0, 1.0]),
+        bounds=(np.array([1e-12, 1e-3]), np.array([np.inf, 1.999])),
+        max_nfev=200,
+    )
+    scale, exponent = result.x
+    model = PowerVariogram(scale=max(float(scale), 1e-12), exponent=float(np.clip(exponent, 1e-3, 1.999)))
+    sse = float(np.sum(w * (np.asarray(model(h)) - g) ** 2))
+    return FittedVariogram("power", model, sse)
+
+
+def fit_variogram(emp: EmpiricalVariogram, kind: str = "spherical") -> FittedVariogram:
+    """Fit one model family to an empirical variogram.
+
+    Families with three parameters need at least three distinct lags; with
+    fewer lags the fit silently degrades to the linear model, which is always
+    identifiable (and whose scale does not affect kriging weights).
+    """
+    if kind not in MODEL_KINDS:
+        raise ValueError(f"unknown variogram kind {kind!r}; expected one of {MODEL_KINDS}")
+    if kind == "linear" or emp.n_lags < 3:
+        return _fit_linear(emp)
+    if kind == "power":
+        return _fit_power(emp)
+    try:
+        return _fit_bounded(emp, kind)
+    except Exception:
+        # Optimizer failures (degenerate lag layouts) fall back to linear.
+        return _fit_linear(emp)
+
+
+def select_variogram(
+    emp: EmpiricalVariogram, kinds: tuple[str, ...] = MODEL_KINDS
+) -> FittedVariogram:
+    """Fit every family in ``kinds`` and return the best by weighted SSE."""
+    if not kinds:
+        raise ValueError("kinds must be non-empty")
+    fits = [fit_variogram(emp, kind) for kind in kinds]
+    return min(fits, key=lambda fit: fit.weighted_sse)

@@ -1,0 +1,216 @@
+"""Kriging solvers (paper Eqs. 7-10).
+
+Ordinary kriging estimates the metric at a query configuration ``e_i`` as a
+weighted sum of the measured values, with weights chosen so the estimator is
+unbiased (weights sum to one, enforced through a Lagrange multiplier — the
+row/column of ones bordering the paper's Eq. 9 matrix) and has minimal error
+variance (Eq. 5).  The estimate is ``gamma_i . Gamma^-1 . lambda`` (Eq. 10).
+
+The paper calls this construction "simple kriging"; the bordered system is
+the textbook *ordinary* kriging formulation, which we name accordingly.  A
+true simple-kriging variant (known mean, no Lagrange border) is provided for
+completeness and for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.distances import DistanceMetric, distances_to, pairwise_distances
+
+__all__ = ["KrigingResult", "ordinary_kriging", "simple_kriging"]
+
+Variogram = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class KrigingResult:
+    """Outcome of one kriging interpolation.
+
+    Attributes
+    ----------
+    estimate:
+        Interpolated metric value ``lambda_hat(e_i)``.
+    variance:
+        Kriging variance (estimation-error variance); non-negative up to
+        numerical noise.
+    weights:
+        Weight ``mu_k`` of each support value.
+    lagrange:
+        Lagrange multiplier of the unbiasedness constraint (ordinary kriging
+        only; 0 for simple kriging).
+    """
+
+    estimate: float
+    variance: float
+    weights: np.ndarray
+    lagrange: float
+
+    @property
+    def n_support(self) -> int:
+        """Number of support points used."""
+        return len(self.weights)
+
+
+def _validate(
+    points: np.ndarray, values: np.ndarray, query: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    pts = np.asarray(points, dtype=np.float64)
+    vals = np.asarray(values, dtype=np.float64)
+    q = np.asarray(query, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError(f"support points must be a non-empty 2-D array, got {pts.shape}")
+    if vals.ndim != 1 or vals.size != pts.shape[0]:
+        raise ValueError(f"values shape {vals.shape} incompatible with {pts.shape[0]} points")
+    if q.ndim != 1 or q.size != pts.shape[1]:
+        raise ValueError(f"query shape {q.shape} incompatible with dim {pts.shape[1]}")
+    if not np.all(np.isfinite(vals)):
+        raise ValueError("support values contain non-finite entries")
+    # Coincident support points make the kriging matrix singular and the
+    # least-squares fallback then violates the unit-sum constraint; collapse
+    # duplicates to their mean value instead.
+    unique, inverse = np.unique(pts, axis=0, return_inverse=True)
+    if unique.shape[0] != pts.shape[0]:
+        sums = np.zeros(unique.shape[0])
+        counts = np.zeros(unique.shape[0])
+        np.add.at(sums, inverse, vals)
+        np.add.at(counts, inverse, 1.0)
+        pts, vals = unique, sums / counts
+    return pts, vals, q
+
+
+def _solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve the kriging system, falling back to least squares when singular."""
+    try:
+        solution = np.linalg.solve(matrix, rhs)
+        if np.all(np.isfinite(solution)):
+            return solution
+    except np.linalg.LinAlgError:
+        pass
+    solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
+    return solution
+
+
+def _exact_hit(
+    pts: np.ndarray, vals: np.ndarray, query: np.ndarray
+) -> KrigingResult | None:
+    """Kriging exactness shortcut: a query coinciding with a support point.
+
+    Degenerate (singular) kriging systems arise easily on integer lattices —
+    e.g. the piecewise-linear variogram under the L1 metric — and their
+    least-squares solutions need not honour exact interpolation.  Resolving
+    coincident queries directly guarantees the exactness property
+    regardless of system conditioning.
+    """
+    matches = np.flatnonzero(np.all(pts == query[None, :], axis=1))
+    if matches.size == 0:
+        return None
+    index = int(matches[0])
+    weights = np.zeros(pts.shape[0])
+    weights[index] = 1.0
+    return KrigingResult(
+        estimate=float(vals[index]), variance=0.0, weights=weights, lagrange=0.0
+    )
+
+
+def ordinary_kriging(
+    points: np.ndarray,
+    values: np.ndarray,
+    query: np.ndarray,
+    variogram: Variogram,
+    *,
+    metric: DistanceMetric | str = DistanceMetric.L1,
+) -> KrigingResult:
+    """Ordinary-kriging estimate of the metric at ``query`` (Eqs. 7-10).
+
+    Parameters
+    ----------
+    points:
+        ``(n, Nv)`` configurations where the metric has been measured.
+    values:
+        Measured metric values ``lambda(e_k)``.
+    query:
+        Configuration ``e_i`` to interpolate.
+    variogram:
+        Semi-variogram function ``gamma(h)`` (fitted model or empirical).
+    metric:
+        Distance metric between configurations (paper: L1).
+
+    Notes
+    -----
+    Kriging is an *exact* interpolator: when ``query`` coincides with a
+    support point the estimate equals the measured value.  With a single
+    support point the estimate degenerates to that value (weights must sum
+    to one).  Coincident support points are collapsed to their mean value
+    before solving, so ``result.weights`` refers to the deduplicated support
+    set.
+    """
+    pts, vals, q = _validate(points, values, query)
+    hit = _exact_hit(pts, vals, q)
+    if hit is not None:
+        return hit
+    n = pts.shape[0]
+
+    gamma_matrix = np.asarray(variogram(pairwise_distances(pts, metric)), dtype=np.float64)
+    np.fill_diagonal(gamma_matrix, 0.0)
+    gamma_query = np.asarray(variogram(distances_to(pts, q, metric)), dtype=np.float64)
+
+    system = np.empty((n + 1, n + 1))
+    system[:n, :n] = gamma_matrix
+    system[:n, n] = 1.0
+    system[n, :n] = 1.0
+    system[n, n] = 0.0
+    rhs = np.concatenate([gamma_query, [1.0]])
+
+    solution = _solve(system, rhs)
+    weights, lagrange = solution[:n], float(solution[n])
+    estimate = float(weights @ vals)
+    variance = float(solution @ rhs)  # sum_k mu_k gamma_ik + lagrange
+    return KrigingResult(
+        estimate=estimate,
+        variance=max(variance, 0.0),
+        weights=weights,
+        lagrange=lagrange,
+    )
+
+
+def simple_kriging(
+    points: np.ndarray,
+    values: np.ndarray,
+    query: np.ndarray,
+    variogram: Variogram,
+    *,
+    mean: float,
+    sill: float,
+    metric: DistanceMetric | str = DistanceMetric.L1,
+) -> KrigingResult:
+    """Simple-kriging estimate with known ``mean`` and ``sill``.
+
+    The covariance is derived from the variogram as ``C(h) = sill -
+    gamma(h)``; the estimate is ``mean + weights . (values - mean)``.
+    """
+    pts, vals, q = _validate(points, values, query)
+    if sill <= 0:
+        raise ValueError(f"sill must be > 0, got {sill}")
+    hit = _exact_hit(pts, vals, q)
+    if hit is not None:
+        return hit
+
+    gamma_matrix = np.asarray(variogram(pairwise_distances(pts, metric)), dtype=np.float64)
+    np.fill_diagonal(gamma_matrix, 0.0)
+    gamma_query = np.asarray(variogram(distances_to(pts, q, metric)), dtype=np.float64)
+
+    cov_matrix = sill - gamma_matrix
+    cov_query = sill - gamma_query
+    weights = _solve(cov_matrix, cov_query)
+    estimate = float(mean + weights @ (vals - mean))
+    variance = float(sill - weights @ cov_query)
+    return KrigingResult(
+        estimate=estimate,
+        variance=max(variance, 0.0),
+        weights=weights,
+        lagrange=0.0,
+    )

@@ -1,0 +1,45 @@
+"""Experiment drivers reproducing the paper's evaluation (Section IV).
+
+* :mod:`~repro.experiments.registry` — the five benchmark setups
+  (FIR, IIR, FFT, HEVC, SqueezeNet) with trajectory recording;
+* :mod:`~repro.experiments.replay` — the record-then-replay methodology
+  behind Table I;
+* :mod:`~repro.experiments.table1` — Table I rows (``p %``, mean support
+  size, max/mean interpolation error per distance ``d``);
+* :mod:`~repro.experiments.figure1` — the FIR noise-power surface;
+* :mod:`~repro.experiments.decisions` — the decision-divergence experiment
+  (optimizer with kriging in the loop vs pure simulation);
+* :mod:`~repro.experiments.timing` — interpolation-vs-simulation timing and
+  the total-optimization-time model (Eq. 2);
+* :mod:`~repro.experiments.reporting` — plain-text table renderers.
+"""
+
+from repro.experiments.decisions import DecisionDivergence, measure_decision_divergence
+from repro.experiments.figure1 import fir_noise_surface, render_surface
+from repro.experiments.registry import (
+    BENCHMARK_NAMES,
+    BenchmarkSetup,
+    build_benchmark,
+)
+from repro.experiments.replay import MetricKind, ReplayStats, replay_trajectory
+from repro.experiments.reporting import format_table1
+from repro.experiments.table1 import Table1Row, table1_rows
+from repro.experiments.timing import SpeedupProjection, project_speedup
+
+__all__ = [
+    "MetricKind",
+    "ReplayStats",
+    "replay_trajectory",
+    "BenchmarkSetup",
+    "build_benchmark",
+    "BENCHMARK_NAMES",
+    "Table1Row",
+    "table1_rows",
+    "format_table1",
+    "fir_noise_surface",
+    "render_surface",
+    "DecisionDivergence",
+    "measure_decision_divergence",
+    "SpeedupProjection",
+    "project_speedup",
+]

@@ -1,0 +1,131 @@
+"""Decision-divergence experiment (Section IV, penultimate paragraph).
+
+"To evaluate the impact of kriging on the result of the optimization
+algorithm, the number of different decisions (when using kriging), taken
+during the optimization process has been measured and approximately ranges
+10 %.  Nevertheless, the optimization algorithm compensates these different
+choices to end with a similar result."
+
+We rerun each optimizer twice — once with pure simulation, once with the
+kriging evaluator in the loop — and compare the greedy decision sequences
+and the final solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimator import KrigingEstimator
+from repro.experiments.registry import BenchmarkSetup
+from repro.optimization.evaluator import KrigingMetricEvaluator
+from repro.optimization.trace import OptimizationResult
+
+__all__ = ["DecisionDivergence", "measure_decision_divergence"]
+
+
+@dataclass(frozen=True)
+class DecisionDivergence:
+    """Comparison of a kriging-in-the-loop run against the reference run.
+
+    Attributes
+    ----------
+    different_decisions_percent:
+        Share of greedy iterations whose committed variable differs
+        (compared position-wise; length mismatches count as differences).
+        Order swaps between equivalent commits inflate this number — see
+        :attr:`budget_difference_percent` for the order-insensitive view.
+    budget_difference_percent:
+        L1 distance between the two runs' per-variable commit counts,
+        relative to the reference commit count: 0 % means both runs granted
+        exactly the same bits to the same variables, merely possibly in a
+        different order.
+    reference_solution / kriging_solution:
+        Final configurations of the two runs.
+    reference_cost / kriging_cost:
+        Implementation costs of the two solutions.
+    n_simulations_reference / n_simulations_kriging:
+        Fresh simulations each run needed.
+    """
+
+    different_decisions_percent: float
+    budget_difference_percent: float
+    reference_solution: tuple[int, ...]
+    kriging_solution: tuple[int, ...]
+    reference_cost: float
+    kriging_cost: float
+    n_simulations_reference: int
+    n_simulations_kriging: int
+
+    @property
+    def cost_gap_percent(self) -> float:
+        """Relative cost difference of the kriging solution vs the reference."""
+        if self.reference_cost == 0:
+            return 0.0
+        return 100.0 * (self.kriging_cost - self.reference_cost) / self.reference_cost
+
+
+def _decision_difference(reference: list[int], kriging: list[int]) -> float:
+    if not reference and not kriging:
+        return 0.0
+    longest = max(len(reference), len(kriging))
+    same = sum(
+        1 for a, b in zip(reference, kriging) if a == b
+    )
+    return 100.0 * (longest - same) / longest
+
+
+def _budget_difference(reference: list[int], kriging: list[int]) -> float:
+    if not reference and not kriging:
+        return 0.0
+    variables = set(reference) | set(kriging)
+    l1 = sum(abs(reference.count(v) - kriging.count(v)) for v in variables)
+    return 100.0 * l1 / max(len(reference), 1)
+
+
+def measure_decision_divergence(
+    setup: BenchmarkSetup,
+    *,
+    distance: float = 3.0,
+    nn_min: int = 1,
+    variogram: object = "auto",
+    max_variance: float | None = None,
+    min_fit_points: int = 4,
+    refit_interval: int | None = 1,
+) -> DecisionDivergence:
+    """Run the optimizer with and without kriging and compare decisions.
+
+    The reference (pure simulation) run reuses the setup's cached trajectory
+    when available.  ``max_variance`` enables the variance-gated policy
+    (interpolations with kriging variance above the bound fall back to
+    simulation), which trades interpolation rate for decision fidelity —
+    the trade-off quantified by benchmark E8.
+    """
+    reference: OptimizationResult = setup.reference_result
+
+    estimator = KrigingEstimator(
+        setup.problem.simulate,
+        setup.problem.num_variables,
+        distance=distance,
+        nn_min=nn_min,
+        variogram=variogram,  # type: ignore[arg-type]
+        max_variance=max_variance,
+        min_fit_points=min_fit_points,
+        refit_interval=refit_interval,
+    )
+    evaluator = KrigingMetricEvaluator(estimator)
+    kriging_run = setup.run_reference_optimization(evaluator)
+
+    return DecisionDivergence(
+        different_decisions_percent=_decision_difference(
+            reference.trace.decisions, kriging_run.trace.decisions
+        ),
+        budget_difference_percent=_budget_difference(
+            reference.trace.decisions, kriging_run.trace.decisions
+        ),
+        reference_solution=reference.solution,
+        kriging_solution=kriging_run.solution,
+        reference_cost=reference.cost,
+        kriging_cost=kriging_run.cost,
+        n_simulations_reference=reference.trace.n_simulated,
+        n_simulations_kriging=kriging_run.trace.n_simulated,
+    )

@@ -1,0 +1,288 @@
+"""The five benchmark setups of the paper's experimental study.
+
+Each setup bundles a substrate benchmark (signal kernel, video module or
+CNN), the corresponding :class:`~repro.optimization.problem.DSEProblem`, the
+optimizer the paper used on it, and a cached ground-truth trajectory
+recording (the expensive part — the replays of Table I are cheap).
+
+Two scales are provided:
+
+* ``"full"`` — paper-comparable workloads (used by the benchmark harness);
+* ``"small"`` — reduced data sets for fast integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.replay import MetricKind
+from repro.neural import ErrorSourceGrid, SensitivityBenchmark
+from repro.optimization.descent import NoiseBudgetingDescent
+from repro.optimization.evaluator import MetricEvaluator, SimulationEvaluator
+from repro.optimization.minplusone import MinPlusOneOptimizer
+from repro.optimization.problem import DSEProblem, MetricSense
+from repro.optimization.trace import OptimizationResult, OptimizationTrace
+from repro.signal import DCTBenchmark, FFTBenchmark, FIRBenchmark, IIRBenchmark
+from repro.video import BlockWorkload, MotionCompensationBenchmark
+
+__all__ = [
+    "BenchmarkSetup",
+    "build_benchmark",
+    "BENCHMARK_NAMES",
+    "EXTRA_BENCHMARK_NAMES",
+    "SCALES",
+]
+
+BENCHMARK_NAMES = ("fir", "iir", "fft", "hevc", "squeezenet")
+"""The paper's Table I benchmarks."""
+
+EXTRA_BENCHMARK_NAMES = ("dct",)
+"""Additional kernels beyond the paper's set (see repro.signal.dct)."""
+
+SCALES = ("small", "full")
+
+
+@dataclass
+class BenchmarkSetup:
+    """One benchmark of Table I, ready to record its configuration trajectory.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``fir`` ... ``squeezenet``).
+    metric_label:
+        The paper's metric name for the Table I row.
+    problem:
+        The DSE problem instance (bounds, threshold, simulate function).
+    metric_kind:
+        Error unit used in the replays (Eq. 11 vs Eq. 12).
+    optimizer_kind:
+        ``"minplusone"`` (word-length benchmarks) or ``"descent"``
+        (sensitivity analysis).
+    descent_start:
+        Starting level of the descent optimizer (sensitivity only).
+    substrate:
+        The underlying benchmark object (kernel / video module / CNN
+        harness), for callers that need more than ``problem.simulate``.
+    """
+
+    name: str
+    metric_label: str
+    problem: DSEProblem
+    metric_kind: MetricKind
+    optimizer_kind: str
+    descent_start: int | None = None
+    substrate: object | None = None
+    _result: OptimizationResult | None = field(default=None, repr=False)
+
+    def run_reference_optimization(
+        self, evaluator: MetricEvaluator | None = None
+    ) -> OptimizationResult:
+        """Run the benchmark's optimizer (pure simulation unless overridden)."""
+        if self.optimizer_kind == "minplusone":
+            return MinPlusOneOptimizer(self.problem, evaluator).run()
+        if self.optimizer_kind == "descent":
+            start = None
+            if self.descent_start is not None:
+                start = self.problem.full_configuration(self.descent_start)
+            return NoiseBudgetingDescent(self.problem, evaluator, start=start).run()
+        raise ValueError(f"unknown optimizer kind {self.optimizer_kind!r}")
+
+    def record_trajectory(self) -> OptimizationTrace:
+        """Ground-truth trajectory (memoized: the optimizer runs once)."""
+        if self._result is None:
+            self._result = self.run_reference_optimization(
+                SimulationEvaluator(self.problem.simulate)
+            )
+        return self._result.trace
+
+    @property
+    def reference_result(self) -> OptimizationResult:
+        """The pure-simulation optimization result (recording it if needed)."""
+        self.record_trajectory()
+        assert self._result is not None
+        return self._result
+
+
+def _check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+def build_fir(scale: str = "full", *, seed: int = 0) -> BenchmarkSetup:
+    """64-tap FIR, ``Nv = 2``, noise-power metric (Table I rows 1-4)."""
+    _check_scale(scale)
+    n_samples = 2048 if scale == "full" else 512
+    bench = FIRBenchmark(n_samples=n_samples, seed=seed)
+    problem = DSEProblem(
+        name="fir",
+        num_variables=bench.NUM_VARIABLES,
+        min_value=2,
+        max_value=20,
+        simulate=bench.noise_power_db,
+        sense=MetricSense.LOWER_IS_BETTER,
+        threshold=-58.5,
+    )
+    return BenchmarkSetup(
+        name="fir",
+        metric_label="Noise Power",
+        problem=problem,
+        metric_kind=MetricKind.NOISE_POWER_DB,
+        optimizer_kind="minplusone",
+        substrate=bench,
+    )
+
+
+def build_iir(scale: str = "full", *, seed: int = 1) -> BenchmarkSetup:
+    """8th-order IIR, ``Nv = 5``, noise-power metric."""
+    _check_scale(scale)
+    n_samples = 2048 if scale == "full" else 512
+    bench = IIRBenchmark(n_samples=n_samples, seed=seed)
+    problem = DSEProblem(
+        name="iir",
+        num_variables=bench.NUM_VARIABLES,
+        min_value=4,
+        max_value=18,
+        simulate=bench.noise_power_db,
+        sense=MetricSense.LOWER_IS_BETTER,
+        threshold=-55.0,
+    )
+    return BenchmarkSetup(
+        name="iir",
+        metric_label="Noise Power",
+        problem=problem,
+        metric_kind=MetricKind.NOISE_POWER_DB,
+        optimizer_kind="minplusone",
+        substrate=bench,
+    )
+
+
+def build_fft(scale: str = "full", *, seed: int = 2) -> BenchmarkSetup:
+    """64-point FFT, ``Nv = 10``, noise-power metric."""
+    _check_scale(scale)
+    n_frames = 48 if scale == "full" else 12
+    bench = FFTBenchmark(n_frames=n_frames, seed=seed)
+    problem = DSEProblem(
+        name="fft",
+        num_variables=bench.NUM_VARIABLES,
+        min_value=4,
+        max_value=16,
+        simulate=bench.noise_power_db,
+        sense=MetricSense.LOWER_IS_BETTER,
+        threshold=-55.0,
+    )
+    return BenchmarkSetup(
+        name="fft",
+        metric_label="Noise Power",
+        problem=problem,
+        metric_kind=MetricKind.NOISE_POWER_DB,
+        optimizer_kind="minplusone",
+        substrate=bench,
+    )
+
+
+def build_hevc(scale: str = "full", *, seed: int = 3) -> BenchmarkSetup:
+    """HEVC motion compensation, ``Nv = 23``, noise-power metric.
+
+    The paper quotes a noise-power constraint of -50 dB for this module.
+    """
+    _check_scale(scale)
+    n_blocks = 64 if scale == "full" else 16
+    workload = BlockWorkload.generate(n_blocks=n_blocks, seed=seed)
+    bench = MotionCompensationBenchmark(workload=workload)
+    problem = DSEProblem(
+        name="hevc",
+        num_variables=bench.NUM_VARIABLES,
+        min_value=4,
+        max_value=20,
+        simulate=bench.noise_power_db,
+        sense=MetricSense.LOWER_IS_BETTER,
+        threshold=-50.0,
+    )
+    return BenchmarkSetup(
+        name="hevc",
+        metric_label="Noise Power",
+        problem=problem,
+        metric_kind=MetricKind.NOISE_POWER_DB,
+        optimizer_kind="minplusone",
+        substrate=bench,
+    )
+
+
+def build_squeezenet(scale: str = "full", *, seed: int = 5) -> BenchmarkSetup:
+    """SqueezeNet sensitivity analysis, ``Nv = 10``, classification rate.
+
+    Substitution (see DESIGN.md): reduced-scale SqueezeNet on a synthetic
+    labelled image set; the paper's 1000-image set maps to 250 images at the
+    ``full`` scale for tractability (pcl resolution 0.4 %, well below the
+    interpolation errors of interest).
+    """
+    _check_scale(scale)
+    n_images = 250 if scale == "full" else 48
+    image_size = 32 if scale == "full" else 16
+    bench = SensitivityBenchmark(
+        n_images=n_images,
+        image_size=image_size,
+        grid=ErrorSourceGrid(base_db=0.0, step_db=6.0, max_level=16),
+        seed=seed,
+    )
+    problem = DSEProblem(
+        name="squeezenet",
+        num_variables=bench.NUM_VARIABLES,
+        min_value=1,
+        max_value=16,
+        simulate=bench.evaluate,
+        sense=MetricSense.HIGHER_IS_BETTER,
+        threshold=0.9,
+    )
+    return BenchmarkSetup(
+        name="squeezenet",
+        metric_label="Classification rate",
+        problem=problem,
+        metric_kind=MetricKind.RATE,
+        optimizer_kind="descent",
+        descent_start=13,
+        substrate=bench,
+    )
+
+
+def build_dct(scale: str = "full", *, seed: int = 4) -> BenchmarkSetup:
+    """8x8 2-D DCT, ``Nv = 6`` — an extra kernel beyond the paper's set."""
+    _check_scale(scale)
+    n_blocks = 96 if scale == "full" else 24
+    bench = DCTBenchmark(n_blocks=n_blocks, seed=seed)
+    problem = DSEProblem(
+        name="dct",
+        num_variables=bench.NUM_VARIABLES,
+        min_value=4,
+        max_value=18,
+        simulate=bench.noise_power_db,
+        sense=MetricSense.LOWER_IS_BETTER,
+        threshold=-50.0,
+    )
+    return BenchmarkSetup(
+        name="dct",
+        metric_label="Noise Power",
+        problem=problem,
+        metric_kind=MetricKind.NOISE_POWER_DB,
+        optimizer_kind="minplusone",
+        substrate=bench,
+    )
+
+
+_BUILDERS = {
+    "fir": build_fir,
+    "iir": build_iir,
+    "fft": build_fft,
+    "hevc": build_hevc,
+    "squeezenet": build_squeezenet,
+    "dct": build_dct,
+}
+
+
+def build_benchmark(name: str, scale: str = "full") -> BenchmarkSetup:
+    """Build a benchmark by registry name (paper set + extras)."""
+    if name not in _BUILDERS:
+        known = BENCHMARK_NAMES + EXTRA_BENCHMARK_NAMES
+        raise ValueError(f"unknown benchmark {name!r}; expected one of {known}")
+    return _BUILDERS[name](scale)

@@ -1,0 +1,46 @@
+"""Plain-text renderers for the reproduced tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.replay import MetricKind
+from repro.experiments.table1 import Table1Row
+
+__all__ = ["format_table1", "format_row"]
+
+_HEADER = (
+    f"{'benchmark':<12} {'metric':<20} {'Nv':>3} {'d':>3} "
+    f"{'p(%)':>7} {'j':>6} {'max eps':>9} {'mu eps':>9} {'configs':>8}"
+)
+
+
+def _format_error(value: float, kind: MetricKind) -> str:
+    if value != value:  # NaN: no interpolation happened
+        return "-"
+    if kind is MetricKind.RATE:
+        return f"{100.0 * value:.2f}%"
+    return f"{value:.2f}"
+
+
+def format_row(row: Table1Row) -> str:
+    """Render one Table I row in the paper's column order."""
+    return (
+        f"{row.benchmark:<12} {row.metric_label:<20} {row.nv:>3d} "
+        f"{row.distance:>3.0f} {row.p_percent:>7.2f} {row.mean_neighbors:>6.2f} "
+        f"{_format_error(row.max_error, row.metric_kind):>9} "
+        f"{_format_error(row.mean_error, row.metric_kind):>9} "
+        f"{row.n_configs:>8d}"
+    )
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render a full Table I reproduction as aligned plain text."""
+    lines = [_HEADER, "-" * len(_HEADER)]
+    previous = None
+    for row in rows:
+        if previous is not None and row.benchmark != previous:
+            lines.append("")
+        lines.append(format_row(row))
+        previous = row.benchmark
+    return "\n".join(lines)

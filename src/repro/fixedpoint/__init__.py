@@ -1,0 +1,48 @@
+"""Fixed-point arithmetic substrate.
+
+This package provides the bit-accurate quantization machinery that the
+benchmark kernels (:mod:`repro.signal`, :mod:`repro.video`) use to emulate
+finite-precision implementations, together with the error metrics of the
+paper:
+
+* :class:`~repro.fixedpoint.qformat.QFormat` — signed/unsigned Q-format
+  descriptions (word-length, fractional bits, saturation bounds);
+* :func:`~repro.fixedpoint.quantize.quantize` — vectorized rounding /
+  truncation with saturation or wrap-around overflow;
+* :class:`~repro.fixedpoint.simulate.QuantizationNode` — a named internal
+  signal whose fractional precision is driven by a word-length variable;
+* :mod:`~repro.fixedpoint.noise` — noise power, dB conversion, the
+  equivalent-number-of-bits transform (paper Eq. 11) and the relative
+  difference (paper Eq. 12).
+"""
+
+from repro.fixedpoint.noise import (
+    bit_difference,
+    db_to_power,
+    equivalent_bits,
+    noise_power,
+    noise_power_db,
+    power_to_db,
+    relative_difference,
+    uniform_quantization_noise_power,
+)
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import Overflow, Rounding, quantize
+from repro.fixedpoint.simulate import FixedPointSimulator, QuantizationNode
+
+__all__ = [
+    "QFormat",
+    "Rounding",
+    "Overflow",
+    "quantize",
+    "QuantizationNode",
+    "FixedPointSimulator",
+    "noise_power",
+    "noise_power_db",
+    "power_to_db",
+    "db_to_power",
+    "equivalent_bits",
+    "bit_difference",
+    "relative_difference",
+    "uniform_quantization_noise_power",
+]

@@ -1,0 +1,101 @@
+"""Q-format descriptions for fixed-point signals.
+
+A fixed-point format is written ``Q(i, f)``: ``i`` integer bits, ``f``
+fractional bits, plus one sign bit when signed.  The total word-length is
+``w = sign + i + f``.  During word-length optimization the integer part of
+every internal signal is pinned by dynamic-range analysis, and the optimizer
+trades fractional bits (hence quantization noise) for cost — exactly the
+setting of the paper's ``min+1 bit`` experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QFormat"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A fixed-point number format.
+
+    Parameters
+    ----------
+    integer_bits:
+        Number of bits for the integer part (excluding the sign bit).
+        May be negative for signals known to be much smaller than one
+        (each negative integer bit halves the representable range).
+    frac_bits:
+        Number of fractional bits; must make the total word-length positive.
+    signed:
+        Whether a sign bit is present (two's complement semantics).
+
+    Examples
+    --------
+    >>> fmt = QFormat(integer_bits=0, frac_bits=7)   # signed Q0.7, w = 8
+    >>> fmt.word_length
+    8
+    >>> fmt.step
+    0.0078125
+    """
+
+    integer_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.integer_bits, int) or isinstance(self.integer_bits, bool):
+            raise TypeError(f"integer_bits must be int, got {type(self.integer_bits).__name__}")
+        if not isinstance(self.frac_bits, int) or isinstance(self.frac_bits, bool):
+            raise TypeError(f"frac_bits must be int, got {type(self.frac_bits).__name__}")
+        if self.word_length < 1:
+            raise ValueError(
+                f"word length must be >= 1, got {self.word_length} "
+                f"(integer_bits={self.integer_bits}, frac_bits={self.frac_bits}, "
+                f"signed={self.signed})"
+            )
+
+    @property
+    def word_length(self) -> int:
+        """Total number of bits (sign + integer + fractional)."""
+        return int(self.signed) + self.integer_bits + self.frac_bits
+
+    @property
+    def step(self) -> float:
+        """Quantization step (weight of the least-significant bit)."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return 2.0**self.integer_bits - self.step
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable value (0 when unsigned)."""
+        return -(2.0**self.integer_bits) if self.signed else 0.0
+
+    @property
+    def levels(self) -> int:
+        """Number of representable codes, ``2 ** word_length``."""
+        return 2**self.word_length
+
+    def with_word_length(self, word_length: int) -> "QFormat":
+        """Return a format with the same integer part but ``word_length`` total bits.
+
+        This is the transform used by word-length optimization: the dynamic
+        range (integer bits) of an internal signal is fixed; shrinking the
+        word shaves fractional bits.
+        """
+        if not isinstance(word_length, int) or isinstance(word_length, bool):
+            raise TypeError(f"word_length must be int, got {type(word_length).__name__}")
+        frac = word_length - int(self.signed) - self.integer_bits
+        return QFormat(integer_bits=self.integer_bits, frac_bits=frac, signed=self.signed)
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:
+        prefix = "Q" if self.signed else "UQ"
+        return f"{prefix}{self.integer_bits}.{self.frac_bits}"

@@ -1,0 +1,121 @@
+"""Word-length-driven quantization nodes.
+
+A benchmark kernel declares one :class:`QuantizationNode` per internal signal
+whose precision is exposed to the optimizer.  The node pins the *integer*
+part of the signal's format (obtained from dynamic-range analysis once, when
+the kernel is built) and converts a *word-length* — the quantity the
+optimizer manipulates — into a concrete :class:`~repro.fixedpoint.qformat.QFormat`.
+
+:class:`FixedPointSimulator` groups the nodes of a kernel and binds a
+word-length vector, so the kernel body reads as
+``sim.apply("acc", accumulator_values)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import Overflow, Rounding, quantize
+
+__all__ = ["QuantizationNode", "FixedPointSimulator"]
+
+
+@dataclass(frozen=True)
+class QuantizationNode:
+    """A named internal signal with an optimizable word-length.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the node (used in traces and error messages).
+    integer_bits:
+        Integer bits of the node's format, fixed by range analysis.
+    signed:
+        Signedness of the node.
+    rounding / overflow:
+        Quantization behaviour of the hardware operator modelled.
+    """
+
+    name: str
+    integer_bits: int
+    signed: bool = True
+    rounding: Rounding = Rounding.NEAREST
+    overflow: Overflow = Overflow.SATURATE
+
+    def format_for(self, word_length: int) -> QFormat:
+        """Q-format of this node under a total word-length of ``word_length``."""
+        frac = int(word_length) - int(self.signed) - self.integer_bits
+        return QFormat(integer_bits=self.integer_bits, frac_bits=frac, signed=self.signed)
+
+    def apply(self, values: np.ndarray, word_length: int) -> np.ndarray:
+        """Quantize ``values`` as this node would at ``word_length`` bits."""
+        fmt = self.format_for(word_length)
+        return quantize(values, fmt, rounding=self.rounding, overflow=self.overflow)
+
+
+@dataclass
+class FixedPointSimulator:
+    """Binds a kernel's quantization nodes to a word-length vector.
+
+    The node order defines the meaning of the word-length vector components:
+    ``word_lengths[i]`` drives ``nodes[i]``.
+
+    Examples
+    --------
+    >>> nodes = [QuantizationNode("mul", 0), QuantizationNode("acc", 3)]
+    >>> sim = FixedPointSimulator(nodes)
+    >>> sim.bind([8, 12])
+    >>> sim.word_length("acc")
+    12
+    """
+
+    nodes: list[QuantizationNode]
+    _word_lengths: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+
+    @property
+    def node_names(self) -> list[str]:
+        """Node names in word-length-vector order."""
+        return [node.name for node in self.nodes]
+
+    @property
+    def num_variables(self) -> int:
+        """Number of optimizable word-length variables (``Nv``)."""
+        return len(self.nodes)
+
+    def bind(self, word_lengths: object) -> None:
+        """Attach a word-length vector (one entry per node, in node order)."""
+        vector = np.asarray(word_lengths, dtype=np.int64)
+        if vector.ndim != 1 or vector.size != len(self.nodes):
+            raise ValueError(
+                f"expected {len(self.nodes)} word-lengths, got shape {vector.shape}"
+            )
+        if np.any(vector < 1):
+            raise ValueError(f"word-lengths must be >= 1, got {vector!r}")
+        self._word_lengths = {
+            node.name: int(w) for node, w in zip(self.nodes, vector)
+        }
+
+    def word_length(self, name: str) -> int:
+        """Word-length currently bound to node ``name``."""
+        if name not in self._word_lengths:
+            raise KeyError(f"no word-length bound for node {name!r}")
+        return self._word_lengths[name]
+
+    def apply(self, name: str, values: np.ndarray) -> np.ndarray:
+        """Quantize ``values`` at node ``name`` with its bound word-length."""
+        node = self._node(name)
+        return node.apply(values, self.word_length(name))
+
+    def _node(self, name: str) -> QuantizationNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"unknown quantization node {name!r}")

@@ -1,0 +1,42 @@
+"""SqueezeNet-style CNN benchmark for error-sensitivity analysis (``Nv = 10``).
+
+The paper's fifth benchmark injects an error source at the output of each of
+the ten layers of a SqueezeNet image classifier (conv1, eight fire modules,
+conv10) and searches for the maximal tolerated error powers under a
+classification-rate constraint.
+
+This package provides a from-scratch numpy implementation:
+
+* :mod:`~repro.neural.layers` — conv2d / relu / maxpool / global-avg-pool;
+* :mod:`~repro.neural.squeezenet` — the fire-module architecture with
+  deterministic weights and named injection points;
+* :mod:`~repro.neural.dataset` — a procedurally generated labelled image set
+  standing in for the paper's 1000-image set;
+* :mod:`~repro.neural.injection` — the error-source model (level grid →
+  noise power) and deterministic noise injection;
+* :mod:`~repro.neural.classification` — the ``pcl`` metric (probability of
+  matching the error-free classification).
+"""
+
+from repro.neural.classification import classification_match_rate
+from repro.neural.dataset import SyntheticImageDataset
+from repro.neural.error_models import (
+    BitFlipErrorModel,
+    ErrorModel,
+    GaussianErrorModel,
+    UniformErrorModel,
+)
+from repro.neural.injection import ErrorSourceGrid, SensitivityBenchmark
+from repro.neural.squeezenet import SqueezeNetModel
+
+__all__ = [
+    "SqueezeNetModel",
+    "SyntheticImageDataset",
+    "ErrorSourceGrid",
+    "SensitivityBenchmark",
+    "classification_match_rate",
+    "ErrorModel",
+    "GaussianErrorModel",
+    "UniformErrorModel",
+    "BitFlipErrorModel",
+]

@@ -1,0 +1,36 @@
+"""The ``pcl`` quality metric.
+
+The paper's SqueezeNet benchmark measures "the probability to have the same
+classification as the one predicted by the reference, i.e. the
+classification obtained without error injection".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["classification_match_rate"]
+
+
+def classification_match_rate(
+    noisy_predictions: np.ndarray, reference_predictions: np.ndarray
+) -> float:
+    """Fraction of inputs whose noisy prediction matches the clean one.
+
+    Parameters
+    ----------
+    noisy_predictions, reference_predictions:
+        Integer class indices of identical shape.
+
+    Returns
+    -------
+    float
+        ``pcl`` in ``[0, 1]``.
+    """
+    noisy = np.asarray(noisy_predictions)
+    ref = np.asarray(reference_predictions)
+    if noisy.shape != ref.shape:
+        raise ValueError(f"shape mismatch: {noisy.shape} vs {ref.shape}")
+    if noisy.size == 0:
+        raise ValueError("classification_match_rate requires non-empty arrays")
+    return float(np.mean(noisy == ref))

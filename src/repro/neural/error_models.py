@@ -1,0 +1,89 @@
+"""Error-source models for the sensitivity analysis.
+
+The paper injects "error sources" of configurable power at each layer
+output without committing to a distribution.  Besides the Gaussian model
+(the default used for Table I), two other standard approximate-computing
+error shapes are provided:
+
+* **uniform** — matches quantization-style errors (e.g. truncated LSBs);
+* **bit-flip** — sparse large-magnitude errors (e.g. voltage-overscaling
+  timing faults): each activation is hit with small probability by an error
+  of fixed magnitude, scaled so the configured average power is preserved.
+
+All models draw from a caller-supplied generator so the
+deterministic-per-configuration property of
+:class:`~repro.neural.injection.SensitivityBenchmark` is preserved.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+__all__ = ["ErrorModel", "GaussianErrorModel", "UniformErrorModel", "BitFlipErrorModel"]
+
+
+class ErrorModel(abc.ABC):
+    """Additive error source with a configurable average power."""
+
+    @abc.abstractmethod
+    def sample(
+        self, rng: np.random.Generator, shape: tuple[int, ...], power: float
+    ) -> np.ndarray:
+        """Draw an error tensor of the given ``shape`` and average ``power``."""
+
+    def inject(
+        self, rng: np.random.Generator, activations: np.ndarray, power: float
+    ) -> np.ndarray:
+        """Return ``activations`` plus a fresh error realization."""
+        if power <= 0.0:
+            return activations
+        return activations + self.sample(rng, activations.shape, power)
+
+
+class GaussianErrorModel(ErrorModel):
+    """Zero-mean white Gaussian error (the default model)."""
+
+    def sample(
+        self, rng: np.random.Generator, shape: tuple[int, ...], power: float
+    ) -> np.ndarray:
+        return rng.normal(0.0, math.sqrt(power), size=shape)
+
+
+class UniformErrorModel(ErrorModel):
+    """Zero-mean uniform error: amplitude ``a = sqrt(3 P)`` gives power P."""
+
+    def sample(
+        self, rng: np.random.Generator, shape: tuple[int, ...], power: float
+    ) -> np.ndarray:
+        amplitude = math.sqrt(3.0 * power)
+        return rng.uniform(-amplitude, amplitude, size=shape)
+
+
+class BitFlipErrorModel(ErrorModel):
+    """Sparse +/-M errors with hit probability ``p``: ``P = p * M^2``.
+
+    Parameters
+    ----------
+    flip_probability:
+        Per-element probability of being hit; the magnitude is derived from
+        the requested power (``M = sqrt(P / p)``), so rarer hits are larger —
+        the signature of timing-error-style faults.
+    """
+
+    def __init__(self, flip_probability: float = 1e-3) -> None:
+        if not 0.0 < flip_probability <= 1.0:
+            raise ValueError(
+                f"flip_probability must be in (0, 1], got {flip_probability}"
+            )
+        self.flip_probability = flip_probability
+
+    def sample(
+        self, rng: np.random.Generator, shape: tuple[int, ...], power: float
+    ) -> np.ndarray:
+        magnitude = math.sqrt(power / self.flip_probability)
+        hits = rng.random(size=shape) < self.flip_probability
+        signs = rng.choice([-1.0, 1.0], size=shape)
+        return np.where(hits, magnitude * signs, 0.0)

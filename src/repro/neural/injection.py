@@ -1,0 +1,135 @@
+"""Error-source model and injection harness for the sensitivity analysis.
+
+The paper's SqueezeNet experiment assigns each of the ten layer outputs an
+error source of configurable *power*; the optimization searches the maximal
+tolerated powers under a ``pcl`` constraint.  To make the configuration
+space a discrete hypercube (as required by the L1-distance kriging policy),
+powers live on a logarithmic grid indexed by an integer **protection level**:
+
+* level ``k`` maps to noise power ``base_db - step_db * k`` (dB),
+* a *higher* level therefore means *less* injected noise and better quality —
+  the same per-variable monotonicity as word-lengths, so the two problem
+  families share the optimizer machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.noise import db_to_power
+from repro.neural.classification import classification_match_rate
+from repro.neural.dataset import SyntheticImageDataset
+from repro.neural.error_models import ErrorModel, GaussianErrorModel
+from repro.neural.squeezenet import INJECTION_POINTS, SqueezeNetModel
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_integer_vector
+
+__all__ = ["ErrorSourceGrid", "SensitivityBenchmark"]
+
+
+@dataclass(frozen=True)
+class ErrorSourceGrid:
+    """Mapping between integer protection levels and noise powers.
+
+    Parameters
+    ----------
+    base_db:
+        Noise power (dB) at level 0.
+    step_db:
+        Power reduction per level (dB); each level step divides the injected
+        noise power by ``10^(step_db/10)``.
+    max_level:
+        Largest usable level.
+    """
+
+    base_db: float = 0.0
+    step_db: float = 6.0
+    max_level: int = 16
+
+    def __post_init__(self) -> None:
+        if self.step_db <= 0:
+            raise ValueError(f"step_db must be > 0, got {self.step_db}")
+        if self.max_level < 2:
+            raise ValueError(f"max_level must be >= 2, got {self.max_level}")
+
+    def power_db(self, level: int) -> float:
+        """Noise power in dB for a protection ``level``."""
+        return self.base_db - self.step_db * float(level)
+
+    def power(self, level: int) -> float:
+        """Linear noise power for a protection ``level``."""
+        return db_to_power(self.power_db(level))
+
+    def std(self, level: int) -> float:
+        """Standard deviation of the injected Gaussian noise at ``level``."""
+        return float(np.sqrt(self.power(level)))
+
+
+class SensitivityBenchmark:
+    """SqueezeNet error-sensitivity benchmark (paper Table I, last rows).
+
+    Evaluating a configuration runs one forward pass of the full image set
+    with zero-mean Gaussian noise of the configured power added at each of
+    the ten injection points, then returns ``pcl`` — the fraction of images
+    classified identically to the clean reference run.
+
+    The noise realization is a deterministic function of ``(seed, levels)``,
+    so repeated evaluations of a configuration agree exactly (a requirement
+    of the record-then-replay methodology used for Table I).
+
+    Parameters
+    ----------
+    n_images:
+        Data-set size (paper: 1000).
+    grid:
+        Level-to-power mapping shared by all ten sources.
+    seed:
+        Master seed for weights, images and noise.
+    error_model:
+        Shape of the injected errors (defaults to the Gaussian model; see
+        :mod:`repro.neural.error_models` for uniform and bit-flip variants).
+    """
+
+    NUM_VARIABLES = len(INJECTION_POINTS)
+    VARIABLE_NAMES = INJECTION_POINTS
+
+    def __init__(
+        self,
+        *,
+        n_images: int = 1000,
+        image_size: int = 32,
+        grid: ErrorSourceGrid | None = None,
+        seed: int = 5,
+        error_model: ErrorModel | None = None,
+    ) -> None:
+        self.grid = grid if grid is not None else ErrorSourceGrid()
+        self.seed = seed
+        self.error_model = error_model if error_model is not None else GaussianErrorModel()
+        self.model = SqueezeNetModel(seed=seed)
+        self.dataset = SyntheticImageDataset(
+            n_images=n_images, size=image_size, seed=seed
+        )
+        self.reference_predictions = self.model.predict(self.dataset.images)
+
+    def evaluate(self, levels: object) -> float:
+        """``pcl`` for a 10-vector of protection levels (higher = less noise)."""
+        lv = check_integer_vector("levels", levels, minimum=0)
+        if lv.size != self.NUM_VARIABLES:
+            raise ValueError(f"expected {self.NUM_VARIABLES} levels, got {lv.size}")
+        rng = derive_rng(self.seed, "inject", tuple(int(v) for v in lv))
+        powers = {
+            name: self.grid.power(int(level))
+            for name, level in zip(INJECTION_POINTS, lv)
+        }
+
+        def perturb(name: str, activations: np.ndarray) -> np.ndarray:
+            return self.error_model.inject(rng, activations, powers[name])
+
+        noisy = self.model.predict(self.dataset.images, perturb=perturb)
+        return classification_match_rate(noisy, self.reference_predictions)
+
+    def classification_rate(self, levels: object) -> float:
+        """Alias of :meth:`evaluate` (the quality metric of the paper)."""
+        return self.evaluate(levels)

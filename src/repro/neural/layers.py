@@ -1,0 +1,97 @@
+"""Minimal numpy CNN layers (NCHW layout).
+
+Only what a SqueezeNet-style classifier needs: 2-D convolution (via
+``sliding_window_view`` + ``einsum``), ReLU, 2x2 max-pooling and global
+average pooling.  All functions are pure and operate on float64 batches of
+shape ``(N, C, H, W)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv2d", "relu", "maxpool2d", "global_avg_pool"]
+
+
+def conv2d(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D convolution (cross-correlation, as in every DL framework).
+
+    Parameters
+    ----------
+    x:
+        Input batch ``(N, C, H, W)``.
+    weights:
+        Filter bank ``(F, C, kh, kw)``.
+    bias:
+        Optional per-filter bias ``(F,)``.
+    stride:
+        Spatial stride (same in both dimensions).
+    padding:
+        Zero-padding applied to both spatial dimensions.
+
+    Returns
+    -------
+    numpy.ndarray
+        Output batch ``(N, F, H', W')``.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"x must be (N, C, H, W), got shape {x.shape}")
+    if weights.ndim != 4:
+        raise ValueError(f"weights must be (F, C, kh, kw), got shape {weights.shape}")
+    if x.shape[1] != weights.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[1]}, weights expect {weights.shape[1]}"
+        )
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+
+    kh, kw = weights.shape[2], weights.shape[3]
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    if x.shape[2] < kh or x.shape[3] < kw:
+        raise ValueError(
+            f"input {x.shape[2]}x{x.shape[3]} smaller than kernel {kh}x{kw}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    out = np.einsum("nchwij,fcij->nfhw", windows, weights, optimize=True)
+    if bias is not None:
+        out += bias[None, :, None, None]
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def maxpool2d(x: np.ndarray, *, size: int = 2, stride: int | None = None) -> np.ndarray:
+    """Max pooling over ``size x size`` windows (default non-overlapping)."""
+    if x.ndim != 4:
+        raise ValueError(f"x must be (N, C, H, W), got shape {x.shape}")
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    stride = size if stride is None else stride
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    windows = np.lib.stride_tricks.sliding_window_view(x, (size, size), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    return windows.max(axis=(4, 5))
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """Average over both spatial dimensions: ``(N, C, H, W) -> (N, C)``."""
+    if x.ndim != 4:
+        raise ValueError(f"x must be (N, C, H, W), got shape {x.shape}")
+    return x.mean(axis=(2, 3))

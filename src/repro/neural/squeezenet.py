@@ -1,0 +1,223 @@
+"""SqueezeNet-style classifier with named error-injection points.
+
+The architecture mirrors SqueezeNet v1.0 (Iandola et al., 2016) at reduced
+scale: a stem convolution, eight fire modules (squeeze 1x1 → expand 1x1 ∥
+expand 3x3) with interspersed max-pooling, and a final 1x1 class convolution
+followed by global average pooling.  The ten layer outputs — conv1, fire1-8,
+conv10 — are the paper's ten error-injection points.
+
+Weights are deterministic (He initialization from a seeded generator): the
+``pcl`` metric compares noisy predictions against the *same network's*
+error-free predictions, so no training is required for the benchmark to be
+meaningful — only a stable, non-degenerate decision function.  To get one, a
+calibration pass on a seeded image batch fixes (a) a per-channel affine
+normalization of the fire8 features (a folded batch-norm) and (b) the conv10
+biases so the average logit of every class is zero; without this, random
+class biases drown the per-image feature variation and a single class wins
+every argmax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.neural.layers import conv2d, global_avg_pool, maxpool2d, relu
+from repro.utils.rng import derive_rng
+
+__all__ = ["FireModule", "SqueezeNetModel", "INJECTION_POINTS"]
+
+INJECTION_POINTS = (
+    "conv1",
+    "fire1",
+    "fire2",
+    "fire3",
+    "fire4",
+    "fire5",
+    "fire6",
+    "fire7",
+    "fire8",
+    "conv10",
+)
+"""The ten named layer outputs where error sources are injected."""
+
+
+def _he_conv(rng: np.random.Generator, f: int, c: int, k: int) -> np.ndarray:
+    scale = np.sqrt(2.0 / (c * k * k))
+    return rng.normal(0.0, scale, size=(f, c, k, k))
+
+
+@dataclass
+class FireModule:
+    """A SqueezeNet fire module: squeeze 1x1 → (expand 1x1 ∥ expand 3x3)."""
+
+    squeeze_w: np.ndarray
+    squeeze_b: np.ndarray
+    expand1_w: np.ndarray
+    expand1_b: np.ndarray
+    expand3_w: np.ndarray
+    expand3_b: np.ndarray
+
+    @classmethod
+    def create(
+        cls,
+        rng: np.random.Generator,
+        in_channels: int,
+        squeeze: int,
+        expand: int,
+    ) -> "FireModule":
+        """Build a fire module with He-initialized weights.
+
+        ``expand`` is the channel count of *each* expand branch; the module
+        output has ``2 * expand`` channels.
+        """
+        return cls(
+            squeeze_w=_he_conv(rng, squeeze, in_channels, 1),
+            squeeze_b=np.zeros(squeeze),
+            expand1_w=_he_conv(rng, expand, squeeze, 1),
+            expand1_b=np.zeros(expand),
+            expand3_w=_he_conv(rng, expand, squeeze, 3),
+            expand3_b=np.zeros(expand),
+        )
+
+    @property
+    def out_channels(self) -> int:
+        """Channels produced by the module (both expand branches)."""
+        return self.expand1_w.shape[0] + self.expand3_w.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the module to a batch ``(N, C, H, W)``."""
+        s = relu(conv2d(x, self.squeeze_w, self.squeeze_b))
+        e1 = conv2d(s, self.expand1_w, self.expand1_b)
+        e3 = conv2d(s, self.expand3_w, self.expand3_b, padding=1)
+        return relu(np.concatenate([e1, e3], axis=1))
+
+
+class SqueezeNetModel:
+    """Reduced-scale SqueezeNet with ten injection points.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of output classes (10 by default).
+    seed:
+        Seed of the deterministic weight initialization.
+
+    Notes
+    -----
+    Layer schedule for 32x32 inputs::
+
+        conv1 3x3x16 → pool → fire1..2 (16ch) → pool → fire3..4 (32ch)
+        → pool → fire5..6 (32/48ch) → fire7..8 (48/64ch) → conv10 1x1 → GAP
+    """
+
+    def __init__(self, *, n_classes: int = 10, seed: int = 7) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        rng = derive_rng(seed, "squeezenet", "weights")
+        self.n_classes = n_classes
+
+        self.conv1_w = _he_conv(rng, 16, 3, 3)
+        self.conv1_b = np.zeros(16)
+        self.fires = [
+            FireModule.create(rng, 16, 4, 8),   # fire1 -> 16ch
+            FireModule.create(rng, 16, 4, 8),   # fire2 -> 16ch
+            FireModule.create(rng, 16, 8, 16),  # fire3 -> 32ch
+            FireModule.create(rng, 32, 8, 16),  # fire4 -> 32ch
+            FireModule.create(rng, 32, 8, 16),  # fire5 -> 32ch
+            FireModule.create(rng, 32, 12, 24), # fire6 -> 48ch
+            FireModule.create(rng, 48, 12, 24), # fire7 -> 48ch
+            FireModule.create(rng, 48, 16, 32), # fire8 -> 64ch
+        ]
+        self.conv10_w = _he_conv(rng, n_classes, 64, 1)
+        self.conv10_b = np.zeros(n_classes)
+        # Pools after fire2 and fire4 (plus the stem pool after conv1).
+        self._pool_after = {1, 3}
+        # Folded-BN feature normalization, identity until calibration.
+        self._feat_shift = np.zeros(64)
+        self._feat_scale = np.ones(64)
+        self._calibrate(seed)
+
+    @property
+    def num_injection_points(self) -> int:
+        """Number of error-injection points (``Nv = 10``)."""
+        return len(INJECTION_POINTS)
+
+    def _trunk(
+        self, images: np.ndarray, tap: Callable[[str, np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """Feature extractor: conv1 + fire1-8 with injection taps."""
+        x = relu(conv2d(images, self.conv1_w, self.conv1_b, padding=1))
+        x = tap("conv1", x)
+        x = maxpool2d(x)
+        for index, fire in enumerate(self.fires):
+            x = fire.forward(x)
+            x = tap(f"fire{index + 1}", x)
+            if index in self._pool_after:
+                x = maxpool2d(x)
+        return x
+
+    def _calibrate(self, seed: int) -> None:
+        """Fix the folded-BN feature normalization and class-balanced biases."""
+        from repro.neural.dataset import SyntheticImageDataset
+
+        batch = SyntheticImageDataset(
+            n_images=64, size=32, n_classes=self.n_classes, seed=seed + 104729
+        ).images
+        identity = lambda _name, x: x  # noqa: E731 - local tap
+        feats = self._trunk(batch, identity)
+        self._feat_shift = feats.mean(axis=(0, 2, 3))
+        # Floor the per-channel spread: dead ReLU channels (std ~ 0) would
+        # otherwise get huge gains that amplify injected noise unboundedly.
+        std = feats.std(axis=(0, 2, 3))
+        floor = 0.25 * float(np.median(std)) + 1e-9
+        self._feat_scale = 1.0 / np.maximum(std, floor)
+        logits = self.forward(batch)
+        self.conv10_b = self.conv10_b - logits.mean(axis=0)
+
+    def forward(
+        self,
+        images: np.ndarray,
+        *,
+        perturb: Callable[[str, np.ndarray], np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Compute class logits for ``images`` of shape ``(N, 3, H, W)``.
+
+        Parameters
+        ----------
+        images:
+            Input batch; 32x32 spatial size is the designed operating point.
+        perturb:
+            Optional hook ``perturb(point_name, activations) -> activations``
+            invoked at every injection point; the error-injection harness
+            uses it to add noise, ``None`` runs the clean network.
+
+        Returns
+        -------
+        numpy.ndarray
+            Logits of shape ``(N, n_classes)``.
+        """
+        if images.ndim != 4 or images.shape[1] != 3:
+            raise ValueError(f"images must be (N, 3, H, W), got {images.shape}")
+
+        def tap(name: str, activations: np.ndarray) -> np.ndarray:
+            return perturb(name, activations) if perturb is not None else activations
+
+        x = self._trunk(images, tap)
+        x = (x - self._feat_shift[None, :, None, None]) * self._feat_scale[
+            None, :, None, None
+        ]
+        x = conv2d(x, self.conv10_w, self.conv10_b)
+        x = tap("conv10", x)
+        return global_avg_pool(x)
+
+    def predict(
+        self,
+        images: np.ndarray,
+        *,
+        perturb: Callable[[str, np.ndarray], np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Class indices (argmax of logits) for ``images``."""
+        return np.argmax(self.forward(images, perturb=perturb), axis=1)

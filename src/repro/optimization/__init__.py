@@ -1,0 +1,43 @@
+"""Design-space-exploration algorithms (paper Section III-B).
+
+* :mod:`~repro.optimization.problem` — the constrained cost-minimization
+  problem of Eq. 1 (metric sense, threshold, bounds, cost model);
+* :mod:`~repro.optimization.evaluator` — tracing metric evaluators: pure
+  simulation (with memoization) and kriging-accelerated;
+* :mod:`~repro.optimization.minplusone` — the ``min+1 bit`` word-length
+  optimizer (Algorithm 1 ``MinKWL`` + Algorithm 2 ``OptimKWL``);
+* :mod:`~repro.optimization.descent` — steepest-descent noise budgeting for
+  the error-sensitivity analysis (after Parashar et al., used by the
+  SqueezeNet benchmark);
+* :mod:`~repro.optimization.trace` — evaluation/decision records shared by
+  the replay methodology.
+"""
+
+from repro.optimization.descent import NoiseBudgetingDescent
+from repro.optimization.evaluator import (
+    KrigingMetricEvaluator,
+    MetricEvaluator,
+    SimulationEvaluator,
+)
+from repro.optimization.minplusone import (
+    MinPlusOneOptimizer,
+    determine_minimum_wordlengths,
+    optimize_wordlengths,
+)
+from repro.optimization.problem import DSEProblem, MetricSense
+from repro.optimization.trace import EvaluationRecord, OptimizationResult, OptimizationTrace
+
+__all__ = [
+    "MetricSense",
+    "DSEProblem",
+    "MetricEvaluator",
+    "SimulationEvaluator",
+    "KrigingMetricEvaluator",
+    "determine_minimum_wordlengths",
+    "optimize_wordlengths",
+    "MinPlusOneOptimizer",
+    "NoiseBudgetingDescent",
+    "EvaluationRecord",
+    "OptimizationTrace",
+    "OptimizationResult",
+]

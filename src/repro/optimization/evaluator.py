@@ -1,0 +1,127 @@
+"""Tracing metric evaluators.
+
+The optimizers talk to a :class:`MetricEvaluator`; two implementations are
+provided:
+
+* :class:`SimulationEvaluator` — every new configuration is simulated
+  (memoized on exact revisits).  Running an optimizer with it produces the
+  ground-truth trajectory used by the paper's record-then-replay evaluation.
+* :class:`KrigingMetricEvaluator` — the proposed method: queries go through
+  a :class:`~repro.core.estimator.KrigingEstimator`, so most of them are
+  interpolated instead of simulated.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from repro.core.estimator import KrigingEstimator
+from repro.optimization.trace import EvaluationRecord, OptimizationTrace
+
+__all__ = ["MetricEvaluator", "SimulationEvaluator", "KrigingMetricEvaluator"]
+
+
+class MetricEvaluator(abc.ABC):
+    """A metric oracle that logs every query to an :class:`OptimizationTrace`."""
+
+    def __init__(self) -> None:
+        self.trace = OptimizationTrace()
+
+    @abc.abstractmethod
+    def _evaluate(self, configuration: np.ndarray) -> EvaluationRecord:
+        """Answer one query (without logging)."""
+
+    def evaluate(self, configuration: object, *, phase: str = "") -> float:
+        """Return the metric value of ``configuration`` and log the query."""
+        config = np.asarray(configuration, dtype=np.int64)
+        record = self._evaluate(config)
+        record = EvaluationRecord(
+            configuration=record.configuration,
+            value=record.value,
+            simulated=record.simulated,
+            exact_hit=record.exact_hit,
+            n_neighbors=record.n_neighbors,
+            phase=phase,
+        )
+        self.trace.append(record)
+        return record.value
+
+    def ensure_simulated(self, configuration: object, *, phase: str = "") -> float:
+        """Return a *measured* metric value for ``configuration``.
+
+        Kriging-backed evaluators override this to bypass interpolation; the
+        pure-simulation evaluator measures (or recalls) the value anyway.
+        Optimizers call it on committed steps so that constraint decisions
+        rest on measurements rather than estimates.
+        """
+        return self.evaluate(configuration, phase=phase)
+
+    @property
+    def n_simulations(self) -> int:
+        """Fresh simulations performed so far."""
+        return self.trace.n_simulated
+
+
+class SimulationEvaluator(MetricEvaluator):
+    """Ground-truth evaluator: simulate everything, memoize exact revisits."""
+
+    def __init__(self, simulate: Callable[[np.ndarray], float]) -> None:
+        super().__init__()
+        self._simulate = simulate
+        self._memo: dict[tuple[int, ...], float] = {}
+
+    def _evaluate(self, configuration: np.ndarray) -> EvaluationRecord:
+        key = tuple(int(x) for x in configuration)
+        if key in self._memo:
+            return EvaluationRecord(
+                configuration=key,
+                value=self._memo[key],
+                simulated=False,
+                exact_hit=True,
+            )
+        value = float(self._simulate(configuration))
+        self._memo[key] = value
+        return EvaluationRecord(configuration=key, value=value, simulated=True)
+
+
+class KrigingMetricEvaluator(MetricEvaluator):
+    """The proposed kriging-accelerated evaluator.
+
+    Parameters
+    ----------
+    estimator:
+        A configured :class:`~repro.core.estimator.KrigingEstimator` whose
+        ``simulate`` function is the problem's reference evaluation.
+    """
+
+    def __init__(self, estimator: KrigingEstimator) -> None:
+        super().__init__()
+        self.estimator = estimator
+
+    def _evaluate(self, configuration: np.ndarray) -> EvaluationRecord:
+        outcome = self.estimator.evaluate(configuration)
+        return EvaluationRecord(
+            configuration=tuple(int(x) for x in configuration),
+            value=outcome.value,
+            simulated=not outcome.interpolated,
+            exact_hit=outcome.exact_hit,
+            n_neighbors=outcome.n_neighbors,
+        )
+
+    def ensure_simulated(self, configuration: object, *, phase: str = "") -> float:
+        """Measure ``configuration`` (bypassing interpolation) and log it."""
+        config = np.asarray(configuration, dtype=np.int64)
+        outcome = self.estimator.force_simulate(config)
+        record = EvaluationRecord(
+            configuration=tuple(int(x) for x in config),
+            value=outcome.value,
+            simulated=not outcome.interpolated,
+            exact_hit=outcome.exact_hit,
+            n_neighbors=outcome.n_neighbors,
+            phase=phase,
+        )
+        self.trace.append(record)
+        return record.value

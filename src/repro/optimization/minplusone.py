@@ -1,0 +1,176 @@
+"""The ``min+1 bit`` word-length optimizer (paper Algorithms 1 and 2).
+
+The optimizer has two phases:
+
+1. :func:`determine_minimum_wordlengths` (Algorithm 1, ``MinKWL``) — for each
+   variable in turn, all other variables are held at ``Nmax`` and the
+   variable is decreased from ``Nmax`` until the quality constraint breaks;
+   the last satisfying value is that variable's minimum ``w_min_i``.
+2. :func:`optimize_wordlengths` (Algorithm 2, ``OptimKWL``) — starting from
+   ``w_min`` (which in general violates the constraint when all variables
+   are simultaneously at their individual minima), each iteration trials a
+   ``+1`` on every variable, commits the one with the best resulting metric
+   (the paper's ``j_c`` competition) and repeats until the constraint holds.
+
+Both phases issue every metric query through a
+:class:`~repro.optimization.evaluator.MetricEvaluator`, which is where the
+paper's kriging substitution plugs in (lines 7-24 of both listings).
+
+The listings in the paper are written for a lower-is-better noise-power
+metric; this implementation works for either sense through
+:class:`~repro.optimization.problem.MetricSense` (see DESIGN.md, deviation
+note 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimization.evaluator import MetricEvaluator, SimulationEvaluator
+from repro.optimization.problem import DSEProblem
+from repro.optimization.trace import OptimizationResult
+
+__all__ = [
+    "determine_minimum_wordlengths",
+    "optimize_wordlengths",
+    "MinPlusOneOptimizer",
+]
+
+
+def determine_minimum_wordlengths(
+    problem: DSEProblem,
+    evaluator: MetricEvaluator,
+) -> np.ndarray:
+    """Algorithm 1 (``MinKWL``): per-variable minimum word-lengths.
+
+    For each variable ``i``, with every other variable pinned at ``Nmax``,
+    decrease ``w_i`` until the quality constraint is violated; ``w_min_i``
+    is the smallest value that still satisfied the constraint (the paper's
+    ``w_i + 1`` back-off).  Variables whose constraint holds all the way
+    down saturate at the lower bound.
+
+    Returns
+    -------
+    numpy.ndarray
+        The vector ``w_min``.
+    """
+    wmin = np.empty(problem.num_variables, dtype=np.int64)
+    for i in range(problem.num_variables):
+        w = problem.full_configuration(problem.max_value)
+        last_satisfied = problem.max_value
+        for candidate in range(problem.max_value, problem.min_value - 1, -1):
+            w[i] = candidate
+            value = evaluator.evaluate(w, phase="min")
+            if not problem.satisfied(value):
+                break
+            last_satisfied = candidate
+        wmin[i] = last_satisfied
+    return wmin
+
+
+def optimize_wordlengths(
+    problem: DSEProblem,
+    evaluator: MetricEvaluator,
+    wmin: np.ndarray,
+    *,
+    verify_commits: bool = True,
+) -> tuple[np.ndarray, float]:
+    """Algorithm 2 (``OptimKWL``): greedy refinement from ``w_min``.
+
+    Each iteration evaluates the metric with one extra bit on every
+    non-saturated variable, commits the best (``j_c``), and stops as soon as
+    the committed configuration satisfies the constraint.  Decisions are
+    logged in the evaluator's trace for the decision-divergence experiment.
+
+    Parameters
+    ----------
+    verify_commits:
+        When true (default), the metric value of each *committed* step is a
+        measurement (``MetricEvaluator.ensure_simulated``) rather than a
+        kriging estimate.  Candidate competitions still use estimates, so the
+        interpolation rate stays high, but the termination decision rests on
+        measured values — without this anchor, estimate lag behind one-sided
+        support makes the greedy overshoot (or stop short of) the constraint.
+        A no-op for pure-simulation evaluators.
+
+    Returns
+    -------
+    tuple
+        ``(w_res, metric value at w_res)``.
+    """
+    w = np.asarray(wmin, dtype=np.int64).copy()
+    if w.shape != (problem.num_variables,):
+        raise ValueError(f"wmin must have shape ({problem.num_variables},), got {w.shape}")
+
+    value = (
+        evaluator.ensure_simulated(w, phase="greedy")
+        if verify_commits
+        else evaluator.evaluate(w, phase="greedy")
+    )
+    if problem.satisfied(value):
+        return w, value
+
+    while True:
+        candidate_values = np.full(problem.num_variables, problem.sense.worst)
+        for i in range(problem.num_variables):
+            if w[i] >= problem.max_value:
+                continue
+            trial = w.copy()
+            trial[i] += 1
+            candidate_values[i] = evaluator.evaluate(trial, phase="greedy")
+
+        if not np.any(np.isfinite(candidate_values)):
+            # Every variable saturated at Nmax without meeting the
+            # constraint: the problem is infeasible at this threshold.
+            return w, value
+
+        jc = problem.sense.best_index(candidate_values)
+        w[jc] += 1
+        value = float(candidate_values[jc])
+        if verify_commits:
+            value = evaluator.ensure_simulated(w, phase="greedy")
+        evaluator.trace.record_decision(jc)
+        if problem.satisfied(value):
+            return w, value
+
+
+class MinPlusOneOptimizer:
+    """Bundled two-phase ``min+1 bit`` run over a problem and an evaluator.
+
+    Parameters
+    ----------
+    problem:
+        The DSE problem (Eq. 1).
+    evaluator:
+        Metric oracle; defaults to a fresh
+        :class:`~repro.optimization.evaluator.SimulationEvaluator` (the
+        ground-truth configuration used to record trajectories).
+    """
+
+    def __init__(
+        self,
+        problem: DSEProblem,
+        evaluator: MetricEvaluator | None = None,
+        *,
+        verify_commits: bool = True,
+    ) -> None:
+        self.problem = problem
+        self.evaluator = (
+            evaluator if evaluator is not None else SimulationEvaluator(problem.simulate)
+        )
+        self.verify_commits = verify_commits
+
+    def run(self) -> OptimizationResult:
+        """Execute both phases and return the optimization result."""
+        wmin = determine_minimum_wordlengths(self.problem, self.evaluator)
+        wres, value = optimize_wordlengths(
+            self.problem, self.evaluator, wmin, verify_commits=self.verify_commits
+        )
+        return OptimizationResult(
+            solution=tuple(int(x) for x in wres),
+            solution_value=float(value),
+            minimum=tuple(int(x) for x in wmin),
+            cost=self.problem.cost(wres),
+            trace=self.evaluator.trace,
+            satisfied=self.problem.satisfied(value),
+        )

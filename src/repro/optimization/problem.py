@@ -1,0 +1,147 @@
+"""The AC design-space-exploration problem (paper Eq. 1).
+
+``min C(e)  subject to  quality(e) meets threshold``
+
+over an integer hypercube of approximation-source parameters.  Two metric
+conventions appear in the paper — the body text uses an accuracy
+(higher-is-better, e.g. ``-P`` or ``pcl``) while the algorithm listings use
+the noise power directly (lower-is-better).  :class:`MetricSense` makes the
+convention explicit so both are supported without sign tricks.
+
+All concrete problems in this library share one geometric convention:
+**increasing a variable improves the metric** (more word-length bits, or a
+higher error-protection level).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_integer_vector
+
+__all__ = ["MetricSense", "DSEProblem"]
+
+
+class MetricSense(enum.Enum):
+    """Whether smaller or larger metric values are better."""
+
+    LOWER_IS_BETTER = "lower"
+    """E.g. output noise power: the constraint is ``value <= threshold``."""
+
+    HIGHER_IS_BETTER = "higher"
+    """E.g. classification rate: the constraint is ``value >= threshold``."""
+
+    def satisfied(self, value: float, threshold: float) -> bool:
+        """Whether ``value`` meets the quality constraint ``threshold``."""
+        if self is MetricSense.LOWER_IS_BETTER:
+            return value <= threshold
+        return value >= threshold
+
+    def is_better(self, a: float, b: float) -> bool:
+        """Whether metric value ``a`` is strictly better than ``b``."""
+        if self is MetricSense.LOWER_IS_BETTER:
+            return a < b
+        return a > b
+
+    def best_index(self, values: Sequence[float]) -> int:
+        """Index of the best metric value (paper's ``argmin``/``argmax``)."""
+        if len(values) == 0:
+            raise ValueError("best_index of an empty sequence")
+        array = np.asarray(values, dtype=np.float64)
+        if self is MetricSense.LOWER_IS_BETTER:
+            return int(np.argmin(array))
+        return int(np.argmax(array))
+
+    @property
+    def worst(self) -> float:
+        """A sentinel strictly worse than any finite metric value."""
+        return np.inf if self is MetricSense.LOWER_IS_BETTER else -np.inf
+
+
+@dataclass
+class DSEProblem:
+    """A concrete instance of the paper's optimization problem.
+
+    Parameters
+    ----------
+    name:
+        Benchmark identifier (used in reports).
+    num_variables:
+        Dimension ``Nv`` of the configuration hypercube.
+    min_value / max_value:
+        Inclusive per-variable bounds (``max_value`` is the paper's
+        ``Nmax``).
+    simulate:
+        The expensive reference evaluation ``evaluateAccuracy(I, w)``.
+    sense:
+        Metric direction (see :class:`MetricSense`).
+    threshold:
+        The quality constraint ``lambda_m``.
+    cost_weights:
+        Per-variable implementation-cost weights; the cost model is the
+        standard linear ``C(w) = sum_i c_i * w_i``.  Defaults to all ones.
+    """
+
+    name: str
+    num_variables: int
+    min_value: int
+    max_value: int
+    simulate: Callable[[np.ndarray], float]
+    sense: MetricSense
+    threshold: float
+    cost_weights: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.num_variables < 1:
+            raise ValueError(f"num_variables must be >= 1, got {self.num_variables}")
+        if self.min_value >= self.max_value:
+            raise ValueError(
+                f"min_value must be < max_value, got [{self.min_value}, {self.max_value}]"
+            )
+        if self.cost_weights is None:
+            self.cost_weights = np.ones(self.num_variables)
+        else:
+            self.cost_weights = np.asarray(self.cost_weights, dtype=np.float64)
+            if self.cost_weights.shape != (self.num_variables,):
+                raise ValueError(
+                    f"cost_weights must have shape ({self.num_variables},), "
+                    f"got {self.cost_weights.shape}"
+                )
+            if np.any(self.cost_weights < 0):
+                raise ValueError("cost_weights must be non-negative")
+
+    def validate_configuration(self, configuration: object) -> np.ndarray:
+        """Check bounds/shape and return the configuration as an int vector."""
+        config = check_integer_vector("configuration", configuration)
+        if config.size != self.num_variables:
+            raise ValueError(
+                f"configuration must have {self.num_variables} components, got {config.size}"
+            )
+        if np.any(config < self.min_value) or np.any(config > self.max_value):
+            raise ValueError(
+                f"configuration {config.tolist()} outside bounds "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+        return config
+
+    def cost(self, configuration: object) -> float:
+        """Linear implementation cost ``C(w)`` of a configuration."""
+        config = self.validate_configuration(configuration)
+        assert self.cost_weights is not None
+        return float(self.cost_weights @ config)
+
+    def satisfied(self, value: float) -> bool:
+        """Whether a metric value meets this problem's quality constraint."""
+        return self.sense.satisfied(value, self.threshold)
+
+    def full_configuration(self, value: int) -> np.ndarray:
+        """The constant configuration ``(value, ..., value)``."""
+        if not self.min_value <= value <= self.max_value:
+            raise ValueError(
+                f"value {value} outside bounds [{self.min_value}, {self.max_value}]"
+            )
+        return np.full(self.num_variables, value, dtype=np.int64)

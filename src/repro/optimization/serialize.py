@@ -1,0 +1,71 @@
+"""JSON (de)serialization of optimization traces.
+
+Trajectory recording is the expensive half of the paper's evaluation
+methodology (minutes for the HEVC and SqueezeNet benchmarks); persisting
+traces lets the replays, ablations and plots run repeatedly without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.optimization.trace import EvaluationRecord, OptimizationTrace
+
+__all__ = ["trace_to_dict", "trace_from_dict", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: OptimizationTrace) -> dict:
+    """Convert a trace to a JSON-serializable dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "records": [
+            {
+                "configuration": list(r.configuration),
+                "value": r.value,
+                "simulated": r.simulated,
+                "exact_hit": r.exact_hit,
+                "n_neighbors": r.n_neighbors,
+                "phase": r.phase,
+            }
+            for r in trace.records
+        ],
+        "decisions": list(trace.decisions),
+    }
+
+
+def trace_from_dict(data: dict) -> OptimizationTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    if not isinstance(data, dict) or "records" not in data:
+        raise ValueError("not a serialized trace (missing 'records')")
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    trace = OptimizationTrace(decisions=[int(d) for d in data.get("decisions", [])])
+    for entry in data["records"]:
+        trace.append(
+            EvaluationRecord(
+                configuration=tuple(int(x) for x in entry["configuration"]),
+                value=float(entry["value"]),
+                simulated=bool(entry["simulated"]),
+                exact_hit=bool(entry.get("exact_hit", False)),
+                n_neighbors=int(entry.get("n_neighbors", 0)),
+                phase=str(entry.get("phase", "")),
+            )
+        )
+    return trace
+
+
+def save_trace(trace: OptimizationTrace, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a trace to ``path`` as JSON and return the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(trace_to_dict(trace)))
+    return path
+
+
+def load_trace(path: str | pathlib.Path) -> OptimizationTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(pathlib.Path(path).read_text()))

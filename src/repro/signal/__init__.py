@@ -1,0 +1,28 @@
+"""Signal-processing benchmark kernels (FIR, IIR, FFT).
+
+Each kernel provides a double-precision reference implementation and a
+bit-accurate fixed-point implementation whose internal precisions are driven
+by a word-length vector — the configuration ``e`` explored by the paper's
+optimization algorithms.  The quality metric of all three kernels is the
+output noise power (in dB) between the two implementations, measured on a
+pre-generated input data set ``I``.
+"""
+
+from repro.signal.dct import DCTBenchmark, dct_matrix
+from repro.signal.fft import FFTBenchmark
+from repro.signal.fir import FIRBenchmark, design_lowpass_fir
+from repro.signal.generators import gaussian_signal, multitone_signal, uniform_signal
+from repro.signal.iir import IIRBenchmark, design_butterworth_sos
+
+__all__ = [
+    "FIRBenchmark",
+    "design_lowpass_fir",
+    "IIRBenchmark",
+    "design_butterworth_sos",
+    "FFTBenchmark",
+    "DCTBenchmark",
+    "dct_matrix",
+    "uniform_signal",
+    "gaussian_signal",
+    "multitone_signal",
+]

@@ -1,0 +1,117 @@
+"""8x8 2-D DCT benchmark (``Nv = 6``) — an extra image-processing kernel.
+
+Not part of the paper's Table I, but a natural member of the benchmark
+family its introduction motivates (image/video kernels) and a demonstration
+of how to add a new substrate to the registry: the separable 8x8 DCT-II used
+by JPEG/intra coding, with optimizable word-lengths on
+
+* the row-pass MAC output and row-pass result register (2),
+* the transpose/intermediate buffer (1),
+* the column-pass MAC output and result register (2),
+* the final coefficient register (1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.noise import noise_power_db
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import quantize
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_integer_vector
+
+__all__ = ["dct_matrix", "DCTBenchmark"]
+
+BLOCK = 8
+
+
+def dct_matrix(n: int = BLOCK) -> np.ndarray:
+    """Orthonormal DCT-II matrix of size ``n`` (rows are basis vectors)."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    k = np.arange(n)[:, None]
+    i = np.arange(n)[None, :]
+    matrix = np.cos(np.pi * (2 * i + 1) * k / (2 * n))
+    matrix[0] *= np.sqrt(1.0 / n)
+    matrix[1:] *= np.sqrt(2.0 / n)
+    return matrix
+
+
+class DCTBenchmark:
+    """Fixed-point separable 8x8 DCT over a batch of image blocks.
+
+    The word-length vector is ``[w_rmac, w_rout, w_buf, w_cmac, w_cout,
+    w_coef]``.  Coefficients (the DCT basis) are pre-quantized at a fixed
+    precision in both implementations.
+    """
+
+    NUM_VARIABLES = 6
+    VARIABLE_NAMES = ("row_mac", "row_out", "buffer", "col_mac", "col_out", "output")
+
+    def __init__(
+        self,
+        *,
+        n_blocks: int = 96,
+        seed: int = 4,
+        coeff_bits: int = 16,
+    ) -> None:
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be > 0, got {n_blocks}")
+        rng = derive_rng(seed, "dct", "blocks")
+        base = rng.uniform(0.0, 0.999, size=(n_blocks, BLOCK, BLOCK))
+        # Mix in smooth content so the blocks have realistic spectra.
+        ramp = np.linspace(0.0, 0.5, BLOCK)
+        base = 0.5 * base + 0.5 * (ramp[None, :, None] + ramp[None, None, :]) / 2.0
+        input_fmt = QFormat(integer_bits=0, frac_bits=15, signed=False)
+        self.blocks = quantize(base, input_fmt)
+
+        coeff_fmt = QFormat(integer_bits=0, frac_bits=coeff_bits - 1)
+        self.dct = quantize(dct_matrix(), coeff_fmt)
+        self._reference = np.einsum(
+            "ij,njk,lk->nil", self.dct, self.blocks, self.dct, optimize=True
+        )
+
+    def reference(self) -> np.ndarray:
+        """Double-precision 2-D DCT coefficients (the baseline)."""
+        return self._reference
+
+    @staticmethod
+    def _fmt(word_length: int, integer_bits: int) -> QFormat:
+        return QFormat(
+            integer_bits=integer_bits, frac_bits=int(word_length) - 1 - integer_bits
+        )
+
+    def _pass(
+        self,
+        data: np.ndarray,
+        mac_fmt: QFormat,
+        out_fmt: QFormat,
+    ) -> np.ndarray:
+        """One separable DCT pass along the last axis with MAC quantization."""
+        acc = np.zeros(data.shape[:-1] + (BLOCK,))
+        for k in range(BLOCK):
+            acc = quantize(acc + data[..., k, None] * self.dct[:, k], mac_fmt)
+        return quantize(acc, out_fmt)
+
+    def simulate(self, word_lengths: object) -> np.ndarray:
+        """Bit-accurate fixed-point 2-D DCT for the 6-vector ``w``."""
+        w = check_integer_vector("word_lengths", word_lengths, minimum=1)
+        if w.size != self.NUM_VARIABLES:
+            raise ValueError(f"expected {self.NUM_VARIABLES} word-lengths, got {w.size}")
+        # 8x8 DCT of values in [0, 1): DC can reach 8, AC terms stay below 4.
+        row_mac = self._fmt(int(w[0]), 3)
+        row_out = self._fmt(int(w[1]), 3)
+        buffer_fmt = self._fmt(int(w[2]), 3)
+        col_mac = self._fmt(int(w[3]), 4)
+        col_out = self._fmt(int(w[4]), 4)
+        out_fmt = self._fmt(int(w[5]), 4)
+
+        rows = self._pass(self.blocks, row_mac, row_out)  # transform rows
+        rows = quantize(np.swapaxes(rows, 1, 2), buffer_fmt)
+        cols = self._pass(rows, col_mac, col_out)
+        return quantize(np.swapaxes(cols, 1, 2), out_fmt)
+
+    def noise_power_db(self, word_lengths: object) -> float:
+        """Output noise power (dB) of a configuration."""
+        return noise_power_db(self.simulate(word_lengths), self._reference)

@@ -1,0 +1,118 @@
+"""64-point FFT benchmark (``Nv = 10``).
+
+The paper's third benchmark: a 64-point FFT with ten optimizable
+word-lengths.  The decomposition used here:
+
+* six **per-stage data word-lengths** — the butterfly outputs of each of the
+  ``log2(64) = 6`` radix-2 stages (variables 0–5);
+* four **twiddle-factor word-lengths** for stages 3–6 (variables 6–9) —
+  stages 1 and 2 only use the exact twiddles ``{1, -1, j, -j}`` and thus have
+  nothing to quantize.
+
+Each butterfly applies the conventional ``1/2`` block-floating scaling so
+every internal signal stays inside ``[-1, 1]``; the reference output is the
+identically scaled double-precision FFT (``X = FFT(x) / 64``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.noise import noise_power_db
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import quantize
+from repro.signal.generators import complex_signal
+from repro.utils.validation import check_integer_vector
+
+__all__ = ["FFTBenchmark", "bit_reverse_permutation"]
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Bit-reversal index permutation for an ``n``-point radix-2 FFT."""
+    if n < 2 or n & (n - 1) != 0:
+        raise ValueError(f"n must be a power of two >= 2, got {n}")
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+class FFTBenchmark:
+    """Fixed-point radix-2 DIT FFT over frames of 64 complex samples.
+
+    The word-length vector is
+    ``[w_stage1, ..., w_stage6, w_tw3, w_tw4, w_tw5, w_tw6]``.
+    """
+
+    NUM_VARIABLES = 10
+    N_POINTS = 64
+    N_STAGES = 6
+    VARIABLE_NAMES = tuple(
+        [f"stage{s}_data" for s in range(1, 7)] + [f"stage{s}_twiddle" for s in range(3, 7)]
+    )
+    _EXACT_TWIDDLE_STAGES = 2  # stages 1-2 use {1, -1, j, -j} exactly
+
+    def __init__(
+        self,
+        *,
+        n_frames: int = 48,
+        seed: int = 2,
+        input_bits: int = 16,
+    ) -> None:
+        input_fmt = QFormat(integer_bits=0, frac_bits=input_bits - 1)
+        raw = complex_signal(n_frames, self.N_POINTS, seed=seed, amplitude=0.999)
+        self.inputs = (
+            quantize(raw.real, input_fmt) + 1j * quantize(raw.imag, input_fmt)
+        )
+        self._permutation = bit_reverse_permutation(self.N_POINTS)
+        self._twiddles = [
+            np.exp(-2j * np.pi * np.arange(half) / (2 * half))
+            for half in (2**s for s in range(self.N_STAGES))
+        ]
+        self._reference = np.fft.fft(self.inputs, axis=1) / self.N_POINTS
+
+    def reference(self) -> np.ndarray:
+        """Scaled double-precision FFT of the input frames (the baseline)."""
+        return self._reference
+
+    def _quantize_complex(self, values: np.ndarray, fmt: QFormat) -> np.ndarray:
+        return quantize(values.real, fmt) + 1j * quantize(values.imag, fmt)
+
+    def simulate(self, word_lengths: object) -> np.ndarray:
+        """Bit-accurate fixed-point FFT output for the 10-vector ``w``."""
+        w = check_integer_vector("word_lengths", word_lengths, minimum=1)
+        if w.size != self.NUM_VARIABLES:
+            raise ValueError(f"expected {self.NUM_VARIABLES} word-lengths, got {w.size}")
+        data_wl = w[: self.N_STAGES]
+        twiddle_wl = w[self.N_STAGES :]
+
+        data = self.inputs[:, self._permutation].copy()
+        n_frames = data.shape[0]
+        for stage in range(self.N_STAGES):
+            half = 2**stage
+            block = 2 * half
+            # Internal signals stay within [-1, 1] thanks to the 1/2 scaling,
+            # but real/imag parts of intermediate sums can slightly exceed 1.
+            data_fmt = QFormat(integer_bits=1, frac_bits=int(data_wl[stage]) - 2)
+            twiddles = self._twiddles[stage]
+            if stage >= self._EXACT_TWIDDLE_STAGES:
+                tw_index = stage - self._EXACT_TWIDDLE_STAGES
+                tw_fmt = QFormat(integer_bits=1, frac_bits=int(twiddle_wl[tw_index]) - 2)
+                twiddles = self._quantize_complex(twiddles, tw_fmt)
+
+            shaped = data.reshape(n_frames, self.N_POINTS // block, block)
+            top = shaped[:, :, :half]
+            bottom = shaped[:, :, half:] * twiddles
+            if stage >= self._EXACT_TWIDDLE_STAGES:
+                bottom = self._quantize_complex(bottom, data_fmt)
+            out_top = self._quantize_complex((top + bottom) / 2.0, data_fmt)
+            out_bottom = self._quantize_complex((top - bottom) / 2.0, data_fmt)
+            shaped = np.concatenate([out_top, out_bottom], axis=2)
+            data = shaped.reshape(n_frames, self.N_POINTS)
+        return data
+
+    def noise_power_db(self, word_lengths: object) -> float:
+        """Output noise power (dB) — the quality metric of the FFT rows."""
+        return noise_power_db(self.simulate(word_lengths), self._reference)

@@ -1,0 +1,174 @@
+"""64-tap FIR filter benchmark (``Nv = 2``).
+
+The paper's smallest benchmark: a 64th-order FIR filter whose two optimizable
+word-lengths are the *multiplier output* and the *adder (accumulator) output*
+(Figure 1 of the paper plots the noise-power surface over exactly these two
+variables).
+
+The fixed-point data path models a classic MAC structure::
+
+    x[n-k] --(Q: input, fixed)--> (*h_k) --(Q: w_mul)--> (+) --(Q: w_add)--> ...
+
+Input samples and coefficients are pre-quantized at a fixed high precision so
+that the *only* approximation sources are the two optimizable nodes, matching
+the paper's two-variable formulation.
+
+The accumulator carries guard bits and writes back to its ``w_add``-bit
+register every ``guard_interval`` products (with unbiased convergent
+rounding), the standard pipelined-MAC arrangement.  This keeps both noise
+sources active around the optimum: a guard-less model has *exactly zero*
+accumulation noise whenever the accumulator grid is at least as fine as the
+product grid, which collapses the two-variable trade-off the paper's
+Figure 1 illustrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.noise import noise_power_db
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import Rounding, quantize
+from repro.fixedpoint.simulate import QuantizationNode
+from repro.signal.generators import uniform_signal
+from repro.utils.validation import check_integer_vector
+
+__all__ = ["design_lowpass_fir", "FIRBenchmark"]
+
+
+def design_lowpass_fir(n_taps: int, cutoff: float) -> np.ndarray:
+    """Design a linear-phase low-pass FIR filter (windowed sinc, Hamming).
+
+    Parameters
+    ----------
+    n_taps:
+        Number of coefficients (the filter order is ``n_taps - 1``).
+    cutoff:
+        Normalized cutoff frequency in ``(0, 0.5)`` (1.0 = sampling rate).
+    """
+    if n_taps < 2:
+        raise ValueError(f"n_taps must be >= 2, got {n_taps}")
+    if not 0.0 < cutoff < 0.5:
+        raise ValueError(f"cutoff must be in (0, 0.5), got {cutoff}")
+    n = np.arange(n_taps)
+    center = (n_taps - 1) / 2.0
+    ideal = 2.0 * cutoff * np.sinc(2.0 * cutoff * (n - center))
+    window = 0.54 - 0.46 * np.cos(2.0 * np.pi * n / (n_taps - 1))
+    taps = ideal * window
+    return taps / np.sum(taps)
+
+
+class FIRBenchmark:
+    """Fixed-point FIR filter with optimizable multiplier/adder word-lengths.
+
+    Parameters
+    ----------
+    n_taps:
+        Filter length (64 in the paper).
+    cutoff:
+        Normalized cutoff of the low-pass design.
+    n_samples:
+        Length of the input data set ``I``.
+    seed:
+        Seed of the deterministic input generator.
+    input_bits / coeff_bits:
+        Fixed (non-optimized) precisions of the input samples and
+        coefficients.
+    guard_interval:
+        Number of products accumulated at full precision between two
+        write-backs of the ``w_add``-bit accumulator register.
+
+    Notes
+    -----
+    The word-length vector is ``[w_mul, w_add]``:
+
+    * ``w_mul`` — word-length at the output of every multiplier;
+    * ``w_add`` — word-length of the accumulator register.
+    """
+
+    NUM_VARIABLES = 2
+    VARIABLE_NAMES = ("mul_out", "add_out")
+
+    def __init__(
+        self,
+        *,
+        n_taps: int = 64,
+        cutoff: float = 0.2,
+        n_samples: int = 2048,
+        seed: int = 0,
+        input_bits: int = 16,
+        coeff_bits: int = 16,
+        guard_interval: int = 8,
+    ) -> None:
+        if guard_interval < 1:
+            raise ValueError(f"guard_interval must be >= 1, got {guard_interval}")
+        self.guard_interval = guard_interval
+        self.n_taps = n_taps
+        self.coefficients = design_lowpass_fir(n_taps, cutoff)
+
+        input_fmt = QFormat(integer_bits=0, frac_bits=input_bits - 1)
+        coeff_fmt = QFormat(integer_bits=0, frac_bits=coeff_bits - 1)
+        raw_input = uniform_signal(n_samples, seed=seed, amplitude=0.999)
+        self.inputs = quantize(raw_input, input_fmt)
+        self.q_coefficients = quantize(self.coefficients, coeff_fmt)
+
+        # Dynamic ranges: |h_k x| < max|h| <= 0.5 and |sum h_k x| <= sum|h|,
+        # which stays below 2 for the normalized low-pass designs used here.
+        acc_bound = float(np.sum(np.abs(self.q_coefficients)))
+        acc_int_bits = max(1, int(np.ceil(np.log2(acc_bound + 1e-12))))
+        self.nodes = (
+            QuantizationNode("mul_out", integer_bits=0),
+            QuantizationNode("add_out", integer_bits=acc_int_bits, rounding=Rounding.CONVERGENT),
+        )
+
+        self._delay_matrix = self._build_delay_matrix(self.inputs)
+        self._reference = self._delay_matrix @ self.q_coefficients
+
+    def _build_delay_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Matrix ``D[n, k] = x[n - k]`` (zero-padded past the start)."""
+        padded = np.concatenate([np.zeros(self.n_taps - 1), x])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, self.n_taps)
+        return windows[:, ::-1].copy()
+
+    def reference(self) -> np.ndarray:
+        """Double-precision filter output on the data set (the baseline)."""
+        return self._reference
+
+    def simulate(self, word_lengths: object) -> np.ndarray:
+        """Bit-accurate fixed-point filter output for ``[w_mul, w_add]``."""
+        w = check_integer_vector("word_lengths", word_lengths, minimum=1)
+        if w.size != self.NUM_VARIABLES:
+            raise ValueError(f"expected {self.NUM_VARIABLES} word-lengths, got {w.size}")
+        w_mul, w_add = int(w[0]), int(w[1])
+        mul_node, add_node = self.nodes
+
+        products = mul_node.apply(self._delay_matrix * self.q_coefficients, w_mul)
+        acc = products[:, 0]
+        for k in range(1, self.n_taps):
+            acc = acc + products[:, k]
+            if k % self.guard_interval == 0 or k == self.n_taps - 1:
+                acc = add_node.apply(acc, w_add)
+        return acc
+
+    def noise_power_db(self, word_lengths: object) -> float:
+        """Output noise power (dB) of configuration ``[w_mul, w_add]``.
+
+        This is the quality metric ``lambda`` of the paper's FIR rows.
+        """
+        return noise_power_db(self.simulate(word_lengths), self._reference)
+
+    def surface(self, word_length_range: range) -> np.ndarray:
+        """Exhaustive noise-power surface over a square word-length grid.
+
+        Returns a matrix ``S[i, j]`` = noise power (dB) at
+        ``w_mul = word_length_range[i]``, ``w_add = word_length_range[j]`` —
+        the data behind the paper's Figure 1.
+        """
+        values = list(word_length_range)
+        if not values:
+            raise ValueError("word_length_range is empty")
+        surface = np.empty((len(values), len(values)))
+        for i, w_mul in enumerate(values):
+            for j, w_add in enumerate(values):
+                surface[i, j] = self.noise_power_db([w_mul, w_add])
+        return surface

@@ -1,0 +1,92 @@
+"""Input-signal generators for the simulation data sets.
+
+The paper evaluates every word-length configuration on an "arbitrary large
+pre-defined input data set I".  These generators build such data sets
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+__all__ = ["uniform_signal", "gaussian_signal", "multitone_signal", "complex_signal"]
+
+
+def uniform_signal(
+    n_samples: int,
+    *,
+    seed: int = 0,
+    amplitude: float = 1.0,
+    name: str = "uniform",
+) -> np.ndarray:
+    """Uniform white signal in ``[-amplitude, amplitude)``."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be > 0, got {n_samples}")
+    rng = derive_rng(seed, "signal", name)
+    return rng.uniform(-amplitude, amplitude, size=n_samples)
+
+
+def gaussian_signal(
+    n_samples: int,
+    *,
+    seed: int = 0,
+    std: float = 0.25,
+    clip: float = 1.0,
+    name: str = "gaussian",
+) -> np.ndarray:
+    """Clipped Gaussian signal with standard deviation ``std``.
+
+    Clipping keeps the signal inside the fixed-point input range so the
+    measured error isolates quantization noise from overflow.
+    """
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be > 0, got {n_samples}")
+    rng = derive_rng(seed, "signal", name)
+    return np.clip(rng.normal(0.0, std, size=n_samples), -clip, clip)
+
+
+def multitone_signal(
+    n_samples: int,
+    *,
+    seed: int = 0,
+    n_tones: int = 5,
+    amplitude: float = 0.9,
+    name: str = "multitone",
+) -> np.ndarray:
+    """Sum of ``n_tones`` random sinusoids, normalized to ``amplitude`` peak."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be > 0, got {n_samples}")
+    if n_tones <= 0:
+        raise ValueError(f"n_tones must be > 0, got {n_tones}")
+    rng = derive_rng(seed, "signal", name)
+    t = np.arange(n_samples)
+    signal = np.zeros(n_samples)
+    for _ in range(n_tones):
+        freq = rng.uniform(0.01, 0.45)
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        signal += np.sin(2.0 * np.pi * freq * t + phase)
+    peak = np.max(np.abs(signal))
+    if peak > 0:
+        signal *= amplitude / peak
+    return signal
+
+
+def complex_signal(
+    n_frames: int,
+    frame_size: int,
+    *,
+    seed: int = 0,
+    amplitude: float = 1.0,
+    name: str = "complex",
+) -> np.ndarray:
+    """Frames of complex uniform data for FFT benchmarks, shape ``(n_frames, frame_size)``."""
+    if n_frames <= 0 or frame_size <= 0:
+        raise ValueError(
+            f"n_frames and frame_size must be > 0, got {n_frames}, {frame_size}"
+        )
+    rng = derive_rng(seed, "signal", name)
+    real = rng.uniform(-amplitude, amplitude, size=(n_frames, frame_size))
+    imag = rng.uniform(-amplitude, amplitude, size=(n_frames, frame_size))
+    return real + 1j * imag

@@ -1,0 +1,200 @@
+"""8th-order IIR filter benchmark (``Nv = 5``).
+
+The paper's second benchmark: an 8th-order IIR filter.  We realize it as a
+cascade of four second-order sections (biquads) — the standard fixed-point
+structure — with five optimizable word-lengths:
+
+* one per biquad accumulator/output register (4 variables),
+* one for the final output register (1 variable).
+
+Recursive filters are the interesting stress case for interpolation-based
+error evaluation because quantization noise re-circulates through the
+feedback path, producing a metric surface that is smooth but decidedly
+non-linear in the word-lengths.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.fixedpoint.noise import noise_power_db
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import quantize
+from repro.signal.generators import uniform_signal
+from repro.utils.validation import check_integer_vector
+
+__all__ = ["design_butterworth_sos", "IIRBenchmark"]
+
+
+def design_butterworth_sos(order: int = 8, cutoff: float = 0.1) -> np.ndarray:
+    """Design a Butterworth low-pass filter as second-order sections.
+
+    Parameters
+    ----------
+    order:
+        Filter order; must be even so the cascade contains only biquads.
+    cutoff:
+        Normalized cutoff in ``(0, 0.5)`` (1.0 = sampling rate).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(order // 2, 6)`` SOS matrix with each section scaled to unity
+        peak gain, so internal signals stay inside the fixed-point range.
+    """
+    if order < 2 or order % 2 != 0:
+        raise ValueError(f"order must be a positive even integer, got {order}")
+    if not 0.0 < cutoff < 0.5:
+        raise ValueError(f"cutoff must be in (0, 0.5), got {cutoff}")
+    sos = sp_signal.butter(order, 2.0 * cutoff, output="sos")
+    freqs = np.linspace(0.0, np.pi, 512)
+    for section in sos:
+        b, a = section[:3], section[3:]
+        _, response = sp_signal.freqz(b, a, worN=freqs)
+        peak = float(np.max(np.abs(response)))
+        if peak > 0:
+            section[:3] = b / peak
+    return sos
+
+
+class IIRBenchmark:
+    """Fixed-point cascade-of-biquads IIR filter.
+
+    The word-length vector is ``[w_sec0, w_sec1, w_sec2, w_sec3, w_out]``
+    where ``w_seck`` is the precision of section ``k``'s output register and
+    ``w_out`` the precision of the final output register.
+
+    Coefficients are pre-quantized at a fixed 16-bit precision in both the
+    reference and the approximate implementation, so the five optimizable
+    registers are the only approximation sources.
+    """
+
+    NUM_VARIABLES = 5
+    VARIABLE_NAMES = ("sec0_out", "sec1_out", "sec2_out", "sec3_out", "output")
+
+    def __init__(
+        self,
+        *,
+        order: int = 8,
+        cutoff: float = 0.1,
+        n_samples: int = 2048,
+        seed: int = 1,
+        coeff_bits: int = 16,
+    ) -> None:
+        if order != 2 * (order // 2):
+            raise ValueError(f"order must be even, got {order}")
+        self.order = order
+        self.n_sections = order // 2
+        if self.n_sections != 4:
+            raise ValueError(
+                f"IIRBenchmark models the paper's 8th-order filter "
+                f"(4 sections), got order {order}"
+            )
+
+        sos = design_butterworth_sos(order, cutoff)
+        coeff_fmt = QFormat(integer_bits=2, frac_bits=coeff_bits - 3)
+        self.sos = quantize(sos, coeff_fmt)
+        # Re-impose the exact a0 = 1 after coefficient quantization.
+        self.sos[:, 3] = 1.0
+
+        input_fmt = QFormat(integer_bits=0, frac_bits=15)
+        self.inputs = quantize(
+            uniform_signal(n_samples, seed=seed, amplitude=0.999), input_fmt
+        )
+
+        self._reference = self._run(self.inputs, word_lengths=None)
+        # Data-driven range analysis: simulate in float, record per-section
+        # peaks, derive the integer bits of each optimizable register.
+        peaks = self._section_peaks(self.inputs)
+        self.integer_bits = [
+            max(0, int(math.ceil(math.log2(max(p, 1e-12) + 1e-9))) + 1) for p in peaks
+        ]
+
+    def _section_peaks(self, x: np.ndarray) -> list[float]:
+        outputs = x
+        peaks = []
+        for section in self.sos:
+            outputs = sp_signal.lfilter(section[:3], section[3:], outputs)
+            peaks.append(float(np.max(np.abs(outputs))))
+        peaks.append(peaks[-1])  # final output register shares the last range
+        return peaks
+
+    def _run(self, x: np.ndarray, word_lengths: np.ndarray | None) -> np.ndarray:
+        """Run the cascade; quantize registers when ``word_lengths`` is given."""
+        if word_lengths is None:
+            outputs = x
+            for section in self.sos:
+                outputs = sp_signal.lfilter(section[:3], section[3:], outputs)
+            return outputs
+
+        steps = []
+        bounds = []
+        for k in range(self.n_sections + 1):
+            int_bits = self.integer_bits[k]
+            frac = int(word_lengths[k]) - 1 - int_bits
+            step = 2.0**(-frac)
+            limit = 2.0**int_bits
+            steps.append(step)
+            bounds.append((-limit, limit - step))
+
+        b = self.sos[:, :3]
+        a = self.sos[:, 4:6]
+        x1 = [0.0] * self.n_sections
+        x2 = [0.0] * self.n_sections
+        y1 = [0.0] * self.n_sections
+        y2 = [0.0] * self.n_sections
+        out = np.empty_like(x)
+        floor = math.floor
+        for n, sample in enumerate(x):
+            value = float(sample)
+            for k in range(self.n_sections):
+                acc = (
+                    b[k, 0] * value
+                    + b[k, 1] * x1[k]
+                    + b[k, 2] * x2[k]
+                    - a[k, 0] * y1[k]
+                    - a[k, 1] * y2[k]
+                )
+                step = steps[k]
+                scaled = acc / step
+                code = floor(scaled + 0.5) if scaled >= 0 else -floor(-scaled + 0.5)
+                q = code * step
+                low, high = bounds[k]
+                if q < low:
+                    q = low
+                elif q > high:
+                    q = high
+                x2[k] = x1[k]
+                x1[k] = value
+                y2[k] = y1[k]
+                y1[k] = q
+                value = q
+            step = steps[-1]
+            scaled = value / step
+            code = floor(scaled + 0.5) if scaled >= 0 else -floor(-scaled + 0.5)
+            q = code * step
+            low, high = bounds[-1]
+            if q < low:
+                q = low
+            elif q > high:
+                q = high
+            out[n] = q
+        return out
+
+    def reference(self) -> np.ndarray:
+        """Double-precision cascade output (the baseline)."""
+        return self._reference
+
+    def simulate(self, word_lengths: object) -> np.ndarray:
+        """Bit-accurate fixed-point cascade output for the 5-vector ``w``."""
+        w = check_integer_vector("word_lengths", word_lengths, minimum=1)
+        if w.size != self.NUM_VARIABLES:
+            raise ValueError(f"expected {self.NUM_VARIABLES} word-lengths, got {w.size}")
+        return self._run(self.inputs, w)
+
+    def noise_power_db(self, word_lengths: object) -> float:
+        """Output noise power (dB) — the quality metric of the IIR rows."""
+        return noise_power_db(self.simulate(word_lengths), self._reference)

@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG helpers and argument validation."""
+
+from repro.utils.rng import derive_rng, spawn_rngs
+from repro.utils.validation import (
+    check_in_range,
+    check_integer_vector,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "derive_rng",
+    "spawn_rngs",
+    "check_in_range",
+    "check_integer_vector",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,83 @@
+"""Argument-validation helpers shared across the library.
+
+The helpers raise ``ValueError``/``TypeError`` with messages that name the
+offending argument, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_integer_vector",
+]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly by default)."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return float(value)
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_integer_vector(name: str, vector: object, *, minimum: int | None = None) -> np.ndarray:
+    """Validate and convert ``vector`` to a 1-D integer numpy array.
+
+    Parameters
+    ----------
+    name:
+        Argument name used in error messages.
+    vector:
+        Any sequence convertible to a 1-D integer array.
+    minimum:
+        If given, every component must be ``>= minimum``.
+    """
+    array = np.asarray(vector)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.issubdtype(array.dtype, np.integer):
+        rounded = np.rint(array)
+        if not np.allclose(array, rounded, atol=1e-9):
+            raise ValueError(f"{name} must contain integers, got {array!r}")
+        array = rounded.astype(np.int64)
+    else:
+        array = array.astype(np.int64)
+    if minimum is not None and np.any(array < minimum):
+        raise ValueError(f"all components of {name} must be >= {minimum}, got {array!r}")
+    return array

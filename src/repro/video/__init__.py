@@ -1,0 +1,33 @@
+"""HEVC motion-compensation benchmark (``Nv = 23``).
+
+The paper's fourth benchmark is the 2-D motion-compensation module of an
+HEVC codec: luma fractional-pel interpolation of 8x8 blocks with the
+standard 8-tap DCT-IF filters.  This package implements that module from
+scratch:
+
+* :mod:`~repro.video.filters` — the HEVC luma interpolation-filter
+  coefficients (quarter/half/three-quarter-pel phases);
+* :mod:`~repro.video.blocks` — synthetic reference frames and motion-vector
+  workloads;
+* :mod:`~repro.video.motion_comp` — the separable horizontal/vertical
+  interpolation pipeline with 23 fixed-point quantization nodes.
+"""
+
+from repro.video.blocks import BlockWorkload, synthetic_frame
+from repro.video.filters import (
+    HEVC_CHROMA_FILTERS,
+    HEVC_LUMA_FILTERS,
+    chroma_filter,
+    luma_filter,
+)
+from repro.video.motion_comp import MotionCompensationBenchmark
+
+__all__ = [
+    "HEVC_LUMA_FILTERS",
+    "HEVC_CHROMA_FILTERS",
+    "luma_filter",
+    "chroma_filter",
+    "synthetic_frame",
+    "BlockWorkload",
+    "MotionCompensationBenchmark",
+]

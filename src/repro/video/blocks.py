@@ -1,0 +1,116 @@
+"""Synthetic video frames and motion-compensation workloads.
+
+The paper evaluates the HEVC motion-compensation module on 8x8 pixel blocks
+with non-integer motion vectors.  Since the original sequences are not
+available, we synthesize frames containing the structures that matter for an
+interpolation filter — smooth gradients, directional edges and band-limited
+texture — and draw random block positions with random fractional motion
+vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+from repro.video.filters import N_TAPS
+
+__all__ = ["synthetic_frame", "BlockWorkload"]
+
+
+def synthetic_frame(height: int, width: int, *, seed: int = 0) -> np.ndarray:
+    """Generate a synthetic luma frame with values in ``[0, 1)``.
+
+    The frame mixes a low-frequency gradient, a couple of directional
+    sinusoidal edges and smoothed noise texture, mimicking natural-video
+    statistics well enough to exercise every tap of the DCT-IF filters.
+    """
+    if height < N_TAPS * 2 or width < N_TAPS * 2:
+        raise ValueError(f"frame too small: {height}x{width}")
+    rng = derive_rng(seed, "video", "frame")
+    y, x = np.mgrid[0:height, 0:width].astype(np.float64)
+
+    gradient = 0.3 * (x / width) + 0.2 * (y / height)
+    waves = 0.15 * np.sin(2 * np.pi * (0.043 * x + 0.017 * y))
+    waves += 0.1 * np.sin(2 * np.pi * (0.011 * x - 0.036 * y) + 1.3)
+
+    noise = rng.normal(0.0, 1.0, size=(height, width))
+    kernel = np.outer(np.hanning(7), np.hanning(7))
+    kernel /= kernel.sum()
+    from scipy.signal import convolve2d
+
+    texture = 0.08 * convolve2d(noise, kernel, mode="same", boundary="symm")
+
+    frame = 0.45 + gradient + waves + texture
+    return np.clip(frame, 0.0, 0.999)
+
+
+@dataclass(frozen=True)
+class BlockWorkload:
+    """A set of motion-compensated 8x8 block requests against one frame.
+
+    Attributes
+    ----------
+    frame:
+        Reference luma frame, values in ``[0, 1)``.
+    positions:
+        ``(n, 2)`` integer array of block top-left corners ``(row, col)``.
+    phases:
+        ``(n, 2)`` integer array of quarter-pel phases ``(vertical,
+        horizontal)``, each in ``{0, 1, 2, 3}`` and never both zero
+        (the paper's module is exercised on non-integer motion vectors).
+    """
+
+    frame: np.ndarray
+    positions: np.ndarray
+    phases: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.positions.shape[0] != self.phases.shape[0]:
+            raise ValueError("positions and phases must have the same length")
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ValueError(f"positions must be (n, 2), got {self.positions.shape}")
+        if self.phases.ndim != 2 or self.phases.shape[1] != 2:
+            raise ValueError(f"phases must be (n, 2), got {self.phases.shape}")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of block requests."""
+        return int(self.positions.shape[0])
+
+    @classmethod
+    def generate(
+        cls,
+        *,
+        n_blocks: int = 64,
+        block_size: int = 8,
+        frame_height: int = 144,
+        frame_width: int = 176,
+        seed: int = 3,
+    ) -> "BlockWorkload":
+        """Draw a random workload over a synthetic frame.
+
+        Block corners keep an ``N_TAPS``-pixel margin so the 8-tap filters
+        never read outside the frame.
+        """
+        if n_blocks <= 0:
+            raise ValueError(f"n_blocks must be > 0, got {n_blocks}")
+        frame = synthetic_frame(frame_height, frame_width, seed=seed)
+        rng = derive_rng(seed, "video", "workload")
+        margin = N_TAPS
+        rows = rng.integers(margin, frame_height - block_size - margin, size=n_blocks)
+        cols = rng.integers(margin, frame_width - block_size - margin, size=n_blocks)
+        phases = rng.integers(0, 4, size=(n_blocks, 2))
+        # Re-draw any all-integer motion vector: the module under test is the
+        # fractional interpolator.
+        zero_rows = (phases[:, 0] == 0) & (phases[:, 1] == 0)
+        while np.any(zero_rows):
+            phases[zero_rows] = rng.integers(0, 4, size=(int(zero_rows.sum()), 2))
+            zero_rows = (phases[:, 0] == 0) & (phases[:, 1] == 0)
+        return cls(
+            frame=frame,
+            positions=np.stack([rows, cols], axis=1).astype(np.int64),
+            phases=phases.astype(np.int64),
+        )

@@ -1,0 +1,68 @@
+"""HEVC interpolation filters (8-tap luma, 4-tap chroma DCT-IF).
+
+Coefficients from the HEVC standard (ITU-T H.265, Tables 8-11 and 8-12),
+normalized by 64 so they act on pixel values scaled to ``[0, 1)``.  Luma
+phase 0 is the integer position (identity); phases 1-3 are the quarter,
+half and three-quarter pel positions.  Chroma motion vectors have eighth-pel
+resolution (phases 0-7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HEVC_LUMA_FILTERS",
+    "HEVC_CHROMA_FILTERS",
+    "luma_filter",
+    "chroma_filter",
+    "N_TAPS",
+    "N_CHROMA_TAPS",
+]
+
+N_TAPS = 8
+N_CHROMA_TAPS = 4
+
+_RAW_FILTERS = {
+    0: (0, 0, 0, 64, 0, 0, 0, 0),
+    1: (-1, 4, -10, 58, 17, -5, 1, 0),
+    2: (-1, 4, -11, 40, 40, -11, 4, -1),
+    3: (0, 1, -5, 17, 58, -10, 4, -1),
+}
+
+_RAW_CHROMA_FILTERS = {
+    0: (0, 64, 0, 0),
+    1: (-2, 58, 10, -2),
+    2: (-4, 54, 16, -2),
+    3: (-6, 46, 28, -4),
+    4: (-4, 36, 36, -4),
+    5: (-4, 28, 46, -6),
+    6: (-2, 16, 54, -4),
+    7: (-2, 10, 58, -2),
+}
+
+HEVC_LUMA_FILTERS: dict[int, np.ndarray] = {
+    phase: np.asarray(taps, dtype=np.float64) / 64.0
+    for phase, taps in _RAW_FILTERS.items()
+}
+"""Normalized 8-tap luma filters indexed by quarter-pel phase (0-3)."""
+
+HEVC_CHROMA_FILTERS: dict[int, np.ndarray] = {
+    phase: np.asarray(taps, dtype=np.float64) / 64.0
+    for phase, taps in _RAW_CHROMA_FILTERS.items()
+}
+"""Normalized 4-tap chroma filters indexed by eighth-pel phase (0-7)."""
+
+
+def luma_filter(phase: int) -> np.ndarray:
+    """Return the normalized 8-tap luma filter for quarter-pel ``phase`` (0-3)."""
+    if phase not in HEVC_LUMA_FILTERS:
+        raise ValueError(f"phase must be one of 0, 1, 2, 3, got {phase}")
+    return HEVC_LUMA_FILTERS[phase].copy()
+
+
+def chroma_filter(phase: int) -> np.ndarray:
+    """Return the normalized 4-tap chroma filter for eighth-pel ``phase`` (0-7)."""
+    if phase not in HEVC_CHROMA_FILTERS:
+        raise ValueError(f"phase must be in 0..7, got {phase}")
+    return HEVC_CHROMA_FILTERS[phase].copy()

@@ -1,0 +1,38 @@
+"""Shared fixtures: small-scale benchmark setups (expensive, session-scoped)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import build_benchmark
+
+
+@pytest.fixture(scope="session")
+def fir_setup():
+    """Small-scale FIR benchmark setup with its trajectory recorded."""
+    setup = build_benchmark("fir", "small")
+    setup.record_trajectory()
+    return setup
+
+
+@pytest.fixture(scope="session")
+def iir_setup():
+    """Small-scale IIR benchmark setup with its trajectory recorded."""
+    setup = build_benchmark("iir", "small")
+    setup.record_trajectory()
+    return setup
+
+
+@pytest.fixture(scope="session")
+def fft_setup():
+    """Small-scale FFT benchmark setup with its trajectory recorded."""
+    setup = build_benchmark("fft", "small")
+    setup.record_trajectory()
+    return setup
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Deterministic generator for ad-hoc test data."""
+    return np.random.default_rng(1234)

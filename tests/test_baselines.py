@@ -1,0 +1,134 @@
+"""Unit tests for repro.baselines (Sedano-style axis interpolation, analytical model)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.analytical import AnalyticalNoiseModel
+from repro.baselines.axis_interpolation import AxisInterpolationEstimator
+
+
+def plane(config):
+    return float(np.asarray(config, dtype=float) @ [2.0, -1.0] + 5.0)
+
+
+class TestAxisInterpolation:
+    def test_on_axis_query_interpolated(self):
+        est = AxisInterpolationEstimator(plane, 2)
+        est.evaluate([4, 8])
+        est.evaluate([8, 8])
+        out = est.evaluate([6, 8])  # on the axis-0 line, bracketed
+        assert out.interpolated
+        assert out.axis == 0
+        assert out.value == pytest.approx(plane([6, 8]))
+
+    def test_off_axis_query_simulated(self):
+        est = AxisInterpolationEstimator(plane, 2)
+        est.evaluate([4, 8])
+        est.evaluate([8, 8])
+        out = est.evaluate([6, 9])  # differs from samples in both coordinates
+        assert not out.interpolated
+
+    def test_bracketing_required_by_default(self):
+        est = AxisInterpolationEstimator(plane, 2)
+        est.evaluate([4, 8])
+        est.evaluate([5, 8])
+        out = est.evaluate([7, 8])  # beyond both samples
+        assert not out.interpolated
+
+    def test_extrapolation_mode(self):
+        est = AxisInterpolationEstimator(plane, 2, require_bracketing=False)
+        est.evaluate([4, 8])
+        est.evaluate([5, 8])
+        out = est.evaluate([7, 8])
+        assert out.interpolated
+        assert out.value == pytest.approx(plane([7, 8]))  # linear field: exact
+
+    def test_exact_hit(self):
+        est = AxisInterpolationEstimator(plane, 2)
+        est.evaluate([4, 8])
+        out = est.evaluate([4, 8])
+        assert out.exact_hit
+        assert est.stats.n_exact_hits == 1
+
+    def test_stats(self):
+        est = AxisInterpolationEstimator(plane, 2)
+        for cfg in ([4, 8], [8, 8], [6, 8], [6, 9]):
+            est.evaluate(cfg)
+        assert est.stats.n_simulated == 3
+        assert est.stats.n_interpolated == 1
+        assert est.stats.interpolated_fraction == pytest.approx(0.25)
+
+    def test_kriging_covers_more_than_axis_baseline(self):
+        """The paper's motivation: the Nv-dimensional neighbourhood covers
+        configurations the per-axis method cannot estimate."""
+        from repro.core.estimator import KrigingEstimator
+
+        rng = np.random.default_rng(5)
+        queries = rng.integers(4, 9, size=(80, 3))
+
+        def metric(c):
+            return float(np.sum(np.asarray(c, dtype=float) ** 1.5))
+
+        axis = AxisInterpolationEstimator(metric, 3)
+        krig = KrigingEstimator(metric, 3, distance=4, nn_min=1)
+        for q in queries:
+            axis.evaluate(q)
+            krig.evaluate(q)
+        assert krig.stats.interpolated_fraction > axis.stats.interpolated_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AxisInterpolationEstimator(plane, 0)
+        est = AxisInterpolationEstimator(plane, 2)
+        with pytest.raises(ValueError, match="shape"):
+            est.evaluate([1, 2, 3])
+
+
+class TestAnalyticalModel:
+    def test_single_node_matches_formula(self):
+        model = AnalyticalNoiseModel([0])
+        # signed, 8 bits, 0 integer bits -> step 2^-7.
+        expected = (2.0**-7) ** 2 / 12.0
+        assert model.noise_power([8]) == pytest.approx(expected)
+
+    def test_gains_scale_contributions(self):
+        base = AnalyticalNoiseModel([0, 0]).noise_power([8, 8])
+        scaled = AnalyticalNoiseModel([0, 0], gains=[2.0, 2.0]).noise_power([8, 8])
+        assert scaled == pytest.approx(2.0 * base)
+
+    def test_six_db_per_bit(self):
+        model = AnalyticalNoiseModel([0, 1])
+        delta = model.noise_power_db([8, 20]) - model.noise_power_db([9, 20])
+        assert delta == pytest.approx(6.02, abs=0.1)
+
+    def test_calibration_recovers_gains(self):
+        truth = AnalyticalNoiseModel([0, 1], gains=[3.0, 0.5])
+        rng = np.random.default_rng(0)
+        configs = rng.integers(6, 14, size=(30, 2))
+        powers = np.array([truth.noise_power(c) for c in configs])
+        calibrated = AnalyticalNoiseModel([0, 1]).calibrate(configs, powers)
+        np.testing.assert_allclose(calibrated.gains, [3.0, 0.5], rtol=1e-6)
+
+    def test_calibrated_model_tracks_fir(self):
+        """Calibrated on a few FIR measurements, the analytical model should
+        land within a few dB on the additive region of the surface."""
+        from repro.fixedpoint.noise import db_to_power
+        from repro.signal import FIRBenchmark
+
+        fir = FIRBenchmark(n_samples=512)
+        configs = np.array([[10, 10], [12, 12], [14, 14], [10, 14], [14, 10], [12, 14]])
+        powers = np.array([db_to_power(fir.noise_power_db(c)) for c in configs])
+        model = AnalyticalNoiseModel([0, 1]).calibrate(configs, powers)
+        probe = [11, 12]
+        assert model.noise_power_db(probe) == pytest.approx(
+            fir.noise_power_db(probe), abs=6.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="gains"):
+            AnalyticalNoiseModel([0, 0], gains=[1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            AnalyticalNoiseModel([0], gains=[-1.0])
+        model = AnalyticalNoiseModel([0, 0])
+        with pytest.raises(ValueError, match="expected 2"):
+            model.noise_power([8])

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1", "fir"])
+        assert args.benchmark == "fir"
+        assert args.scale == "small"
+        assert args.distances == [2, 3, 4, 5]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "wavelet"])
+
+    def test_extra_benchmark_accepted(self):
+        args = build_parser().parse_args(["table1", "dct"])
+        assert args.benchmark == "dct"
+
+
+class TestCommands:
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fir", "iir", "fft", "hevc", "squeezenet"):
+            assert name in out
+        assert "Nv=23" in out
+
+    def test_figure1_small(self, capsys):
+        assert main(["figure1", "--min-wl", "8", "--max-wl", "11", "--samples", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "w_mul" in out
+        assert len(out.splitlines()) == 5
+
+    def test_figure1_bad_range(self, capsys):
+        assert main(["figure1", "--min-wl", "12", "--max-wl", "8"]) == 2
+
+    def test_table1_fir_small(self, capsys):
+        assert main(["table1", "fir", "--distances", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fir" in out
+        assert "p(%)" in out
+
+    def test_record_and_replay_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "fir.json"
+        assert main(["record", "fir", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["replay", str(path), "--distance", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "p=" in out
+        assert "mu_eps=" in out

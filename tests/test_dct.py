@@ -1,0 +1,81 @@
+"""Unit tests for the extra DCT benchmark (repro.signal.dct)."""
+
+import numpy as np
+import pytest
+
+from repro.signal.dct import BLOCK, DCTBenchmark, dct_matrix
+
+
+@pytest.fixture(scope="module")
+def dct():
+    return DCTBenchmark(n_blocks=12, seed=4)
+
+
+class TestDCTMatrix:
+    def test_orthonormal(self):
+        m = dct_matrix()
+        np.testing.assert_allclose(m @ m.T, np.eye(BLOCK), atol=1e-12)
+
+    def test_dc_row_constant(self):
+        m = dct_matrix()
+        np.testing.assert_allclose(m[0], m[0, 0])
+
+    def test_matches_scipy(self):
+        from scipy.fft import dct as scipy_dct
+
+        x = np.arange(8, dtype=float)
+        ours = dct_matrix() @ x
+        scipys = scipy_dct(x, type=2, norm="ortho")
+        np.testing.assert_allclose(ours, scipys, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dct_matrix(1)
+
+
+class TestBenchmark:
+    def test_nv_is_six(self, dct):
+        assert dct.NUM_VARIABLES == 6
+        assert len(dct.VARIABLE_NAMES) == 6
+
+    def test_reference_is_2d_dct(self, dct):
+        expected = np.einsum("ij,njk,lk->nil", dct.dct, dct.blocks, dct.dct)
+        np.testing.assert_allclose(dct.reference(), expected, atol=1e-12)
+
+    def test_energy_preserved_by_reference(self, dct):
+        # Orthonormal transform: Parseval (up to coefficient quantization).
+        ref = dct.reference()
+        in_energy = np.sum(dct.blocks**2, axis=(1, 2))
+        out_energy = np.sum(ref**2, axis=(1, 2))
+        np.testing.assert_allclose(out_energy, in_energy, rtol=1e-3)
+
+    def test_high_precision_converges(self, dct):
+        out = dct.simulate([26] * 6)
+        assert np.max(np.abs(out - dct.reference())) < 1e-4
+
+    def test_monotone_improvement(self, dct):
+        assert dct.noise_power_db([8] * 6) > dct.noise_power_db([14] * 6) + 20
+
+    def test_each_variable_matters(self, dct):
+        base = dct.noise_power_db([16] * 6)
+        for i in range(6):
+            w = [16] * 6
+            w[i] = 7
+            assert dct.noise_power_db(w) > base + 3, f"variable {i} inert"
+
+    def test_wrong_length_rejected(self, dct):
+        with pytest.raises(ValueError, match="expected 6"):
+            dct.simulate([8] * 5)
+
+    def test_registry_integration(self):
+        from repro.experiments.registry import build_benchmark
+
+        setup = build_benchmark("dct", "small")
+        assert setup.problem.num_variables == 6
+        trace = setup.record_trajectory()
+        assert len(trace) > 10
+        assert setup.reference_result.satisfied
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DCTBenchmark(n_blocks=0)

@@ -1,0 +1,61 @@
+"""Unit tests for the decision-divergence helpers (repro.experiments.decisions)."""
+
+import pytest
+
+from repro.experiments.decisions import (
+    DecisionDivergence,
+    _budget_difference,
+    _decision_difference,
+)
+
+
+class TestDecisionDifference:
+    def test_identical_sequences(self):
+        assert _decision_difference([0, 1, 2], [0, 1, 2]) == 0.0
+
+    def test_fully_different(self):
+        assert _decision_difference([0, 0, 0], [1, 1, 1]) == 100.0
+
+    def test_partial(self):
+        assert _decision_difference([0, 1, 2, 3], [0, 1, 9, 9]) == 50.0
+
+    def test_length_mismatch_counts_as_difference(self):
+        assert _decision_difference([0, 1], [0, 1, 2, 3]) == 50.0
+
+    def test_both_empty(self):
+        assert _decision_difference([], []) == 0.0
+
+
+class TestBudgetDifference:
+    def test_identical_multisets_zero(self):
+        # Same commits in a different order: order-insensitive metric is 0.
+        assert _budget_difference([0, 1, 2], [2, 0, 1]) == 0.0
+
+    def test_disjoint(self):
+        assert _budget_difference([0, 0], [1, 1]) == pytest.approx(200.0)
+
+    def test_partial_overlap(self):
+        assert _budget_difference([0, 0, 1], [0, 1, 1]) == pytest.approx(200.0 / 3)
+
+    def test_both_empty(self):
+        assert _budget_difference([], []) == 0.0
+
+
+class TestDataclass:
+    def _divergence(self, ref_cost=50.0, krig_cost=55.0):
+        return DecisionDivergence(
+            different_decisions_percent=10.0,
+            budget_difference_percent=5.0,
+            reference_solution=(8, 9),
+            kriging_solution=(9, 9),
+            reference_cost=ref_cost,
+            kriging_cost=krig_cost,
+            n_simulations_reference=40,
+            n_simulations_kriging=20,
+        )
+
+    def test_cost_gap(self):
+        assert self._divergence().cost_gap_percent == pytest.approx(10.0)
+
+    def test_cost_gap_zero_reference(self):
+        assert self._divergence(ref_cost=0.0).cost_gap_percent == 0.0

@@ -1,0 +1,95 @@
+"""Unit tests for the steepest-descent noise budgeting (repro.optimization.descent)."""
+
+import numpy as np
+import pytest
+
+from repro.optimization.descent import NoiseBudgetingDescent
+from repro.optimization.evaluator import SimulationEvaluator
+from repro.optimization.problem import DSEProblem, MetricSense
+
+
+def smooth_rate(weights):
+    """Analytic 'classification rate': a product of per-source sigmoids that
+    increases with every protection level."""
+    weights = np.asarray(weights, dtype=float)
+
+    def metric(levels):
+        levels = np.asarray(levels, dtype=float)
+        per_source = 1.0 / (1.0 + np.exp(-(levels - 6.0) * weights))
+        return float(np.prod(per_source) ** (1.0 / len(levels)))
+
+    return metric
+
+
+def make_problem(nv=4, threshold=0.9, weights=None):
+    weights = np.ones(nv) if weights is None else weights
+    return DSEProblem(
+        name="rate",
+        num_variables=nv,
+        min_value=1,
+        max_value=16,
+        simulate=smooth_rate(weights),
+        sense=MetricSense.HIGHER_IS_BETTER,
+        threshold=threshold,
+    )
+
+
+class TestDescent:
+    def test_final_budget_satisfies_constraint(self):
+        problem = make_problem()
+        result = NoiseBudgetingDescent(problem).run()
+        assert result.satisfied
+        assert problem.satisfied(problem.simulate(np.array(result.solution)))
+
+    def test_budget_is_locally_maximal(self):
+        """No single extra step of noise is tolerable at the returned budget."""
+        problem = make_problem()
+        result = NoiseBudgetingDescent(problem).run()
+        w = np.array(result.solution)
+        for i in range(problem.num_variables):
+            if w[i] > problem.min_value:
+                trial = w.copy()
+                trial[i] -= 1
+                assert not problem.satisfied(problem.simulate(trial))
+
+    def test_descent_lowers_cost(self):
+        problem = make_problem()
+        result = NoiseBudgetingDescent(problem).run()
+        start_cost = problem.cost(problem.full_configuration(problem.max_value))
+        assert result.cost < start_cost
+
+    def test_sensitive_source_keeps_higher_level(self):
+        # Source 0 is 4x more sensitive to noise than source 1.
+        problem = make_problem(nv=2, weights=np.array([4.0, 1.0]), threshold=0.8)
+        result = NoiseBudgetingDescent(problem).run()
+        assert result.solution[0] >= result.solution[1]
+
+    def test_infeasible_start_rejected(self):
+        problem = make_problem(threshold=0.999999)
+        descent = NoiseBudgetingDescent(
+            problem, start=problem.full_configuration(2)
+        )
+        with pytest.raises(ValueError, match="violates"):
+            descent.run()
+
+    def test_custom_start(self):
+        problem = make_problem()
+        result = NoiseBudgetingDescent(
+            problem, start=problem.full_configuration(12)
+        ).run()
+        assert result.minimum == tuple([12] * 4)
+        assert all(s <= 12 for s in result.solution)
+
+    def test_decisions_match_total_steps(self):
+        problem = make_problem()
+        evaluator = SimulationEvaluator(problem.simulate)
+        result = NoiseBudgetingDescent(problem, evaluator).run()
+        steps = int(
+            np.sum(np.array(result.minimum) - np.array(result.solution))
+        )
+        assert len(result.trace.decisions) == steps
+
+    def test_trace_contains_all_queries(self):
+        problem = make_problem(nv=3)
+        result = NoiseBudgetingDescent(problem).run()
+        assert len(result.trace) >= len(result.trace.decisions) * 2

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distances import (
+    DistanceMetric,
+    distance,
+    distances_to,
+    pairwise_distances,
+)
+
+vectors = st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=8)
+
+
+class TestCoerce:
+    def test_from_string(self):
+        assert DistanceMetric.coerce("l1") is DistanceMetric.L1
+        assert DistanceMetric.coerce("L2") is DistanceMetric.L2
+        assert DistanceMetric.coerce("linf") is DistanceMetric.LINF
+
+    def test_from_enum(self):
+        assert DistanceMetric.coerce(DistanceMetric.L1) is DistanceMetric.L1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown distance metric"):
+            DistanceMetric.coerce("manhattan")
+
+
+class TestDistance:
+    def test_l1(self):
+        assert distance([1, 2, 3], [2, 0, 3], "l1") == 3.0
+
+    def test_l2(self):
+        assert distance([0, 0], [3, 4], "l2") == 5.0
+
+    def test_linf(self):
+        assert distance([1, 2, 3], [4, 2, 1], "linf") == 3.0
+
+    def test_paper_algorithm_uses_l1_semantics(self):
+        # Algorithms 1-2: dCur = ||w - w_sim||_1.
+        w = np.array([16, 16, 16])
+        w_sim = np.array([16, 15, 14])
+        assert distance(w, w_sim) == 3.0
+
+    @given(vectors)
+    def test_identity(self, v):
+        for metric in DistanceMetric:
+            assert distance(v, v, metric) == 0.0
+
+    @given(vectors, st.data())
+    def test_symmetry(self, a, data):
+        b = data.draw(
+            st.lists(
+                st.integers(min_value=-20, max_value=20),
+                min_size=len(a),
+                max_size=len(a),
+            )
+        )
+        for metric in DistanceMetric:
+            assert distance(a, b, metric) == distance(b, a, metric)
+
+    @given(vectors, st.data())
+    def test_norm_ordering(self, a, data):
+        b = data.draw(
+            st.lists(
+                st.integers(min_value=-20, max_value=20),
+                min_size=len(a),
+                max_size=len(a),
+            )
+        )
+        linf = distance(a, b, "linf")
+        l2 = distance(a, b, "l2")
+        l1 = distance(a, b, "l1")
+        assert linf <= l2 + 1e-9
+        assert l2 <= l1 + 1e-9
+
+
+class TestBatch:
+    def test_distances_to(self):
+        pts = np.array([[0, 0], [1, 1], [2, 2]])
+        np.testing.assert_allclose(distances_to(pts, [0, 0]), [0.0, 2.0, 4.0])
+
+    def test_distances_to_shape_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            distances_to(np.zeros((3, 2)), np.zeros(3))
+
+    def test_pairwise_symmetric_zero_diag(self):
+        pts = np.array([[0, 0], [1, 2], [3, 1]])
+        d = pairwise_distances(pts)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_pairwise_matches_scalar(self):
+        pts = np.array([[0, 1, 2], [2, 2, 2], [5, 0, 1]])
+        for metric in DistanceMetric:
+            d = pairwise_distances(pts, metric)
+            for i in range(3):
+                for j in range(3):
+                    assert d[i, j] == pytest.approx(
+                        distance(pts[i], pts[j], metric)
+                    )
+
+    def test_triangle_inequality_pairwise(self, rng):
+        pts = rng.integers(0, 10, size=(12, 4))
+        for metric in DistanceMetric:
+            d = pairwise_distances(pts, metric)
+            for i in range(12):
+                for j in range(12):
+                    for k in range(12):
+                        assert d[i, j] <= d[i, k] + d[k, j] + 1e-9

@@ -1,0 +1,91 @@
+"""Unit tests for repro.neural.error_models."""
+
+import numpy as np
+import pytest
+
+from repro.neural.error_models import (
+    BitFlipErrorModel,
+    GaussianErrorModel,
+    UniformErrorModel,
+)
+
+MODELS = [
+    GaussianErrorModel(),
+    UniformErrorModel(),
+    BitFlipErrorModel(flip_probability=0.01),
+]
+
+
+class TestPowerCalibration:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    @pytest.mark.parametrize("power", [1e-4, 1e-2, 1.0])
+    def test_average_power_matches(self, model, power):
+        rng = np.random.default_rng(0)
+        sample = model.sample(rng, (200, 500), power)
+        measured = float(np.mean(sample**2))
+        assert measured == pytest.approx(power, rel=0.15)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_zero_mean(self, model):
+        rng = np.random.default_rng(1)
+        sample = model.sample(rng, (200, 500), 0.01)
+        assert abs(float(np.mean(sample))) < 3 * np.sqrt(0.01 / sample.size) * 5
+
+
+class TestInject:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_zero_power_is_identity(self, model):
+        rng = np.random.default_rng(2)
+        x = np.ones((4, 4))
+        out = model.inject(rng, x, 0.0)
+        assert out is x
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_shape_preserved(self, model):
+        rng = np.random.default_rng(3)
+        x = np.zeros((2, 3, 4))
+        assert model.inject(rng, x, 1e-3).shape == x.shape
+
+
+class TestBitFlip:
+    def test_sparsity(self):
+        model = BitFlipErrorModel(flip_probability=0.01)
+        rng = np.random.default_rng(4)
+        sample = model.sample(rng, (1000, 100), 1e-2)
+        hit_rate = float(np.mean(sample != 0.0))
+        assert hit_rate == pytest.approx(0.01, rel=0.2)
+
+    def test_magnitude_grows_as_hits_rarify(self):
+        rng = np.random.default_rng(5)
+        rare = BitFlipErrorModel(flip_probability=1e-4).sample(rng, (10**6,), 1e-2)
+        magnitude = np.max(np.abs(rare))
+        assert magnitude == pytest.approx(np.sqrt(1e-2 / 1e-4), rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitFlipErrorModel(flip_probability=0.0)
+        with pytest.raises(ValueError):
+            BitFlipErrorModel(flip_probability=1.5)
+
+
+class TestBenchmarkIntegration:
+    def test_uniform_model_in_benchmark(self):
+        from repro.neural import SensitivityBenchmark, UniformErrorModel
+
+        bench = SensitivityBenchmark(
+            n_images=24, image_size=16, seed=5, error_model=UniformErrorModel()
+        )
+        clean = bench.evaluate([16] * 10)
+        noisy = bench.evaluate([3] * 10)
+        assert clean == pytest.approx(1.0)
+        assert noisy < clean
+
+    def test_default_model_unchanged_realizations(self):
+        """Plugging the Gaussian model explicitly must reproduce the default."""
+        from repro.neural import GaussianErrorModel, SensitivityBenchmark
+
+        a = SensitivityBenchmark(n_images=24, image_size=16, seed=5)
+        b = SensitivityBenchmark(
+            n_images=24, image_size=16, seed=5, error_model=GaussianErrorModel()
+        )
+        assert a.evaluate([8] * 10) == b.evaluate([8] * 10)

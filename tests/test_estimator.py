@@ -1,0 +1,195 @@
+"""Unit tests for repro.core.estimator (the interpolate-or-simulate policy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KrigingEstimator
+from repro.core.models import LinearVariogram
+
+
+_COEFFS = np.array([1.0, -2.0, 0.5, 0.25])
+
+
+def linear_metric(config):
+    """Dimension-agnostic smooth test field."""
+    c = np.asarray(config, dtype=float)
+    coeffs = np.resize(_COEFFS, c.size)
+    return float(c @ coeffs + 3.0)
+
+
+class CountingSim:
+    def __init__(self, fn=linear_metric):
+        self.fn = fn
+        self.calls = []
+
+    def __call__(self, config):
+        self.calls.append(np.asarray(config).copy())
+        return self.fn(config)
+
+
+class TestPolicy:
+    def test_first_queries_simulated(self):
+        sim = CountingSim()
+        est = KrigingEstimator(sim, 3, distance=2, nn_min=1)
+        out = est.evaluate([4, 4, 4])
+        assert not out.interpolated
+        assert len(sim.calls) == 1
+
+    def test_interpolation_requires_strictly_more_than_nn_min(self):
+        sim = CountingSim()
+        est = KrigingEstimator(sim, 3, distance=3, nn_min=1)
+        est.evaluate([4, 4, 4])          # sim 1
+        out = est.evaluate([5, 4, 4])    # one neighbor: Nn = 1, not > 1
+        assert not out.interpolated
+        out = est.evaluate([4, 5, 4])    # two neighbors now
+        assert out.interpolated
+        assert len(sim.calls) == 2
+
+    def test_far_configuration_simulated(self):
+        sim = CountingSim()
+        est = KrigingEstimator(sim, 3, distance=2, nn_min=1)
+        est.evaluate([0, 0, 0])
+        est.evaluate([1, 0, 0])
+        out = est.evaluate([10, 10, 10])
+        assert not out.interpolated
+        assert out.n_neighbors == 0
+
+    def test_interpolated_configs_never_support(self):
+        """Section III-B: interpolated points are not reused for kriging."""
+        sim = CountingSim()
+        est = KrigingEstimator(sim, 2, distance=4, nn_min=1)
+        est.evaluate([4, 4])
+        est.evaluate([5, 4])
+        out = est.evaluate([4, 5])
+        assert out.interpolated
+        assert len(est.cache) == 2  # the interpolated point was not added
+
+    def test_exact_hit_returns_cached_value(self):
+        sim = CountingSim()
+        est = KrigingEstimator(sim, 2, distance=2, nn_min=1)
+        first = est.evaluate([7, 7])
+        again = est.evaluate([7, 7])
+        assert again.exact_hit
+        assert again.interpolated
+        assert again.value == first.value
+        assert len(sim.calls) == 1
+
+    def test_accuracy_on_smooth_field(self):
+        sim = CountingSim()
+        est = KrigingEstimator(sim, 3, distance=4, nn_min=1)
+        rng = np.random.default_rng(7)
+        errors = []
+        for _ in range(60):
+            config = rng.integers(2, 10, size=3)
+            out = est.evaluate(config)
+            if out.interpolated:
+                errors.append(abs(out.value - linear_metric(config)))
+        assert errors, "policy never interpolated on a dense sample"
+        # Mean interpolation error small relative to the field's spread
+        # (values span ~[-10, 10] over the sampled cube).
+        assert float(np.mean(errors)) < 1.5
+
+
+class TestStats:
+    def test_counters(self):
+        est = KrigingEstimator(CountingSim(), 2, distance=3, nn_min=1)
+        for cfg in ([0, 0], [1, 0], [0, 1], [1, 1], [0, 0]):
+            est.evaluate(cfg)
+        s = est.stats
+        assert s.n_simulated + s.n_interpolated + s.n_exact_hits == 5
+        assert s.n_exact_hits == 1
+        assert 0.0 <= s.interpolated_fraction <= 1.0
+        assert s.n_queries == 5
+
+    def test_mean_neighbors_tracks_support(self):
+        est = KrigingEstimator(CountingSim(), 2, distance=10, nn_min=1)
+        est.evaluate([0, 0])
+        est.evaluate([1, 0])
+        est.evaluate([0, 1])
+        assert est.stats.mean_neighbors == pytest.approx(2.0)
+
+    def test_empty_stats(self):
+        est = KrigingEstimator(CountingSim(), 2)
+        assert est.stats.interpolated_fraction == 0.0
+        assert np.isnan(est.stats.mean_neighbors)
+
+
+class TestVariogramManagement:
+    def test_fixed_model_used_directly(self):
+        model = LinearVariogram(2.0)
+        est = KrigingEstimator(CountingSim(), 2, variogram=model)
+        assert est.variogram is model
+
+    def test_string_spec_fallback_before_min_points(self):
+        est = KrigingEstimator(CountingSim(), 2, variogram="spherical", min_fit_points=5)
+        est.evaluate([0, 0])
+        vg = est.variogram
+        assert isinstance(vg, LinearVariogram)
+
+    def test_fit_happens_after_min_points(self):
+        est = KrigingEstimator(
+            CountingSim(), 2, distance=0, variogram="linear", min_fit_points=3
+        )
+        # distance=0 forces simulation of every distinct config.
+        for cfg in ([0, 0], [3, 0], [0, 3], [3, 3]):
+            est.evaluate(cfg)
+        vg = est.variogram
+        assert isinstance(vg, LinearVariogram)
+        assert vg.slope != 1.0  # fitted, not the default prior
+
+    def test_refit_interval(self):
+        est = KrigingEstimator(
+            CountingSim(), 2, distance=0, variogram="linear",
+            min_fit_points=2, refit_interval=2,
+        )
+        est.evaluate([0, 0])
+        est.evaluate([4, 0])
+        first = est.variogram
+        est.evaluate([0, 4])
+        est.evaluate([4, 4])
+        second = est.variogram
+        assert first is not second
+
+    def test_refit_none_fits_once(self):
+        est = KrigingEstimator(
+            CountingSim(), 2, distance=0, variogram="linear",
+            min_fit_points=2, refit_interval=None,
+        )
+        est.evaluate([0, 0])
+        est.evaluate([4, 0])
+        first = est.variogram
+        est.evaluate([0, 4])
+        est.evaluate([4, 4])
+        assert est.variogram is first
+
+
+class TestGuards:
+    def test_max_variance_guard_forces_simulation(self):
+        sim = CountingSim()
+        est = KrigingEstimator(sim, 2, distance=10, nn_min=1, max_variance=1e-12)
+        est.evaluate([0, 0])
+        est.evaluate([1, 0])
+        out = est.evaluate([5, 5])  # far: high kriging variance
+        assert not out.interpolated
+        assert len(sim.calls) == 3
+
+    def test_max_neighbors_cap(self):
+        est = KrigingEstimator(CountingSim(), 2, distance=20, nn_min=1, max_neighbors=2)
+        for cfg in ([0, 0], [1, 0], [0, 1], [2, 0]):
+            est.evaluate(cfg)
+        out = est.evaluate([1, 1])
+        assert out.interpolated
+        assert out.n_neighbors == 2
+
+    def test_parameter_validation(self):
+        sim = CountingSim()
+        with pytest.raises(ValueError):
+            KrigingEstimator(sim, 2, distance=-1)
+        with pytest.raises(ValueError):
+            KrigingEstimator(sim, 2, nn_min=-1)
+        with pytest.raises(ValueError):
+            KrigingEstimator(sim, 2, min_fit_points=1)
+        with pytest.raises(ValueError):
+            KrigingEstimator(sim, 2, refit_interval=0)
+        with pytest.raises(ValueError):
+            KrigingEstimator(sim, 2, variogram="not-a-model")

@@ -1,0 +1,94 @@
+"""Unit tests for repro.optimization.evaluator and repro.optimization.trace."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KrigingEstimator
+from repro.optimization.evaluator import KrigingMetricEvaluator, SimulationEvaluator
+from repro.optimization.trace import EvaluationRecord, OptimizationTrace
+
+
+def metric(w):
+    return float(np.sum(np.asarray(w, dtype=float) ** 2))
+
+
+class TestSimulationEvaluator:
+    def test_simulates_new_configs(self):
+        ev = SimulationEvaluator(metric)
+        assert ev.evaluate([2, 3]) == 13.0
+        assert ev.n_simulations == 1
+
+    def test_memoizes_revisits(self):
+        calls = []
+
+        def counting(w):
+            calls.append(tuple(w))
+            return metric(w)
+
+        ev = SimulationEvaluator(counting)
+        ev.evaluate([2, 3])
+        ev.evaluate([2, 3])
+        assert len(calls) == 1
+        assert ev.trace.records[1].exact_hit
+        assert not ev.trace.records[1].simulated
+
+    def test_phase_tagging(self):
+        ev = SimulationEvaluator(metric)
+        ev.evaluate([1, 1], phase="min")
+        ev.evaluate([2, 1], phase="greedy")
+        assert [r.phase for r in ev.trace.records] == ["min", "greedy"]
+
+
+class TestKrigingMetricEvaluator:
+    def test_wraps_estimator_outcomes(self):
+        est = KrigingEstimator(metric, 2, distance=3, nn_min=1)
+        ev = KrigingMetricEvaluator(est)
+        ev.evaluate([4, 4])
+        ev.evaluate([5, 4])
+        ev.evaluate([4, 5])
+        records = ev.trace.records
+        assert records[0].simulated and records[1].simulated
+        assert not records[2].simulated
+        assert records[2].n_neighbors == 2
+
+    def test_simulation_counter_tracks_estimator(self):
+        est = KrigingEstimator(metric, 2, distance=3, nn_min=1)
+        ev = KrigingMetricEvaluator(est)
+        for cfg in ([0, 0], [1, 0], [0, 1], [1, 1]):
+            ev.evaluate(cfg)
+        assert ev.n_simulations == est.stats.n_simulated
+
+
+class TestOptimizationTrace:
+    def _trace(self):
+        trace = OptimizationTrace()
+        trace.append(EvaluationRecord((1, 2), 10.0, simulated=True))
+        trace.append(EvaluationRecord((1, 3), 12.0, simulated=False, n_neighbors=2))
+        trace.append(EvaluationRecord((1, 2), 10.0, simulated=False, exact_hit=True))
+        trace.record_decision(1)
+        return trace
+
+    def test_matrix_views(self):
+        trace = self._trace()
+        np.testing.assert_array_equal(
+            trace.configurations, [[1, 2], [1, 3], [1, 2]]
+        )
+        np.testing.assert_allclose(trace.values, [10.0, 12.0, 10.0])
+
+    def test_counters(self):
+        trace = self._trace()
+        assert len(trace) == 3
+        assert trace.n_simulated == 1
+        assert trace.n_interpolated == 2
+
+    def test_unique_first_visits(self):
+        unique = self._trace().unique_first_visits()
+        assert len(unique) == 2
+        np.testing.assert_array_equal(unique.configurations, [[1, 2], [1, 3]])
+        assert unique.decisions == [1]
+
+    def test_empty_trace(self):
+        trace = OptimizationTrace()
+        assert len(trace) == 0
+        assert trace.configurations.shape == (0, 0)
+        assert trace.values.shape == (0,)

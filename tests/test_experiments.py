@@ -1,0 +1,158 @@
+"""Tests for the experiment drivers (registry, Table I, Figure 1, timing)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import fir_noise_surface, render_surface, surface_is_monotone
+from repro.experiments.registry import BENCHMARK_NAMES, build_benchmark
+from repro.experiments.reporting import format_table1
+from repro.experiments.table1 import DISTANCES, Table1Row, rows_for_setup
+from repro.experiments.timing import (
+    PAPER_SIMULATION_TIMES,
+    measure_kriging_time,
+    measure_simulation_time,
+    project_speedup,
+)
+
+
+class TestRegistry:
+    def test_all_benchmarks_buildable_small(self):
+        for name in BENCHMARK_NAMES:
+            setup = build_benchmark(name, "small")
+            assert setup.name == name
+            assert setup.problem.num_variables >= 2
+
+    def test_paper_nv_values(self):
+        expected = {"fir": 2, "iir": 5, "fft": 10, "hevc": 23, "squeezenet": 10}
+        for name, nv in expected.items():
+            assert build_benchmark(name, "small").problem.num_variables == nv
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            build_benchmark("wavelet", "small")
+
+    def test_extra_dct_benchmark_available(self):
+        setup = build_benchmark("dct", "small")
+        assert setup.problem.num_variables == 6
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            build_benchmark("fir", "huge")
+
+    def test_trajectory_memoized(self, fir_setup):
+        assert fir_setup.record_trajectory() is fir_setup.record_trajectory()
+
+    def test_reference_result_satisfies_constraint(self, fir_setup):
+        result = fir_setup.reference_result
+        assert result.satisfied
+
+
+class TestTable1:
+    def test_rows_for_fir(self, fir_setup):
+        rows = rows_for_setup(fir_setup, distances=(2, 3))
+        assert len(rows) == 2
+        for row in rows:
+            assert row.benchmark == "fir"
+            assert row.nv == 2
+            assert 0.0 <= row.p_percent <= 100.0
+
+    def test_p_grows_with_distance(self, iir_setup):
+        rows = rows_for_setup(iir_setup, distances=DISTANCES)
+        p = [row.p_percent for row in rows]
+        assert all(a <= b + 1e-9 for a, b in zip(p, p[1:]))
+
+    def test_fft_interpolates_majority_at_d2(self, fft_setup):
+        """Table I headline: large-Nv benchmarks interpolate most configs."""
+        (row,) = rows_for_setup(fft_setup, distances=(2,))
+        assert row.p_percent > 50.0
+
+    def test_errors_reasonable_for_noise_metric(self, iir_setup):
+        (row,) = rows_for_setup(iir_setup, distances=(2,))
+        assert row.mean_error < 2.0  # equivalent bits
+
+    def test_nn_min_ablation_reduces_p(self, fft_setup):
+        (base,) = rows_for_setup(fft_setup, distances=(3,), nn_min=1)
+        (strict,) = rows_for_setup(fft_setup, distances=(3,), nn_min=2)
+        assert strict.p_percent <= base.p_percent + 1e-9
+
+    def test_formatting(self, fir_setup):
+        rows = rows_for_setup(fir_setup, distances=(2, 3))
+        text = format_table1(rows)
+        assert "fir" in text
+        assert "p(%)" in text
+        assert len(text.splitlines()) >= 4
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return fir_noise_surface(word_lengths=range(8, 14), n_samples=256)
+
+    def test_shape(self, surface):
+        s, grid = surface
+        assert s.shape == (6, 6)
+        assert grid == list(range(8, 14))
+
+    def test_monotone_staircase(self, surface):
+        s, _ = surface
+        assert surface_is_monotone(s)
+
+    def test_dynamic_range_spans_tens_of_db(self, surface):
+        s, _ = surface
+        assert s.max() - s.min() > 20.0
+
+    def test_render(self, surface):
+        s, grid = surface
+        text = render_surface(s, grid)
+        assert "w_mul" in text
+        assert len(text.splitlines()) == 7
+
+    def test_render_validates_shape(self, surface):
+        s, grid = surface
+        with pytest.raises(ValueError):
+            render_surface(s[:3], grid)
+
+
+class TestTiming:
+    def test_kriging_time_fast(self):
+        t = measure_kriging_time(repetitions=50)
+        assert 0.0 < t < 0.05  # a solve on <=10 points is sub-millisecond
+
+    def test_simulation_time_measured(self):
+        t = measure_simulation_time(lambda c: float(np.sum(c)), np.arange(4))
+        assert t >= 0.0
+
+    def test_speedup_model(self):
+        proj = project_speedup("fir", 0.5, t_kriging=0.0)
+        assert proj.speedup == pytest.approx(2.0)
+        assert proj.ideal_speedup == pytest.approx(2.0)
+
+    def test_speedup_with_costly_kriging(self):
+        proj = project_speedup("fir", 0.5, t_simulation=1.0, t_kriging=1.0)
+        assert proj.speedup == pytest.approx(1.0)
+
+    def test_paper_times_available(self):
+        assert set(PAPER_SIMULATION_TIMES) == set(BENCHMARK_NAMES)
+
+    def test_paper_projection_factors(self):
+        # The paper's arithmetic: ~90% interpolation => ~10x faster.
+        proj = project_speedup("hevc", 0.9, t_kriging=1e-4)
+        assert proj.speedup == pytest.approx(10.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_speedup("fir", 1.5)
+        with pytest.raises(ValueError):
+            project_speedup("unknown", 0.5)
+        with pytest.raises(ValueError):
+            measure_kriging_time(repetitions=0)
+
+
+class TestTable1Row:
+    def test_from_stats_roundtrip(self, fir_setup):
+        from repro.experiments.replay import replay_trace
+
+        stats = replay_trace(fir_setup.record_trajectory(), benchmark="fir", distance=2)
+        row = Table1Row.from_stats(stats, metric_label="Noise Power", nv=2)
+        assert row.p_percent == stats.p_percent
+        assert row.distance == 2

@@ -1,0 +1,74 @@
+"""Unit tests for the FFT benchmark (repro.signal.fft)."""
+
+import numpy as np
+import pytest
+
+from repro.signal.fft import FFTBenchmark, bit_reverse_permutation
+
+
+@pytest.fixture(scope="module")
+def fft():
+    return FFTBenchmark(n_frames=8, seed=2)
+
+
+class TestBitReversal:
+    def test_known_8_point(self):
+        np.testing.assert_array_equal(
+            bit_reverse_permutation(8), [0, 4, 2, 6, 1, 5, 3, 7]
+        )
+
+    def test_is_involution(self):
+        perm = bit_reverse_permutation(64)
+        np.testing.assert_array_equal(perm[perm], np.arange(64))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(48)
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(1)
+
+
+class TestBenchmark:
+    def test_nv_is_ten(self, fft):
+        assert fft.NUM_VARIABLES == 10
+        assert len(fft.VARIABLE_NAMES) == 10
+
+    def test_reference_is_scaled_fft(self, fft):
+        expected = np.fft.fft(fft.inputs, axis=1) / 64
+        np.testing.assert_allclose(fft.reference(), expected, atol=1e-12)
+
+    def test_high_precision_converges_to_reference(self, fft):
+        out = fft.simulate([26] * 10)
+        assert np.max(np.abs(out - fft.reference())) < 1e-5
+
+    def test_monotone_improvement(self, fft):
+        assert fft.noise_power_db([8] * 10) > fft.noise_power_db([14] * 10) + 20
+
+    def test_stage_wordlengths_matter(self, fft):
+        base = fft.noise_power_db([14] * 10)
+        for stage in range(6):
+            w = [14] * 10
+            w[stage] = 6
+            assert fft.noise_power_db(w) > base + 3, f"stage {stage} inert"
+
+    def test_twiddle_wordlengths_matter(self, fft):
+        base = fft.noise_power_db([14] * 10)
+        for tw in range(6, 10):
+            w = [14] * 10
+            w[tw] = 4
+            assert fft.noise_power_db(w) > base + 3, f"twiddle var {tw} inert"
+
+    def test_wrong_length_rejected(self, fft):
+        with pytest.raises(ValueError, match="expected 10"):
+            fft.simulate([8] * 9)
+
+    def test_deterministic(self, fft):
+        w = [9, 10, 11, 12, 13, 14, 9, 10, 11, 12]
+        np.testing.assert_array_equal(fft.simulate(w), fft.simulate(w))
+
+    def test_parseval_energy_scaling(self, fft):
+        # With the 1/2-per-stage scaling, output energy = input energy / 64.
+        ref = fft.reference()
+        in_energy = np.sum(np.abs(fft.inputs) ** 2, axis=1)
+        out_energy = np.sum(np.abs(ref) ** 2, axis=1) * 64
+        np.testing.assert_allclose(out_energy, in_energy, rtol=1e-10)

@@ -1,0 +1,94 @@
+"""Unit tests for the FIR benchmark (repro.signal.fir)."""
+
+import numpy as np
+import pytest
+
+from repro.signal.fir import FIRBenchmark, design_lowpass_fir
+
+
+@pytest.fixture(scope="module")
+def fir():
+    return FIRBenchmark(n_samples=512, seed=0)
+
+
+class TestDesign:
+    def test_unit_dc_gain(self):
+        taps = design_lowpass_fir(64, 0.2)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_linear_phase_symmetry(self):
+        taps = design_lowpass_fir(64, 0.2)
+        np.testing.assert_allclose(taps, taps[::-1], atol=1e-12)
+
+    def test_lowpass_attenuates_high_frequencies(self):
+        taps = design_lowpass_fir(64, 0.1)
+        response = np.abs(np.fft.rfft(taps, 1024))
+        passband = response[: int(0.05 * 1024)]
+        stopband = response[int(0.3 * 1024) :]
+        assert passband.min() > 0.9
+        assert stopband.max() < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            design_lowpass_fir(1, 0.2)
+        with pytest.raises(ValueError):
+            design_lowpass_fir(8, 0.5)
+        with pytest.raises(ValueError):
+            design_lowpass_fir(8, 0.0)
+
+
+class TestReference:
+    def test_reference_matches_numpy_convolution(self, fir):
+        expected = np.convolve(fir.inputs, fir.q_coefficients)[: len(fir.inputs)]
+        np.testing.assert_allclose(fir.reference(), expected, atol=1e-12)
+
+    def test_reference_is_cached_not_recomputed(self, fir):
+        assert fir.reference() is fir.reference()
+
+
+class TestSimulate:
+    def test_high_precision_close_to_reference(self, fir):
+        out = fir.simulate([24, 24])
+        error = np.max(np.abs(out - fir.reference()))
+        assert error < 1e-5
+
+    def test_monotone_improvement_with_bits(self, fir):
+        noisy = fir.noise_power_db([8, 8])
+        mid = fir.noise_power_db([12, 12])
+        fine = fir.noise_power_db([16, 16])
+        assert noisy > mid > fine
+
+    def test_mul_plateau(self, fir):
+        # With a very fine accumulator the noise is multiplier-limited.
+        a = fir.noise_power_db([10, 18])
+        b = fir.noise_power_db([10, 20])
+        assert a == pytest.approx(b, abs=0.2)
+
+    def test_wrong_length_rejected(self, fir):
+        with pytest.raises(ValueError, match="expected 2"):
+            fir.simulate([8, 8, 8])
+
+    def test_non_integer_rejected(self, fir):
+        with pytest.raises(ValueError):
+            fir.simulate([8.5, 8.0])
+
+    def test_deterministic(self, fir):
+        np.testing.assert_array_equal(fir.simulate([9, 11]), fir.simulate([9, 11]))
+
+    def test_guard_interval_validation(self):
+        with pytest.raises(ValueError, match="guard_interval"):
+            FIRBenchmark(n_samples=64, guard_interval=0)
+
+
+class TestSurface:
+    def test_shape_and_monotonicity(self, fir):
+        grid = range(8, 13)
+        surface = fir.surface(grid)
+        assert surface.shape == (5, 5)
+        # Noise power never increases by more than ripple when adding bits.
+        assert np.all(np.diff(surface, axis=0) <= 1.0)
+        assert np.all(np.diff(surface, axis=1) <= 1.0)
+
+    def test_empty_range_rejected(self, fir):
+        with pytest.raises(ValueError, match="empty"):
+            fir.surface(range(8, 8))

@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.fitting (variogram identification)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import MODEL_KINDS, fit_variogram, select_variogram
+from repro.core.models import (
+    ExponentialVariogram,
+    GaussianVariogram,
+    LinearVariogram,
+    SphericalVariogram,
+)
+from repro.core.variogram import EmpiricalVariogram
+
+
+def synth_empirical(model, lags, counts=None):
+    """Empirical variogram sampled exactly from a model."""
+    lags = np.asarray(lags, dtype=float)
+    counts = (
+        np.full(lags.size, 10, dtype=np.int64)
+        if counts is None
+        else np.asarray(counts, dtype=np.int64)
+    )
+    return EmpiricalVariogram(
+        lags=lags, gammas=np.asarray(model(lags), dtype=float), counts=counts
+    )
+
+
+class TestLinearFit:
+    def test_recovers_slope(self):
+        emp = synth_empirical(LinearVariogram(slope=2.5), np.arange(1, 8))
+        fit = fit_variogram(emp, "linear")
+        assert fit.kind == "linear"
+        assert fit.model.slope == pytest.approx(2.5, rel=1e-6)
+        assert fit.weighted_sse == pytest.approx(0.0, abs=1e-9)
+
+    def test_weights_matter(self):
+        # Two lags, heavily weighted first: slope pulled toward first ratio.
+        emp = EmpiricalVariogram(
+            lags=np.array([1.0, 2.0]),
+            gammas=np.array([1.0, 10.0]),
+            counts=np.array([1000, 1]),
+        )
+        fit = fit_variogram(emp, "linear")
+        assert fit.model.slope == pytest.approx(1.0, rel=0.1)
+
+
+class TestBoundedFits:
+    @pytest.mark.parametrize(
+        "cls,kind",
+        [
+            (SphericalVariogram, "spherical"),
+            (ExponentialVariogram, "exponential"),
+            (GaussianVariogram, "gaussian"),
+        ],
+    )
+    def test_recovers_parameters(self, cls, kind):
+        truth = cls(sill=3.0, range_=6.0)
+        emp = synth_empirical(truth, np.arange(1, 13))
+        fit = fit_variogram(emp, kind)
+        assert fit.kind == kind
+        h = np.linspace(0.5, 12, 30)
+        np.testing.assert_allclose(
+            np.asarray(fit.model(h)), np.asarray(truth(h)), rtol=0.05, atol=0.05
+        )
+
+    def test_too_few_lags_falls_back_to_linear(self):
+        emp = synth_empirical(SphericalVariogram(sill=1.0, range_=4.0), [1.0, 2.0])
+        fit = fit_variogram(emp, "spherical")
+        assert fit.kind == "linear"
+
+
+class TestPowerFit:
+    def test_recovers_exponent(self):
+        from repro.core.models import PowerVariogram
+
+        truth = PowerVariogram(scale=0.5, exponent=1.5)
+        emp = synth_empirical(truth, np.arange(1, 10))
+        fit = fit_variogram(emp, "power")
+        assert fit.model.exponent == pytest.approx(1.5, abs=0.1)
+        assert fit.model.scale == pytest.approx(0.5, rel=0.2)
+
+
+class TestSelection:
+    def test_selects_generating_family(self):
+        truth = GaussianVariogram(sill=2.0, range_=5.0)
+        emp = synth_empirical(truth, np.arange(1, 12))
+        best = select_variogram(emp)
+        h = np.linspace(0.5, 10, 20)
+        np.testing.assert_allclose(
+            np.asarray(best.model(h)), np.asarray(truth(h)), rtol=0.1, atol=0.05
+        )
+
+    def test_selection_never_worse_than_each_family(self):
+        emp = synth_empirical(ExponentialVariogram(sill=1.0, range_=3.0), np.arange(1, 9))
+        best = select_variogram(emp)
+        for kind in MODEL_KINDS:
+            assert best.weighted_sse <= fit_variogram(emp, kind).weighted_sse + 1e-12
+
+    def test_empty_kinds_rejected(self):
+        emp = synth_empirical(LinearVariogram(1.0), [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="non-empty"):
+            select_variogram(emp, kinds=())
+
+    def test_unknown_kind_rejected(self):
+        emp = synth_empirical(LinearVariogram(1.0), [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="unknown variogram kind"):
+            fit_variogram(emp, "fractal")
+
+
+class TestRobustness:
+    def test_constant_gamma_fit_does_not_crash(self):
+        emp = EmpiricalVariogram(
+            lags=np.array([1.0, 2.0, 3.0]),
+            gammas=np.zeros(3),
+            counts=np.array([3, 3, 3]),
+        )
+        for kind in MODEL_KINDS:
+            fit = fit_variogram(emp, kind)
+            assert np.isfinite(fit.weighted_sse)
+
+    def test_fitted_callable(self):
+        emp = synth_empirical(LinearVariogram(2.0), [1.0, 2.0, 3.0])
+        fit = fit_variogram(emp, "linear")
+        assert fit(2.0) == pytest.approx(4.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the IIR benchmark (repro.signal.iir)."""
+
+import numpy as np
+import pytest
+from scipy import signal as sp_signal
+
+from repro.signal.iir import IIRBenchmark, design_butterworth_sos
+
+
+@pytest.fixture(scope="module")
+def iir():
+    return IIRBenchmark(n_samples=512, seed=1)
+
+
+class TestDesign:
+    def test_four_sections_for_order_8(self):
+        sos = design_butterworth_sos(8, 0.1)
+        assert sos.shape == (4, 6)
+
+    def test_sections_stable(self):
+        sos = design_butterworth_sos(8, 0.1)
+        for section in sos:
+            poles = np.roots(section[3:])
+            assert np.all(np.abs(poles) < 1.0)
+
+    def test_unity_peak_gain_per_section(self):
+        sos = design_butterworth_sos(8, 0.1)
+        freqs = np.linspace(0.0, np.pi, 512)
+        for section in sos:
+            _, resp = sp_signal.freqz(section[:3], section[3:], worN=freqs)
+            assert np.max(np.abs(resp)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            design_butterworth_sos(7, 0.1)
+        with pytest.raises(ValueError):
+            design_butterworth_sos(8, 0.6)
+
+
+class TestBenchmark:
+    def test_nv_is_five(self, iir):
+        assert iir.NUM_VARIABLES == 5
+        assert len(iir.VARIABLE_NAMES) == 5
+
+    def test_reference_matches_scipy_cascade(self, iir):
+        expected = iir.inputs
+        for section in iir.sos:
+            expected = sp_signal.lfilter(section[:3], section[3:], expected)
+        np.testing.assert_allclose(iir.reference(), expected, atol=1e-12)
+
+    def test_high_precision_converges_to_reference(self, iir):
+        out = iir.simulate([24] * 5)
+        assert np.max(np.abs(out - iir.reference())) < 1e-4
+
+    def test_monotone_improvement(self, iir):
+        coarse = iir.noise_power_db([8] * 5)
+        fine = iir.noise_power_db([14] * 5)
+        assert coarse > fine + 20
+
+    def test_each_variable_matters(self, iir):
+        # Degrading any single section from a fine baseline must hurt.
+        base = iir.noise_power_db([14] * 5)
+        for i in range(5):
+            w = [14] * 5
+            w[i] = 6
+            assert iir.noise_power_db(w) > base + 3
+
+    def test_wrong_length_rejected(self, iir):
+        with pytest.raises(ValueError, match="expected 5"):
+            iir.simulate([8, 8])
+
+    def test_only_even_order_supported(self):
+        with pytest.raises(ValueError):
+            IIRBenchmark(order=6, n_samples=64)
+
+    def test_deterministic(self, iir):
+        np.testing.assert_array_equal(
+            iir.simulate([9, 10, 11, 12, 13]), iir.simulate([9, 10, 11, 12, 13])
+        )
+
+    def test_integer_bits_from_range_analysis(self, iir):
+        assert len(iir.integer_bits) == 5
+        assert all(b >= 0 for b in iir.integer_bits)

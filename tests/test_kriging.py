@@ -1,0 +1,225 @@
+"""Unit tests for repro.core.kriging (paper Eqs. 7-10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kriging import ordinary_kriging, simple_kriging
+from repro.core.models import (
+    GaussianVariogram,
+    LinearVariogram,
+    NuggetVariogram,
+    SphericalVariogram,
+)
+
+VG = LinearVariogram(1.0)
+
+
+def grid_points(rng, n, dim, low=0, high=12):
+    return rng.integers(low, high, size=(n, dim)).astype(float)
+
+
+class TestExactness:
+    """Kriging is an exact interpolator (Section III-A)."""
+
+    def test_exact_at_support_point(self, rng):
+        pts = grid_points(rng, 8, 3)
+        vals = rng.normal(size=8)
+        for i in range(8):
+            res = ordinary_kriging(pts, vals, pts[i], VG)
+            assert res.estimate == pytest.approx(vals[i], abs=1e-8)
+
+    def test_variance_zero_at_support_point(self, rng):
+        pts = grid_points(rng, 6, 2)
+        vals = rng.normal(size=6)
+        res = ordinary_kriging(pts, vals, pts[2], VG)
+        assert res.variance == pytest.approx(0.0, abs=1e-8)
+
+
+class TestUnbiasedness:
+    """The universality constraint: weights sum to one (Eq. 6)."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=6))
+    def test_weights_sum_to_one(self, n, dim):
+        rng = np.random.default_rng(n * 100 + dim)
+        pts = grid_points(rng, n, dim)
+        vals = rng.normal(size=n)
+        query = rng.integers(0, 12, size=dim).astype(float)
+        res = ordinary_kriging(pts, vals, query, VG)
+        assert float(np.sum(res.weights)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_constant_field_reproduced_exactly(self, rng):
+        pts = grid_points(rng, 10, 4)
+        vals = np.full(10, 3.25)
+        query = rng.integers(0, 12, size=4).astype(float)
+        res = ordinary_kriging(pts, vals, query, VG)
+        assert res.estimate == pytest.approx(3.25, abs=1e-8)
+
+    def test_shift_equivariance(self, rng):
+        pts = grid_points(rng, 9, 3)
+        vals = rng.normal(size=9)
+        query = np.array([5.0, 5.0, 5.0])
+        base = ordinary_kriging(pts, vals, query, VG).estimate
+        shifted = ordinary_kriging(pts, vals + 100.0, query, VG).estimate
+        assert shifted == pytest.approx(base + 100.0, abs=1e-6)
+
+    def test_scale_equivariance(self, rng):
+        pts = grid_points(rng, 9, 3)
+        vals = rng.normal(size=9)
+        query = np.array([5.0, 5.0, 5.0])
+        base = ordinary_kriging(pts, vals, query, VG).estimate
+        scaled = ordinary_kriging(pts, 3.0 * vals, query, VG).estimate
+        assert scaled == pytest.approx(3.0 * base, abs=1e-6)
+
+
+class TestWeightsInvariance:
+    def test_weights_invariant_to_variogram_scale(self, rng):
+        # Multiplying gamma by a constant leaves ordinary-kriging weights
+        # unchanged (only the variance rescales).
+        pts = grid_points(rng, 7, 2)
+        vals = rng.normal(size=7)
+        query = np.array([4.0, 4.0])
+        w1 = ordinary_kriging(pts, vals, query, LinearVariogram(1.0)).weights
+        w2 = ordinary_kriging(pts, vals, query, LinearVariogram(7.5)).weights
+        np.testing.assert_allclose(w1, w2, atol=1e-8)
+
+
+class TestAnalyticCases:
+    def test_midpoint_two_points_linear_variogram(self):
+        # Query equidistant between two support points: symmetric weights.
+        pts = np.array([[0.0], [4.0]])
+        vals = np.array([1.0, 3.0])
+        res = ordinary_kriging(pts, vals, np.array([2.0]), VG)
+        np.testing.assert_allclose(res.weights, [0.5, 0.5], atol=1e-9)
+        assert res.estimate == pytest.approx(2.0)
+
+    def test_single_support_point_returns_its_value(self):
+        res = ordinary_kriging(np.array([[3.0, 3.0]]), np.array([9.0]),
+                               np.array([0.0, 0.0]), VG)
+        assert res.estimate == pytest.approx(9.0)
+        assert res.weights[0] == pytest.approx(1.0)
+
+    def test_one_sided_linear_variogram_is_nearest_neighbor(self):
+        # Intrinsic random-walk model: best predictor beyond the data is the
+        # closest value.
+        pts = np.array([[1.0], [2.0]])
+        vals = np.array([10.0, 20.0])
+        res = ordinary_kriging(pts, vals, np.array([0.0]), VG)
+        np.testing.assert_allclose(res.weights, [1.0, 0.0], atol=1e-9)
+
+    def test_one_sided_gaussian_variogram_extrapolates_trend(self):
+        # Smooth (quadratic-at-origin) variogram extrapolates the local slope.
+        pts = np.array([[1.0], [2.0]])
+        vals = np.array([10.0, 20.0])
+        vg = GaussianVariogram(sill=100.0, range_=50.0)
+        res = ordinary_kriging(pts, vals, np.array([0.0]), vg)
+        assert res.estimate == pytest.approx(0.0, abs=0.5)
+
+    def test_interpolation_on_linear_field_inside_hull(self, rng):
+        slope = np.array([2.0, -1.0, 0.5])
+        pts = grid_points(rng, 40, 3)
+        vals = pts @ slope + 4.0
+        query = np.array([6.0, 6.0, 6.0])
+        res = ordinary_kriging(pts, vals, query, VG)
+        assert res.estimate == pytest.approx(float(query @ slope + 4.0), abs=1e-6)
+
+    def test_pure_nugget_gives_equal_weights(self, rng):
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        vals = np.array([1.0, 2.0, 6.0])
+        res = ordinary_kriging(pts, vals, np.array([1.0, 1.0]), NuggetVariogram(1.0))
+        np.testing.assert_allclose(res.weights, [1 / 3] * 3, atol=1e-9)
+        assert res.estimate == pytest.approx(3.0)
+
+
+class TestVariance:
+    def test_variance_nonnegative(self, rng):
+        pts = grid_points(rng, 10, 3)
+        vals = rng.normal(size=10)
+        query = rng.integers(0, 12, size=3).astype(float)
+        res = ordinary_kriging(pts, vals, query, VG)
+        assert res.variance >= 0.0
+
+    def test_variance_grows_with_distance(self):
+        pts = np.array([[0.0], [1.0]])
+        vals = np.array([0.0, 1.0])
+        near = ordinary_kriging(pts, vals, np.array([1.5]), VG).variance
+        far = ordinary_kriging(pts, vals, np.array([6.0]), VG).variance
+        assert far > near
+
+
+class TestDegenerateInputs:
+    def test_duplicate_support_points_handled(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [3.0, 3.0]])
+        vals = np.array([2.0, 2.0, 6.0])
+        res = ordinary_kriging(pts, vals, np.array([2.0, 2.0]), VG)
+        assert np.isfinite(res.estimate)
+        assert 1.9 <= res.estimate <= 6.1
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ordinary_kriging(np.empty((0, 2)), np.empty(0), np.zeros(2), VG)
+        with pytest.raises(ValueError, match="incompatible"):
+            ordinary_kriging(np.zeros((3, 2)), np.zeros(4), np.zeros(2), VG)
+        with pytest.raises(ValueError, match="incompatible"):
+            ordinary_kriging(np.zeros((3, 2)), np.zeros(3), np.zeros(5), VG)
+        with pytest.raises(ValueError, match="non-finite"):
+            ordinary_kriging(
+                np.zeros((2, 2)), np.array([np.nan, 1.0]), np.zeros(2), VG
+            )
+
+
+class TestSimpleKriging:
+    def test_far_query_regresses_to_mean(self):
+        vg = SphericalVariogram(sill=1.0, range_=2.0)
+        pts = np.array([[0.0, 0.0]])
+        vals = np.array([10.0])
+        res = simple_kriging(pts, vals, np.array([50.0, 50.0]), vg, mean=4.0, sill=1.0)
+        assert res.estimate == pytest.approx(4.0, abs=1e-6)
+
+    def test_exact_at_support(self):
+        vg = SphericalVariogram(sill=1.0, range_=3.0)
+        pts = np.array([[0.0], [2.0]])
+        vals = np.array([1.0, 5.0])
+        res = simple_kriging(pts, vals, np.array([0.0]), vg, mean=0.0, sill=1.0)
+        assert res.estimate == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_sill_rejected(self):
+        with pytest.raises(ValueError, match="sill"):
+            simple_kriging(
+                np.zeros((1, 1)), np.zeros(1), np.zeros(1), VG, mean=0.0, sill=0.0
+            )
+
+    def test_lagrange_zero(self):
+        vg = SphericalVariogram(sill=1.0, range_=3.0)
+        res = simple_kriging(
+            np.array([[0.0]]), np.array([2.0]), np.array([1.0]), vg, mean=0.0, sill=1.0
+        )
+        assert res.lagrange == 0.0
+
+
+class TestEquation10Form:
+    def test_matches_direct_matrix_formula(self, rng):
+        """Cross-check against the explicit gamma_i . Gamma^-1 . lambda form."""
+        pts = grid_points(rng, 6, 2, high=8)
+        # Ensure distinct points so Gamma is invertible.
+        pts = np.unique(pts, axis=0)
+        n = pts.shape[0]
+        vals = rng.normal(size=n)
+        query = np.array([3.5, 2.5])
+
+        gamma = np.zeros((n + 1, n + 1))
+        for j in range(n):
+            for k in range(n):
+                gamma[j, k] = float(VG(np.abs(pts[j] - pts[k]).sum()))
+        gamma[:n, n] = 1.0
+        gamma[n, :n] = 1.0
+        lam = np.concatenate([vals, [0.0]])
+        gamma_i = np.array(
+            [float(VG(np.abs(query - pts[k]).sum())) for k in range(n)] + [1.0]
+        )
+        direct = float(gamma_i @ np.linalg.solve(gamma, lam))
+
+        res = ordinary_kriging(pts, vals, query, VG)
+        assert res.estimate == pytest.approx(direct, abs=1e-8)

@@ -1,0 +1,171 @@
+"""Unit tests for the min+1 bit optimizer (paper Algorithms 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.optimization.evaluator import SimulationEvaluator
+from repro.optimization.minplusone import (
+    MinPlusOneOptimizer,
+    determine_minimum_wordlengths,
+    optimize_wordlengths,
+)
+from repro.optimization.problem import DSEProblem, MetricSense
+
+
+def additive_noise_db(gains):
+    """Analytic additive quantization-noise model: each variable contributes
+    ``g_i * 2^(-2 w_i)`` of noise power — the textbook word-length surface."""
+    gains = np.asarray(gains, dtype=float)
+
+    def metric(w):
+        powers = gains * np.exp2(-2.0 * np.asarray(w, dtype=float))
+        return float(10.0 * np.log10(np.sum(powers)))
+
+    return metric
+
+
+def make_problem(nv=3, threshold=-55.0, gains=None):
+    gains = np.ones(nv) if gains is None else gains
+    return DSEProblem(
+        name="analytic",
+        num_variables=nv,
+        min_value=1,
+        max_value=16,
+        simulate=additive_noise_db(gains),
+        sense=MetricSense.LOWER_IS_BETTER,
+        threshold=threshold,
+    )
+
+
+class TestAlgorithm1:
+    def test_wmin_is_individual_minimum(self):
+        problem = make_problem(nv=2, threshold=-55.0)
+        evaluator = SimulationEvaluator(problem.simulate)
+        wmin = determine_minimum_wordlengths(problem, evaluator)
+        # Check the defining property: wmin_i satisfies with others at Nmax,
+        # wmin_i - 1 does not.
+        for i in range(2):
+            w = problem.full_configuration(16)
+            w[i] = wmin[i]
+            assert problem.satisfied(problem.simulate(w))
+            if wmin[i] > problem.min_value:
+                w[i] = wmin[i] - 1
+                assert not problem.satisfied(problem.simulate(w))
+
+    def test_equal_gains_give_equal_minima(self):
+        problem = make_problem(nv=4, threshold=-50.0)
+        wmin = determine_minimum_wordlengths(
+            problem, SimulationEvaluator(problem.simulate)
+        )
+        assert len(set(wmin.tolist())) == 1
+
+    def test_larger_gain_needs_more_bits(self):
+        problem = make_problem(nv=2, gains=np.array([1.0, 256.0]), threshold=-50.0)
+        wmin = determine_minimum_wordlengths(
+            problem, SimulationEvaluator(problem.simulate)
+        )
+        assert wmin[1] == wmin[0] + 4  # 256 = 2^8 => 4 extra bits at 2 bits/octave
+
+    def test_saturates_at_lower_bound_when_trivial(self):
+        problem = make_problem(nv=2, threshold=10.0)  # constraint always met
+        wmin = determine_minimum_wordlengths(
+            problem, SimulationEvaluator(problem.simulate)
+        )
+        np.testing.assert_array_equal(wmin, [1, 1])
+
+    def test_phase_recorded_in_trace(self):
+        problem = make_problem(nv=2)
+        evaluator = SimulationEvaluator(problem.simulate)
+        determine_minimum_wordlengths(problem, evaluator)
+        assert all(r.phase == "min" for r in evaluator.trace.records)
+
+
+class TestAlgorithm2:
+    def test_final_configuration_satisfies(self):
+        problem = make_problem(nv=3, threshold=-55.0)
+        evaluator = SimulationEvaluator(problem.simulate)
+        wmin = determine_minimum_wordlengths(problem, evaluator)
+        wres, value = optimize_wordlengths(problem, evaluator, wmin)
+        assert problem.satisfied(value)
+        assert np.all(wres >= wmin)
+
+    def test_removing_any_committed_bit_violates(self):
+        """Greedy minimality: wres minus one committed bit must violate."""
+        # -56 dB: the individual minima land at -60.2 dB each, so the
+        # combined wmin sits at -55.4 dB and violates -> the greedy runs.
+        problem = make_problem(nv=3, threshold=-56.0)
+        evaluator = SimulationEvaluator(problem.simulate)
+        wmin = determine_minimum_wordlengths(problem, evaluator)
+        wres, _ = optimize_wordlengths(problem, evaluator, wmin)
+        assert evaluator.trace.decisions, "greedy phase did not run"
+        # The last committed increment is the step that crossed the
+        # threshold; undoing it must violate the constraint.
+        last = evaluator.trace.decisions[-1]
+        w = wres.copy()
+        w[last] -= 1
+        assert not problem.satisfied(problem.simulate(w))
+
+    def test_already_satisfied_wmin_returns_immediately(self):
+        problem = make_problem(nv=2, threshold=-10.0)
+        evaluator = SimulationEvaluator(problem.simulate)
+        wres, value = optimize_wordlengths(
+            problem, evaluator, np.array([8, 8])
+        )
+        np.testing.assert_array_equal(wres, [8, 8])
+        assert evaluator.trace.decisions == []
+
+    def test_infeasible_problem_saturates(self):
+        problem = make_problem(nv=2, threshold=-1000.0)
+        evaluator = SimulationEvaluator(problem.simulate)
+        wres, value = optimize_wordlengths(problem, evaluator, np.array([15, 15]))
+        np.testing.assert_array_equal(wres, [16, 16])
+        assert not problem.satisfied(value)
+
+    def test_decisions_recorded(self):
+        problem = make_problem(nv=3, threshold=-60.0)
+        evaluator = SimulationEvaluator(problem.simulate)
+        wmin = determine_minimum_wordlengths(problem, evaluator)
+        wres, _ = optimize_wordlengths(problem, evaluator, wmin)
+        committed = int(np.sum(wres - wmin))
+        assert len(evaluator.trace.decisions) == committed
+
+    def test_wmin_shape_validated(self):
+        problem = make_problem(nv=3)
+        with pytest.raises(ValueError, match="wmin"):
+            optimize_wordlengths(
+                problem, SimulationEvaluator(problem.simulate), np.array([8, 8])
+            )
+
+
+class TestBundle:
+    def test_run_result_fields(self):
+        problem = make_problem(nv=3, threshold=-55.0)
+        result = MinPlusOneOptimizer(problem).run()
+        assert result.satisfied
+        assert result.cost == pytest.approx(float(np.sum(result.solution)))
+        assert problem.satisfied(result.solution_value)
+        assert len(result.trace) > 0
+        assert all(len(c) == 3 for c in (result.solution, result.minimum))
+
+    def test_higher_is_better_problem(self):
+        # Same surface expressed as an accuracy (sign flipped).
+        metric = additive_noise_db(np.ones(2))
+        problem = DSEProblem(
+            name="acc",
+            num_variables=2,
+            min_value=1,
+            max_value=16,
+            simulate=lambda w: -metric(w),
+            sense=MetricSense.HIGHER_IS_BETTER,
+            threshold=55.0,
+        )
+        result = MinPlusOneOptimizer(problem).run()
+        assert result.satisfied
+        assert result.solution_value >= 55.0
+
+    def test_greedy_result_at_least_as_costly_as_wmin(self):
+        problem = make_problem(nv=4, threshold=-58.0)
+        result = MinPlusOneOptimizer(problem).run()
+        assert problem.cost(np.array(result.solution)) >= problem.cost(
+            np.array(result.minimum)
+        )

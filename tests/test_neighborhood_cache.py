@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.neighborhood and repro.core.cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import SimulationCache
+from repro.core.neighborhood import find_neighbors
+
+
+class TestFindNeighbors:
+    PTS = np.array([[0, 0], [1, 0], [2, 2], [5, 5]])
+
+    def test_within_distance(self):
+        idx = find_neighbors(self.PTS, np.array([0, 0]), 2.0)
+        assert set(idx.tolist()) == {0, 1}
+
+    def test_ordering_by_distance(self):
+        idx = find_neighbors(self.PTS, np.array([1, 1]), 10.0)
+        dists = [abs(self.PTS[i] - [1, 1]).sum() for i in idx]
+        assert dists == sorted(dists)
+
+    def test_boundary_inclusive(self):
+        # Algorithms 1-2: dCur <= d keeps the configuration.
+        idx = find_neighbors(self.PTS, np.array([0, 0]), 1.0)
+        assert 1 in idx.tolist()
+
+    def test_empty_points(self):
+        idx = find_neighbors(np.empty((0, 2)), np.array([0, 0]), 3.0)
+        assert idx.size == 0
+
+    def test_max_neighbors_cap(self):
+        idx = find_neighbors(self.PTS, np.array([0, 0]), 100.0, max_neighbors=2)
+        assert idx.tolist() == [0, 1]
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            find_neighbors(self.PTS, np.array([0, 0]), -1.0)
+
+    def test_bad_max_neighbors_rejected(self):
+        with pytest.raises(ValueError, match="max_neighbors"):
+            find_neighbors(self.PTS, np.array([0, 0]), 1.0, max_neighbors=0)
+
+    def test_metric_choice(self):
+        idx_l1 = find_neighbors(self.PTS, np.array([1, 1]), 2.0, metric="l1")
+        idx_linf = find_neighbors(self.PTS, np.array([1, 1]), 2.0, metric="linf")
+        assert set(idx_linf.tolist()) >= set(idx_l1.tolist())
+
+
+class TestSimulationCache:
+    def test_empty_cache(self):
+        cache = SimulationCache(3)
+        assert len(cache) == 0
+        assert cache.points.shape == (0, 3)
+        assert cache.values.shape == (0,)
+        assert cache.lookup([1, 2, 3]) is None
+
+    def test_add_and_lookup(self):
+        cache = SimulationCache(2)
+        cache.add([4, 5], -60.0)
+        assert len(cache) == 1
+        assert cache.lookup([4, 5]) == -60.0
+        assert [4, 5] in cache
+        assert [4, 6] not in cache
+
+    def test_points_values_aligned(self):
+        cache = SimulationCache(2)
+        cache.add([1, 1], 1.0)
+        cache.add([2, 2], 2.0)
+        np.testing.assert_array_equal(cache.points, [[1, 1], [2, 2]])
+        np.testing.assert_array_equal(cache.values, [1.0, 2.0])
+
+    def test_duplicate_rejected(self):
+        cache = SimulationCache(2)
+        cache.add([1, 1], 1.0)
+        with pytest.raises(ValueError, match="already simulated"):
+            cache.add([1, 1], 2.0)
+
+    def test_shape_validation(self):
+        cache = SimulationCache(2)
+        with pytest.raises(ValueError, match="shape"):
+            cache.add([1, 2, 3], 1.0)
+
+    def test_nonfinite_value_rejected(self):
+        cache = SimulationCache(1)
+        with pytest.raises(ValueError, match="finite"):
+            cache.add([1], float("nan"))
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            SimulationCache(0)
+
+    def test_float_key_rounding(self):
+        cache = SimulationCache(2)
+        cache.add(np.array([1.0, 2.0]), 5.0)
+        assert cache.lookup(np.array([1, 2])) == 5.0

@@ -1,0 +1,186 @@
+"""Unit tests for the SqueezeNet sensitivity benchmark (repro.neural)."""
+
+import numpy as np
+import pytest
+
+from repro.neural.classification import classification_match_rate
+from repro.neural.dataset import SyntheticImageDataset
+from repro.neural.injection import ErrorSourceGrid, SensitivityBenchmark
+from repro.neural.layers import conv2d, global_avg_pool, maxpool2d, relu
+from repro.neural.squeezenet import INJECTION_POINTS, FireModule, SqueezeNetModel
+
+
+class TestLayers:
+    def test_conv2d_identity_kernel(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = np.zeros((3, 3, 1, 1))
+        for c in range(3):
+            w[c, c, 0, 0] = 1.0
+        np.testing.assert_allclose(conv2d(x, w), x)
+
+    def test_conv2d_matches_manual(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = rng.normal(size=(1, 1, 3, 3))
+        out = conv2d(x, w)  # valid mode: out[0,0,0,0] is centred at x[1,1]
+        manual = sum(
+            x[0, 0, 1 + di, 1 + dj] * w[0, 0, 1 + di, 1 + dj]
+            for di in (-1, 0, 1)
+            for dj in (-1, 0, 1)
+        )
+        assert out[0, 0, 0, 0] == pytest.approx(manual)
+
+    def test_conv2d_padding_and_stride(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        w = rng.normal(size=(4, 2, 3, 3))
+        assert conv2d(x, w, padding=1).shape == (1, 4, 8, 8)
+        assert conv2d(x, w, padding=1, stride=2).shape == (1, 4, 4, 4)
+
+    def test_conv2d_bias(self, rng):
+        x = np.zeros((1, 1, 4, 4))
+        w = np.zeros((2, 1, 1, 1))
+        out = conv2d(x, w, bias=np.array([1.5, -2.0]))
+        assert np.all(out[0, 0] == 1.5)
+        assert np.all(out[0, 1] == -2.0)
+
+    def test_conv2d_validation(self, rng):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv2d(np.zeros((1, 2, 4, 4)), np.zeros((1, 3, 3, 3)))
+        with pytest.raises(ValueError, match="smaller than kernel"):
+            conv2d(np.zeros((1, 1, 2, 2)), np.zeros((1, 1, 5, 5)))
+        with pytest.raises(ValueError, match="stride"):
+            conv2d(np.zeros((1, 1, 4, 4)), np.zeros((1, 1, 3, 3)), stride=0)
+
+    def test_relu(self):
+        np.testing.assert_allclose(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_maxpool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = maxpool2d(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        np.testing.assert_allclose(global_avg_pool(x), x.mean(axis=(2, 3)))
+
+
+class TestModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return SqueezeNetModel(seed=7)
+
+    def test_ten_injection_points(self, model):
+        assert model.num_injection_points == 10
+        assert len(INJECTION_POINTS) == 10
+
+    def test_forward_shape(self, model, rng):
+        images = rng.uniform(size=(4, 3, 32, 32))
+        assert model.forward(images).shape == (4, 10)
+
+    def test_perturb_hook_sees_all_points(self, model, rng):
+        seen = []
+        images = rng.uniform(size=(1, 3, 32, 32))
+        model.forward(images, perturb=lambda name, x: (seen.append(name), x)[1])
+        assert seen == list(INJECTION_POINTS)
+
+    def test_deterministic_weights(self, rng):
+        a = SqueezeNetModel(seed=3)
+        b = SqueezeNetModel(seed=3)
+        np.testing.assert_array_equal(a.conv1_w, b.conv1_w)
+        images = rng.uniform(size=(2, 3, 32, 32))
+        np.testing.assert_array_equal(a.forward(images), b.forward(images))
+
+    def test_fire_module_channels(self, rng):
+        fire = FireModule.create(np.random.default_rng(0), 16, 4, 8)
+        assert fire.out_channels == 16
+        out = fire.forward(rng.uniform(size=(1, 16, 8, 8)))
+        assert out.shape == (1, 16, 8, 8)
+
+    def test_predictions_diverse(self, model):
+        ds = SyntheticImageDataset(n_images=64, size=32, seed=11)
+        preds = model.predict(ds.images)
+        assert len(np.unique(preds)) >= 3
+
+    def test_input_validation(self, model):
+        with pytest.raises(ValueError, match="images"):
+            model.forward(np.zeros((1, 1, 32, 32)))
+
+
+class TestDataset:
+    def test_shapes_and_range(self):
+        ds = SyntheticImageDataset(n_images=16, size=16, seed=0)
+        assert ds.images.shape == (16, 3, 16, 16)
+        assert ds.labels.shape == (16,)
+        assert ds.images.min() >= 0.0
+        assert ds.images.max() <= 1.0
+        assert len(ds) == 16
+
+    def test_deterministic(self):
+        a = SyntheticImageDataset(n_images=8, size=16, seed=5)
+        b = SyntheticImageDataset(n_images=8, size=16, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(n_images=0)
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(n_images=4, size=4)
+
+
+class TestGrid:
+    def test_power_mapping(self):
+        grid = ErrorSourceGrid(base_db=0.0, step_db=6.0, max_level=16)
+        assert grid.power_db(0) == 0.0
+        assert grid.power_db(10) == -60.0
+        assert grid.power(10) == pytest.approx(1e-6)
+        assert grid.std(10) == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorSourceGrid(step_db=0.0)
+        with pytest.raises(ValueError):
+            ErrorSourceGrid(max_level=1)
+
+
+class TestClassificationRate:
+    def test_full_match(self):
+        assert classification_match_rate([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial_match(self):
+        assert classification_match_rate([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_match_rate([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classification_match_rate([], [])
+
+
+class TestSensitivityBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return SensitivityBenchmark(n_images=32, image_size=16, seed=5)
+
+    def test_clean_levels_give_perfect_pcl(self, bench):
+        assert bench.evaluate([16] * 10) == pytest.approx(1.0)
+
+    def test_heavy_noise_degrades_pcl(self, bench):
+        assert bench.evaluate([2] * 10) < 0.9
+
+    def test_deterministic_per_configuration(self, bench):
+        assert bench.evaluate([8] * 10) == bench.evaluate([8] * 10)
+
+    def test_different_configs_different_noise(self, bench):
+        # Distinct configurations draw distinct noise realizations.
+        a = bench.evaluate([6] * 10)
+        b = bench.evaluate([6] * 9 + [7])
+        assert isinstance(a, float) and isinstance(b, float)
+
+    def test_wrong_length_rejected(self, bench):
+        with pytest.raises(ValueError, match="expected 10"):
+            bench.evaluate([8] * 9)
+
+    def test_pcl_in_unit_interval(self, bench):
+        for level in (1, 4, 12):
+            assert 0.0 <= bench.evaluate([level] * 10) <= 1.0

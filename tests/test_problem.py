@@ -1,0 +1,88 @@
+"""Unit tests for repro.optimization.problem (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.optimization.problem import DSEProblem, MetricSense
+
+
+def make_problem(**overrides):
+    defaults = dict(
+        name="toy",
+        num_variables=3,
+        min_value=2,
+        max_value=16,
+        simulate=lambda w: -float(np.sum(w)),
+        sense=MetricSense.LOWER_IS_BETTER,
+        threshold=-30.0,
+    )
+    defaults.update(overrides)
+    return DSEProblem(**defaults)
+
+
+class TestMetricSense:
+    def test_lower_is_better_constraint(self):
+        s = MetricSense.LOWER_IS_BETTER
+        assert s.satisfied(-60.0, -50.0)
+        assert not s.satisfied(-40.0, -50.0)
+        assert s.satisfied(-50.0, -50.0)
+
+    def test_higher_is_better_constraint(self):
+        s = MetricSense.HIGHER_IS_BETTER
+        assert s.satisfied(0.95, 0.9)
+        assert not s.satisfied(0.85, 0.9)
+
+    def test_is_better(self):
+        assert MetricSense.LOWER_IS_BETTER.is_better(-60, -50)
+        assert MetricSense.HIGHER_IS_BETTER.is_better(0.9, 0.8)
+        assert not MetricSense.LOWER_IS_BETTER.is_better(-50, -50)
+
+    def test_best_index(self):
+        assert MetricSense.LOWER_IS_BETTER.best_index([3.0, 1.0, 2.0]) == 1
+        assert MetricSense.HIGHER_IS_BETTER.best_index([3.0, 1.0, 2.0]) == 0
+        with pytest.raises(ValueError):
+            MetricSense.LOWER_IS_BETTER.best_index([])
+
+    def test_worst_sentinel(self):
+        assert MetricSense.LOWER_IS_BETTER.worst == np.inf
+        assert MetricSense.HIGHER_IS_BETTER.worst == -np.inf
+
+
+class TestDSEProblem:
+    def test_default_cost_weights(self):
+        p = make_problem()
+        assert p.cost([2, 2, 2]) == 6.0
+
+    def test_custom_cost_weights(self):
+        p = make_problem(cost_weights=np.array([1.0, 2.0, 3.0]))
+        assert p.cost([2, 2, 2]) == 12.0
+
+    def test_cost_weight_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            make_problem(cost_weights=np.ones(4))
+        with pytest.raises(ValueError, match="non-negative"):
+            make_problem(cost_weights=np.array([1.0, -1.0, 1.0]))
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="min_value"):
+            make_problem(min_value=16, max_value=16)
+
+    def test_configuration_validation(self):
+        p = make_problem()
+        with pytest.raises(ValueError, match="components"):
+            p.validate_configuration([4, 4])
+        with pytest.raises(ValueError, match="outside bounds"):
+            p.validate_configuration([4, 4, 17])
+        with pytest.raises(ValueError, match="outside bounds"):
+            p.validate_configuration([1, 4, 4])
+
+    def test_satisfied_uses_sense(self):
+        p = make_problem(threshold=-30.0)
+        assert p.satisfied(-40.0)
+        assert not p.satisfied(-20.0)
+
+    def test_full_configuration(self):
+        p = make_problem()
+        np.testing.assert_array_equal(p.full_configuration(16), [16, 16, 16])
+        with pytest.raises(ValueError):
+            p.full_configuration(17)

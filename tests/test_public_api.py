@@ -1,0 +1,79 @@
+"""Sanity checks on the public API surface and package metadata."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.fixedpoint",
+    "repro.signal",
+    "repro.video",
+    "repro.neural",
+    "repro.optimization",
+    "repro.baselines",
+    "repro.experiments",
+    "repro.utils",
+    "repro.cli",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_importable(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestTopLevelAPI:
+    def test_core_objects_exposed(self):
+        assert callable(repro.ordinary_kriging)
+        assert callable(repro.simple_kriging)
+        assert callable(repro.empirical_semivariogram)
+
+    def test_estimator_exposed(self):
+        est = repro.KrigingEstimator(lambda c: 0.0, 2)
+        outcome = est.evaluate([4, 4])
+        assert isinstance(outcome, repro.EstimationOutcome)
+
+    def test_problem_types_exposed(self):
+        problem = repro.DSEProblem(
+            name="t",
+            num_variables=2,
+            min_value=1,
+            max_value=8,
+            simulate=lambda w: 0.0,
+            sense=repro.MetricSense.LOWER_IS_BETTER,
+            threshold=1.0,
+        )
+        assert repro.MinPlusOneOptimizer(problem) is not None
+        assert repro.NoiseBudgetingDescent(problem) is not None
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_every_package_documented(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    def test_public_symbols_documented(self):
+        undocumented = []
+        for name in PACKAGES:
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                obj = getattr(module, symbol)
+                if callable(obj) and not (getattr(obj, "__doc__", None) or "").strip():
+                    undocumented.append(f"{name}.{symbol}")
+        assert not undocumented, f"undocumented public symbols: {undocumented}"

@@ -1,0 +1,95 @@
+"""Unit tests for repro.fixedpoint.qformat."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestConstruction:
+    def test_word_length_signed(self):
+        fmt = QFormat(integer_bits=0, frac_bits=7)
+        assert fmt.word_length == 8
+
+    def test_word_length_unsigned(self):
+        fmt = QFormat(integer_bits=0, frac_bits=8, signed=False)
+        assert fmt.word_length == 8
+
+    def test_negative_integer_bits_allowed(self):
+        fmt = QFormat(integer_bits=-2, frac_bits=10)
+        assert fmt.word_length == 9
+        assert fmt.max_value < 0.25
+
+    def test_zero_word_length_rejected(self):
+        with pytest.raises(ValueError, match="word length"):
+            QFormat(integer_bits=0, frac_bits=-1)
+
+    def test_non_integer_bits_rejected(self):
+        with pytest.raises(TypeError):
+            QFormat(integer_bits=0.5, frac_bits=7)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            QFormat(integer_bits=0, frac_bits=7.0)  # type: ignore[arg-type]
+
+
+class TestRange:
+    def test_step(self):
+        assert QFormat(0, 3).step == 0.125
+
+    def test_signed_bounds(self):
+        fmt = QFormat(integer_bits=1, frac_bits=2)
+        assert fmt.min_value == -2.0
+        assert fmt.max_value == 2.0 - 0.25
+
+    def test_unsigned_bounds(self):
+        fmt = QFormat(integer_bits=1, frac_bits=2, signed=False)
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == 2.0 - 0.25
+
+    def test_levels(self):
+        assert QFormat(0, 7).levels == 256
+
+    def test_contains(self):
+        fmt = QFormat(0, 7)
+        assert fmt.contains(0.5)
+        assert fmt.contains(fmt.max_value)
+        assert not fmt.contains(1.0)
+        assert fmt.contains(-1.0)
+        assert not fmt.contains(-1.01)
+
+
+class TestWithWordLength:
+    def test_preserves_integer_part(self):
+        fmt = QFormat(integer_bits=2, frac_bits=5)
+        wide = fmt.with_word_length(16)
+        assert wide.integer_bits == 2
+        assert wide.word_length == 16
+        assert wide.frac_bits == 13
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            QFormat(0, 7).with_word_length(8.0)  # type: ignore[arg-type]
+
+    def test_too_small_word_length_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(integer_bits=4, frac_bits=4).with_word_length(0)
+
+    def test_negative_frac_bits_allowed_when_word_positive(self):
+        # Shrinking below the integer part trades integer resolution: Q4.-2
+        # is a valid 3-bit format with step 4.
+        fmt = QFormat(integer_bits=4, frac_bits=4).with_word_length(3)
+        assert fmt.frac_bits == -2
+        assert fmt.step == 4.0
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_word_length_roundtrip(self, w):
+        fmt = QFormat(integer_bits=0, frac_bits=4).with_word_length(w)
+        assert fmt.word_length == w
+
+
+class TestStr:
+    def test_signed_str(self):
+        assert str(QFormat(1, 6)) == "Q1.6"
+
+    def test_unsigned_str(self):
+        assert str(QFormat(1, 7, signed=False)) == "UQ1.7"

@@ -1,0 +1,115 @@
+"""Unit tests for repro.fixedpoint.quantize."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import Overflow, Rounding, quantize
+
+FMT = QFormat(integer_bits=0, frac_bits=3)  # step 0.125, range [-1, 0.875]
+
+
+class TestRounding:
+    def test_nearest_rounds_to_closest(self):
+        assert quantize(0.30, FMT) == pytest.approx(0.250)
+        assert quantize(0.32, FMT) == pytest.approx(0.375)
+
+    def test_nearest_ties_away_from_zero(self):
+        fmt = QFormat(0, 1)  # step 0.5
+        assert quantize(0.25, fmt, rounding=Rounding.NEAREST) == pytest.approx(0.5)
+        assert quantize(-0.25, fmt, rounding=Rounding.NEAREST) == pytest.approx(-0.5)
+
+    def test_truncate_rounds_down(self):
+        assert quantize(0.37, FMT, rounding=Rounding.TRUNCATE) == pytest.approx(0.250)
+        assert quantize(-0.37, FMT, rounding=Rounding.TRUNCATE) == pytest.approx(-0.375)
+
+    def test_convergent_ties_to_even(self):
+        fmt = QFormat(0, 1)  # step 0.5; codes ..., -1, -0.5, 0, 0.5, ...
+        assert quantize(0.25, fmt, rounding=Rounding.CONVERGENT) == pytest.approx(0.0)
+        assert quantize(0.75, fmt, rounding=Rounding.CONVERGENT) == pytest.approx(1.0 - 0.5)
+
+    def test_exact_values_unchanged(self):
+        values = np.array([-1.0, -0.125, 0.0, 0.5, 0.875])
+        for mode in Rounding:
+            np.testing.assert_allclose(quantize(values, FMT, rounding=mode), values)
+
+
+class TestOverflow:
+    def test_saturate_clamps_high(self):
+        assert quantize(3.0, FMT) == pytest.approx(FMT.max_value)
+
+    def test_saturate_clamps_low(self):
+        assert quantize(-3.0, FMT) == pytest.approx(FMT.min_value)
+
+    def test_wrap_wraps(self):
+        # 1.0 is one step above max (0.875): wraps to min.
+        assert quantize(1.0, FMT, overflow=Overflow.WRAP) == pytest.approx(-1.0)
+
+    def test_wrap_identity_in_range(self):
+        values = np.linspace(-1.0, 0.875, 16)
+        np.testing.assert_allclose(
+            quantize(values, FMT, overflow=Overflow.WRAP), values
+        )
+
+
+class TestValidation:
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize(np.array([0.1, np.nan]), FMT)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize(np.inf, FMT)
+
+    def test_shape_preserved(self):
+        x = np.zeros((3, 4, 5))
+        assert quantize(x, FMT).shape == (3, 4, 5)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_quantization_error_bounded_by_step_in_range(self, scale, frac_bits):
+        fmt = QFormat(integer_bits=0, frac_bits=frac_bits)
+        # Stay inside the representable range: saturation errors are larger.
+        value = scale * fmt.max_value if scale >= 0 else -scale * fmt.min_value
+        q = float(quantize(value, fmt))
+        assert abs(q - value) <= fmt.step / 2 + 1e-12
+
+    @given(
+        st.floats(min_value=-0.999, max_value=0.999),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_truncation_error_one_sided(self, value, frac_bits):
+        fmt = QFormat(integer_bits=0, frac_bits=frac_bits)
+        q = float(quantize(value, fmt, rounding=Rounding.TRUNCATE))
+        assert value - fmt.step - 1e-12 < q <= value + 1e-12
+
+    @given(
+        st.lists(st.floats(min_value=-0.9, max_value=0.9), min_size=1, max_size=30),
+    )
+    def test_idempotent(self, values):
+        x = np.asarray(values)
+        once = quantize(x, FMT)
+        twice = quantize(once, FMT)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(
+        st.floats(min_value=-0.9, max_value=0.9),
+        st.integers(min_value=2, max_value=18),
+    )
+    def test_result_on_grid(self, value, frac_bits):
+        fmt = QFormat(integer_bits=0, frac_bits=frac_bits)
+        q = float(quantize(value, fmt))
+        code = q / fmt.step
+        assert code == pytest.approx(round(code), abs=1e-9)
+
+    @given(st.floats(min_value=-0.9, max_value=0.9))
+    def test_monotone_nondecreasing(self, value):
+        lower = float(quantize(value - 0.2, FMT))
+        upper = float(quantize(value + 0.2, FMT))
+        assert lower <= upper

@@ -1,0 +1,138 @@
+"""Unit tests for the record-then-replay methodology (repro.experiments.replay)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.replay import MetricKind, ReplayStats, replay_trace, replay_trajectory
+from repro.optimization.trace import EvaluationRecord, OptimizationTrace
+
+
+def line_trajectory(n=12):
+    """1-D walk with a linear dB surface."""
+    configs = np.stack([np.arange(n, 0, -1), np.full(n, 16)], axis=1)
+    values = -6.0 * configs[:, 0].astype(float)
+    return configs, values
+
+
+class TestMetricKind:
+    def test_noise_power_error_in_bits(self):
+        err = MetricKind.NOISE_POWER_DB.error(-60.0, -66.02)
+        assert err == pytest.approx(1.0, abs=1e-3)
+
+    def test_rate_error_relative(self):
+        assert MetricKind.RATE.error(0.95, 1.0) == pytest.approx(0.05)
+
+
+class TestReplayMechanics:
+    def test_first_config_always_simulated(self):
+        configs, values = line_trajectory()
+        stats = replay_trajectory(configs, values, distance=3)
+        assert stats.n_simulated >= 1
+        assert stats.n_configs == len(configs)
+
+    def test_zero_distance_simulates_everything(self):
+        configs, values = line_trajectory()
+        stats = replay_trajectory(configs, values, distance=0)
+        assert stats.n_simulated == len(configs)
+        assert stats.n_interpolated == 0
+        assert stats.p_percent == 0.0
+
+    def test_p_percent_monotone_in_distance(self):
+        configs, values = line_trajectory(20)
+        p = [
+            replay_trajectory(configs, values, distance=d).p_percent
+            for d in (1, 2, 4, 8)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(p, p[1:]))
+
+    def test_duplicates_deduplicated(self):
+        configs, values = line_trajectory(6)
+        doubled = np.vstack([configs, configs])
+        stats = replay_trajectory(doubled, np.concatenate([values, values]), distance=2)
+        assert stats.n_configs == 6
+
+    def test_errors_only_for_interpolated(self):
+        configs, values = line_trajectory()
+        stats = replay_trajectory(configs, values, distance=3)
+        assert stats.errors.size == stats.n_interpolated
+
+    def test_counts_add_up(self):
+        configs, values = line_trajectory()
+        stats = replay_trajectory(configs, values, distance=4)
+        assert stats.n_simulated + stats.n_interpolated == stats.n_configs
+
+    def test_nn_min_2_reduces_interpolations(self):
+        """The paper's Nn_min ablation: fewer interpolations at Nn_min = 2."""
+        configs, values = line_trajectory(20)
+        loose = replay_trajectory(configs, values, distance=3, nn_min=1)
+        strict = replay_trajectory(configs, values, distance=3, nn_min=2)
+        assert strict.n_interpolated <= loose.n_interpolated
+
+    def test_rate_metric_uses_relative_errors(self):
+        configs = np.stack([np.arange(10, 0, -1), np.full(10, 8)], axis=1)
+        values = 0.5 + 0.05 * configs[:, 0].astype(float)
+        stats = replay_trajectory(
+            configs, values, distance=3, metric_kind=MetricKind.RATE
+        )
+        assert np.all(stats.errors < 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            replay_trajectory(np.empty((0, 2)), np.empty(0))
+        with pytest.raises(ValueError, match="incompatible"):
+            replay_trajectory(np.zeros((3, 2), dtype=int), np.zeros(4))
+
+
+class TestReplayStats:
+    def test_properties_empty_errors(self):
+        stats = ReplayStats(
+            benchmark="x",
+            metric_kind=MetricKind.NOISE_POWER_DB,
+            distance=2.0,
+            nn_min=1,
+            n_configs=4,
+            n_interpolated=0,
+            n_simulated=4,
+            mean_neighbors=float("nan"),
+            errors=np.empty(0),
+        )
+        assert stats.p_percent == 0.0
+        assert np.isnan(stats.max_error)
+        assert np.isnan(stats.mean_error)
+
+    def test_p_percent(self):
+        stats = ReplayStats(
+            benchmark="x",
+            metric_kind=MetricKind.NOISE_POWER_DB,
+            distance=2.0,
+            nn_min=1,
+            n_configs=10,
+            n_interpolated=4,
+            n_simulated=6,
+            mean_neighbors=2.0,
+            errors=np.array([0.1, 0.2, 0.3, 0.4]),
+        )
+        assert stats.p_percent == 40.0
+        assert stats.max_error == pytest.approx(0.4)
+        assert stats.mean_error == pytest.approx(0.25)
+
+
+class TestReplayTrace:
+    def test_trace_wrapper_dedups(self):
+        trace = OptimizationTrace()
+        for w, v in [((4, 4), -40.0), ((5, 4), -46.0), ((4, 4), -40.0), ((4, 5), -43.0)]:
+            trace.append(EvaluationRecord(w, v, simulated=True))
+        stats = replay_trace(trace, distance=3)
+        assert stats.n_configs == 3
+
+    def test_interpolation_accuracy_on_smooth_surface(self):
+        # Two-sided dense line: interpolations should be near-exact.
+        n = 30
+        configs = np.stack([np.arange(n), np.zeros(n, dtype=int)], axis=1)
+        order = np.argsort((np.arange(n) * 7) % n)  # scrambled visit order
+        values = -3.0 * configs[:, 0].astype(float) - 10.0
+        stats = replay_trajectory(
+            configs[order], values[order], distance=4, variogram="linear"
+        )
+        assert stats.n_interpolated > 0
+        assert stats.mean_error < 0.6

@@ -1,0 +1,100 @@
+"""Unit tests for repro.experiments.reporting and small experiment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import surface_is_monotone
+from repro.experiments.replay import MetricKind
+from repro.experiments.reporting import format_row, format_table1
+from repro.experiments.table1 import Table1Row
+from repro.experiments.timing import SpeedupProjection
+
+
+def make_row(**overrides):
+    defaults = dict(
+        benchmark="fft",
+        metric_label="Noise Power",
+        nv=10,
+        distance=3.0,
+        p_percent=78.31,
+        mean_neighbors=2.12,
+        max_error=2.35,
+        mean_error=0.26,
+        n_configs=272,
+        metric_kind=MetricKind.NOISE_POWER_DB,
+    )
+    defaults.update(overrides)
+    return Table1Row(**defaults)
+
+
+class TestFormatRow:
+    def test_noise_power_row(self):
+        text = format_row(make_row())
+        assert "fft" in text
+        assert "78.31" in text
+        assert "0.26" in text
+
+    def test_rate_row_percent_format(self):
+        row = make_row(
+            benchmark="squeezenet",
+            metric_label="Classification rate",
+            metric_kind=MetricKind.RATE,
+            max_error=0.0619,
+            mean_error=0.0146,
+        )
+        text = format_row(row)
+        assert "6.19%" in text
+        assert "1.46%" in text
+
+    def test_nan_errors_render_dash(self):
+        row = make_row(max_error=float("nan"), mean_error=float("nan"))
+        text = format_row(row)
+        assert text.count("-") >= 2
+
+
+class TestFormatTable:
+    def test_header_and_grouping(self):
+        rows = [
+            make_row(distance=2.0),
+            make_row(distance=3.0),
+            make_row(benchmark="iir", nv=5, distance=2.0),
+        ]
+        text = format_table1(rows)
+        lines = text.splitlines()
+        assert "p(%)" in lines[0]
+        assert "" in lines  # blank separator between benchmarks
+
+    def test_empty_table(self):
+        text = format_table1([])
+        assert "p(%)" in text
+
+
+class TestSurfaceMonotone:
+    def test_monotone_surface(self):
+        surface = -np.add.outer(np.arange(5), np.arange(5)).astype(float)
+        assert surface_is_monotone(surface)
+
+    def test_non_monotone_surface(self):
+        surface = -np.add.outer(np.arange(5), np.arange(5)).astype(float)
+        surface[2, 2] = 10.0
+        assert not surface_is_monotone(surface)
+
+    def test_tolerance_absorbs_ripple(self):
+        surface = -np.add.outer(np.arange(5), np.arange(5)).astype(float)
+        surface[2, 2] += 0.5
+        assert surface_is_monotone(surface, tolerance_db=1.0)
+
+
+class TestSpeedupEdgeCases:
+    def test_full_interpolation_infinite_ideal(self):
+        proj = SpeedupProjection(
+            benchmark="x", p_fraction=1.0, t_simulation=1.0, t_kriging=0.0
+        )
+        assert proj.ideal_speedup == float("inf")
+        assert proj.speedup == float("inf")
+
+    def test_no_interpolation_no_speedup(self):
+        proj = SpeedupProjection(
+            benchmark="x", p_fraction=0.0, t_simulation=1.0, t_kriging=1e-6
+        )
+        assert proj.speedup == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Unit tests for trace serialization and leave-one-out cross-validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.crossval import loo_cross_validate, select_variogram_loo
+from repro.core.models import GaussianVariogram, LinearVariogram
+from repro.optimization.serialize import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.optimization.trace import EvaluationRecord, OptimizationTrace
+
+
+def sample_trace():
+    trace = OptimizationTrace()
+    trace.append(EvaluationRecord((16, 16), -80.5, simulated=True, phase="min"))
+    trace.append(
+        EvaluationRecord((15, 16), -74.25, simulated=False, n_neighbors=2, phase="min")
+    )
+    trace.append(
+        EvaluationRecord((16, 16), -80.5, simulated=False, exact_hit=True, phase="greedy")
+    )
+    trace.record_decision(1)
+    return trace
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self):
+        trace = sample_trace()
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.decisions == trace.decisions
+        assert len(rebuilt) == len(trace)
+        for a, b in zip(rebuilt.records, trace.records):
+            assert a == b
+
+    def test_roundtrip_file(self, tmp_path):
+        trace = sample_trace()
+        path = save_trace(trace, tmp_path / "trace.json")
+        rebuilt = load_trace(path)
+        assert rebuilt.records == trace.records
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = save_trace(sample_trace(), tmp_path / "t.json")
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert len(data["records"]) == 3
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(ValueError, match="missing 'records'"):
+            trace_from_dict({"decisions": []})
+        with pytest.raises(ValueError, match="format version"):
+            trace_from_dict({"format_version": 99, "records": []})
+
+    def test_replay_from_loaded_trace(self, tmp_path, fir_setup):
+        """Persisted trajectories reproduce identical replay statistics."""
+        from repro.experiments.replay import replay_trace
+
+        trace = fir_setup.record_trajectory()
+        path = save_trace(trace, tmp_path / "fir.json")
+        loaded = load_trace(path)
+        a = replay_trace(trace, distance=3)
+        b = replay_trace(loaded, distance=3)
+        assert a.p_percent == b.p_percent
+        np.testing.assert_allclose(a.errors, b.errors)
+
+
+class TestCrossValidation:
+    def _field(self, rng, n=25):
+        pts = rng.integers(0, 10, size=(n, 2)).astype(float)
+        pts = np.unique(pts, axis=0)
+        vals = pts @ np.array([2.0, -1.0]) + rng.normal(0, 0.1, size=pts.shape[0])
+        return pts, vals
+
+    def test_residual_shapes(self, rng):
+        pts, vals = self._field(rng)
+        result = loo_cross_validate(pts, vals, LinearVariogram(1.0))
+        assert result.n_points == pts.shape[0]
+        assert result.variances.shape == result.residuals.shape
+
+    def test_rmse_small_on_smooth_field(self, rng):
+        pts, vals = self._field(rng)
+        result = loo_cross_validate(pts, vals, LinearVariogram(1.0))
+        assert result.rmse < 3.0
+
+    def test_max_support_cap(self, rng):
+        pts, vals = self._field(rng, n=40)
+        capped = loo_cross_validate(pts, vals, LinearVariogram(1.0), max_support=5)
+        assert np.all(np.isfinite(capped.residuals))
+
+    def test_selection_returns_best_rmse(self, rng):
+        pts, vals = self._field(rng)
+        cap = 24
+        best = select_variogram_loo(
+            pts, vals, kinds=("linear", "gaussian"), max_support=cap
+        )
+        from repro.core.fitting import fit_variogram
+        from repro.core.variogram import empirical_semivariogram
+
+        emp = empirical_semivariogram(pts, vals)
+        manual = loo_cross_validate(
+            pts, vals, fit_variogram(emp, "linear").model, kind="linear",
+            max_support=cap,
+        )
+        assert best.rmse <= manual.rmse + 1e-9
+
+    def test_standardized_score_defined(self, rng):
+        pts, vals = self._field(rng)
+        result = loo_cross_validate(
+            pts, vals, GaussianVariogram(sill=50.0, range_=10.0)
+        )
+        assert result.mean_standardized_square > 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="at least 3"):
+            loo_cross_validate(np.zeros((2, 2)), np.zeros(2), LinearVariogram(1.0))
+        with pytest.raises(ValueError, match="non-empty"):
+            select_variogram_loo(np.zeros((5, 2)), np.zeros(5), kinds=())

@@ -1,0 +1,74 @@
+"""Unit tests for repro.fixedpoint.simulate (quantization nodes)."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.simulate import FixedPointSimulator, QuantizationNode
+
+
+class TestQuantizationNode:
+    def test_format_for_word_length(self):
+        node = QuantizationNode("acc", integer_bits=2)
+        fmt = node.format_for(16)
+        assert fmt == QFormat(integer_bits=2, frac_bits=13)
+
+    def test_apply_quantizes(self):
+        node = QuantizationNode("x", integer_bits=0)
+        out = node.apply(np.array([0.3]), 4)  # Q0.3, step 0.125
+        assert out[0] == pytest.approx(0.25)
+
+    def test_unsigned_node(self):
+        node = QuantizationNode("pix", integer_bits=0, signed=False)
+        fmt = node.format_for(8)
+        assert fmt.min_value == 0.0
+        assert fmt.frac_bits == 8
+
+
+class TestFixedPointSimulator:
+    def _sim(self):
+        return FixedPointSimulator(
+            [QuantizationNode("mul", 0), QuantizationNode("acc", 2)]
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FixedPointSimulator([QuantizationNode("a", 0), QuantizationNode("a", 1)])
+
+    def test_bind_and_lookup(self):
+        sim = self._sim()
+        sim.bind([8, 12])
+        assert sim.word_length("mul") == 8
+        assert sim.word_length("acc") == 12
+
+    def test_bind_wrong_size_rejected(self):
+        sim = self._sim()
+        with pytest.raises(ValueError, match="expected 2"):
+            sim.bind([8])
+
+    def test_bind_nonpositive_rejected(self):
+        sim = self._sim()
+        with pytest.raises(ValueError, match=">= 1"):
+            sim.bind([8, 0])
+
+    def test_unbound_lookup_rejected(self):
+        sim = self._sim()
+        with pytest.raises(KeyError, match="no word-length bound"):
+            sim.word_length("mul")
+
+    def test_unknown_node_rejected(self):
+        sim = self._sim()
+        sim.bind([8, 8])
+        with pytest.raises(KeyError, match="unknown quantization node"):
+            sim.apply("nope", np.zeros(3))
+
+    def test_apply_uses_bound_word_length(self):
+        sim = self._sim()
+        sim.bind([4, 16])
+        out = sim.apply("mul", np.array([0.3]))
+        assert out[0] == pytest.approx(0.25)  # Q0.3 grid
+
+    def test_properties(self):
+        sim = self._sim()
+        assert sim.node_names == ["mul", "acc"]
+        assert sim.num_variables == 2

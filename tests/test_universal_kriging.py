@@ -1,0 +1,165 @@
+"""Unit tests for repro.core.universal (kriging with drift)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kriging import ordinary_kriging
+from repro.core.models import GaussianVariogram, LinearVariogram, PowerVariogram
+from repro.core.universal import (
+    adaptive_linear_drift,
+    linear_drift,
+    quadratic_drift,
+    universal_kriging,
+)
+
+# The piecewise-linear variogram h -> h is rank deficient under a linear
+# drift (the rank guard then degrades to ordinary kriging); the drift tests
+# use the strictly convex power model instead.
+VG = PowerVariogram(scale=1.0, exponent=1.5)
+
+
+class TestDriftBases:
+    def test_linear_drift_shape(self):
+        pts = np.zeros((5, 3))
+        assert linear_drift(pts).shape == (5, 4)
+
+    def test_linear_drift_values(self):
+        pts = np.array([[2.0, 3.0]])
+        np.testing.assert_allclose(linear_drift(pts), [[1.0, 2.0, 3.0]])
+
+    def test_quadratic_drift_shape(self):
+        pts = np.zeros((5, 3))
+        assert quadratic_drift(pts).shape == (5, 7)
+
+    def test_quadratic_drift_values(self):
+        pts = np.array([[2.0, -3.0]])
+        np.testing.assert_allclose(quadratic_drift(pts), [[1.0, 2.0, -3.0, 4.0, 9.0]])
+
+
+class TestUniversalKriging:
+    def test_exact_at_support(self, rng):
+        pts = rng.integers(0, 10, size=(12, 2)).astype(float)
+        pts = np.unique(pts, axis=0)
+        vals = rng.normal(size=pts.shape[0])
+        res = universal_kriging(pts, vals, pts[3], VG)
+        assert res.estimate == pytest.approx(vals[3], abs=1e-6)
+
+    def test_reproduces_affine_trend_exactly_in_extrapolation(self):
+        """The decisive property vs ordinary kriging: affine fields are
+        extrapolated exactly."""
+        slope = np.array([2.0, -1.5])
+        pts = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [2.0, 1.0], [1.0, 2.0]]
+        )
+        vals = pts @ slope + 7.0
+        query = np.array([6.0, 6.0])  # far outside the support hull
+        truth = float(query @ slope + 7.0)
+        uk = universal_kriging(pts, vals, query, VG)
+        ok = ordinary_kriging(pts, vals, query, VG)
+        assert uk.estimate == pytest.approx(truth, abs=1e-6)
+        assert abs(ok.estimate - truth) > 1.0  # ordinary kriging regresses
+
+    def test_one_sided_line_extrapolates_slope(self):
+        # The FIR phase-1 walk geometry: collinear one-sided support.
+        pts = np.array([[10.0], [11.0], [12.0]])
+        vals = np.array([-60.0, -66.0, -72.0])
+        res = universal_kriging(pts, vals, np.array([9.0]), VG)
+        assert res.estimate == pytest.approx(-54.0, abs=1e-6)
+
+    def test_two_point_collinear_support_with_adaptive_drift(self):
+        # Two support points and an adaptive drift: exact linear
+        # extrapolation — the case ordinary kriging answers with the
+        # nearest-neighbour value.
+        pts = np.array([[11.0, 20.0], [12.0, 20.0]])
+        vals = np.array([-66.0, -72.0])
+        query = np.array([10.0, 20.0])
+        res = universal_kriging(
+            pts, vals, query, VG, drift=adaptive_linear_drift(pts)
+        )
+        assert res.estimate == pytest.approx(-60.0, abs=1e-6)
+
+    def test_rank_guard_degrades_to_ordinary(self):
+        # gamma(h) = h with a full linear drift is singular on this support;
+        # the guard must hand the query to ordinary kriging (here: exact at
+        # a support point regardless).
+        pts = np.array([[0.0], [1.0], [2.0], [3.0]])
+        vals = np.array([0.0, 1.0, 2.0, 3.0])
+        res = universal_kriging(pts, vals, np.array([1.5]), LinearVariogram(1.0))
+        assert res.estimate == pytest.approx(1.5, abs=1e-6)
+
+    def test_weights_reproduce_drift_constraints(self, rng):
+        pts = rng.integers(0, 8, size=(10, 3)).astype(float)
+        pts = np.unique(pts, axis=0)
+        vals = rng.normal(size=pts.shape[0])
+        query = np.array([3.0, 4.0, 5.0])
+        res = universal_kriging(pts, vals, query, VG)
+        basis = linear_drift(pts)
+        target = linear_drift(query[None, :])[0]
+        np.testing.assert_allclose(res.weights @ basis, target, atol=1e-6)
+
+    def test_variance_nonnegative(self, rng):
+        pts = rng.integers(0, 8, size=(12, 2)).astype(float)
+        pts = np.unique(pts, axis=0)
+        vals = rng.normal(size=pts.shape[0])
+        res = universal_kriging(pts, vals, np.array([3.5, 3.5]), VG)
+        assert res.variance >= 0.0
+
+    def test_gaussian_variogram_smooth_field(self, rng):
+        vg = GaussianVariogram(sill=10.0, range_=20.0)
+        slope = np.array([1.0, 2.0])
+        pts = rng.integers(0, 8, size=(15, 2)).astype(float)
+        pts = np.unique(pts, axis=0)
+        vals = pts @ slope
+        res = universal_kriging(pts, vals, np.array([10.0, 10.0]), vg)
+        assert res.estimate == pytest.approx(30.0, abs=1e-4)
+
+    def test_bad_drift_rejected(self):
+        pts = np.zeros((3, 2))
+        pts[1, 0] = 1.0
+        pts[2, 1] = 1.0
+        with pytest.raises(ValueError, match="drift basis"):
+            universal_kriging(
+                pts, np.zeros(3), np.array([5.0, 5.0]), VG, drift=lambda p: np.zeros(7)
+            )
+
+    def test_exact_hit_shortcut_before_drift(self):
+        # A coincident query resolves without touching the drift at all.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        vals = np.array([4.0, 5.0, 6.0])
+        res = universal_kriging(
+            pts, vals, np.array([0.0, 0.0]), VG, drift=lambda p: np.zeros(7)
+        )
+        assert res.estimate == 4.0
+        assert res.variance == 0.0
+
+
+class TestEstimatorIntegration:
+    def test_estimator_universal_mode(self):
+        from repro.core.estimator import KrigingEstimator
+
+        coeffs = np.array([3.0, -2.0])
+
+        def metric(c):
+            return float(np.asarray(c, dtype=float) @ coeffs + 1.0)
+
+        est = KrigingEstimator(
+            metric, 2, distance=6, nn_min=1, interpolator="universal",
+            variogram=PowerVariogram(1.0, 1.5),
+        )
+        rng = np.random.default_rng(0)
+        errors = []
+        for _ in range(50):
+            config = rng.integers(0, 8, size=2)
+            out = est.evaluate(config)
+            if out.interpolated and not out.exact_hit and out.n_neighbors >= 4:
+                errors.append(abs(out.value - metric(config)))
+        assert errors
+        # With a well-posed drift the affine field is interpolated exactly
+        # whenever enough support exists.
+        assert float(np.median(errors)) < 1e-6
+
+    def test_estimator_rejects_unknown_interpolator(self):
+        from repro.core.estimator import KrigingEstimator
+
+        with pytest.raises(ValueError, match="interpolator"):
+            KrigingEstimator(lambda c: 0.0, 2, interpolator="mystic")

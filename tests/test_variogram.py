@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.variogram (paper Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.variogram import EmpiricalVariogram, empirical_semivariogram
+
+
+class TestEquation4:
+    def test_two_points_single_lag(self):
+        # gamma(d) = (1 / 2|N(d)|) * sum (l_j - l_k)^2 with one pair: (4-0)^2/2 = 8.
+        pts = np.array([[0, 0], [1, 1]])
+        vals = np.array([0.0, 4.0])
+        emp = empirical_semivariogram(pts, vals)
+        assert emp.lags.tolist() == [2.0]
+        assert emp.gammas[0] == pytest.approx(8.0)
+        assert emp.counts[0] == 1
+
+    def test_pair_grouping_by_exact_lag(self):
+        pts = np.array([[0], [1], [2]])
+        vals = np.array([0.0, 1.0, 4.0])
+        emp = empirical_semivariogram(pts, vals)
+        # lag 1: pairs (0,1): 0.5*1, (1,2): 0.5*9 -> mean 2.5; lag 2: 0.5*16 = 8.
+        assert emp.lags.tolist() == [1.0, 2.0]
+        assert emp.gammas[0] == pytest.approx(2.5)
+        assert emp.gammas[1] == pytest.approx(8.0)
+        assert emp.counts.tolist() == [2, 1]
+
+    def test_constant_field_zero_variogram(self, rng):
+        pts = rng.integers(0, 8, size=(15, 3))
+        emp = empirical_semivariogram(pts, np.full(15, 7.0))
+        np.testing.assert_allclose(emp.gammas, 0.0)
+
+    def test_max_lag_filters_pairs(self):
+        pts = np.array([[0], [1], [10]])
+        vals = np.array([0.0, 1.0, 2.0])
+        emp = empirical_semivariogram(pts, vals, max_lag=2)
+        assert emp.lags.tolist() == [1.0]
+
+    def test_coincident_points_ignored(self):
+        pts = np.array([[0, 0], [0, 0], [1, 0]])
+        vals = np.array([0.0, 0.5, 1.0])
+        emp = empirical_semivariogram(pts, vals)
+        assert 0.0 not in emp.lags
+
+    def test_binning(self):
+        pts = np.arange(10).reshape(-1, 1)
+        vals = np.arange(10, dtype=float)
+        emp = empirical_semivariogram(pts, vals, n_bins=3)
+        assert emp.n_lags <= 3
+        assert np.all(np.diff(emp.lags) > 0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="at least two"):
+            empirical_semivariogram(np.array([[0, 0]]), np.array([1.0]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            empirical_semivariogram(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestLinearFieldTheory:
+    def test_1d_linear_field_variogram_is_quadratic(self):
+        # lambda(x) = a x  =>  gamma(h) = a^2 h^2 / 2 exactly.
+        a = 3.0
+        pts = np.arange(20).reshape(-1, 1)
+        vals = a * np.arange(20, dtype=float)
+        emp = empirical_semivariogram(pts, vals)
+        for lag, gamma in zip(emp.lags, emp.gammas):
+            assert gamma == pytest.approx(a * a * lag * lag / 2.0)
+
+
+class TestEmpiricalVariogramCallable:
+    def _emp(self):
+        return EmpiricalVariogram(
+            lags=np.array([1.0, 2.0, 4.0]),
+            gammas=np.array([1.0, 3.0, 5.0]),
+            counts=np.array([5, 4, 2]),
+        )
+
+    def test_zero_at_origin(self):
+        assert self._emp()(0.0) == 0.0
+
+    def test_exact_at_lags(self):
+        emp = self._emp()
+        assert emp(2.0) == pytest.approx(3.0)
+
+    def test_interpolates_between_lags(self):
+        emp = self._emp()
+        assert emp(3.0) == pytest.approx(4.0)
+
+    def test_constant_beyond_last_lag(self):
+        emp = self._emp()
+        assert emp(100.0) == pytest.approx(5.0)
+
+    def test_vectorized(self):
+        emp = self._emp()
+        out = emp(np.array([0.0, 1.0, 3.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            EmpiricalVariogram(
+                lags=np.array([2.0, 1.0]),
+                gammas=np.array([1.0, 1.0]),
+                counts=np.array([1, 1]),
+            )
+        with pytest.raises(ValueError, match="equal length"):
+            EmpiricalVariogram(
+                lags=np.array([1.0]),
+                gammas=np.array([1.0, 2.0]),
+                counts=np.array([1]),
+            )
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=3,
+            max_size=12,
+            unique=True,
+        )
+    )
+    def test_gamma_nonnegative(self, values):
+        pts = np.arange(len(values)).reshape(-1, 1)
+        emp = empirical_semivariogram(pts, np.asarray(values))
+        assert np.all(emp.gammas >= 0.0)
+
+    @given(st.integers(min_value=2, max_value=10))
+    def test_counts_sum_to_pair_count(self, n):
+        pts = np.arange(n).reshape(-1, 1)
+        vals = np.zeros(n)
+        emp = empirical_semivariogram(pts, vals)
+        assert int(np.sum(emp.counts)) == n * (n - 1) // 2

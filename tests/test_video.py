@@ -1,0 +1,128 @@
+"""Unit tests for the HEVC motion-compensation benchmark (repro.video)."""
+
+import numpy as np
+import pytest
+
+from repro.video.blocks import BlockWorkload, synthetic_frame
+from repro.video.filters import HEVC_LUMA_FILTERS, N_TAPS, luma_filter
+from repro.video.motion_comp import MotionCompensationBenchmark
+
+
+@pytest.fixture(scope="module")
+def mc():
+    workload = BlockWorkload.generate(n_blocks=12, seed=3)
+    return MotionCompensationBenchmark(workload=workload)
+
+
+class TestFilters:
+    def test_four_phases(self):
+        assert set(HEVC_LUMA_FILTERS) == {0, 1, 2, 3}
+
+    def test_unit_dc_gain(self):
+        for phase, taps in HEVC_LUMA_FILTERS.items():
+            assert np.sum(taps) == pytest.approx(1.0), f"phase {phase}"
+
+    def test_phase0_is_identity(self):
+        taps = luma_filter(0)
+        assert taps[3] == 1.0
+        assert np.count_nonzero(taps) == 1
+
+    def test_half_pel_symmetric(self):
+        taps = luma_filter(2)
+        np.testing.assert_allclose(taps, taps[::-1])
+
+    def test_quarter_and_three_quarter_mirrored(self):
+        q1 = luma_filter(1)
+        q3 = luma_filter(3)
+        np.testing.assert_allclose(q1, q3[::-1])
+
+    def test_standard_coefficients(self):
+        np.testing.assert_allclose(
+            luma_filter(2) * 64, [-1, 4, -11, 40, 40, -11, 4, -1]
+        )
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            luma_filter(4)
+
+    def test_returns_copy(self):
+        taps = luma_filter(1)
+        taps[0] = 99.0
+        assert luma_filter(1)[0] != 99.0
+
+
+class TestWorkload:
+    def test_frame_in_range(self):
+        frame = synthetic_frame(64, 64, seed=0)
+        assert frame.min() >= 0.0
+        assert frame.max() < 1.0
+
+    def test_frame_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_frame(8, 64)
+
+    def test_workload_shapes(self):
+        wl = BlockWorkload.generate(n_blocks=10, seed=1)
+        assert wl.positions.shape == (10, 2)
+        assert wl.phases.shape == (10, 2)
+        assert wl.n_blocks == 10
+
+    def test_no_integer_motion_vectors(self):
+        wl = BlockWorkload.generate(n_blocks=50, seed=2)
+        assert np.all((wl.phases[:, 0] != 0) | (wl.phases[:, 1] != 0))
+
+    def test_margins_respected(self):
+        wl = BlockWorkload.generate(n_blocks=50, seed=4)
+        assert np.all(wl.positions >= N_TAPS)
+
+    def test_deterministic(self):
+        a = BlockWorkload.generate(n_blocks=5, seed=9)
+        b = BlockWorkload.generate(n_blocks=5, seed=9)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.frame, b.frame)
+
+
+class TestBenchmark:
+    def test_nv_is_23(self, mc):
+        assert mc.NUM_VARIABLES == 23
+        assert len(mc.VARIABLE_NAMES) == 23
+
+    def test_reference_shape(self, mc):
+        assert mc.reference().shape == (12, 8, 8)
+
+    def test_high_precision_converges(self, mc):
+        out = mc.simulate([26] * 23)
+        assert np.max(np.abs(out - mc.reference())) < 1e-4
+
+    def test_monotone_improvement(self, mc):
+        assert mc.noise_power_db([8] * 23) > mc.noise_power_db([14] * 23) + 20
+
+    def test_separable_interpolation_against_direct(self, mc):
+        """Reference output equals direct 2-D separable filtering."""
+        wl = mc.workload
+        idx = 0
+        r, c = wl.positions[idx]
+        pv, ph = int(wl.phases[idx, 0]), int(wl.phases[idx, 1])
+        h = HEVC_LUMA_FILTERS[ph]
+        v = HEVC_LUMA_FILTERS[pv]
+        expected = np.empty((8, 8))
+        for i in range(8):
+            for j in range(8):
+                patch = wl.frame[r + i - 3 : r + i + 5, c + j - 3 : c + j + 5]
+                expected[i, j] = v @ (patch @ h)
+        np.testing.assert_allclose(
+            mc.reference()[idx], np.clip(expected, 0.0, 1.0), atol=1e-10
+        )
+
+    def test_wrong_length_rejected(self, mc):
+        with pytest.raises(ValueError, match="expected 23"):
+            mc.simulate([8] * 22)
+
+    def test_output_in_pixel_range(self, mc):
+        out = mc.simulate([10] * 23)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_deterministic(self, mc):
+        w = list(range(8, 31))
+        np.testing.assert_array_equal(mc.simulate(w), mc.simulate(w))
