@@ -1,0 +1,246 @@
+"""Micro-benchmark of the vectorized query engine (PR: batch kriging).
+
+Times a fixed interpolation-heavy sweep three ways at several support sizes:
+
+* ``seed``     — a faithful re-implementation of the seed hot path: a
+  list-of-rows cache whose ``points`` property re-``vstack``s on every
+  access, a brute-force neighbourhood scan over all simulated points, and
+  one bordered-system build + solve per query.  (Its only deviation from
+  the seed is exact-coordinate cache keys, so all three variants compute
+  identical results.)
+* ``evaluate`` — the current per-query path: contiguous zero-copy cache,
+  lattice bucket index, per-query solve.
+* ``batch``    — ``KrigingEstimator.evaluate_batch``: additionally groups
+  queries sharing a support set and factorizes each group's bordered
+  matrix once.
+
+The sweep mimics a dense surface exploration (cf. ``experiments/figure1``):
+query clusters jittered inside single lattice cells, so clusters share
+neighbourhoods and the batch path has real groups to exploit.  Results are
+written to ``BENCH_query_engine.json`` at the repository root so the perf
+trajectory is tracked across PRs.
+
+Run directly (``python benchmarks/bench_query_engine.py``) or through
+pytest (``pytest benchmarks/bench_query_engine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.distances import distances_to
+from repro.core.estimator import KrigingEstimator
+from repro.core.kriging import ordinary_kriging
+from repro.core.models import LinearVariogram
+
+RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_query_engine.json"
+
+NUM_VARIABLES = 5
+LATTICE = 12
+DISTANCE = 4.0
+NN_MIN = 1
+N_QUERIES = 2000
+SUPPORT_SIZES = (500, 2000, 5000)
+ACCEPTANCE_N = 2000
+ACCEPTANCE_SPEEDUP = 5.0
+
+_COEFFS = np.array([1.0, -2.0, 0.5, 0.25, 1.5])
+
+
+def _field(config) -> float:
+    c = np.asarray(config, dtype=float)
+    return float(c @ np.resize(_COEFFS, c.size) - 60.0)
+
+
+# ----------------------------------------------------------------------
+# Seed-faithful reference implementation (PR-0 hot path)
+# ----------------------------------------------------------------------
+class _SeedCache:
+    """The seed's list-of-rows store: ``points`` vstacks on every access."""
+
+    def __init__(self, num_variables: int) -> None:
+        self.num_variables = num_variables
+        self._points: list[np.ndarray] = []
+        self._values: list[float] = []
+        self._index: dict[bytes, int] = {}
+
+    @property
+    def points(self) -> np.ndarray:
+        if not self._points:
+            return np.empty((0, self.num_variables))
+        return np.vstack(self._points)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def add(self, config: np.ndarray, value: float) -> None:
+        self._index[config.tobytes()] = len(self._points)
+        self._points.append(config.copy())
+        self._values.append(float(value))
+
+    def lookup(self, config: np.ndarray) -> float | None:
+        row = self._index.get(config.tobytes())
+        return self._values[row] if row is not None else None
+
+
+def _seed_sweep(support, support_values, queries, variogram) -> list[float]:
+    """The seed's evaluate loop: vstack + brute scan + per-query solve."""
+    cache = _SeedCache(support.shape[1])
+    for config, value in zip(support, support_values):
+        cache.add(config, value)
+    out: list[float] = []
+    for query in queries:
+        cached = cache.lookup(query)
+        if cached is not None:
+            out.append(cached)
+            continue
+        points = cache.points  # fresh vstack, every query
+        dist = distances_to(points, query)  # brute scan of all points
+        inside = np.flatnonzero(dist <= DISTANCE)
+        neighbors = inside[np.argsort(dist[inside], kind="stable")]
+        if neighbors.size > NN_MIN:
+            result = ordinary_kriging(
+                points[neighbors], cache.values[neighbors], query, variogram
+            )
+            out.append(result.estimate)
+        else:
+            value = _field(query)
+            cache.add(query, value)
+            out.append(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+def _make_workload(n_support: int, n_queries: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    support = set()
+    while len(support) < n_support:
+        point = tuple(int(x) for x in rng.integers(0, LATTICE, size=NUM_VARIABLES))
+        support.add(point)
+    support = np.asarray(sorted(support), dtype=np.float64)
+    rng.shuffle(support)
+    support_values = np.array([_field(p) for p in support])
+
+    # Clustered fractional queries: each cluster jitters inside one lattice
+    # cell around a support point, so its members share a neighbourhood.
+    cluster_size = 20
+    n_clusters = (n_queries + cluster_size - 1) // cluster_size
+    centers = support[rng.integers(0, n_support, size=n_clusters)]
+    queries = np.repeat(centers, cluster_size, axis=0)[:n_queries]
+    queries = queries + rng.uniform(0.05, 0.45, size=queries.shape)
+    return support, support_values, queries
+
+
+def _engine_estimator(support, support_values) -> KrigingEstimator:
+    est = KrigingEstimator(
+        _field,
+        NUM_VARIABLES,
+        distance=DISTANCE,
+        nn_min=NN_MIN,
+        variogram=LinearVariogram(1.0),
+    )
+    for config, value in zip(support, support_values):
+        row = est.cache.add(config, value)
+        est.neighbor_index.insert(config, row)
+    return est
+
+
+def _time(fn, *, repetitions: int = 1) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(
+    support_sizes=SUPPORT_SIZES, n_queries: int = N_QUERIES, repetitions: int = 2
+) -> dict:
+    variogram = LinearVariogram(1.0)
+    results = []
+    for n_support in support_sizes:
+        support, support_values, queries = _make_workload(n_support, n_queries)
+
+        def _eval_sweep():
+            est = _engine_estimator(support, support_values)
+            return [est.evaluate(query) for query in queries]
+
+        t_seed, seed_values = _time(
+            lambda: _seed_sweep(support, support_values, queries, variogram),
+            repetitions=repetitions,
+        )
+        t_eval, eval_out = _time(_eval_sweep, repetitions=repetitions)
+        t_batch, batch_out = _time(
+            lambda: _engine_estimator(support, support_values).evaluate_batch(queries),
+            repetitions=repetitions,
+        )
+
+        # All three variants answer the sweep identically.
+        np.testing.assert_allclose(
+            seed_values, [o.value for o in eval_out], rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            seed_values, [o.value for o in batch_out], rtol=1e-9, atol=1e-9
+        )
+
+        results.append(
+            {
+                "n_support": n_support,
+                "n_queries": n_queries,
+                "interpolated": sum(1 for o in batch_out if o.interpolated),
+                "seed_seconds": round(t_seed, 6),
+                "evaluate_seconds": round(t_eval, 6),
+                "evaluate_batch_seconds": round(t_batch, 6),
+                "speedup_evaluate_vs_seed": round(t_seed / t_eval, 2),
+                "speedup_batch_vs_seed": round(t_seed / t_batch, 2),
+                "speedup_batch_vs_evaluate": round(t_eval / t_batch, 2),
+            }
+        )
+
+    acceptance_row = next(r for r in results if r["n_support"] == ACCEPTANCE_N)
+    report = {
+        "benchmark": "query_engine",
+        "workload": {
+            "num_variables": NUM_VARIABLES,
+            "lattice": LATTICE,
+            "distance": DISTANCE,
+            "nn_min": NN_MIN,
+            "query_model": "clustered fractional sweep (20 queries/cell)",
+        },
+        "results": results,
+        "acceptance": {
+            "n_support": ACCEPTANCE_N,
+            "speedup_batch_vs_seed": acceptance_row["speedup_batch_vs_seed"],
+            "threshold": ACCEPTANCE_SPEEDUP,
+            "passed": acceptance_row["speedup_batch_vs_seed"] >= ACCEPTANCE_SPEEDUP,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_query_engine_speedup():
+    """The batch engine beats the seed hot path >= 5x at n=2000."""
+    report = run_benchmark()
+    assert report["acceptance"]["passed"], report["acceptance"]
+
+
+if __name__ == "__main__":
+    report = run_benchmark()
+    for row in report["results"]:
+        print(
+            f"n={row['n_support']:>5}  seed={row['seed_seconds']:.3f}s  "
+            f"evaluate={row['evaluate_seconds']:.3f}s  "
+            f"batch={row['evaluate_batch_seconds']:.3f}s  "
+            f"batch-vs-seed={row['speedup_batch_vs_seed']:.1f}x"
+        )
+    print("written:", RESULT_PATH)

@@ -22,10 +22,26 @@ from repro.core.crossval import (
     loo_cross_validate,
     select_variogram_loo,
 )
-from repro.core.distances import DistanceMetric, distance, pairwise_distances
+from repro.core.distances import (
+    DistanceMetric,
+    cross_distances,
+    distance,
+    pairwise_distances,
+)
 from repro.core.estimator import EstimationOutcome, KrigingEstimator
 from repro.core.fitting import FittedVariogram, fit_variogram, select_variogram
-from repro.core.kriging import KrigingResult, ordinary_kriging, simple_kriging
+from repro.core.index import (
+    BruteForceIndex,
+    LatticeBucketIndex,
+    NeighborIndex,
+    make_index,
+)
+from repro.core.kriging import (
+    KrigingResult,
+    ordinary_kriging,
+    ordinary_kriging_batch,
+    simple_kriging,
+)
 from repro.core.universal import linear_drift, quadratic_drift, universal_kriging
 from repro.core.models import (
     ExponentialVariogram,
@@ -43,6 +59,7 @@ __all__ = [
     "DistanceMetric",
     "distance",
     "pairwise_distances",
+    "cross_distances",
     "empirical_semivariogram",
     "EmpiricalVariogram",
     "VariogramModel",
@@ -56,12 +73,17 @@ __all__ = [
     "select_variogram",
     "FittedVariogram",
     "ordinary_kriging",
+    "ordinary_kriging_batch",
     "simple_kriging",
     "universal_kriging",
     "linear_drift",
     "quadratic_drift",
     "KrigingResult",
     "find_neighbors",
+    "NeighborIndex",
+    "BruteForceIndex",
+    "LatticeBucketIndex",
+    "make_index",
     "SimulationCache",
     "KrigingEstimator",
     "EstimationOutcome",

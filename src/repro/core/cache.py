@@ -4,6 +4,26 @@ Only *simulated* configurations enter the cache: "If the configuration is
 interpolated, it is not used for kriging other configurations"
 (Section III-B).  The cache also serves as an exact-hit memo so a
 configuration is never simulated twice.
+
+Performance
+-----------
+The store is the innermost data structure of the query engine, so both of
+its access patterns are O(1):
+
+* **Growth** — rows live in a single contiguous ``(capacity, Nv)`` array
+  that doubles whenever it fills (geometric growth), so ``add`` is
+  amortized O(1) and the rows of a given configuration never move relative
+  to each other (indices handed to a
+  :class:`~repro.core.index.NeighborIndex` stay valid).
+* **Access** — :attr:`points` / :attr:`values` return zero-copy, read-only
+  views of the filled prefix; no per-access materialization happens.  Views
+  taken before a growth keep the old buffer alive and stay valid (append-
+  only rows never change), they just do not see later additions.
+
+Exact-hit keys are the raw ``float64`` bytes of the configuration, so two
+configurations collide only when they are bit-identical (``-0.0`` is
+normalized to ``0.0`` first); non-lattice configurations such as ``[0.4]``
+and ``[0.2]`` are distinct keys.
 """
 
 from __future__ import annotations
@@ -11,6 +31,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["SimulationCache"]
+
+_INITIAL_CAPACITY = 64
 
 
 class SimulationCache:
@@ -26,51 +48,84 @@ class SimulationCache:
         if num_variables < 1:
             raise ValueError(f"num_variables must be >= 1, got {num_variables}")
         self.num_variables = num_variables
-        self._points: list[np.ndarray] = []
-        self._values: list[float] = []
-        self._index: dict[tuple[int, ...], int] = {}
+        self._data = np.empty((_INITIAL_CAPACITY, num_variables), dtype=np.float64)
+        self._vals = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
+        self._index: dict[bytes, int] = {}
 
     def __len__(self) -> int:
-        return len(self._points)
+        return self._n
 
     @property
     def points(self) -> np.ndarray:
-        """``(n, Nv)`` matrix of simulated configurations (``W_sim``)."""
-        if not self._points:
-            return np.empty((0, self.num_variables))
-        return np.vstack(self._points)
+        """``(n, Nv)`` matrix of simulated configurations (``W_sim``).
+
+        A zero-copy, read-only view of the backing store — O(1) per access.
+        """
+        view = self._data[: self._n]
+        view.flags.writeable = False
+        return view
 
     @property
     def values(self) -> np.ndarray:
-        """Metric values aligned with :attr:`points` (``lambda_sim``)."""
-        return np.asarray(self._values, dtype=np.float64)
+        """Metric values aligned with :attr:`points` (``lambda_sim``).
+
+        A zero-copy, read-only view of the backing store — O(1) per access.
+        """
+        view = self._vals[: self._n]
+        view.flags.writeable = False
+        return view
 
     @staticmethod
-    def _key(configuration: np.ndarray) -> tuple[int, ...]:
-        return tuple(int(round(float(x))) for x in configuration)
+    def _key(configuration: np.ndarray) -> bytes:
+        # + 0.0 folds -0.0 into 0.0 so the two hash identically; the raw
+        # float64 bytes then key on the *exact* coordinates — no rounding,
+        # so distinct non-lattice configurations never collide.
+        config = np.ascontiguousarray(configuration, dtype=np.float64) + 0.0
+        return config.tobytes()
 
-    def add(self, configuration: object, value: float) -> None:
-        """Record a simulated configuration and its measured metric value."""
+    def _coerce(self, configuration: object) -> np.ndarray:
         config = np.asarray(configuration, dtype=np.float64)
         if config.ndim != 1 or config.size != self.num_variables:
             raise ValueError(
                 f"configuration must have shape ({self.num_variables},), got {config.shape}"
             )
+        return config
+
+    def _grow(self) -> None:
+        capacity = 2 * self._data.shape[0]
+        data = np.empty((capacity, self.num_variables), dtype=np.float64)
+        vals = np.empty(capacity, dtype=np.float64)
+        data[: self._n] = self._data[: self._n]
+        vals[: self._n] = self._vals[: self._n]
+        self._data = data
+        self._vals = vals
+
+    def add(self, configuration: object, value: float) -> int:
+        """Record a simulated configuration; returns its row index."""
+        config = self._coerce(configuration)
         if not np.isfinite(value):
             raise ValueError(f"metric value must be finite, got {value}")
         key = self._key(config)
         if key in self._index:
-            raise ValueError(f"configuration {key} already simulated")
-        self._index[key] = len(self._points)
-        self._points.append(config.copy())
-        self._values.append(float(value))
+            raise ValueError(
+                f"configuration {config.tolist()} already simulated"
+            )
+        if self._n == self._data.shape[0]:
+            self._grow()
+        row = self._n
+        self._index[key] = row
+        self._data[row] = config
+        self._vals[row] = float(value)
+        self._n = row + 1
+        return row
 
     def lookup(self, configuration: object) -> float | None:
         """Exact-hit value for ``configuration``, or ``None`` if never simulated."""
-        config = np.asarray(configuration, dtype=np.float64)
+        config = self._coerce(configuration)
         index = self._index.get(self._key(config))
-        return self._values[index] if index is not None else None
+        return float(self._vals[index]) if index is not None else None
 
     def __contains__(self, configuration: object) -> bool:
-        config = np.asarray(configuration, dtype=np.float64)
+        config = self._coerce(configuration)
         return self._key(config) in self._index

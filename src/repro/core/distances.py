@@ -11,7 +11,16 @@ import enum
 
 import numpy as np
 
-__all__ = ["DistanceMetric", "distance", "pairwise_distances", "distances_to"]
+__all__ = [
+    "DistanceMetric",
+    "distance",
+    "pairwise_distances",
+    "distances_to",
+    "cross_distances",
+]
+
+_PAIRWISE_BLOCK_BYTES = 32 * 1024 * 1024
+"""Upper bound on the broadcast temporary of one pairwise block."""
 
 
 class DistanceMetric(enum.Enum):
@@ -78,15 +87,67 @@ def distances_to(
     return np.max(np.abs(diff), axis=1)
 
 
+def _reduce(diff: np.ndarray, metric: DistanceMetric) -> np.ndarray:
+    if metric is DistanceMetric.L1:
+        return np.sum(np.abs(diff), axis=-1)
+    if metric is DistanceMetric.L2:
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+    return np.max(np.abs(diff), axis=-1)
+
+
+def cross_distances(
+    a: np.ndarray,
+    b: np.ndarray,
+    metric: DistanceMetric | str = DistanceMetric.L1,
+) -> np.ndarray:
+    """``(len(a), len(b))`` distance matrix between two point sets.
+
+    Like :func:`pairwise_distances`, computed in row blocks so the
+    broadcast temporary stays bounded regardless of the input sizes.
+    """
+    metric = DistanceMetric.coerce(metric)
+    pa = _as_2d(a)
+    pb = _as_2d(b)
+    if pa.shape[1] != pb.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {pa.shape[1]} vs {pb.shape[1]} coordinates"
+        )
+    na, nv = pa.shape
+    nb = pb.shape[0]
+    if na * nb * max(nv, 1) * 8 <= _PAIRWISE_BLOCK_BYTES:
+        return _reduce(pa[:, None, :] - pb[None, :, :], metric)
+
+    block = max(1, _PAIRWISE_BLOCK_BYTES // (nb * max(nv, 1) * 8))
+    out = np.empty((na, nb), dtype=np.float64)
+    for start in range(0, na, block):
+        stop = min(start + block, na)
+        out[start:stop] = _reduce(pa[start:stop, None, :] - pb[None, :, :], metric)
+    return out
+
+
 def pairwise_distances(
     points: np.ndarray, metric: DistanceMetric | str = DistanceMetric.L1
 ) -> np.ndarray:
-    """Full symmetric distance matrix between the rows of ``points``."""
+    """Full symmetric distance matrix between the rows of ``points``.
+
+    Computed in row blocks over the upper triangle (mirrored into the lower)
+    so the broadcast temporary stays bounded (~32 MB) instead of
+    materializing the full ``(n, n, Nv)`` cube — past a few thousand points
+    the naive broadcast exhausts memory.
+    """
     metric = DistanceMetric.coerce(metric)
     pts = _as_2d(points)
-    diff = pts[:, None, :] - pts[None, :, :]
-    if metric is DistanceMetric.L1:
-        return np.sum(np.abs(diff), axis=2)
-    if metric is DistanceMetric.L2:
-        return np.sqrt(np.sum(diff * diff, axis=2))
-    return np.max(np.abs(diff), axis=2)
+    n, nv = pts.shape
+    if n * n * max(nv, 1) * 8 <= _PAIRWISE_BLOCK_BYTES:
+        return _reduce(pts[:, None, :] - pts[None, :, :], metric)
+
+    block = max(1, _PAIRWISE_BLOCK_BYTES // (n * max(nv, 1) * 8))
+    out = np.empty((n, n), dtype=np.float64)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        # Columns >= start only: earlier iterations already mirrored the
+        # columns < start of these rows (symmetry halves the work).
+        d = _reduce(pts[start:stop, None, :] - pts[None, start:, :], metric)
+        out[start:stop, start:] = d
+        out[start:, start:stop] = d.T
+    return out

@@ -10,20 +10,41 @@ never become support points (Section III-B).
 The semi-variogram is identified from the simulated values, once per
 metric/application (Section III-A) or periodically — both behaviours are
 available through ``refit_interval``.
+
+Performance
+-----------
+The query hot path is a vectorized engine with three layers:
+
+* the :class:`~repro.core.cache.SimulationCache` stores support points in a
+  contiguous geometrically-grown array, so ``points`` / ``values`` are
+  zero-copy O(1) views;
+* neighbourhood lookups route through a
+  :class:`~repro.core.index.NeighborIndex` (a coordinate-sum bucket index
+  on the integer lattice for L1/Linf, brute force otherwise), so a radius
+  query no longer scans every simulated point;
+* :meth:`KrigingEstimator.evaluate_batch` answers a whole sweep of queries
+  at once: runs of interpolations between two simulations are grouped by
+  support set and solved by
+  :func:`~repro.core.kriging.ordinary_kriging_batch`, which factorizes the
+  bordered Gamma matrix once per group and back-substitutes all right-hand
+  sides together.  The outcomes — simulate/interpolate decisions, final
+  cache contents, and values (to tight numerical tolerance) — match an
+  equivalent sequence of :meth:`~KrigingEstimator.evaluate` calls.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.cache import SimulationCache
 from repro.core.distances import DistanceMetric
 from repro.core.fitting import MODEL_KINDS, fit_variogram, select_variogram
-from repro.core.kriging import ordinary_kriging
+from repro.core.index import NeighborIndex, make_index
+from repro.core.kriging import ordinary_kriging, ordinary_kriging_batch
 from repro.core.models import LinearVariogram, VariogramModel
 from repro.core.neighborhood import find_neighbors
 from repro.core.universal import adaptive_linear_drift, universal_kriging
@@ -63,14 +84,31 @@ class EstimationOutcome:
 
 @dataclass
 class EstimatorStats:
-    """Aggregate counters of a :class:`KrigingEstimator`."""
+    """Aggregate counters of a :class:`KrigingEstimator`.
+
+    Neighbour counts are streamed into ``neighbor_count_sum`` so
+    :attr:`mean_neighbors` stays exact without unbounded memory.  The
+    per-interpolation distribution (``neighbor_counts``) is **deprecated**
+    and only recorded when ``track_neighbor_counts`` is set — the ablation
+    benches that plot the distribution opt in; everything else runs with
+    O(1) stats.
+    """
 
     n_simulated: int = 0
     n_interpolated: int = 0
     n_exact_hits: int = 0
+    neighbor_count_sum: int = 0
+    track_neighbor_counts: bool = False
     neighbor_counts: list[int] = field(default_factory=list)
     simulation_seconds: float = 0.0
     kriging_seconds: float = 0.0
+
+    def record_interpolation(self, n_neighbors: int) -> None:
+        """Count one interpolation answered with ``n_neighbors`` support points."""
+        self.n_interpolated += 1
+        self.neighbor_count_sum += int(n_neighbors)
+        if self.track_neighbor_counts:
+            self.neighbor_counts.append(int(n_neighbors))
 
     @property
     def n_queries(self) -> int:
@@ -88,9 +126,9 @@ class EstimatorStats:
     @property
     def mean_neighbors(self) -> float:
         """Mean support size per interpolation (paper's ``j`` column)."""
-        if not self.neighbor_counts:
+        if self.n_interpolated == 0:
             return float("nan")
-        return float(np.mean(self.neighbor_counts))
+        return self.neighbor_count_sum / self.n_interpolated
 
 
 class KrigingEstimator:
@@ -135,6 +173,14 @@ class KrigingEstimator:
         trends when extrapolating.  Ill-posed drift systems (too few or
         degenerate support points) transparently fall back to ordinary
         kriging.
+    neighbor_index:
+        Index kind for neighbourhood lookups: ``"auto"`` (default — the
+        lattice bucket index for L1/Linf, brute force for L2), ``"bucket"``
+        or ``"brute"``.  Purely a performance knob: results are identical.
+    track_neighbor_counts:
+        Record the deprecated per-interpolation ``stats.neighbor_counts``
+        distribution (off by default; ``mean_neighbors`` stays exact either
+        way).
     """
 
     def __init__(
@@ -151,6 +197,8 @@ class KrigingEstimator:
         max_neighbors: int | None = None,
         max_variance: float | None = None,
         interpolator: str = "ordinary",
+        neighbor_index: str = "auto",
+        track_neighbor_counts: bool = False,
     ) -> None:
         if distance < 0:
             raise ValueError(f"distance must be >= 0, got {distance}")
@@ -176,7 +224,10 @@ class KrigingEstimator:
         self.nn_min = int(nn_min)
         self.metric = DistanceMetric.coerce(metric)
         self.cache = SimulationCache(num_variables)
-        self.stats = EstimatorStats()
+        self.neighbor_index: NeighborIndex = make_index(
+            self.metric, num_variables, neighbor_index
+        )
+        self.stats = EstimatorStats(track_neighbor_counts=track_neighbor_counts)
         self._variogram_spec = variogram
         self._min_fit_points = min_fit_points
         self._refit_interval = refit_interval
@@ -217,6 +268,38 @@ class KrigingEstimator:
         return self._current_variogram()
 
     # ------------------------------------------------------------------
+    # shared steps
+    # ------------------------------------------------------------------
+    def _exact_hit_outcome(self, cached: float) -> EstimationOutcome:
+        self.stats.n_exact_hits += 1
+        return EstimationOutcome(
+            value=cached,
+            interpolated=True,
+            n_neighbors=1,
+            variance=0.0,
+            exact_hit=True,
+        )
+
+    def _find_neighbors(self, config: np.ndarray) -> np.ndarray:
+        return find_neighbors(
+            self.cache.points,
+            config,
+            self.distance,
+            metric=self.metric,
+            max_neighbors=self._max_neighbors,
+            index=self.neighbor_index,
+        )
+
+    def _record_simulation(self, config: np.ndarray, n_neighbors: int) -> EstimationOutcome:
+        start = time.perf_counter()
+        value = float(self._simulate(config))
+        self.stats.simulation_seconds += time.perf_counter() - start
+        row = self.cache.add(config, value)
+        self.neighbor_index.insert(config, row)
+        self.stats.n_simulated += 1
+        return EstimationOutcome(value=value, interpolated=False, n_neighbors=n_neighbors)
+
+    # ------------------------------------------------------------------
     # the policy
     # ------------------------------------------------------------------
     def evaluate(self, configuration: object) -> EstimationOutcome:
@@ -225,22 +308,9 @@ class KrigingEstimator:
 
         cached = self.cache.lookup(config)
         if cached is not None:
-            self.stats.n_exact_hits += 1
-            return EstimationOutcome(
-                value=cached,
-                interpolated=True,
-                n_neighbors=1,
-                variance=0.0,
-                exact_hit=True,
-            )
+            return self._exact_hit_outcome(cached)
 
-        neighbors = find_neighbors(
-            self.cache.points,
-            config,
-            self.distance,
-            metric=self.metric,
-            max_neighbors=self._max_neighbors,
-        )
+        neighbors = self._find_neighbors(config)
         n_neighbors = int(neighbors.size)
 
         if n_neighbors > self.nn_min:
@@ -269,8 +339,7 @@ class KrigingEstimator:
                 )
             self.stats.kriging_seconds += time.perf_counter() - start
             if self._max_variance is None or result.variance <= self._max_variance:
-                self.stats.n_interpolated += 1
-                self.stats.neighbor_counts.append(n_neighbors)
+                self.stats.record_interpolation(n_neighbors)
                 return EstimationOutcome(
                     value=result.estimate,
                     interpolated=True,
@@ -278,12 +347,125 @@ class KrigingEstimator:
                     variance=result.variance,
                 )
 
+        return self._record_simulation(config, n_neighbors)
+
+    def evaluate_batch(self, configurations: Sequence[object]) -> list[EstimationOutcome]:
+        """Answer a sweep of metric queries through the batch engine.
+
+        Semantically equivalent to calling :meth:`evaluate` on each row in
+        order — same simulate/interpolate decisions, same final cache
+        contents, and values equal to tight numerical tolerance (grouped
+        solves may reorder a support set, shifting results by last-ulp
+        rounding) — but much faster: queries are processed in input
+        order for *decisions* (each sees exactly the cache state its
+        sequential twin would), while the kriging *solves* of consecutive
+        interpolations are deferred and grouped by support set.  Each group
+        shares one bordered-matrix factorization
+        (:func:`~repro.core.kriging.ordinary_kriging_batch`).  Deferred
+        groups are flushed before any simulation, so variogram
+        re-identification happens at exactly the sequential schedule.
+
+        With ``max_variance`` set the policy is inherently sequential (a
+        rejected interpolation becomes a simulation that changes later
+        decisions), so the loop falls back to per-query :meth:`evaluate`.
+        """
+        configs = np.asarray(configurations, dtype=np.float64)
+        if configs.ndim != 2 or configs.shape[1] != self.cache.num_variables:
+            raise ValueError(
+                f"configurations must have shape (m, {self.cache.num_variables}), "
+                f"got {configs.shape}"
+            )
+        if configs.shape[0] == 0:
+            return []
+        if self._max_variance is not None:
+            return [self.evaluate(config) for config in configs]
+
+        outcomes: list[EstimationOutcome | None] = [None] * configs.shape[0]
+        # support signature -> [(position, config, neighbors-in-distance-order)]
+        pending: dict[tuple[int, ...], list[tuple[int, np.ndarray, np.ndarray]]] = {}
+
+        for pos in range(configs.shape[0]):
+            config = configs[pos]
+            cached = self.cache.lookup(config)
+            if cached is not None:
+                outcomes[pos] = self._exact_hit_outcome(cached)
+                continue
+            neighbors = self._find_neighbors(config)
+            n_neighbors = int(neighbors.size)
+            if n_neighbors > self.nn_min:
+                # Defer the solve; group by the (order-free) support set.
+                # Stats are recorded at flush time, when the outcome
+                # actually exists, so a simulator failure mid-batch cannot
+                # leave counters claiming interpolations never delivered.
+                signature = tuple(sorted(neighbors.tolist()))
+                pending.setdefault(signature, []).append((pos, config, neighbors))
+            else:
+                # A simulation mutates the cache (and possibly the
+                # variogram): solve everything deferred so far first.
+                self._flush_pending(pending, outcomes)
+                outcomes[pos] = self._record_simulation(config, n_neighbors)
+        self._flush_pending(pending, outcomes)
+
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _flush_pending(
+        self,
+        pending: dict[tuple[int, ...], list[tuple[int, np.ndarray, np.ndarray]]],
+        outcomes: list[EstimationOutcome | None],
+    ) -> None:
+        """Solve all deferred interpolations against the current cache state."""
+        if not pending:
+            return
         start = time.perf_counter()
-        value = float(self._simulate(config))
-        self.stats.simulation_seconds += time.perf_counter() - start
-        self.cache.add(config, value)
-        self.stats.n_simulated += 1
-        return EstimationOutcome(value=value, interpolated=False, n_neighbors=n_neighbors)
+        variogram = self._current_variogram()
+        points = self.cache.points
+        values = self.cache.values
+        for signature, items in pending.items():
+            if self.interpolator == "universal" or len(items) == 1:
+                # Per-query solve; use the distance-ordered neighbour list so
+                # the result matches the sequential path bit for bit.
+                for pos, config, neighbors in items:
+                    support_points = points[neighbors]
+                    support_values = values[neighbors]
+                    if self.interpolator == "universal":
+                        result = universal_kriging(
+                            support_points,
+                            support_values,
+                            config,
+                            variogram,
+                            drift=adaptive_linear_drift(support_points),
+                            metric=self.metric,
+                        )
+                    else:
+                        result = ordinary_kriging(
+                            support_points, support_values, config, variogram,
+                            metric=self.metric,
+                        )
+                    outcomes[pos] = EstimationOutcome(
+                        value=result.estimate,
+                        interpolated=True,
+                        n_neighbors=int(neighbors.size),
+                        variance=result.variance,
+                    )
+                    self.stats.record_interpolation(int(neighbors.size))
+            else:
+                support = np.asarray(signature, dtype=np.int64)
+                queries = np.stack([config for _, config, _ in items])
+                results = ordinary_kriging_batch(
+                    points[support], values[support], queries, variogram,
+                    metric=self.metric,
+                )
+                for (pos, _, neighbors), result in zip(items, results):
+                    outcomes[pos] = EstimationOutcome(
+                        value=result.estimate,
+                        interpolated=True,
+                        n_neighbors=int(neighbors.size),
+                        variance=result.variance,
+                    )
+                    self.stats.record_interpolation(int(neighbors.size))
+        self.stats.kriging_seconds += time.perf_counter() - start
+        pending.clear()
 
     def force_simulate(self, configuration: object) -> EstimationOutcome:
         """Simulate ``configuration`` regardless of the neighbourhood policy.
@@ -295,17 +477,5 @@ class KrigingEstimator:
         config = np.asarray(configuration, dtype=np.float64)
         cached = self.cache.lookup(config)
         if cached is not None:
-            self.stats.n_exact_hits += 1
-            return EstimationOutcome(
-                value=cached,
-                interpolated=True,
-                n_neighbors=1,
-                variance=0.0,
-                exact_hit=True,
-            )
-        start = time.perf_counter()
-        value = float(self._simulate(config))
-        self.stats.simulation_seconds += time.perf_counter() - start
-        self.cache.add(config, value)
-        self.stats.n_simulated += 1
-        return EstimationOutcome(value=value, interpolated=False, n_neighbors=0)
+            return self._exact_hit_outcome(cached)
+        return self._record_simulation(config, 0)

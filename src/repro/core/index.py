@@ -1,0 +1,190 @@
+"""Spatial indices over the simulated-configuration set.
+
+The interpolate-or-simulate policy asks one spatial question per query:
+*which support points lie within distance* ``d``?  The seed implementation
+answered it by scanning every simulated point; this module provides
+incremental indices that prune that scan.
+
+Design
+------
+An index is a *candidate generator*, not an exact filter: :meth:`~
+NeighborIndex.candidates` returns a superset of the true in-radius points
+(in ascending insertion order) and the caller —
+:func:`repro.core.neighborhood.find_neighbors` — applies the exact distance
+test to the candidates only.  This split keeps every index trivially
+correct: a sloppy bound costs speed, never accuracy.
+
+Two implementations are provided:
+
+* :class:`BruteForceIndex` — the always-valid fallback: every inserted
+  point is a candidate.  Used for metrics without a useful projection
+  bound (a KD-tree for L2 is a ROADMAP open item).
+* :class:`LatticeBucketIndex` — a bucket grid over the 1-D *coordinate-sum
+  projection* ``s(w) = sum_j w_j``, sized for the integer configuration
+  lattice the word-length problems live on.  The projection is
+  1-Lipschitz under L1 (``|s(a) - s(b)| <= ||a - b||_1``), so an L1 radius
+  query only needs the ``2d + 1`` buckets with ``|s - s_q| <= d`` — on
+  optimizer trajectories, whose total word-length varies widely, this
+  discards the vast majority of points without looking at them.  Linf and
+  L2 queries use the weaker (but still exact) bounds
+  ``|s(a) - s(b)| <= Nv * Linf`` and ``|s(a) - s(b)| <= sqrt(Nv) * L2``.
+
+Insertion is O(1); a radius query touches only the candidate buckets.
+Indices identify points by the integer row they were inserted with (the
+:class:`~repro.core.cache.SimulationCache` row), so cache and index grow in
+lockstep.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.core.distances import DistanceMetric
+
+__all__ = [
+    "NeighborIndex",
+    "BruteForceIndex",
+    "LatticeBucketIndex",
+    "make_index",
+]
+
+
+class NeighborIndex(abc.ABC):
+    """Incremental candidate index over numbered points."""
+
+    def __init__(self, num_variables: int) -> None:
+        if num_variables < 1:
+            raise ValueError(f"num_variables must be >= 1, got {num_variables}")
+        self.num_variables = num_variables
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @abc.abstractmethod
+    def insert(self, point: np.ndarray, row: int) -> None:
+        """Register ``point`` under index ``row``.
+
+        Rows must be inserted in increasing order (0, 1, 2, ...) — the
+        cache row of each simulated configuration.
+        """
+
+    @abc.abstractmethod
+    def candidates(self, query: np.ndarray, radius: float) -> np.ndarray:
+        """Superset of the rows within ``radius`` of ``query``.
+
+        Returns an int64 array in ascending row order, so downstream
+        stable sorts preserve insertion (= simulation) order on ties.
+        """
+
+    def _checked_insert(self, row: int) -> None:
+        if row != self._n:
+            raise ValueError(f"rows must be inserted in order; expected {self._n}, got {row}")
+        self._n = row + 1
+
+
+class BruteForceIndex(NeighborIndex):
+    """No pruning: every inserted point is a candidate (the seed behaviour)."""
+
+    def insert(self, point: np.ndarray, row: int) -> None:
+        self._checked_insert(row)
+
+    def candidates(self, query: np.ndarray, radius: float) -> np.ndarray:
+        return np.arange(self._n, dtype=np.int64)
+
+
+class LatticeBucketIndex(NeighborIndex):
+    """Buckets on the coordinate-sum projection of the integer lattice.
+
+    Parameters
+    ----------
+    num_variables:
+        Dimension ``Nv`` of the configurations.
+    metric:
+        Distance metric the radius bound is derived for.
+    bucket_width:
+        Projection width of one bucket.  The default of 1.0 matches the
+        integer configuration lattice, where sums are integers.
+    """
+
+    def __init__(
+        self,
+        num_variables: int,
+        metric: DistanceMetric | str = DistanceMetric.L1,
+        *,
+        bucket_width: float = 1.0,
+    ) -> None:
+        super().__init__(num_variables)
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be > 0, got {bucket_width}")
+        self.metric = DistanceMetric.coerce(metric)
+        self.bucket_width = float(bucket_width)
+        self._buckets: dict[int, list[int]] = {}
+
+    def _bucket_of(self, total: float) -> int:
+        return int(math.floor(total / self.bucket_width))
+
+    def _projection_bound(self, radius: float) -> float:
+        # |sum(a) - sum(b)| <= c * dist(a, b) with the metric-specific
+        # Lipschitz constant c of the coordinate-sum projection.
+        if self.metric is DistanceMetric.L1:
+            return radius
+        if self.metric is DistanceMetric.L2:
+            return radius * math.sqrt(self.num_variables)
+        return radius * self.num_variables  # Linf
+
+    def insert(self, point: np.ndarray, row: int) -> None:
+        self._checked_insert(row)
+        total = float(np.sum(np.asarray(point, dtype=np.float64)))
+        self._buckets.setdefault(self._bucket_of(total), []).append(row)
+
+    def candidates(self, query: np.ndarray, radius: float) -> np.ndarray:
+        if self._n == 0:
+            return np.empty(0, dtype=np.int64)
+        total = float(np.sum(np.asarray(query, dtype=np.float64)))
+        bound = self._projection_bound(radius)
+        lo = self._bucket_of(total - bound)
+        hi = self._bucket_of(total + bound)
+        if hi - lo + 1 >= len(self._buckets):
+            # Range wider than the occupied-bucket count: walking the dict
+            # beats enumerating [lo, hi], but occupied buckets can still lie
+            # outside the range — keep the bound filter.
+            rows = [
+                row
+                for b, bucket in self._buckets.items()
+                if lo <= b <= hi
+                for row in bucket
+            ]
+        else:
+            rows = []
+            for b in range(lo, hi + 1):
+                bucket = self._buckets.get(b)
+                if bucket is not None:
+                    rows.extend(bucket)
+        out = np.asarray(rows, dtype=np.int64)
+        out.sort()
+        return out
+
+
+def make_index(
+    metric: DistanceMetric | str,
+    num_variables: int,
+    kind: str = "auto",
+) -> NeighborIndex:
+    """Build the neighbourhood index for a metric.
+
+    ``kind`` is ``"auto"`` (bucket index for L1/Linf, brute force for L2 —
+    the sqrt(Nv) projection bound prunes too little to pay for itself),
+    ``"bucket"`` or ``"brute"``.
+    """
+    metric = DistanceMetric.coerce(metric)
+    if kind == "auto":
+        kind = "brute" if metric is DistanceMetric.L2 else "bucket"
+    if kind == "bucket":
+        return LatticeBucketIndex(num_variables, metric)
+    if kind == "brute":
+        return BruteForceIndex(num_variables)
+    raise ValueError(f"unknown index kind {kind!r}; expected 'auto', 'bucket' or 'brute'")

@@ -4,6 +4,11 @@ For every benchmark and every neighbourhood distance ``d in {2, 3, 4, 5}``
 (the paper's sweep), the recorded ground-truth trajectory is replayed under
 the kriging policy and the four Table I statistics are extracted: ``p(%)``,
 mean support size ``j``, ``max eps`` and ``mu eps``.
+
+Each replay routes the whole trajectory through the vectorized batch query
+engine (:meth:`repro.core.estimator.KrigingEstimator.evaluate_batch`), so a
+distance sweep costs one trajectory recording plus a handful of batched
+replays — the expensive optimizer run is never repeated.
 """
 
 from __future__ import annotations

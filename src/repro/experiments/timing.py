@@ -20,13 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.kriging import ordinary_kriging
+from repro.core.kriging import ordinary_kriging, ordinary_kriging_batch
 from repro.core.models import LinearVariogram
 
 __all__ = [
     "SpeedupProjection",
     "project_speedup",
     "measure_kriging_time",
+    "measure_batch_kriging_time",
     "measure_simulation_time",
     "PAPER_SIMULATION_TIMES",
 ]
@@ -132,6 +133,39 @@ def measure_kriging_time(
     for _ in range(repetitions):
         ordinary_kriging(points, values, query, variogram)
     return (time.perf_counter() - start) / repetitions
+
+
+def measure_batch_kriging_time(
+    *,
+    n_support: int = 4,
+    n_queries: int = 64,
+    num_variables: int = 10,
+    repetitions: int = 20,
+    seed: int = 0,
+) -> float:
+    """Mean wall-clock seconds *per query* of one batched interpolation.
+
+    Measures :func:`~repro.core.kriging.ordinary_kriging_batch` over a
+    shared support set — the amortized per-query cost the batch engine
+    achieves when a sweep's interpolations share their support, to compare
+    against :func:`measure_kriging_time` (the per-call cost the Eq. 2 model
+    uses for ``t_krig``).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    rng = np.random.default_rng(seed)
+    points = rng.integers(4, 16, size=(n_support, num_variables)).astype(float)
+    values = rng.normal(-60.0, 5.0, size=n_support)
+    queries = rng.integers(4, 16, size=(n_queries, num_variables)).astype(float)
+    variogram = LinearVariogram(1.0)
+
+    ordinary_kriging_batch(points, values, queries, variogram)  # warm-up
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        ordinary_kriging_batch(points, values, queries, variogram)
+    return (time.perf_counter() - start) / (repetitions * n_queries)
 
 
 def measure_simulation_time(simulate, configuration, *, repetitions: int = 3) -> float:

@@ -80,12 +80,16 @@ class NoiseBudgetingDescent:
 
         while True:
             candidate_values = np.full(problem.num_variables, problem.sense.worst)
-            for i in range(problem.num_variables):
-                if w[i] <= problem.min_value:
-                    continue
-                trial = w.copy()
-                trial[i] -= 1
-                candidate_values[i] = self.evaluator.evaluate(trial, phase="greedy")
+            # The -1 competition mirrors Algorithm 2's sweep; batch it so a
+            # kriging-backed evaluator shares factorizations across trials.
+            open_vars = [
+                i for i in range(problem.num_variables) if w[i] > problem.min_value
+            ]
+            if open_vars:
+                trials = np.repeat(w[None, :], len(open_vars), axis=0)
+                trials[np.arange(len(open_vars)), open_vars] -= 1
+                values = self.evaluator.evaluate_batch(trials, phase="greedy")
+                candidate_values[open_vars] = values
 
             feasible = [
                 i

@@ -49,6 +49,19 @@ class MetricEvaluator(abc.ABC):
         self.trace.append(record)
         return record.value
 
+    def evaluate_batch(
+        self, configurations: object, *, phase: str = ""
+    ) -> list[float]:
+        """Evaluate a sweep of configurations, logging each query in order.
+
+        Semantically an in-order sequence of :meth:`evaluate` calls — the
+        trace records the same queries with the same values.  Kriging-backed
+        evaluators override this to route the sweep through the batch query
+        engine (shared kriging factorizations); the base implementation just
+        loops.
+        """
+        return [self.evaluate(config, phase=phase) for config in configurations]
+
     def ensure_simulated(self, configuration: object, *, phase: str = "") -> float:
         """Return a *measured* metric value for ``configuration``.
 
@@ -101,27 +114,49 @@ class KrigingMetricEvaluator(MetricEvaluator):
         super().__init__()
         self.estimator = estimator
 
-    def _evaluate(self, configuration: np.ndarray) -> EvaluationRecord:
-        outcome = self.estimator.evaluate(configuration)
+    @staticmethod
+    def _outcome_record(
+        config: np.ndarray, outcome, *, phase: str = ""
+    ) -> EvaluationRecord:
+        """Translate an EstimationOutcome into a trace record."""
         return EvaluationRecord(
-            configuration=tuple(int(x) for x in configuration),
-            value=outcome.value,
-            simulated=not outcome.interpolated,
-            exact_hit=outcome.exact_hit,
-            n_neighbors=outcome.n_neighbors,
-        )
-
-    def ensure_simulated(self, configuration: object, *, phase: str = "") -> float:
-        """Measure ``configuration`` (bypassing interpolation) and log it."""
-        config = np.asarray(configuration, dtype=np.int64)
-        outcome = self.estimator.force_simulate(config)
-        record = EvaluationRecord(
             configuration=tuple(int(x) for x in config),
             value=outcome.value,
             simulated=not outcome.interpolated,
             exact_hit=outcome.exact_hit,
             n_neighbors=outcome.n_neighbors,
             phase=phase,
+        )
+
+    def _evaluate(self, configuration: np.ndarray) -> EvaluationRecord:
+        return self._outcome_record(
+            configuration, self.estimator.evaluate(configuration)
+        )
+
+    def evaluate_batch(
+        self, configurations: object, *, phase: str = ""
+    ) -> list[float]:
+        """Route a sweep through the estimator's batch engine.
+
+        Outcomes (values, decisions, cache contents) are identical to an
+        in-order sequence of :meth:`evaluate` calls; consecutive
+        interpolations share kriging factorizations.
+        """
+        configs = np.asarray(configurations, dtype=np.int64)
+        if configs.ndim != 2:
+            raise ValueError(f"configurations must be 2-D, got shape {configs.shape}")
+        values: list[float] = []
+        for config, outcome in zip(configs, self.estimator.evaluate_batch(configs)):
+            record = self._outcome_record(config, outcome, phase=phase)
+            self.trace.append(record)
+            values.append(record.value)
+        return values
+
+    def ensure_simulated(self, configuration: object, *, phase: str = "") -> float:
+        """Measure ``configuration`` (bypassing interpolation) and log it."""
+        config = np.asarray(configuration, dtype=np.int64)
+        record = self._outcome_record(
+            config, self.estimator.force_simulate(config), phase=phase
         )
         self.trace.append(record)
         return record.value

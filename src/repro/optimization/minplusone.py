@@ -112,12 +112,15 @@ def optimize_wordlengths(
 
     while True:
         candidate_values = np.full(problem.num_variables, problem.sense.worst)
-        for i in range(problem.num_variables):
-            if w[i] >= problem.max_value:
-                continue
-            trial = w.copy()
-            trial[i] += 1
-            candidate_values[i] = evaluator.evaluate(trial, phase="greedy")
+        # The +1 competition is a sweep of independent queries: issue it
+        # through the evaluator's batch path so a kriging-backed oracle can
+        # share factorizations (outcomes identical to a per-trial loop).
+        open_vars = [i for i in range(problem.num_variables) if w[i] < problem.max_value]
+        if open_vars:
+            trials = np.repeat(w[None, :], len(open_vars), axis=0)
+            trials[np.arange(len(open_vars)), open_vars] += 1
+            values = evaluator.evaluate_batch(trials, phase="greedy")
+            candidate_values[open_vars] = values
 
         if not np.any(np.isfinite(candidate_values)):
             # Every variable saturated at Nmax without meeting the

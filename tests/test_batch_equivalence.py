@@ -1,0 +1,127 @@
+"""Batch query engine equivalence (the vectorized hot path's contract).
+
+``KrigingEstimator.evaluate_batch`` must produce outcomes identical to an
+equivalent sequence of ``evaluate`` calls: same values, same
+simulate/interpolate decisions, same final cache contents.  Verified here
+over two real workloads (FIR and SqueezeNet recorded trajectories — one
+minplusone word-length problem, one descent sensitivity problem) plus
+synthetic stress cases (variogram refitting, universal kriging,
+max_neighbors caps).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KrigingEstimator
+from repro.experiments.registry import build_benchmark
+
+
+def _make_pair(simulate, nv, **kwargs):
+    return (
+        KrigingEstimator(simulate, nv, **kwargs),
+        KrigingEstimator(simulate, nv, **kwargs),
+    )
+
+
+def assert_equivalent(configs, simulate, nv, **kwargs):
+    sequential, batched = _make_pair(simulate, nv, **kwargs)
+    seq_out = [sequential.evaluate(config) for config in configs]
+    bat_out = batched.evaluate_batch(configs)
+
+    assert [o.interpolated for o in seq_out] == [o.interpolated for o in bat_out]
+    assert [o.exact_hit for o in seq_out] == [o.exact_hit for o in bat_out]
+    assert [o.n_neighbors for o in seq_out] == [o.n_neighbors for o in bat_out]
+    np.testing.assert_allclose(
+        [o.value for o in seq_out], [o.value for o in bat_out], rtol=1e-9, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        [o.variance for o in seq_out],
+        [o.variance for o in bat_out],
+        rtol=1e-6,
+        atol=1e-9,
+    )
+    # Same cache contents, bit for bit (same configurations simulated, in
+    # the same order, with the same measured values).
+    np.testing.assert_array_equal(sequential.cache.points, batched.cache.points)
+    np.testing.assert_array_equal(sequential.cache.values, batched.cache.values)
+    # Same aggregate statistics.
+    assert sequential.stats.n_simulated == batched.stats.n_simulated
+    assert sequential.stats.n_interpolated == batched.stats.n_interpolated
+    assert sequential.stats.n_exact_hits == batched.stats.n_exact_hits
+    assert sequential.stats.neighbor_count_sum == batched.stats.neighbor_count_sum
+    return seq_out
+
+
+@pytest.mark.parametrize("name", ["fir", "squeezenet"])
+@pytest.mark.parametrize("distance", [2, 3])
+def test_workload_trajectory_equivalence(name, distance):
+    """Acceptance check on two paper workloads' recorded trajectories."""
+    setup = build_benchmark(name, "small")
+    trace = setup.record_trajectory()
+    unique = trace.unique_first_visits()
+    configs = np.asarray(unique.configurations, dtype=np.float64)
+    truth = {tuple(c): float(v) for c, v in zip(configs.tolist(), unique.values)}
+
+    def lookup(config):
+        return truth[tuple(np.asarray(config, dtype=np.float64).tolist())]
+
+    outcomes = assert_equivalent(
+        configs,
+        lookup,
+        configs.shape[1],
+        distance=distance,
+        nn_min=1,
+        variogram="auto",
+        min_fit_points=4,
+        refit_interval=1,
+    )
+    assert any(o.interpolated for o in outcomes)
+    assert any(not o.interpolated for o in outcomes)
+
+
+def _smooth_field(config):
+    c = np.asarray(config, dtype=float)
+    coeffs = np.resize(np.array([1.0, -2.0, 0.5, 0.25]), c.size)
+    return float(c @ coeffs + 3.0)
+
+
+def test_equivalence_with_refitting_and_revisits():
+    rng = np.random.default_rng(11)
+    configs = rng.integers(2, 9, size=(150, 3)).astype(float)  # dense: revisits
+    assert_equivalent(
+        configs, _smooth_field, 3,
+        distance=3, variogram="linear", min_fit_points=4, refit_interval=2,
+    )
+
+
+def test_equivalence_universal_interpolator():
+    rng = np.random.default_rng(5)
+    configs = rng.integers(2, 10, size=(80, 3)).astype(float)
+    assert_equivalent(
+        configs, _smooth_field, 3,
+        distance=4, interpolator="universal", variogram="linear",
+    )
+
+
+def test_equivalence_with_max_neighbors():
+    rng = np.random.default_rng(9)
+    configs = rng.integers(0, 8, size=(120, 2)).astype(float)
+    assert_equivalent(
+        configs, _smooth_field, 2, distance=6, max_neighbors=3,
+    )
+
+
+def test_equivalence_with_max_variance_guard():
+    """max_variance forces the sequential fallback — still equivalent."""
+    rng = np.random.default_rng(13)
+    configs = rng.integers(0, 10, size=(60, 2)).astype(float)
+    assert_equivalent(
+        configs, _smooth_field, 2, distance=5, max_variance=2.0,
+    )
+
+
+def test_batch_empty_and_validation():
+    est = KrigingEstimator(_smooth_field, 3)
+    assert est.evaluate_batch(np.empty((0, 3))) == []
+    with pytest.raises(ValueError, match="shape"):
+        est.evaluate_batch(np.zeros((4, 2)))

@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.index (neighborhood candidate indices)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import DistanceMetric, distances_to
+from repro.core.index import BruteForceIndex, LatticeBucketIndex, make_index
+from repro.core.neighborhood import find_neighbors
+
+
+def _fill(index, points):
+    for row, point in enumerate(points):
+        index.insert(point, row)
+
+
+class TestBruteForceIndex:
+    def test_all_points_are_candidates(self):
+        pts = np.array([[0, 0], [3, 1], [9, 9]], dtype=float)
+        index = BruteForceIndex(2)
+        _fill(index, pts)
+        np.testing.assert_array_equal(index.candidates(np.array([0.0, 0.0]), 1.0), [0, 1, 2])
+
+    def test_empty(self):
+        index = BruteForceIndex(2)
+        assert index.candidates(np.array([0.0, 0.0]), 5.0).size == 0
+
+    def test_out_of_order_insert_rejected(self):
+        index = BruteForceIndex(2)
+        with pytest.raises(ValueError, match="in order"):
+            index.insert(np.array([0.0, 0.0]), 3)
+
+
+class TestLatticeBucketIndex:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    def test_candidates_are_superset_of_true_neighbors(self, metric):
+        rng = np.random.default_rng(42)
+        pts = rng.integers(0, 12, size=(200, 4)).astype(float)
+        index = LatticeBucketIndex(4, metric)
+        _fill(index, pts)
+        for _ in range(25):
+            query = rng.integers(0, 12, size=4).astype(float)
+            radius = float(rng.integers(1, 5))
+            candidates = set(index.candidates(query, radius).tolist())
+            true = set(np.flatnonzero(distances_to(pts, query, metric) <= radius).tolist())
+            assert true <= candidates
+
+    def test_candidates_ascending(self):
+        rng = np.random.default_rng(3)
+        pts = rng.integers(0, 8, size=(60, 3)).astype(float)
+        index = LatticeBucketIndex(3)
+        _fill(index, pts)
+        cand = index.candidates(np.array([4.0, 4.0, 4.0]), 3.0)
+        assert np.all(np.diff(cand) > 0)
+
+    def test_prunes_far_points(self):
+        # Two well-separated clusters: querying one must not scan the other.
+        near = np.zeros((10, 3))
+        near[:, 0] = np.arange(10)
+        far = np.full((10, 3), 50.0)
+        pts = np.vstack([near, far])
+        index = LatticeBucketIndex(3)
+        _fill(index, pts)
+        cand = index.candidates(np.zeros(3), 3.0)
+        assert set(cand.tolist()) <= set(range(10))
+
+    def test_incremental_insertion(self):
+        index = LatticeBucketIndex(2)
+        index.insert(np.array([1.0, 1.0]), 0)
+        assert index.candidates(np.array([1.0, 1.0]), 1.0).tolist() == [0]
+        index.insert(np.array([2.0, 1.0]), 1)
+        assert index.candidates(np.array([1.0, 1.0]), 1.0).tolist() == [0, 1]
+
+    def test_bad_bucket_width_rejected(self):
+        with pytest.raises(ValueError, match="bucket_width"):
+            LatticeBucketIndex(2, bucket_width=0.0)
+
+    def test_sparse_buckets_still_pruned(self):
+        """The wide-range dict walk must keep the [lo, hi] bound filter."""
+        index = LatticeBucketIndex(2)
+        # Occupied sums: 0..5 plus a far cluster at 150 — few buckets, so a
+        # radius-3 query takes the dict-walk shortcut.
+        for row, s in enumerate([0, 1, 2, 3, 4, 5]):
+            index.insert(np.array([float(s), 0.0]), row)
+        index.insert(np.array([150.0, 0.0]), 6)
+        cand = index.candidates(np.array([0.0, 0.0]), 3.0)
+        assert 6 not in cand.tolist()
+        assert set(cand.tolist()) == {0, 1, 2, 3}
+
+
+class TestMakeIndex:
+    def test_auto_selection(self):
+        assert isinstance(make_index("l1", 3), LatticeBucketIndex)
+        assert isinstance(make_index("linf", 3), LatticeBucketIndex)
+        assert isinstance(make_index("l2", 3), BruteForceIndex)
+
+    def test_explicit_kinds(self):
+        assert isinstance(make_index("l2", 3, "bucket"), LatticeBucketIndex)
+        assert isinstance(make_index("l1", 3, "brute"), BruteForceIndex)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="index kind"):
+            make_index("l1", 3, "kdtree")
+
+
+class TestFindNeighborsWithIndex:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    @pytest.mark.parametrize("kind", ["brute", "bucket"])
+    def test_identical_to_unindexed(self, metric, kind):
+        rng = np.random.default_rng(7)
+        pts = rng.integers(0, 10, size=(150, 5)).astype(float)
+        index = make_index(metric, 5, kind)
+        _fill(index, pts)
+        for _ in range(20):
+            query = rng.integers(0, 10, size=5).astype(float)
+            radius = float(rng.integers(1, 6))
+            plain = find_neighbors(pts, query, radius, metric=metric)
+            routed = find_neighbors(pts, query, radius, metric=metric, index=index)
+            np.testing.assert_array_equal(plain, routed)
+
+    def test_index_points_size_mismatch_rejected(self):
+        pts = np.zeros((4, 2))
+        index = make_index("l1", 2)
+        index.insert(np.zeros(2), 0)  # only 1 of 4 rows covered
+        with pytest.raises(ValueError, match="lockstep"):
+            find_neighbors(pts, np.zeros(2), 1.0, index=index)
+
+    def test_max_neighbors_with_index(self):
+        pts = np.array([[0, 0], [1, 0], [0, 1], [2, 0]], dtype=float)
+        index = make_index(DistanceMetric.L1, 2)
+        _fill(index, pts)
+        idx = find_neighbors(pts, np.array([0.0, 0.0]), 5.0, index=index, max_neighbors=2)
+        assert idx.tolist() == [0, 1]

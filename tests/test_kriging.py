@@ -223,3 +223,74 @@ class TestEquation10Form:
 
         res = ordinary_kriging(pts, vals, query, VG)
         assert res.estimate == pytest.approx(direct, abs=1e-8)
+
+
+class TestOrdinaryKrigingBatch:
+    """ordinary_kriging_batch: one factorization, outcomes identical per query."""
+
+    def _random_case(self, rng, n=8, m=12, dim=3):
+        pts = np.unique(grid_points(rng, n, dim), axis=0)
+        vals = rng.normal(size=pts.shape[0])
+        queries = grid_points(rng, m, dim)
+        return pts, vals, queries
+
+    def test_matches_per_query_path(self, rng):
+        from repro.core.kriging import ordinary_kriging_batch
+
+        pts, vals, queries = self._random_case(rng)
+        batch = ordinary_kriging_batch(pts, vals, queries, VG)
+        assert len(batch) == queries.shape[0]
+        for query, result in zip(queries, batch):
+            single = ordinary_kriging(pts, vals, query, VG)
+            assert result.estimate == pytest.approx(single.estimate, abs=1e-9)
+            assert result.variance == pytest.approx(single.variance, abs=1e-9)
+
+    def test_exact_hits_in_batch(self, rng):
+        from repro.core.kriging import ordinary_kriging_batch
+
+        pts, vals, _ = self._random_case(rng)
+        # Mix support points (exact hits) with off-support queries.
+        queries = np.vstack([pts[2], pts[0] + 0.5, pts[4]])
+        results = ordinary_kriging_batch(pts, vals, queries, VG)
+        assert results[0].estimate == pytest.approx(vals[2])
+        assert results[0].variance == 0.0
+        assert results[2].estimate == pytest.approx(vals[4])
+
+    def test_empty_queries(self, rng):
+        from repro.core.kriging import ordinary_kriging_batch
+
+        pts, vals, _ = self._random_case(rng)
+        assert ordinary_kriging_batch(pts, vals, np.empty((0, 3)), VG) == []
+
+    def test_query_shape_validation(self, rng):
+        from repro.core.kriging import ordinary_kriging_batch
+
+        pts, vals, _ = self._random_case(rng)
+        with pytest.raises(ValueError, match="queries"):
+            ordinary_kriging_batch(pts, vals, np.zeros((2, 5)), VG)
+
+    def test_weights_sum_to_one(self, rng):
+        from repro.core.kriging import ordinary_kriging_batch
+
+        pts, vals, queries = self._random_case(rng, n=10, m=6)
+        for result in ordinary_kriging_batch(pts, vals, queries, VG):
+            assert result.weights.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestIllConditionedFallback:
+    def test_shift_equivariance_on_near_singular_support(self):
+        """Nearly singular bordered systems must not return garbage.
+
+        np.linalg.solve can succeed with finite but astronomically wrong
+        weights on this support (condition number ~1e18 with the linear
+        variogram); the residual check in _solve must reject it and fall
+        back to the minimum-norm least-squares solution, which honours the
+        unit-sum constraint.
+        """
+        pts = np.asarray([(0, 1), (0, 0), (1, 0), (1, 1), (2, 0)], dtype=float)
+        vals = np.random.default_rng(7).normal(size=pts.shape[0])
+        query = np.array([4.5, 4.5])
+        base = ordinary_kriging(pts, vals, query, VG)
+        moved = ordinary_kriging(pts, vals + 1.0, query, VG)
+        assert abs(base.estimate) < 1e6
+        assert moved.estimate - base.estimate == pytest.approx(1.0, abs=1e-6)

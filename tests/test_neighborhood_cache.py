@@ -89,7 +89,63 @@ class TestSimulationCache:
         with pytest.raises(ValueError, match=">= 1"):
             SimulationCache(0)
 
-    def test_float_key_rounding(self):
+    def test_int_and_float_representations_match(self):
         cache = SimulationCache(2)
         cache.add(np.array([1.0, 2.0]), 5.0)
         assert cache.lookup(np.array([1, 2])) == 5.0
+
+    def test_non_lattice_configurations_are_distinct(self):
+        """Keys are exact coordinates: no round-to-int collisions."""
+        cache = SimulationCache(1)
+        cache.add([0.4], 1.0)
+        cache.add([0.2], 2.0)  # seed keyed both to int 0 -> false duplicate
+        cache.add([0.6], 3.0)
+        assert cache.lookup([0.4]) == 1.0
+        assert cache.lookup([0.2]) == 2.0
+        assert cache.lookup([0.6]) == 3.0
+        assert cache.lookup([0.0]) is None
+        assert len(cache) == 3
+
+    def test_malformed_shapes_rejected_by_lookup(self):
+        """A (1, Nv) array must not byte-collide with its (Nv,) key."""
+        cache = SimulationCache(2)
+        cache.add([1.0, 2.0], 5.0)
+        with pytest.raises(ValueError, match="shape"):
+            cache.lookup(np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError, match="shape"):
+            np.array([[1.0, 2.0]]) in cache
+        with pytest.raises(ValueError, match="shape"):
+            cache.lookup([1.0, 2.0, 3.0])
+
+    def test_negative_zero_folds_to_zero(self):
+        cache = SimulationCache(1)
+        cache.add([0.0], 7.0)
+        assert cache.lookup([-0.0]) == 7.0
+
+    def test_points_is_o1_view_and_readonly(self):
+        cache = SimulationCache(2)
+        for i in range(5):
+            cache.add([i, i], float(i))
+        pts = cache.points
+        assert pts.base is not None  # a view, not a fresh vstack
+        assert not pts.flags.writeable
+        assert not cache.values.flags.writeable
+
+    def test_growth_preserves_contents_and_indices(self):
+        cache = SimulationCache(3)
+        rows = [cache.add([i, 2 * i, 3 * i], float(i)) for i in range(200)]
+        assert rows == list(range(200))
+        np.testing.assert_array_equal(
+            cache.points,
+            np.array([[i, 2 * i, 3 * i] for i in range(200)], dtype=float),
+        )
+        np.testing.assert_array_equal(cache.values, np.arange(200, dtype=float))
+
+    def test_views_survive_growth(self):
+        cache = SimulationCache(1)
+        cache.add([1.0], 1.0)
+        old = cache.points
+        for i in range(2, 300):
+            cache.add([float(i)], float(i))
+        # The pre-growth view still shows the rows it covered.
+        np.testing.assert_array_equal(old, [[1.0]])

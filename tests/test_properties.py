@@ -92,13 +92,18 @@ class TestPolicyInvariants:
         )
     )
     def test_bookkeeping_consistency(self, queries):
-        est = KrigingEstimator(lambda c: float(np.sum(c)), 3, distance=3, nn_min=1)
+        est = KrigingEstimator(
+            lambda c: float(np.sum(c)), 3, distance=3, nn_min=1,
+            track_neighbor_counts=True,
+        )
         for q in queries:
             est.evaluate(q)
         s = est.stats
         assert s.n_queries == len(queries)
         assert len(est.cache) == s.n_simulated
         assert len(s.neighbor_counts) == s.n_interpolated
+        # The streaming mean must agree with the opt-in distribution.
+        assert s.neighbor_count_sum == sum(s.neighbor_counts)
 
     @settings(deadline=None, max_examples=10)
     @given(
