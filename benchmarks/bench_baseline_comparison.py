@@ -17,7 +17,7 @@ import numpy as np
 from repro.baselines.analytical import AnalyticalNoiseModel
 from repro.baselines.axis_interpolation import AxisInterpolationEstimator
 from repro.experiments.replay import replay_trace
-from repro.fixedpoint.noise import bit_difference_db, db_to_power, power_to_db
+from repro.fixedpoint.noise import bit_difference_db, db_to_power
 
 
 def _replay_axis_baseline(trace, num_variables):

@@ -14,18 +14,31 @@ Times a fixed interpolation-heavy sweep three ways at several support sizes:
   queries sharing a support set and factorizes each group's bordered
   matrix once.
 
+Two engine-knob sections ride along:
+
+* ``l2_index`` — the same sweep under the L2 metric, with the brute-force
+  index versus the KD-tree (the metric has no useful coordinate-sum bound,
+  so this is the pruning the KD-tree was added for).
+* ``parallel`` — ``evaluate_batch`` with ``n_jobs=1`` versus a thread pool
+  over the shared-support groups (wall-clock only; results are identical by
+  construction, so no values are compared).  On a single-core runner the
+  recorded speedup is honestly ~1x.
+
 The sweep mimics a dense surface exploration (cf. ``experiments/figure1``):
 query clusters jittered inside single lattice cells, so clusters share
 neighbourhoods and the batch path has real groups to exploit.  Results are
 written to ``BENCH_query_engine.json`` at the repository root so the perf
 trajectory is tracked across PRs.
 
-Run directly (``python benchmarks/bench_query_engine.py``) or through
-pytest (``pytest benchmarks/bench_query_engine.py``).
+Run directly (``python benchmarks/bench_query_engine.py``), through pytest
+(``pytest benchmarks/bench_query_engine.py``), or as the CI smoke gate
+(``--quick --output <path>`` followed by ``benchmarks/check_regression.py``
+against the committed baseline).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import time
@@ -36,6 +49,7 @@ from repro.core.distances import distances_to
 from repro.core.estimator import KrigingEstimator
 from repro.core.kriging import ordinary_kriging
 from repro.core.models import LinearVariogram
+from repro.core.neighborhood import find_neighbors
 
 RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_query_engine.json"
 
@@ -45,8 +59,10 @@ DISTANCE = 4.0
 NN_MIN = 1
 N_QUERIES = 2000
 SUPPORT_SIZES = (500, 2000, 5000)
+QUICK_SUPPORT_SIZES = (500, 2000)
 ACCEPTANCE_N = 2000
 ACCEPTANCE_SPEEDUP = 5.0
+PARALLEL_JOBS = 4
 
 _COEFFS = np.array([1.0, -2.0, 0.5, 0.25, 1.5])
 
@@ -138,13 +154,14 @@ def _make_workload(n_support: int, n_queries: int, seed: int = 0):
     return support, support_values, queries
 
 
-def _engine_estimator(support, support_values) -> KrigingEstimator:
+def _engine_estimator(support, support_values, **kwargs) -> KrigingEstimator:
     est = KrigingEstimator(
         _field,
         NUM_VARIABLES,
         distance=DISTANCE,
         nn_min=NN_MIN,
         variogram=LinearVariogram(1.0),
+        **kwargs,
     )
     for config, value in zip(support, support_values):
         row = est.cache.add(config, value)
@@ -160,6 +177,99 @@ def _time(fn, *, repetitions: int = 1) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def run_l2_index_benchmark(
+    n_support: int = ACCEPTANCE_N, n_queries: int = N_QUERIES, repetitions: int = 2
+) -> dict:
+    """The L2 radius-query path: brute-force index versus the KD-tree.
+
+    The gated ratio times :func:`~repro.core.neighborhood.find_neighbors`
+    itself — the exact work the index prunes, and a stable ratio to gate on.
+    The full interpolation sweep is recorded alongside for context (there
+    the kriging solves dilute the search win).
+    """
+    support, support_values, queries = _make_workload(n_support, n_queries)
+    query_timings = {}
+    sweep_timings = {}
+    outputs = {}
+    for kind in ("brute", "kdtree"):
+        est = _engine_estimator(
+            support, support_values, metric="l2", neighbor_index=kind
+        )
+        points = est.cache.points
+        index = est.neighbor_index
+        find_neighbors(points, queries[0], DISTANCE, metric="l2", index=index)  # warm
+
+        def _queries_only(points=points, index=index):
+            return [
+                find_neighbors(points, q, DISTANCE, metric="l2", index=index)
+                for q in queries
+            ]
+
+        def _sweep(kind=kind):
+            est = _engine_estimator(
+                support, support_values, metric="l2", neighbor_index=kind
+            )
+            return est.evaluate_batch(queries)
+
+        query_timings[kind], neighbor_lists = _time(
+            _queries_only, repetitions=repetitions
+        )
+        sweep_timings[kind], outputs[kind] = _time(_sweep, repetitions=repetitions)
+        outputs[f"{kind}_neighbors"] = neighbor_lists
+
+    # The index is a pruning knob only: identical neighbourhoods and values.
+    for brute_rows, kd_rows in zip(
+        outputs["brute_neighbors"], outputs["kdtree_neighbors"]
+    ):
+        np.testing.assert_array_equal(brute_rows, kd_rows)
+    np.testing.assert_allclose(
+        [o.value for o in outputs["brute"]],
+        [o.value for o in outputs["kdtree"]],
+        rtol=1e-9,
+        atol=1e-9,
+    )
+    return {
+        "n_support": n_support,
+        "n_queries": n_queries,
+        "metric": "l2",
+        "query_brute_seconds": round(query_timings["brute"], 6),
+        "query_kdtree_seconds": round(query_timings["kdtree"], 6),
+        "speedup_kdtree_vs_brute": round(
+            query_timings["brute"] / query_timings["kdtree"], 2
+        ),
+        "sweep_brute_seconds": round(sweep_timings["brute"], 6),
+        "sweep_kdtree_seconds": round(sweep_timings["kdtree"], 6),
+        "sweep_speedup_kdtree_vs_brute": round(
+            sweep_timings["brute"] / sweep_timings["kdtree"], 2
+        ),
+    }
+
+
+def run_parallel_benchmark(
+    n_support: int = ACCEPTANCE_N,
+    n_queries: int = N_QUERIES,
+    repetitions: int = 2,
+    n_jobs: int = PARALLEL_JOBS,
+) -> dict:
+    """``evaluate_batch`` wall clock: sequential versus threaded group solves."""
+    support, support_values, queries = _make_workload(n_support, n_queries)
+    timings = {}
+    for jobs in (1, n_jobs):
+        def _sweep(jobs=jobs):
+            est = _engine_estimator(support, support_values, n_jobs=jobs)
+            return est.evaluate_batch(queries)
+
+        timings[jobs], _ = _time(_sweep, repetitions=repetitions)
+    return {
+        "n_support": n_support,
+        "n_queries": n_queries,
+        "n_jobs": n_jobs,
+        "serial_seconds": round(timings[1], 6),
+        "parallel_seconds": round(timings[n_jobs], 6),
+        "speedup_parallel_vs_serial": round(timings[1] / timings[n_jobs], 2),
+    }
 
 
 def run_benchmark(
@@ -207,6 +317,8 @@ def run_benchmark(
         )
 
     acceptance_row = next(r for r in results if r["n_support"] == ACCEPTANCE_N)
+    l2 = run_l2_index_benchmark(n_queries=n_queries, repetitions=repetitions)
+    parallel = run_parallel_benchmark(n_queries=n_queries, repetitions=repetitions)
     report = {
         "benchmark": "query_engine",
         "workload": {
@@ -217,25 +329,55 @@ def run_benchmark(
             "query_model": "clustered fractional sweep (20 queries/cell)",
         },
         "results": results,
+        "l2_index": l2,
+        "parallel": parallel,
         "acceptance": {
             "n_support": ACCEPTANCE_N,
             "speedup_batch_vs_seed": acceptance_row["speedup_batch_vs_seed"],
             "threshold": ACCEPTANCE_SPEEDUP,
-            "passed": acceptance_row["speedup_batch_vs_seed"] >= ACCEPTANCE_SPEEDUP,
+            "speedup_kdtree_vs_brute": l2["speedup_kdtree_vs_brute"],
+            "passed": (
+                acceptance_row["speedup_batch_vs_seed"] >= ACCEPTANCE_SPEEDUP
+                and l2["speedup_kdtree_vs_brute"] > 1.0
+            ),
         },
     }
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 
+def write_report(report: dict, path: pathlib.Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
 def test_query_engine_speedup():
-    """The batch engine beats the seed hot path >= 5x at n=2000."""
+    """The batch engine beats the seed hot path >= 5x at n=2000, and the
+    KD-tree beats the brute-force L2 path."""
     report = run_benchmark()
+    write_report(report)
     assert report["acceptance"]["passed"], report["acceptance"]
 
 
-if __name__ == "__main__":
-    report = run_benchmark()
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer support sizes, one repetition",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=RESULT_PATH,
+        help=f"report destination (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = run_benchmark(support_sizes=QUICK_SUPPORT_SIZES, repetitions=1)
+    else:
+        report = run_benchmark()
+    write_report(report, args.output)
+
     for row in report["results"]:
         print(
             f"n={row['n_support']:>5}  seed={row['seed_seconds']:.3f}s  "
@@ -243,4 +385,22 @@ if __name__ == "__main__":
             f"batch={row['evaluate_batch_seconds']:.3f}s  "
             f"batch-vs-seed={row['speedup_batch_vs_seed']:.1f}x"
         )
-    print("written:", RESULT_PATH)
+    l2 = report["l2_index"]
+    print(
+        f"l2 n={l2['n_support']}  queries: brute={l2['query_brute_seconds']:.3f}s  "
+        f"kdtree={l2['query_kdtree_seconds']:.3f}s  "
+        f"({l2['speedup_kdtree_vs_brute']:.2f}x)  "
+        f"sweep: {l2['sweep_speedup_kdtree_vs_brute']:.2f}x"
+    )
+    par = report["parallel"]
+    print(
+        f"parallel n={par['n_support']}  serial={par['serial_seconds']:.3f}s  "
+        f"n_jobs={par['n_jobs']}: {par['parallel_seconds']:.3f}s  "
+        f"({par['speedup_parallel_vs_serial']:.2f}x)"
+    )
+    print("written:", args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""CI gate: compare a fresh query-engine benchmark run against the baseline.
+
+Absolute seconds are machine-dependent, so the gate compares the *speedup
+ratios* the benchmark already computes — seed vs engine on the same box —
+which are stable across hardware.  A run regresses when any tracked speedup
+falls below ``baseline / factor`` (default factor 2: "fail on >2x
+regression").
+
+Usage::
+
+    python benchmarks/bench_query_engine.py --quick --output current.json
+    python benchmarks/check_regression.py BENCH_query_engine.json current.json
+
+Exit status 0 when every tracked ratio holds up, 1 on regression, 2 on a
+malformed report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+#: Speedup fields gated per support-size row of ``results``.
+ROW_FIELDS = ("speedup_evaluate_vs_seed", "speedup_batch_vs_seed")
+
+#: Speedup fields gated in the ``l2_index`` section.
+L2_FIELDS = ("speedup_kdtree_vs_brute",)
+# The ``parallel`` section is recorded but not gated: thread scaling depends
+# on the runner's core count (a single-core runner honestly reports ~1x).
+
+
+class MalformedReport(Exception):
+    """A benchmark report that cannot be read or parsed (exit status 2)."""
+
+
+def _load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise MalformedReport(f"cannot read benchmark report {path}: {exc}") from exc
+
+
+def compare(baseline: dict, current: dict, factor: float) -> list[str]:
+    """Return one message per regressed ratio (empty list: gate passes)."""
+    failures: list[str] = []
+
+    current_rows = {row["n_support"]: row for row in current.get("results", [])}
+    for base_row in baseline.get("results", []):
+        n_support = base_row["n_support"]
+        cur_row = current_rows.get(n_support)
+        if cur_row is None:
+            continue  # quick mode runs a subset of the baseline sizes
+        for field in ROW_FIELDS:
+            bound = base_row[field] / factor
+            if cur_row[field] < bound:
+                failures.append(
+                    f"results[n_support={n_support}].{field}: "
+                    f"{cur_row[field]:.2f} < {bound:.2f} "
+                    f"(baseline {base_row[field]:.2f} / {factor:g})"
+                )
+
+    base_l2 = baseline.get("l2_index")
+    cur_l2 = current.get("l2_index")
+    if base_l2 and cur_l2:
+        for field in L2_FIELDS:
+            bound = base_l2[field] / factor
+            if cur_l2[field] < bound:
+                failures.append(
+                    f"l2_index.{field}: {cur_l2[field]:.2f} < {bound:.2f} "
+                    f"(baseline {base_l2[field]:.2f} / {factor:g})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path, help="committed baseline JSON")
+    parser.add_argument("current", type=pathlib.Path, help="fresh benchmark JSON")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="maximum tolerated slowdown of any speedup ratio (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.factor <= 1.0:
+        parser.error(f"--factor must be > 1, got {args.factor}")
+
+    try:
+        baseline = _load(args.baseline)
+        current = _load(args.current)
+    except MalformedReport as exc:
+        print(f"error: {exc}")
+        return 2
+    for name, report in (("baseline", baseline), ("current", current)):
+        if report.get("benchmark") != "query_engine" or "results" not in report:
+            print(f"error: {name} is not a query_engine benchmark report")
+            return 2
+
+    failures = compare(baseline, current, args.factor)
+    if failures:
+        print(f"benchmark regression vs {args.baseline}:")
+        for message in failures:
+            print(f"  {message}")
+        return 1
+    print(f"benchmark smoke OK (no ratio below baseline/{args.factor:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

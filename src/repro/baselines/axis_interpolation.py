@@ -15,7 +15,7 @@ cannot be estimated, which is precisely the limitation kriging removes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

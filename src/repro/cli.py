@@ -28,13 +28,26 @@ from repro.experiments.registry import (
     build_benchmark,
 )
 from repro.experiments.replay import MetricKind, replay_trace
-from repro.experiments.reporting import format_table1
+from repro.experiments.reporting import format_neighbor_distribution, format_table1
 from repro.experiments.table1 import DISTANCES, rows_for_setup
 from repro.optimization.serialize import load_trace, save_trace
 
 __all__ = ["main", "build_parser"]
 
 ALL_BENCHMARKS = BENCHMARK_NAMES + EXTRA_BENCHMARK_NAMES
+
+
+def _jobs_arg(value: str) -> int:
+    """argparse type for --jobs: a positive thread count or -1 (all cores)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if jobs != -1 and jobs < 1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1 or -1 (all cores), got {jobs}"
+        )
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_table.add_argument("--nn-min", type=int, default=1)
     p_table.add_argument("--variogram", default="auto")
+    p_table.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="threads for grouped kriging solves (-1: one per CPU)",
+    )
 
     p_fig = sub.add_parser("figure1", help="render the FIR noise-power surface")
     p_fig.add_argument("--min-wl", type=int, default=6)
@@ -75,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[k.value for k in MetricKind],
         default=MetricKind.NOISE_POWER_DB.value,
     )
+    p_rep.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="threads for grouped kriging solves (-1: one per CPU)",
+    )
 
     sub.add_parser("benchmarks", help="list available benchmarks")
     return parser
@@ -87,6 +112,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         distances=tuple(args.distances),
         nn_min=args.nn_min,
         variogram=args.variogram,
+        n_jobs=args.jobs,
     )
     print(format_table1(rows))
     return 0
@@ -120,6 +146,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         distance=args.distance,
         nn_min=args.nn_min,
         variogram=args.variogram,
+        n_jobs=args.jobs,
     )
     unit = "bits" if stats.metric_kind is MetricKind.NOISE_POWER_DB else "rel"
     print(
@@ -127,6 +154,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"j={stats.mean_neighbors:.2f} "
         f"max_eps={stats.max_error:.4f} {unit} mu_eps={stats.mean_error:.4f} {unit}"
     )
+    print(format_neighbor_distribution(stats))
     return 0
 
 

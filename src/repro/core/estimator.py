@@ -20,21 +20,24 @@ The query hot path is a vectorized engine with three layers:
   zero-copy O(1) views;
 * neighbourhood lookups route through a
   :class:`~repro.core.index.NeighborIndex` (a coordinate-sum bucket index
-  on the integer lattice for L1/Linf, brute force otherwise), so a radius
-  query no longer scans every simulated point;
+  on the integer lattice for L1/Linf, a median-split KD-tree for L2), so a
+  radius query no longer scans every simulated point;
 * :meth:`KrigingEstimator.evaluate_batch` answers a whole sweep of queries
   at once: runs of interpolations between two simulations are grouped by
   support set and solved by
   :func:`~repro.core.kriging.ordinary_kriging_batch`, which factorizes the
   bordered Gamma matrix once per group and back-substitutes all right-hand
-  sides together.  The outcomes — simulate/interpolate decisions, final
-  cache contents, and values (to tight numerical tolerance) — match an
-  equivalent sequence of :meth:`~KrigingEstimator.evaluate` calls.
+  sides together; with ``n_jobs > 1`` independent groups solve concurrently
+  on a thread pool (:func:`~repro.core.kriging.ordinary_kriging_grouped`).
+  The outcomes — simulate/interpolate decisions, final cache contents, and
+  values (to tight numerical tolerance) — match an equivalent sequence of
+  :meth:`~KrigingEstimator.evaluate` calls, for every ``n_jobs``.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -44,11 +47,16 @@ from repro.core.cache import SimulationCache
 from repro.core.distances import DistanceMetric
 from repro.core.fitting import MODEL_KINDS, fit_variogram, select_variogram
 from repro.core.index import NeighborIndex, make_index
-from repro.core.kriging import ordinary_kriging, ordinary_kriging_batch
+from repro.core.kriging import (
+    ordinary_kriging,
+    ordinary_kriging_grouped,
+    resolve_n_jobs,
+)
 from repro.core.models import LinearVariogram, VariogramModel
 from repro.core.neighborhood import find_neighbors
 from repro.core.universal import adaptive_linear_drift, universal_kriging
 from repro.core.variogram import empirical_semivariogram
+from repro.utils.quantiles import QuantileSketch
 
 __all__ = ["EstimationOutcome", "KrigingEstimator"]
 
@@ -86,29 +94,43 @@ class EstimationOutcome:
 class EstimatorStats:
     """Aggregate counters of a :class:`KrigingEstimator`.
 
-    Neighbour counts are streamed into ``neighbor_count_sum`` so
-    :attr:`mean_neighbors` stays exact without unbounded memory.  The
-    per-interpolation distribution (``neighbor_counts``) is **deprecated**
-    and only recorded when ``track_neighbor_counts`` is set — the ablation
-    benches that plot the distribution opt in; everything else runs with
-    O(1) stats.
+    Neighbour counts stream into :attr:`neighbor_sketch`, a P² sketch
+    serving both the exact aggregates (count/sum/mean/min/max) and the
+    per-interpolation *distribution* — quantile estimates — in O(1)
+    memory.  The old opt-in ``neighbor_counts`` list is gone: every
+    consumer reads the sketch.
     """
 
     n_simulated: int = 0
     n_interpolated: int = 0
     n_exact_hits: int = 0
-    neighbor_count_sum: int = 0
-    track_neighbor_counts: bool = False
-    neighbor_counts: list[int] = field(default_factory=list)
+    neighbor_sketch: QuantileSketch = field(default_factory=QuantileSketch)
     simulation_seconds: float = 0.0
     kriging_seconds: float = 0.0
 
     def record_interpolation(self, n_neighbors: int) -> None:
         """Count one interpolation answered with ``n_neighbors`` support points."""
         self.n_interpolated += 1
-        self.neighbor_count_sum += int(n_neighbors)
-        if self.track_neighbor_counts:
-            self.neighbor_counts.append(int(n_neighbors))
+        self.neighbor_sketch.update(float(n_neighbors))
+
+    @property
+    def neighbor_count_sum(self) -> int:
+        """Total support points over all interpolations (exact, from the
+        sketch's side statistics)."""
+        return int(self.neighbor_sketch.sum)
+
+    def neighbor_quantile(self, prob: float) -> float:
+        """Streamed estimate of a support-size quantile (e.g. ``0.5``, ``0.9``).
+
+        Returns ``nan`` when ``prob`` is not one of the sketch's tracked
+        probabilities (:data:`repro.utils.quantiles.DEFAULT_PROBS` by
+        default) — the same miss semantics as
+        :meth:`repro.experiments.replay.ReplayStats.neighbor_quantile`.
+        """
+        try:
+            return self.neighbor_sketch.quantile(prob)
+        except KeyError:
+            return float("nan")
 
     @property
     def n_queries(self) -> int:
@@ -175,12 +197,15 @@ class KrigingEstimator:
         kriging.
     neighbor_index:
         Index kind for neighbourhood lookups: ``"auto"`` (default — the
-        lattice bucket index for L1/Linf, brute force for L2), ``"bucket"``
-        or ``"brute"``.  Purely a performance knob: results are identical.
-    track_neighbor_counts:
-        Record the deprecated per-interpolation ``stats.neighbor_counts``
-        distribution (off by default; ``mean_neighbors`` stays exact either
-        way).
+        lattice bucket index for L1/Linf, a KD-tree for L2), ``"bucket"``,
+        ``"kdtree"`` or ``"brute"``.  Purely a performance knob: results are
+        identical.
+    n_jobs:
+        Worker threads for the batch engine's shared-support group solves
+        (``1``/``None`` sequential, ``-1`` one per CPU).  Purely a
+        wall-clock knob: decisions, cache contents and values are identical
+        for every setting (each group is solved on a single thread in a
+        fixed order).
     """
 
     def __init__(
@@ -198,7 +223,7 @@ class KrigingEstimator:
         max_variance: float | None = None,
         interpolator: str = "ordinary",
         neighbor_index: str = "auto",
-        track_neighbor_counts: bool = False,
+        n_jobs: int | None = 1,
     ) -> None:
         if distance < 0:
             raise ValueError(f"distance must be >= 0, got {distance}")
@@ -227,7 +252,9 @@ class KrigingEstimator:
         self.neighbor_index: NeighborIndex = make_index(
             self.metric, num_variables, neighbor_index
         )
-        self.stats = EstimatorStats(track_neighbor_counts=track_neighbor_counts)
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._executor: ThreadPoolExecutor | None = None  # lazy, reused per flush
+        self.stats = EstimatorStats()
         self._variogram_spec = variogram
         self._min_fit_points = min_fit_points
         self._refit_interval = refit_interval
@@ -414,56 +441,87 @@ class KrigingEstimator:
         pending: dict[tuple[int, ...], list[tuple[int, np.ndarray, np.ndarray]]],
         outcomes: list[EstimationOutcome | None],
     ) -> None:
-        """Solve all deferred interpolations against the current cache state."""
+        """Solve all deferred interpolations against the current cache state.
+
+        Multi-query shared-support groups go through
+        :func:`~repro.core.kriging.ordinary_kriging_grouped`, which spreads
+        the per-group factorizations over ``n_jobs`` threads; singleton
+        groups (and the universal interpolator, whose drift is per-query)
+        are solved in place.  Outcomes and statistics are assigned in a
+        fixed group order after all solves return, so results are identical
+        for every ``n_jobs``.
+        """
         if not pending:
             return
         start = time.perf_counter()
         variogram = self._current_variogram()
         points = self.cache.points
         values = self.cache.values
+
+        # Split the deferred work: multi-query ordinary groups batch (and
+        # parallelize); everything else keeps the per-query solve on the
+        # distance-ordered neighbour list, matching the sequential path bit
+        # for bit.
+        batched: list[list[tuple[int, np.ndarray, np.ndarray]]] = []
+        groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        singles: list[tuple[int, np.ndarray, np.ndarray]] = []
         for signature, items in pending.items():
             if self.interpolator == "universal" or len(items) == 1:
-                # Per-query solve; use the distance-ordered neighbour list so
-                # the result matches the sequential path bit for bit.
-                for pos, config, neighbors in items:
-                    support_points = points[neighbors]
-                    support_values = values[neighbors]
-                    if self.interpolator == "universal":
-                        result = universal_kriging(
-                            support_points,
-                            support_values,
-                            config,
-                            variogram,
-                            drift=adaptive_linear_drift(support_points),
-                            metric=self.metric,
-                        )
-                    else:
-                        result = ordinary_kriging(
-                            support_points, support_values, config, variogram,
-                            metric=self.metric,
-                        )
-                    outcomes[pos] = EstimationOutcome(
-                        value=result.estimate,
-                        interpolated=True,
-                        n_neighbors=int(neighbors.size),
-                        variance=result.variance,
-                    )
-                    self.stats.record_interpolation(int(neighbors.size))
+                singles.extend(items)
             else:
                 support = np.asarray(signature, dtype=np.int64)
                 queries = np.stack([config for _, config, _ in items])
-                results = ordinary_kriging_batch(
-                    points[support], values[support], queries, variogram,
+                batched.append(items)
+                groups.append((points[support], values[support], queries))
+
+        # One long-lived pool per estimator: the batch engine flushes before
+        # every simulation, so a per-flush executor would pay spawn/join
+        # costs hundreds of times per sweep.
+        if self.n_jobs > 1 and len(groups) > 1 and self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.n_jobs, thread_name_prefix="kriging"
+            )
+        grouped_results = ordinary_kriging_grouped(
+            groups,
+            variogram,
+            metric=self.metric,
+            n_jobs=self.n_jobs,
+            executor=self._executor,
+        )
+        for items, results in zip(batched, grouped_results):
+            for (pos, _, neighbors), result in zip(items, results):
+                outcomes[pos] = EstimationOutcome(
+                    value=result.estimate,
+                    interpolated=True,
+                    n_neighbors=int(neighbors.size),
+                    variance=result.variance,
+                )
+                self.stats.record_interpolation(int(neighbors.size))
+
+        for pos, config, neighbors in singles:
+            support_points = points[neighbors]
+            support_values = values[neighbors]
+            if self.interpolator == "universal":
+                result = universal_kriging(
+                    support_points,
+                    support_values,
+                    config,
+                    variogram,
+                    drift=adaptive_linear_drift(support_points),
                     metric=self.metric,
                 )
-                for (pos, _, neighbors), result in zip(items, results):
-                    outcomes[pos] = EstimationOutcome(
-                        value=result.estimate,
-                        interpolated=True,
-                        n_neighbors=int(neighbors.size),
-                        variance=result.variance,
-                    )
-                    self.stats.record_interpolation(int(neighbors.size))
+            else:
+                result = ordinary_kriging(
+                    support_points, support_values, config, variogram,
+                    metric=self.metric,
+                )
+            outcomes[pos] = EstimationOutcome(
+                value=result.estimate,
+                interpolated=True,
+                n_neighbors=int(neighbors.size),
+                variance=result.variance,
+            )
+            self.stats.record_interpolation(int(neighbors.size))
         self.stats.kriging_seconds += time.perf_counter() - start
         pending.clear()
 

@@ -14,8 +14,10 @@ completeness and for the ablation benches.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -30,10 +32,31 @@ __all__ = [
     "KrigingResult",
     "ordinary_kriging",
     "ordinary_kriging_batch",
+    "ordinary_kriging_grouped",
     "simple_kriging",
+    "resolve_n_jobs",
 ]
 
 Variogram = Callable[[np.ndarray], np.ndarray]
+
+KrigingGroup = tuple[np.ndarray, np.ndarray, np.ndarray]
+"""One shared-support solve: ``(support_points, support_values, queries)``."""
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob to a concrete worker count.
+
+    ``None`` and ``1`` mean sequential; ``-1`` means one worker per CPU;
+    any other positive integer is taken literally.
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}")
+    return n_jobs
 
 
 @dataclass(frozen=True)
@@ -292,6 +315,74 @@ def ordinary_kriging_batch(
                 lagrange=float(lagrange[col]),
             )
     return [r for r in results if r is not None]
+
+
+def ordinary_kriging_grouped(
+    groups: Sequence[KrigingGroup],
+    variogram: Variogram,
+    *,
+    metric: DistanceMetric | str = DistanceMetric.L1,
+    n_jobs: int | None = 1,
+    executor: ThreadPoolExecutor | None = None,
+) -> list[list[KrigingResult]]:
+    """Solve many independent shared-support kriging groups, optionally in
+    parallel.
+
+    Each group is a ``(support_points, support_values, queries)`` triple
+    handed to :func:`ordinary_kriging_batch`; groups share nothing, so they
+    parallelize embarrassingly.  With ``n_jobs > 1`` the groups are split
+    into contiguous chunks solved on a ``concurrent.futures`` thread pool —
+    threads, not processes, because the heavy steps (LAPACK factorizations,
+    BLAS back-substitutions and the numpy distance/variogram kernels)
+    release the GIL, and threads share the support arrays zero-copy.
+
+    Results are **deterministic and identical** to the sequential loop
+    regardless of ``n_jobs``: every group's arithmetic happens on a single
+    thread in a fixed order, so scheduling cannot change a single bit of the
+    output — parallelism is purely a wall-clock knob.
+
+    Parameters
+    ----------
+    groups:
+        Shared-support groups, each ``(points, values, queries)`` as in
+        :func:`ordinary_kriging_batch`.
+    variogram, metric:
+        As in :func:`ordinary_kriging`.  The variogram callable must be
+        thread-safe (the fitted models are pure array functions).
+    n_jobs:
+        Worker threads: ``1``/``None`` sequential, ``-1`` one per CPU.
+    executor:
+        Optional pre-built thread pool to run on.  Callers issuing many
+        grouped solves (the batch engine flushes before every simulation)
+        pass a long-lived pool so each flush does not pay executor
+        spawn/join; without one, a temporary pool is created per call.
+
+    Returns
+    -------
+    list[list[KrigingResult]]
+        Per-group result lists, in group order.
+    """
+    workers = min(resolve_n_jobs(n_jobs), len(groups))
+
+    def solve(group: KrigingGroup) -> list[KrigingResult]:
+        points, values, queries = group
+        return ordinary_kriging_batch(points, values, queries, variogram, metric=metric)
+
+    if workers <= 1 or len(groups) <= 1:
+        return [solve(group) for group in groups]
+    # Chunk so each task amortizes pool dispatch over several (often tiny)
+    # solves; map() preserves submission order.
+    chunk = max(1, (len(groups) + 4 * workers - 1) // (4 * workers))
+    chunks = [groups[i : i + chunk] for i in range(0, len(groups), chunk)]
+
+    def run(pool: ThreadPoolExecutor) -> list[list[KrigingResult]]:
+        solved = pool.map(lambda part: [solve(g) for g in part], chunks)
+        return [results for part in solved for results in part]
+
+    if executor is not None:
+        return run(executor)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return run(pool)
 
 
 def simple_kriging(

@@ -62,6 +62,17 @@ class ReplayStats:
     n_simulated: int
     mean_neighbors: float
     errors: np.ndarray
+    neighbor_quantiles: tuple[tuple[float, float], ...] = ()
+    """Streamed ``(probability, support-size quantile)`` pairs from the
+    estimator's P² sketch (empty when nothing was interpolated)."""
+
+    def neighbor_quantile(self, prob: float) -> float:
+        """Support-size quantile streamed during the replay (``nan`` if
+        ``prob`` was not tracked or nothing was interpolated)."""
+        for p, value in self.neighbor_quantiles:
+            if p == prob:
+                return value
+        return float("nan")
 
     @property
     def p_percent(self) -> float:
@@ -94,6 +105,7 @@ def replay_trajectory(
     min_fit_points: int = 4,
     refit_interval: int | None = 1,
     interpolator: str = "ordinary",
+    n_jobs: int | None = 1,
 ) -> ReplayStats:
     """Replay a recorded trajectory under the kriging policy.
 
@@ -114,6 +126,9 @@ def replay_trajectory(
         re-identify the variogram after every simulation (cheap at trajectory
         sizes) starting from the fourth, matching the paper's once-per-
         application identification as soon as data exists.
+    n_jobs:
+        Worker threads for the batch engine's shared-support group solves
+        (``-1``: one per CPU).  Results are identical for every setting.
     """
     configs = np.asarray(configurations, dtype=np.int64)
     values = np.asarray(true_values, dtype=np.float64)
@@ -151,6 +166,7 @@ def replay_trajectory(
         min_fit_points=min_fit_points,
         refit_interval=refit_interval,
         interpolator=interpolator,
+        n_jobs=n_jobs,
     )
 
     # The whole trajectory goes through the batch engine: runs of
@@ -164,6 +180,11 @@ def replay_trajectory(
     ]
 
     stats = estimator.stats
+    quantiles = (
+        tuple(sorted(stats.neighbor_sketch.quantiles().items()))
+        if stats.n_interpolated
+        else ()
+    )
     return ReplayStats(
         benchmark=benchmark,
         metric_kind=metric_kind,
@@ -174,6 +195,7 @@ def replay_trajectory(
         n_simulated=stats.n_simulated,
         mean_neighbors=stats.mean_neighbors,
         errors=np.asarray(errors, dtype=np.float64),
+        neighbor_quantiles=quantiles,
     )
 
 
@@ -189,6 +211,7 @@ def replay_trace(
     min_fit_points: int = 4,
     refit_interval: int | None = 1,
     interpolator: str = "ordinary",
+    n_jobs: int | None = 1,
 ) -> ReplayStats:
     """Convenience wrapper: replay an :class:`OptimizationTrace` directly."""
     unique = trace.unique_first_visits()
@@ -204,4 +227,5 @@ def replay_trace(
         min_fit_points=min_fit_points,
         refit_interval=refit_interval,
         interpolator=interpolator,
+        n_jobs=n_jobs,
     )

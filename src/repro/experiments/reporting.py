@@ -1,13 +1,18 @@
-"""Plain-text renderers for the reproduced tables."""
+"""Plain-text renderers for the reproduced tables.
+
+Distribution summaries (support-size quantiles) are rendered from the
+estimator's streaming P² sketch — the stored per-interpolation list it
+replaced no longer exists anywhere in the pipeline.
+"""
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.experiments.replay import MetricKind
+from repro.experiments.replay import MetricKind, ReplayStats
 from repro.experiments.table1 import Table1Row
 
-__all__ = ["format_table1", "format_row"]
+__all__ = ["format_table1", "format_row", "format_neighbor_distribution"]
 
 _HEADER = (
     f"{'benchmark':<12} {'metric':<20} {'Nv':>3} {'d':>3} "
@@ -32,6 +37,22 @@ def format_row(row: Table1Row) -> str:
         f"{_format_error(row.mean_error, row.metric_kind):>9} "
         f"{row.n_configs:>8d}"
     )
+
+
+def format_neighbor_distribution(stats: ReplayStats) -> str:
+    """Render a replay's support-size distribution (paper column ``j``).
+
+    One line per replay: the exact mean alongside the streamed quantiles of
+    the number of neighbours each interpolation used.  Returns a placeholder
+    line when the replay interpolated nothing.
+    """
+    label = f"{stats.benchmark or 'replay':<12} d={stats.distance:<4.0f}"
+    if not stats.neighbor_quantiles:
+        return f"{label} no interpolations"
+    quantiles = " ".join(
+        f"p{round(100 * p):02d}={value:5.2f}" for p, value in stats.neighbor_quantiles
+    )
+    return f"{label} j_mean={stats.mean_neighbors:5.2f}  {quantiles}"
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:

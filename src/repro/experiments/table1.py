@@ -65,11 +65,14 @@ def rows_for_setup(
     distances: Sequence[float] = DISTANCES,
     nn_min: int = 1,
     variogram: object = "linear",
+    n_jobs: int | None = 1,
 ) -> list[Table1Row]:
     """Replay one benchmark's trajectory for each distance in the sweep.
 
     Trajectory recording (the expensive optimizer run with exhaustive
-    simulation) happens once; each distance is a cheap replay.
+    simulation) happens once; each distance is a cheap replay.  ``n_jobs``
+    parallelizes each replay's shared-support kriging solves (``-1``: one
+    thread per CPU); rows are identical for every setting.
     """
     trace = setup.record_trajectory()
     rows = []
@@ -81,6 +84,7 @@ def rows_for_setup(
             distance=d,
             nn_min=nn_min,
             variogram=variogram,
+            n_jobs=n_jobs,
         )
         rows.append(
             Table1Row.from_stats(
@@ -99,6 +103,7 @@ def table1_rows(
     distances: Sequence[float] = DISTANCES,
     nn_min: int = 1,
     variogram: object = "linear",
+    n_jobs: int | None = 1,
 ) -> list[Table1Row]:
     """Reproduce Table I over the requested benchmarks.
 
@@ -111,7 +116,11 @@ def table1_rows(
         setup = build_benchmark(name, scale)
         rows.extend(
             rows_for_setup(
-                setup, distances=distances, nn_min=nn_min, variogram=variogram
+                setup,
+                distances=distances,
+                nn_min=nn_min,
+                variogram=variogram,
+                n_jobs=n_jobs,
             )
         )
     return rows

@@ -1,5 +1,6 @@
-"""Shared utilities: deterministic RNG helpers and argument validation."""
+"""Shared utilities: RNG helpers, argument validation, streaming quantiles."""
 
+from repro.utils.quantiles import DEFAULT_PROBS, P2Quantile, QuantileSketch
 from repro.utils.rng import derive_rng, spawn_rngs
 from repro.utils.validation import (
     check_in_range,
@@ -9,6 +10,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "DEFAULT_PROBS",
+    "P2Quantile",
+    "QuantileSketch",
     "derive_rng",
     "spawn_rngs",
     "check_in_range",

@@ -52,10 +52,7 @@ def assert_equivalent(configs, simulate, nv, **kwargs):
     return seq_out
 
 
-@pytest.mark.parametrize("name", ["fir", "squeezenet"])
-@pytest.mark.parametrize("distance", [2, 3])
-def test_workload_trajectory_equivalence(name, distance):
-    """Acceptance check on two paper workloads' recorded trajectories."""
+def _workload_configs(name):
     setup = build_benchmark(name, "small")
     trace = setup.record_trajectory()
     unique = trace.unique_first_visits()
@@ -65,6 +62,14 @@ def test_workload_trajectory_equivalence(name, distance):
     def lookup(config):
         return truth[tuple(np.asarray(config, dtype=np.float64).tolist())]
 
+    return configs, lookup
+
+
+@pytest.mark.parametrize("name", ["fir", "squeezenet"])
+@pytest.mark.parametrize("distance", [2, 3])
+def test_workload_trajectory_equivalence(name, distance):
+    """Acceptance check on two paper workloads' recorded trajectories."""
+    configs, lookup = _workload_configs(name)
     outcomes = assert_equivalent(
         configs,
         lookup,
@@ -77,6 +82,48 @@ def test_workload_trajectory_equivalence(name, distance):
     )
     assert any(o.interpolated for o in outcomes)
     assert any(not o.interpolated for o in outcomes)
+
+
+@pytest.mark.parametrize("name", ["fir", "squeezenet"])
+@pytest.mark.parametrize("n_jobs", [2, -1])
+def test_workload_parallel_equivalence(name, n_jobs):
+    """n_jobs > 1 must be decision- and value-identical to the sequential
+    path on the paper workloads (the parallel acceptance suite)."""
+    configs, lookup = _workload_configs(name)
+    outcomes = assert_equivalent(
+        configs,
+        lookup,
+        configs.shape[1],
+        distance=3,
+        nn_min=1,
+        variogram="auto",
+        min_fit_points=4,
+        refit_interval=1,
+        n_jobs=n_jobs,
+    )
+    assert any(o.interpolated for o in outcomes)
+
+
+@pytest.mark.parametrize("name", ["fir", "squeezenet"])
+def test_parallel_batch_bitwise_matches_sequential_batch(name):
+    """Group solves are scheduled, never re-ordered: n_jobs changes nothing,
+    down to the last bit and the streamed distribution sketch."""
+    configs, lookup = _workload_configs(name)
+    nv = configs.shape[1]
+    kwargs = dict(distance=3, variogram="auto", min_fit_points=4, refit_interval=1)
+    serial = KrigingEstimator(lookup, nv, n_jobs=1, **kwargs)
+    threaded = KrigingEstimator(lookup, nv, n_jobs=4, **kwargs)
+    out_serial = serial.evaluate_batch(configs)
+    out_threaded = threaded.evaluate_batch(configs)
+
+    assert [o.value for o in out_serial] == [o.value for o in out_threaded]
+    assert [o.variance for o in out_serial] == [o.variance for o in out_threaded]
+    assert [o.interpolated for o in out_serial] == [o.interpolated for o in out_threaded]
+    np.testing.assert_array_equal(serial.cache.points, threaded.cache.points)
+    assert (
+        serial.stats.neighbor_sketch.quantiles()
+        == threaded.stats.neighbor_sketch.quantiles()
+    )
 
 
 def _smooth_field(config):

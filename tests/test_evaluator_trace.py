@@ -1,7 +1,6 @@
 """Unit tests for repro.optimization.evaluator and repro.optimization.trace."""
 
 import numpy as np
-import pytest
 
 from repro.core.estimator import KrigingEstimator
 from repro.optimization.evaluator import KrigingMetricEvaluator, SimulationEvaluator

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.distances import DistanceMetric, distances_to
-from repro.core.index import BruteForceIndex, LatticeBucketIndex, make_index
+from repro.core.index import (
+    BruteForceIndex,
+    KDTreeIndex,
+    LatticeBucketIndex,
+    make_index,
+)
 from repro.core.neighborhood import find_neighbors
 
 
@@ -87,24 +92,118 @@ class TestLatticeBucketIndex:
         assert set(cand.tolist()) == {0, 1, 2, 3}
 
 
+class TestKDTreeIndex:
+    """Property tests: KD-tree radius queries must match brute force."""
+
+    def _assert_matches_brute(self, index, pts, query, radius):
+        candidates = index.candidates(query, radius)
+        assert np.all(np.diff(candidates) > 0), "candidates must ascend"
+        true = set(
+            np.flatnonzero(distances_to(pts, query, index.metric) <= radius).tolist()
+        )
+        assert true <= set(candidates.tolist())
+
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    @pytest.mark.parametrize("n_points", [3, 40, 63, 64, 400])
+    def test_random_float_configurations(self, metric, n_points):
+        rng = np.random.default_rng(17)
+        pts = rng.uniform(-5.0, 20.0, size=(n_points, 4))
+        index = KDTreeIndex(4, metric)
+        _fill(index, pts)
+        for _ in range(25):
+            query = rng.uniform(-8.0, 23.0, size=4)
+            radius = float(rng.uniform(0.5, 8.0))
+            self._assert_matches_brute(index, pts, query, radius)
+
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    def test_lattice_configurations(self, metric):
+        rng = np.random.default_rng(29)
+        pts = rng.integers(0, 12, size=(300, 5)).astype(float)
+        index = KDTreeIndex(5, metric)
+        _fill(index, pts)
+        for _ in range(25):
+            query = rng.integers(0, 12, size=5).astype(float)
+            radius = float(rng.integers(1, 6))
+            self._assert_matches_brute(index, pts, query, radius)
+
+    def test_incremental_insertions_interleaved_with_queries(self):
+        """Queries stay exact through tail accumulation and rebuilds."""
+        rng = np.random.default_rng(5)
+        all_pts = rng.uniform(0.0, 10.0, size=(500, 3))
+        index = KDTreeIndex(3, "l2", leaf_size=8)
+        inserted = []
+        for row, point in enumerate(all_pts):
+            index.insert(point, row)
+            inserted.append(point)
+            if row % 37 == 0 or row in (63, 64, 127, 128, 255, 256):
+                pts = np.asarray(inserted)
+                query = rng.uniform(0.0, 10.0, size=3)
+                self._assert_matches_brute(index, pts, query, 2.5)
+        assert index.n_leaves > 1
+        assert index.tail_size < len(index)
+
+    def test_routed_find_neighbors_identical_to_plain(self):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0.0, 12.0, size=(250, 5))
+        index = KDTreeIndex(5, "l2")
+        _fill(index, pts)
+        for _ in range(20):
+            query = rng.uniform(0.0, 12.0, size=5)
+            radius = float(rng.uniform(1.0, 6.0))
+            plain = find_neighbors(pts, query, radius, metric="l2")
+            routed = find_neighbors(pts, query, radius, metric="l2", index=index)
+            np.testing.assert_array_equal(plain, routed)
+
+    def test_prunes_far_cluster(self):
+        # 128 + 128 points: the last insert lands exactly on a
+        # rebuild-on-doubling boundary, so the tree covers everything and
+        # the far cluster must be pruned outright (no brute-force tail).
+        near = np.random.default_rng(0).uniform(0.0, 4.0, size=(128, 3))
+        far = near + 100.0
+        index = KDTreeIndex(3, "l2", leaf_size=16)
+        _fill(index, np.vstack([near, far]))
+        assert index.tail_size == 0
+        cand = index.candidates(np.full(3, 2.0), 5.0)
+        assert 0 < cand.size <= 128
+        assert set(cand.tolist()) <= set(range(128))
+
+    def test_duplicate_points_stay_queryable(self):
+        """A degenerate all-identical segment must become a leaf, not recurse."""
+        pts = np.ones((64, 2))  # 64 = rebuild boundary: fully in-tree
+        index = KDTreeIndex(2, "l2", leaf_size=4)
+        _fill(index, pts)
+        assert index.tail_size == 0
+        assert index.candidates(np.ones(2), 0.5).size == 64
+        assert index.candidates(np.zeros(2), 0.5).size == 0
+
+    def test_empty_and_validation(self):
+        index = KDTreeIndex(2)
+        assert index.candidates(np.zeros(2), 3.0).size == 0
+        with pytest.raises(ValueError, match="leaf_size"):
+            KDTreeIndex(2, leaf_size=0)
+        with pytest.raises(ValueError, match="in order"):
+            index.insert(np.zeros(2), 5)
+
+
 class TestMakeIndex:
     def test_auto_selection(self):
         assert isinstance(make_index("l1", 3), LatticeBucketIndex)
         assert isinstance(make_index("linf", 3), LatticeBucketIndex)
-        assert isinstance(make_index("l2", 3), BruteForceIndex)
+        assert isinstance(make_index("l2", 3), KDTreeIndex)
 
     def test_explicit_kinds(self):
         assert isinstance(make_index("l2", 3, "bucket"), LatticeBucketIndex)
         assert isinstance(make_index("l1", 3, "brute"), BruteForceIndex)
+        assert isinstance(make_index("l1", 3, "kdtree"), KDTreeIndex)
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="index kind"):
-            make_index("l1", 3, "kdtree")
+            make_index("l1", 3, "balltree")
 
 
 class TestFindNeighborsWithIndex:
     @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
-    @pytest.mark.parametrize("kind", ["brute", "bucket"])
+    @pytest.mark.parametrize("kind", ["brute", "bucket", "kdtree"])
     def test_identical_to_unindexed(self, metric, kind):
         rng = np.random.default_rng(7)
         pts = rng.integers(0, 10, size=(150, 5)).astype(float)

@@ -1,7 +1,5 @@
 """Unit tests for repro.fixedpoint.noise (Eqs. 11-12 and helpers)."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given

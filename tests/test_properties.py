@@ -92,18 +92,23 @@ class TestPolicyInvariants:
         )
     )
     def test_bookkeeping_consistency(self, queries):
-        est = KrigingEstimator(
-            lambda c: float(np.sum(c)), 3, distance=3, nn_min=1,
-            track_neighbor_counts=True,
-        )
+        est = KrigingEstimator(lambda c: float(np.sum(c)), 3, distance=3, nn_min=1)
+        counts = []
         for q in queries:
-            est.evaluate(q)
+            outcome = est.evaluate(q)
+            if outcome.interpolated and not outcome.exact_hit:
+                counts.append(outcome.n_neighbors)
         s = est.stats
         assert s.n_queries == len(queries)
         assert len(est.cache) == s.n_simulated
-        assert len(s.neighbor_counts) == s.n_interpolated
-        # The streaming mean must agree with the opt-in distribution.
-        assert s.neighbor_count_sum == sum(s.neighbor_counts)
+        # The streaming sketch must agree with the exact distribution on
+        # everything it tracks exactly: count, sum, extremes.
+        assert s.neighbor_sketch.count == s.n_interpolated == len(counts)
+        assert s.neighbor_count_sum == sum(counts) == s.neighbor_sketch.sum
+        if counts:
+            assert s.neighbor_sketch.min == min(counts)
+            assert s.neighbor_sketch.max == max(counts)
+            assert min(counts) <= s.neighbor_quantile(0.5) <= max(counts)
 
     @settings(deadline=None, max_examples=10)
     @given(

@@ -1,0 +1,102 @@
+"""Unit tests for repro.utils.quantiles (the P² streaming sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.quantiles import DEFAULT_PROBS, P2Quantile, QuantileSketch
+
+
+class TestP2Quantile:
+    def test_empty_is_nan(self):
+        assert np.isnan(P2Quantile(0.5).value)
+
+    def test_exact_below_five_observations(self):
+        est = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            est.update(x)
+        assert est.value == pytest.approx(2.0)
+        assert est.n == 3
+
+    def test_median_of_uniform_stream(self):
+        rng = np.random.default_rng(0)
+        est = P2Quantile(0.5)
+        data = rng.uniform(0.0, 1.0, size=5000)
+        for x in data:
+            est.update(x)
+        assert est.value == pytest.approx(np.quantile(data, 0.5), abs=0.02)
+
+    @pytest.mark.parametrize("prob", [0.1, 0.25, 0.5, 0.75, 0.9])
+    def test_tracks_normal_stream(self, prob):
+        rng = np.random.default_rng(7)
+        data = rng.normal(10.0, 3.0, size=8000)
+        est = P2Quantile(prob)
+        for x in data:
+            est.update(x)
+        truth = float(np.quantile(data, prob))
+        # P² is approximate; a tenth of a standard deviation is plenty here.
+        assert est.value == pytest.approx(truth, abs=0.3)
+
+    def test_integer_ties(self):
+        """Neighbour counts are small ints with heavy ties — stay sane."""
+        est = P2Quantile(0.5)
+        for x in [2, 3, 3, 3, 4, 3, 3, 2, 3, 5, 3, 3] * 20:
+            est.update(x)
+        assert 2.0 <= est.value <= 4.0
+
+    def test_rejects_bad_prob_and_nan(self):
+        with pytest.raises(ValueError, match="prob"):
+            P2Quantile(1.0)
+        est = P2Quantile(0.5)
+        with pytest.raises(ValueError, match="NaN"):
+            est.update(float("nan"))
+
+
+class TestQuantileSketch:
+    def test_exact_side_statistics(self):
+        sketch = QuantileSketch()
+        data = [5.0, -1.0, 2.0, 2.0, 10.0, 0.0]
+        for x in data:
+            sketch.update(x)
+        assert sketch.count == len(data)
+        assert sketch.min == -1.0
+        assert sketch.max == 10.0
+        assert sketch.sum == pytest.approx(sum(data))
+        assert sketch.mean == pytest.approx(np.mean(data))
+
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert sketch.count == 0
+        assert np.isnan(sketch.mean)
+        assert np.isnan(sketch.min)
+        assert np.isnan(sketch.quantile(0.5))
+
+    def test_tracked_quantiles(self):
+        rng = np.random.default_rng(3)
+        data = rng.exponential(4.0, size=6000)
+        sketch = QuantileSketch()
+        for x in data:
+            sketch.update(x)
+        for prob in DEFAULT_PROBS:
+            truth = float(np.quantile(data, prob))
+            assert sketch.quantile(prob) == pytest.approx(truth, rel=0.1, abs=0.2)
+
+    def test_untracked_quantile_rejected(self):
+        sketch = QuantileSketch((0.5,))
+        sketch.update(1.0)
+        with pytest.raises(KeyError, match="not tracked"):
+            sketch.quantile(0.99)
+
+    def test_summary_keys(self):
+        sketch = QuantileSketch((0.5, 0.9))
+        for x in range(100):
+            sketch.update(float(x))
+        summary = sketch.summary()
+        assert set(summary) == {"count", "mean", "min", "max", "p50", "p90"}
+        assert summary["count"] == 100.0
+        assert summary["p50"] == pytest.approx(49.5, abs=2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            QuantileSketch(())
+        with pytest.raises(ValueError, match="duplicate"):
+            QuantileSketch((0.5, 0.5))

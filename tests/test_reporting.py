@@ -4,8 +4,12 @@ import numpy as np
 import pytest
 
 from repro.experiments.figure1 import surface_is_monotone
-from repro.experiments.replay import MetricKind
-from repro.experiments.reporting import format_row, format_table1
+from repro.experiments.replay import MetricKind, ReplayStats, replay_trajectory
+from repro.experiments.reporting import (
+    format_neighbor_distribution,
+    format_row,
+    format_table1,
+)
 from repro.experiments.table1 import Table1Row
 from repro.experiments.timing import SpeedupProjection
 
@@ -83,6 +87,50 @@ class TestSurfaceMonotone:
         surface = -np.add.outer(np.arange(5), np.arange(5)).astype(float)
         surface[2, 2] += 0.5
         assert surface_is_monotone(surface, tolerance_db=1.0)
+
+
+class TestNeighborDistribution:
+    def _stats(self, **overrides):
+        defaults = dict(
+            benchmark="fir",
+            metric_kind=MetricKind.NOISE_POWER_DB,
+            distance=3.0,
+            nn_min=1,
+            n_configs=40,
+            n_interpolated=25,
+            n_simulated=15,
+            mean_neighbors=2.4,
+            errors=np.zeros(25),
+            neighbor_quantiles=((0.25, 2.0), (0.5, 2.0), (0.9, 4.0)),
+        )
+        defaults.update(overrides)
+        return ReplayStats(**defaults)
+
+    def test_renders_quantiles_from_sketch(self):
+        line = format_neighbor_distribution(self._stats())
+        assert "fir" in line
+        assert "j_mean= 2.40" in line
+        assert "p25= 2.00" in line and "p90= 4.00" in line
+
+    def test_no_interpolations_placeholder(self):
+        stats = self._stats(
+            n_interpolated=0, errors=np.zeros(0), neighbor_quantiles=()
+        )
+        assert "no interpolations" in format_neighbor_distribution(stats)
+
+    def test_replay_fills_quantiles(self):
+        """End to end: the replay's sketch feeds the distribution renderer."""
+        rng = np.random.default_rng(2)
+        configs = rng.integers(2, 8, size=(60, 2))
+        configs = np.unique(configs, axis=0)
+        values = configs.astype(float) @ np.array([-2.0, -1.0])
+        stats = replay_trajectory(configs, values, distance=4, variogram="linear")
+        assert stats.n_interpolated > 0
+        assert stats.neighbor_quantiles
+        assert stats.neighbor_quantile(0.5) >= 1.0
+        assert np.isnan(stats.neighbor_quantile(0.123))
+        line = format_neighbor_distribution(stats)
+        assert "p50=" in line
 
 
 class TestSpeedupEdgeCases:
