@@ -6,10 +6,17 @@ which are stable across hardware.  A run regresses when any tracked speedup
 falls below ``baseline / factor`` (default factor 2: "fail on >2x
 regression").
 
+Alongside the gate, ``--history`` appends one machine-tagged JSON line per
+run — absolute seconds *and* ratios — to a ``BENCH_history.jsonl``, so
+per-commit timing trends stay plottable even though the pass/fail decision
+only ever looks at ratios.  CI appends to the committed history and uploads
+it as an artifact on every push.
+
 Usage::
 
     python benchmarks/bench_query_engine.py --quick --output current.json
-    python benchmarks/check_regression.py BENCH_query_engine.json current.json
+    python benchmarks/check_regression.py BENCH_query_engine.json current.json \
+        --history BENCH_history.jsonl --commit "$GITHUB_SHA"
 
 Exit status 0 when every tracked ratio holds up, 1 on regression, 2 on a
 malformed report.
@@ -20,12 +27,17 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import platform
+import time
 
 #: Speedup fields gated per support-size row of ``results``.
 ROW_FIELDS = ("speedup_evaluate_vs_seed", "speedup_batch_vs_seed")
 
 #: Speedup fields gated in the ``l2_index`` section.
 L2_FIELDS = ("speedup_kdtree_vs_brute",)
+
+#: Speedup fields gated in the ``reuse`` (factorization cache) section.
+REUSE_FIELDS = ("speedup_reuse_vs_fresh",)
 # The ``parallel`` section is recorded but not gated: thread scaling depends
 # on the runner's core count (a single-core runner honestly reports ~1x).
 
@@ -60,17 +72,71 @@ def compare(baseline: dict, current: dict, factor: float) -> list[str]:
                     f"(baseline {base_row[field]:.2f} / {factor:g})"
                 )
 
-    base_l2 = baseline.get("l2_index")
-    cur_l2 = current.get("l2_index")
-    if base_l2 and cur_l2:
-        for field in L2_FIELDS:
-            bound = base_l2[field] / factor
-            if cur_l2[field] < bound:
+    for section, fields in (("l2_index", L2_FIELDS), ("reuse", REUSE_FIELDS)):
+        base_section = baseline.get(section)
+        cur_section = current.get(section)
+        if not (base_section and cur_section):
+            continue  # older baselines predate the section
+        for field in fields:
+            bound = base_section[field] / factor
+            if cur_section[field] < bound:
                 failures.append(
-                    f"l2_index.{field}: {cur_l2[field]:.2f} < {bound:.2f} "
-                    f"(baseline {base_l2[field]:.2f} / {factor:g})"
+                    f"{section}.{field}: {cur_section[field]:.2f} < {bound:.2f} "
+                    f"(baseline {base_section[field]:.2f} / {factor:g})"
                 )
     return failures
+
+
+def _machine_tag() -> dict:
+    """Identify the box a run happened on, so history lines are comparable
+    only within the same hardware."""
+    return {
+        "node": platform.node(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+    }
+
+
+def history_entry(report: dict, commit: str | None = None) -> dict:
+    """One ``BENCH_history.jsonl`` line: absolute seconds plus ratios."""
+    absolute: dict[str, float] = {}
+    ratios: dict[str, float] = {}
+    for row in report.get("results", []):
+        prefix = f"n{row['n_support']}"
+        for field, value in row.items():
+            if field.endswith("_seconds"):
+                absolute[f"{prefix}.{field}"] = value
+            elif field.startswith("speedup_"):
+                ratios[f"{prefix}.{field}"] = value
+    for section in ("l2_index", "parallel", "reuse"):
+        data = report.get(section)
+        if not data:
+            continue
+        for field, value in data.items():
+            if field.endswith("_seconds"):
+                absolute[f"{section}.{field}"] = value
+            elif field.startswith("speedup_"):
+                ratios[f"{section}.{field}"] = value
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "commit": commit,
+        "benchmark": report.get("benchmark"),
+        "machine": _machine_tag(),
+        "absolute_seconds": absolute,
+        "ratios": ratios,
+    }
+
+
+def append_history(
+    path: pathlib.Path, report: dict, commit: str | None = None
+) -> dict:
+    """Append this run's :func:`history_entry` to ``path`` (created if
+    missing); returns the appended entry."""
+    entry = history_entry(report, commit)
+    with path.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,6 +148,17 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=2.0,
         help="maximum tolerated slowdown of any speedup ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "--history",
+        type=pathlib.Path,
+        default=None,
+        help="append a machine-tagged absolute-timings line to this JSONL file",
+    )
+    parser.add_argument(
+        "--commit",
+        default=None,
+        help="commit SHA recorded in the history line (e.g. $GITHUB_SHA)",
     )
     args = parser.parse_args(argv)
     if args.factor <= 1.0:
@@ -97,6 +174,13 @@ def main(argv: list[str] | None = None) -> int:
         if report.get("benchmark") != "query_engine" or "results" not in report:
             print(f"error: {name} is not a query_engine benchmark report")
             return 2
+
+    if args.history is not None:
+        entry = append_history(args.history, current, args.commit)
+        print(
+            f"history: appended {len(entry['absolute_seconds'])} timings "
+            f"to {args.history}"
+        )
 
     failures = compare(baseline, current, args.factor)
     if failures:

@@ -27,8 +27,13 @@ from repro.experiments.registry import (
     SCALES,
     build_benchmark,
 )
+from repro.core.kriging import SOLVE_BACKENDS
 from repro.experiments.replay import MetricKind, replay_trace
-from repro.experiments.reporting import format_neighbor_distribution, format_table1
+from repro.experiments.reporting import (
+    format_factor_reuse,
+    format_neighbor_distribution,
+    format_table1,
+)
 from repro.experiments.table1 import DISTANCES, rows_for_setup
 from repro.optimization.serialize import load_trace, save_trace
 
@@ -71,7 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=_jobs_arg,
         default=1,
-        help="threads for grouped kriging solves (-1: one per CPU)",
+        help="workers for grouped kriging solves (-1: one per CPU)",
+    )
+    p_table.add_argument(
+        "--backend",
+        choices=SOLVE_BACKENDS,
+        default="thread",
+        help="executor for grouped kriging solves (process: for workloads "
+        "dominated by GIL-holding group assembly)",
     )
 
     p_fig = sub.add_parser("figure1", help="render the FIR noise-power surface")
@@ -98,7 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=_jobs_arg,
         default=1,
-        help="threads for grouped kriging solves (-1: one per CPU)",
+        help="workers for grouped kriging solves (-1: one per CPU)",
+    )
+    p_rep.add_argument(
+        "--backend",
+        choices=SOLVE_BACKENDS,
+        default="thread",
+        help="executor for grouped kriging solves (process: for workloads "
+        "dominated by GIL-holding group assembly)",
     )
 
     sub.add_parser("benchmarks", help="list available benchmarks")
@@ -113,6 +132,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         nn_min=args.nn_min,
         variogram=args.variogram,
         n_jobs=args.jobs,
+        backend=args.backend,
     )
     print(format_table1(rows))
     return 0
@@ -147,6 +167,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         nn_min=args.nn_min,
         variogram=args.variogram,
         n_jobs=args.jobs,
+        backend=args.backend,
     )
     unit = "bits" if stats.metric_kind is MetricKind.NOISE_POWER_DB else "rel"
     print(
@@ -155,6 +176,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"max_eps={stats.max_error:.4f} {unit} mu_eps={stats.mean_error:.4f} {unit}"
     )
     print(format_neighbor_distribution(stats))
+    print(format_factor_reuse(stats))
     return 0
 
 

@@ -13,7 +13,11 @@ The package implements the full geostatistical pipeline of Section III:
    interpolate-or-simulate policy of Algorithms 1–2: a configuration with
    more than ``Nn_min`` previously *simulated* configurations within L1
    distance ``d`` is interpolated, anything else is simulated and added to
-   the support cache.
+   the support cache;
+5. :mod:`~repro.core.factor_cache` / :mod:`~repro.core.lowrank` — the
+   factorization-reuse layer under the batch engine: an LRU of Cholesky
+   factors of the (shifted) Gamma matrices keyed by support-set signature,
+   bridged across near-identical support sets by rank-1 row edits.
 """
 
 from repro.core.cache import SimulationCache
@@ -29,6 +33,7 @@ from repro.core.distances import (
     pairwise_distances,
 )
 from repro.core.estimator import EstimationOutcome, KrigingEstimator
+from repro.core.factor_cache import FactorCache, FactorCacheStats, GammaFactor
 from repro.core.fitting import FittedVariogram, fit_variogram, select_variogram
 from repro.core.index import (
     BruteForceIndex,
@@ -40,8 +45,12 @@ from repro.core.kriging import (
     KrigingResult,
     ordinary_kriging,
     ordinary_kriging_batch,
+    ordinary_kriging_grouped,
+    resolve_backend,
+    resolve_n_jobs,
     simple_kriging,
 )
+from repro.core.lowrank import chol_append, chol_delete, choldowndate, cholupdate
 from repro.core.universal import linear_drift, quadratic_drift, universal_kriging
 from repro.core.models import (
     ExponentialVariogram,
@@ -74,6 +83,9 @@ __all__ = [
     "FittedVariogram",
     "ordinary_kriging",
     "ordinary_kriging_batch",
+    "ordinary_kriging_grouped",
+    "resolve_backend",
+    "resolve_n_jobs",
     "simple_kriging",
     "universal_kriging",
     "linear_drift",
@@ -87,6 +99,13 @@ __all__ = [
     "SimulationCache",
     "KrigingEstimator",
     "EstimationOutcome",
+    "FactorCache",
+    "FactorCacheStats",
+    "GammaFactor",
+    "cholupdate",
+    "choldowndate",
+    "chol_append",
+    "chol_delete",
     "loo_cross_validate",
     "select_variogram_loo",
     "CrossValidationResult",

@@ -28,16 +28,25 @@ The query hot path is a vectorized engine with three layers:
   :func:`~repro.core.kriging.ordinary_kriging_batch`, which factorizes the
   bordered Gamma matrix once per group and back-substitutes all right-hand
   sides together; with ``n_jobs > 1`` independent groups solve concurrently
-  on a thread pool (:func:`~repro.core.kriging.ordinary_kriging_grouped`).
+  on a thread or process pool
+  (:func:`~repro.core.kriging.ordinary_kriging_grouped`).
   The outcomes — simulate/interpolate decisions, final cache contents, and
   values (to tight numerical tolerance) — match an equivalent sequence of
-  :meth:`~KrigingEstimator.evaluate` calls, for every ``n_jobs``.
+  :meth:`~KrigingEstimator.evaluate` calls, for every ``n_jobs``;
+* a :class:`~repro.core.factor_cache.FactorCache` keeps the group
+  factorizations alive across flushes: a group whose support set matches a
+  cached one reuses the factor outright, one differing by a few points is
+  bridged with O(n^2) rank-1 row edits (:mod:`repro.core.lowrank`), and
+  every reused solve is residual-checked against the true system with a
+  transparent fallback — a decisive win on optimizer-style workloads that
+  re-evaluate near-identical neighbourhoods as the cache grows point by
+  point.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -45,11 +54,13 @@ import numpy as np
 
 from repro.core.cache import SimulationCache
 from repro.core.distances import DistanceMetric
+from repro.core.factor_cache import FactorCache, FactorCacheStats, GammaFactor
 from repro.core.fitting import MODEL_KINDS, fit_variogram, select_variogram
 from repro.core.index import NeighborIndex, make_index
 from repro.core.kriging import (
     ordinary_kriging,
     ordinary_kriging_grouped,
+    resolve_backend,
     resolve_n_jobs,
 )
 from repro.core.models import LinearVariogram, VariogramModel
@@ -107,6 +118,10 @@ class EstimatorStats:
     neighbor_sketch: QuantileSketch = field(default_factory=QuantileSketch)
     simulation_seconds: float = 0.0
     kriging_seconds: float = 0.0
+    factor: FactorCacheStats = field(default_factory=FactorCacheStats)
+    """Factorization-reuse counters (hits / up-downdates / fresh solves) of
+    the estimator's :class:`~repro.core.factor_cache.FactorCache`; all
+    zeros when the reuse layer is disabled."""
 
     def record_interpolation(self, n_neighbors: int) -> None:
         """Count one interpolation answered with ``n_neighbors`` support points."""
@@ -201,11 +216,32 @@ class KrigingEstimator:
         ``"kdtree"`` or ``"brute"``.  Purely a performance knob: results are
         identical.
     n_jobs:
-        Worker threads for the batch engine's shared-support group solves
+        Workers for the batch engine's shared-support group solves
         (``1``/``None`` sequential, ``-1`` one per CPU).  Purely a
         wall-clock knob: decisions, cache contents and values are identical
-        for every setting (each group is solved on a single thread in a
+        for every setting (each group is solved on a single worker in a
         fixed order).
+    backend:
+        Executor kind for the group solves: ``"thread"`` (default —
+        zero-copy, LAPACK releases the GIL) or ``"process"`` (a
+        ``ProcessPoolExecutor`` shipping groups as contiguous arrays, for
+        workloads dominated by the GIL-holding group assembly; requires a
+        picklable variogram).  For a fixed backend, results are
+        bit-identical for every ``n_jobs``.  The process backend bypasses
+        the factor cache (factors cannot cross the process boundary), so
+        with ``factor_cache=True`` thread and process runs may differ
+        within the engine's ~1e-9 envelope; disable the cache for
+        bit-equality *across* backends.  Call :meth:`close` (or use the
+        estimator as a context manager) to release the pool.
+    factor_cache:
+        The factorization-reuse layer: ``True`` (default) builds a
+        :class:`~repro.core.factor_cache.FactorCache`, ``False`` disables
+        reuse, or pass a pre-configured instance to tune capacity and the
+        up/downdate distance.  Purely a performance knob: every reused
+        solve is residual-checked with a transparent fresh-solve fallback.
+        The cache is invalidated whenever the variogram is (re)fitted, and
+        is not consulted on the process backend (factors cannot cross the
+        process boundary).
     """
 
     def __init__(
@@ -224,6 +260,8 @@ class KrigingEstimator:
         interpolator: str = "ordinary",
         neighbor_index: str = "auto",
         n_jobs: int | None = 1,
+        backend: str = "thread",
+        factor_cache: bool | FactorCache = True,
     ) -> None:
         if distance < 0:
             raise ValueError(f"distance must be >= 0, got {distance}")
@@ -253,8 +291,16 @@ class KrigingEstimator:
             self.metric, num_variables, neighbor_index
         )
         self.n_jobs = resolve_n_jobs(n_jobs)
-        self._executor: ThreadPoolExecutor | None = None  # lazy, reused per flush
+        self.backend = resolve_backend(backend)
+        self._executor: Executor | None = None  # lazy, reused per flush
         self.stats = EstimatorStats()
+        if isinstance(factor_cache, FactorCache):
+            self.factor_cache: FactorCache | None = factor_cache
+            self.stats.factor = factor_cache.stats
+        else:
+            self.factor_cache = (
+                FactorCache(stats=self.stats.factor) if factor_cache else None
+            )
         self._variogram_spec = variogram
         self._min_fit_points = min_fit_points
         self._refit_interval = refit_interval
@@ -286,6 +332,11 @@ class KrigingEstimator:
             else:
                 self._fitted = fit_variogram(emp, str(spec)).model
             self._fitted_at = n_sim
+            # Every cached factorization was built from the old variogram's
+            # Gamma entries; reusing one now would interpolate against a
+            # stale model.
+            if self.factor_cache is not None:
+                self.factor_cache.invalidate()
         assert self._fitted is not None
         return self._fitted
 
@@ -445,11 +496,18 @@ class KrigingEstimator:
 
         Multi-query shared-support groups go through
         :func:`~repro.core.kriging.ordinary_kriging_grouped`, which spreads
-        the per-group factorizations over ``n_jobs`` threads; singleton
+        the per-group factorizations over ``n_jobs`` workers; singleton
         groups (and the universal interpolator, whose drift is per-query)
         are solved in place.  Outcomes and statistics are assigned in a
         fixed group order after all solves return, so results are identical
         for every ``n_jobs``.
+
+        Factor reuse happens *here*, serially, during group assembly: every
+        :meth:`~repro.core.factor_cache.FactorCache.factor_for` call —
+        lookup, rank-1 derivation, insertion, eviction — runs on this thread
+        in pending-dict order before any parallel dispatch, so the cache
+        state (and with it every solve) is deterministic for every
+        ``n_jobs``.  Workers only read the factors they are handed.
         """
         if not pending:
             return
@@ -457,36 +515,58 @@ class KrigingEstimator:
         variogram = self._current_variogram()
         points = self.cache.points
         values = self.cache.values
+        use_factors = self.factor_cache is not None and self.backend == "thread"
 
-        # Split the deferred work: multi-query ordinary groups batch (and
-        # parallelize); everything else keeps the per-query solve on the
-        # distance-ordered neighbour list, matching the sequential path bit
-        # for bit.
+        # Split the deferred work: every ordinary group — singletons included,
+        # so near-identical neighbourhoods of consecutive queries reuse each
+        # other's factorizations — goes through the grouped (and parallel)
+        # batch solver; the universal interpolator keeps the per-query solve
+        # (its drift basis is per-query).
         batched: list[list[tuple[int, np.ndarray, np.ndarray]]] = []
         groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        factors: list[GammaFactor | None] = []
         singles: list[tuple[int, np.ndarray, np.ndarray]] = []
         for signature, items in pending.items():
-            if self.interpolator == "universal" or len(items) == 1:
+            if self.interpolator == "universal":
                 singles.extend(items)
             else:
-                support = np.asarray(signature, dtype=np.int64)
+                factor = (
+                    self.factor_cache.factor_for(
+                        signature, points, variogram, self.metric
+                    )
+                    if use_factors
+                    else None
+                )
+                # A factor's rows are a permutation of the signature; feeding
+                # the support in factor order lets the solve reuse it as-is.
+                support = (
+                    factor.rows
+                    if factor is not None
+                    else np.asarray(signature, dtype=np.int64)
+                )
                 queries = np.stack([config for _, config, _ in items])
                 batched.append(items)
                 groups.append((points[support], values[support], queries))
+                factors.append(factor)
 
         # One long-lived pool per estimator: the batch engine flushes before
         # every simulation, so a per-flush executor would pay spawn/join
         # costs hundreds of times per sweep.
         if self.n_jobs > 1 and len(groups) > 1 and self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.n_jobs, thread_name_prefix="kriging"
-            )
+            if self.backend == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.n_jobs, thread_name_prefix="kriging"
+                )
         grouped_results = ordinary_kriging_grouped(
             groups,
             variogram,
             metric=self.metric,
             n_jobs=self.n_jobs,
             executor=self._executor,
+            backend=self.backend,
+            factors=factors if use_factors else None,
         )
         for items, results in zip(batched, grouped_results):
             for (pos, _, neighbors), result in zip(items, results):
@@ -501,20 +581,14 @@ class KrigingEstimator:
         for pos, config, neighbors in singles:
             support_points = points[neighbors]
             support_values = values[neighbors]
-            if self.interpolator == "universal":
-                result = universal_kriging(
-                    support_points,
-                    support_values,
-                    config,
-                    variogram,
-                    drift=adaptive_linear_drift(support_points),
-                    metric=self.metric,
-                )
-            else:
-                result = ordinary_kriging(
-                    support_points, support_values, config, variogram,
-                    metric=self.metric,
-                )
+            result = universal_kriging(
+                support_points,
+                support_values,
+                config,
+                variogram,
+                drift=adaptive_linear_drift(support_points),
+                metric=self.metric,
+            )
             outcomes[pos] = EstimationOutcome(
                 value=result.estimate,
                 interpolated=True,
@@ -524,6 +598,24 @@ class KrigingEstimator:
             self.stats.record_interpolation(int(neighbors.size))
         self.stats.kriging_seconds += time.perf_counter() - start
         pending.clear()
+
+    def close(self) -> None:
+        """Release the long-lived solve executor (idempotent).
+
+        Matters for ``backend="process"``, whose worker processes otherwise
+        outlive the estimator; the thread pool is released too.  The
+        estimator stays usable after ``close`` — the pool is re-created
+        lazily on the next flush.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "KrigingEstimator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def force_simulate(self, configuration: object) -> EstimationOutcome:
         """Simulate ``configuration`` regardless of the neighbourhood policy.

@@ -15,9 +15,10 @@ completeness and for the ablation benches.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.core.distances import (
     pairwise_distances,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.factor_cache import GammaFactor
+
 __all__ = [
     "KrigingResult",
     "ordinary_kriging",
@@ -35,12 +39,26 @@ __all__ = [
     "ordinary_kriging_grouped",
     "simple_kriging",
     "resolve_n_jobs",
+    "resolve_backend",
+    "SOLVE_BACKENDS",
 ]
 
 Variogram = Callable[[np.ndarray], np.ndarray]
 
 KrigingGroup = tuple[np.ndarray, np.ndarray, np.ndarray]
 """One shared-support solve: ``(support_points, support_values, queries)``."""
+
+SOLVE_BACKENDS = ("thread", "process")
+"""Executors :func:`ordinary_kriging_grouped` can spread groups over."""
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a grouped-solve ``backend`` knob."""
+    if backend not in SOLVE_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {SOLVE_BACKENDS}, got {backend!r}"
+        )
+    return backend
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -244,6 +262,7 @@ def ordinary_kriging_batch(
     variogram: Variogram,
     *,
     metric: DistanceMetric | str = DistanceMetric.L1,
+    factor: "GammaFactor | None" = None,
 ) -> list[KrigingResult]:
     """Ordinary kriging of many queries over one shared support set.
 
@@ -264,6 +283,14 @@ def ordinary_kriging_batch(
         ``(m, Nv)`` configurations to interpolate.
     variogram, metric:
         As in :func:`ordinary_kriging`.
+    factor:
+        Optional cached :class:`~repro.core.factor_cache.GammaFactor` for
+        this support set — ``points``/``values`` must then be in the
+        factor's row order (deduplicated; the estimator's cache guarantees
+        this).  The solve reuses the factorization (two triangular
+        backsolves) and verifies its residual against the true bordered
+        system; a residual miss transparently falls back to the fresh
+        solver, so a stale or ill-conditioned factor costs accuracy nothing.
 
     Returns
     -------
@@ -272,7 +299,16 @@ def ordinary_kriging_batch(
         support point take the exactness shortcut, as in the single-query
         path.
     """
-    pts, vals = _validate_support(points, values)
+    if factor is not None and factor.n_support == np.shape(points)[0]:
+        # Factored supports come straight from the estimator's simulation
+        # cache (unique rows by construction): skip the duplicate collapse,
+        # keep the cheap finiteness guard.
+        pts = np.asarray(points, dtype=np.float64)
+        vals = np.asarray(values, dtype=np.float64)
+        if not np.all(np.isfinite(vals)):
+            raise ValueError("support values contain non-finite entries")
+    else:
+        pts, vals = _validate_support(points, values)
     qs = np.asarray(queries, dtype=np.float64)
     if qs.ndim != 2 or qs.shape[1] != pts.shape[1]:
         raise ValueError(
@@ -299,10 +335,14 @@ def ordinary_kriging_batch(
             pending.append(j)
 
     if pending:
-        system = _bordered_system(pts, variogram, metric)
         gamma_queries = np.asarray(variogram(dist_q[:, pending]), dtype=np.float64)
         rhs = np.vstack([gamma_queries, np.ones((1, len(pending)))])
-        solution = _solve(system, rhs)  # one factorization, len(pending) RHS
+        solution = None
+        if factor is not None and factor.n_support == n:
+            solution = factor.solve(gamma_queries)  # None: residual fallback
+        if solution is None:
+            system = _bordered_system(pts, variogram, metric)
+            solution = _solve(system, rhs)  # one factorization, len(pending) RHS
         weights = solution[:n]
         lagrange = solution[n]
         estimates = vals @ weights
@@ -317,13 +357,38 @@ def ordinary_kriging_batch(
     return [r for r in results if r is not None]
 
 
+def _solve_group_chunk(
+    chunk: list[KrigingGroup],
+    variogram: Variogram,
+    metric: DistanceMetric | str,
+) -> list[list[KrigingResult]]:
+    """Solve a contiguous chunk of groups (module-level: picklable, so the
+    process backend can ship it to workers)."""
+    return [
+        ordinary_kriging_batch(points, values, queries, variogram, metric=metric)
+        for points, values, queries in chunk
+    ]
+
+
+def _contiguous_group(group: KrigingGroup) -> KrigingGroup:
+    """Copy a group's arrays into contiguous buffers for cheap pickling."""
+    points, values, queries = group
+    return (
+        np.ascontiguousarray(points),
+        np.ascontiguousarray(values),
+        np.ascontiguousarray(queries),
+    )
+
+
 def ordinary_kriging_grouped(
     groups: Sequence[KrigingGroup],
     variogram: Variogram,
     *,
     metric: DistanceMetric | str = DistanceMetric.L1,
     n_jobs: int | None = 1,
-    executor: ThreadPoolExecutor | None = None,
+    executor: Executor | None = None,
+    backend: str = "thread",
+    factors: "Sequence[GammaFactor | None] | None" = None,
 ) -> list[list[KrigingResult]]:
     """Solve many independent shared-support kriging groups, optionally in
     parallel.
@@ -331,15 +396,21 @@ def ordinary_kriging_grouped(
     Each group is a ``(support_points, support_values, queries)`` triple
     handed to :func:`ordinary_kriging_batch`; groups share nothing, so they
     parallelize embarrassingly.  With ``n_jobs > 1`` the groups are split
-    into contiguous chunks solved on a ``concurrent.futures`` thread pool —
-    threads, not processes, because the heavy steps (LAPACK factorizations,
-    BLAS back-substitutions and the numpy distance/variogram kernels)
-    release the GIL, and threads share the support arrays zero-copy.
+    into contiguous chunks solved on a ``concurrent.futures`` pool.
+
+    The default ``backend="thread"`` shares the support arrays zero-copy and
+    relies on the heavy steps (LAPACK factorizations, BLAS
+    back-substitutions, the numpy distance/variogram kernels) releasing the
+    GIL.  ``backend="process"`` ships each chunk to a
+    ``ProcessPoolExecutor`` as contiguous pickled arrays — worth it when the
+    workload is dominated by the GIL-holding Python-level group assembly
+    (many small groups) rather than the solves; the variogram callable must
+    then be picklable (every fitted model is).
 
     Results are **deterministic and identical** to the sequential loop
-    regardless of ``n_jobs``: every group's arithmetic happens on a single
-    thread in a fixed order, so scheduling cannot change a single bit of the
-    output — parallelism is purely a wall-clock knob.
+    regardless of ``n_jobs`` or ``backend``: every group's arithmetic happens
+    on a single worker in a fixed order, so scheduling cannot change a
+    single bit of the output — parallelism is purely a wall-clock knob.
 
     Parameters
     ----------
@@ -348,35 +419,77 @@ def ordinary_kriging_grouped(
         :func:`ordinary_kriging_batch`.
     variogram, metric:
         As in :func:`ordinary_kriging`.  The variogram callable must be
-        thread-safe (the fitted models are pure array functions).
+        thread-safe (the fitted models are pure array functions) and, for
+        the process backend, picklable.
     n_jobs:
-        Worker threads: ``1``/``None`` sequential, ``-1`` one per CPU.
+        Workers: ``1``/``None`` sequential, ``-1`` one per CPU.
     executor:
-        Optional pre-built thread pool to run on.  Callers issuing many
-        grouped solves (the batch engine flushes before every simulation)
-        pass a long-lived pool so each flush does not pay executor
-        spawn/join; without one, a temporary pool is created per call.
+        Optional pre-built pool matching ``backend`` to run on.  Callers
+        issuing many grouped solves (the batch engine flushes before every
+        simulation) pass a long-lived pool so each flush does not pay
+        executor spawn/join; without one, a temporary pool is created per
+        call.
+    backend:
+        ``"thread"`` (default) or ``"process"`` — see above.
+    factors:
+        Optional per-group cached factorizations, aligned with ``groups``
+        (``None`` entries solve fresh).  Thread backend only: factors hold
+        live references into the reuse layer's LRU and are not shipped
+        across process boundaries.
 
     Returns
     -------
     list[list[KrigingResult]]
         Per-group result lists, in group order.
     """
+    backend = resolve_backend(backend)
+    if factors is not None and backend == "process":
+        raise ValueError("cached factors cannot be reused on the process backend")
+    if factors is not None and len(factors) != len(groups):
+        raise ValueError(
+            f"factors length {len(factors)} != groups length {len(groups)}"
+        )
     workers = min(resolve_n_jobs(n_jobs), len(groups))
 
-    def solve(group: KrigingGroup) -> list[KrigingResult]:
+    def solve(index: int, group: KrigingGroup) -> list[KrigingResult]:
         points, values, queries = group
-        return ordinary_kriging_batch(points, values, queries, variogram, metric=metric)
+        return ordinary_kriging_batch(
+            points,
+            values,
+            queries,
+            variogram,
+            metric=metric,
+            factor=factors[index] if factors is not None else None,
+        )
 
     if workers <= 1 or len(groups) <= 1:
-        return [solve(group) for group in groups]
+        return [solve(index, group) for index, group in enumerate(groups)]
     # Chunk so each task amortizes pool dispatch over several (often tiny)
     # solves; map() preserves submission order.
     chunk = max(1, (len(groups) + 4 * workers - 1) // (4 * workers))
-    chunks = [groups[i : i + chunk] for i in range(0, len(groups), chunk)]
+    starts = range(0, len(groups), chunk)
 
-    def run(pool: ThreadPoolExecutor) -> list[list[KrigingResult]]:
-        solved = pool.map(lambda part: [solve(g) for g in part], chunks)
+    if backend == "process":
+        chunks = [
+            [_contiguous_group(g) for g in groups[i : i + chunk]] for i in starts
+        ]
+        task = partial(_solve_group_chunk, variogram=variogram, metric=metric)
+
+        def run_process(pool: Executor) -> list[list[KrigingResult]]:
+            solved = pool.map(task, chunks)
+            return [results for part in solved for results in part]
+
+        if executor is not None:
+            return run_process(executor)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return run_process(pool)
+
+    indexed = [
+        [(j, groups[j]) for j in range(i, min(i + chunk, len(groups)))] for i in starts
+    ]
+
+    def run(pool: Executor) -> list[list[KrigingResult]]:
+        solved = pool.map(lambda part: [solve(j, g) for j, g in part], indexed)
         return [results for part in solved for results in part]
 
     if executor is not None:

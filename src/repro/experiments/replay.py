@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.distances import DistanceMetric
 from repro.core.estimator import KrigingEstimator
+from repro.core.factor_cache import FactorCacheStats
 from repro.fixedpoint.noise import bit_difference_db, relative_difference
 from repro.optimization.trace import OptimizationTrace
 
@@ -65,6 +66,28 @@ class ReplayStats:
     neighbor_quantiles: tuple[tuple[float, float], ...] = ()
     """Streamed ``(probability, support-size quantile)`` pairs from the
     estimator's P² sketch (empty when nothing was interpolated)."""
+    factor_reuse: tuple[tuple[str, int], ...] = ()
+    """Factorization-reuse counters (``hits`` / ``updates`` / ``fresh`` /
+    ``fallbacks`` ...) from the estimator's
+    :class:`~repro.core.factor_cache.FactorCacheStats`; all zeros when the
+    reuse layer was disabled."""
+
+    def factor_counter(self, name: str) -> int:
+        """One reuse counter by name (0 when untracked)."""
+        for key, value in self.factor_reuse:
+            if key == name:
+                return value
+        return 0
+
+    @property
+    def factor_reuse_rate(self) -> float:
+        """Share of factorization requests served by the cache (hit or
+        rank-1 update) instead of a fresh O(n^3) solve; ``nan`` when the
+        replay never asked for a factorization.  Delegates to
+        :meth:`FactorCacheStats.reuse_rate
+        <repro.core.factor_cache.FactorCacheStats.reuse_rate>` so there is
+        one definition of the rate."""
+        return FactorCacheStats.from_pairs(self.factor_reuse).reuse_rate
 
     def neighbor_quantile(self, prob: float) -> float:
         """Support-size quantile streamed during the replay (``nan`` if
@@ -106,6 +129,8 @@ def replay_trajectory(
     refit_interval: int | None = 1,
     interpolator: str = "ordinary",
     n_jobs: int | None = 1,
+    backend: str = "thread",
+    factor_cache: bool = True,
 ) -> ReplayStats:
     """Replay a recorded trajectory under the kriging policy.
 
@@ -127,8 +152,16 @@ def replay_trajectory(
         sizes) starting from the fourth, matching the paper's once-per-
         application identification as soon as data exists.
     n_jobs:
-        Worker threads for the batch engine's shared-support group solves
+        Workers for the batch engine's shared-support group solves
         (``-1``: one per CPU).  Results are identical for every setting.
+    backend:
+        ``"thread"`` (default) or ``"process"`` executor for the group
+        solves.  The process backend bypasses the factor cache, so with
+        ``factor_cache=True`` the two backends may differ within the
+        engine's ~1e-9 envelope (bit-equal with the cache disabled).
+    factor_cache:
+        Enable the factorization-reuse layer (default on); the resulting
+        :attr:`ReplayStats.factor_reuse` counters show how often it paid.
     """
     configs = np.asarray(configurations, dtype=np.int64)
     values = np.asarray(true_values, dtype=np.float64)
@@ -167,12 +200,17 @@ def replay_trajectory(
         refit_interval=refit_interval,
         interpolator=interpolator,
         n_jobs=n_jobs,
+        backend=backend,
+        factor_cache=factor_cache,
     )
 
     # The whole trajectory goes through the batch engine: runs of
     # interpolations between simulations share one kriging factorization
-    # (identical outcomes to a per-query loop, far less work).
-    outcomes = estimator.evaluate_batch(configs)
+    # (identical outcomes to a per-query loop, far less work).  The
+    # estimator is closed afterwards so a process-backend pool never
+    # outlives the replay.
+    with estimator:
+        outcomes = estimator.evaluate_batch(configs)
     errors = [
         metric_kind.error(outcome.value, float(value))
         for outcome, value in zip(outcomes, values)
@@ -196,6 +234,7 @@ def replay_trajectory(
         mean_neighbors=stats.mean_neighbors,
         errors=np.asarray(errors, dtype=np.float64),
         neighbor_quantiles=quantiles,
+        factor_reuse=stats.factor.as_pairs(),
     )
 
 
@@ -212,6 +251,8 @@ def replay_trace(
     refit_interval: int | None = 1,
     interpolator: str = "ordinary",
     n_jobs: int | None = 1,
+    backend: str = "thread",
+    factor_cache: bool = True,
 ) -> ReplayStats:
     """Convenience wrapper: replay an :class:`OptimizationTrace` directly."""
     unique = trace.unique_first_visits()
@@ -228,4 +269,6 @@ def replay_trace(
         refit_interval=refit_interval,
         interpolator=interpolator,
         n_jobs=n_jobs,
+        backend=backend,
+        factor_cache=factor_cache,
     )

@@ -6,7 +6,10 @@ simulate/interpolate decisions, same final cache contents.  Verified here
 over two real workloads (FIR and SqueezeNet recorded trajectories — one
 minplusone word-length problem, one descent sensitivity problem) plus
 synthetic stress cases (variogram refitting, universal kriging,
-max_neighbors caps).
+max_neighbors caps).  The performance knobs layered on top — ``n_jobs``,
+``backend`` (thread/process pools) and ``factor_cache`` (factorization
+reuse) — must never change outcomes; each is exercised here against the
+sequential reference.
 """
 
 import numpy as np
@@ -25,8 +28,11 @@ def _make_pair(simulate, nv, **kwargs):
 
 def assert_equivalent(configs, simulate, nv, **kwargs):
     sequential, batched = _make_pair(simulate, nv, **kwargs)
-    seq_out = [sequential.evaluate(config) for config in configs]
-    bat_out = batched.evaluate_batch(configs)
+    # Context-managed so a process-backend estimator's worker pool never
+    # outlives its test.
+    with sequential, batched:
+        seq_out = [sequential.evaluate(config) for config in configs]
+        bat_out = batched.evaluate_batch(configs)
 
     assert [o.interpolated for o in seq_out] == [o.interpolated for o in bat_out]
     assert [o.exact_hit for o in seq_out] == [o.exact_hit for o in bat_out]
@@ -102,6 +108,68 @@ def test_workload_parallel_equivalence(name, n_jobs):
         n_jobs=n_jobs,
     )
     assert any(o.interpolated for o in outcomes)
+
+
+@pytest.mark.parametrize("factor_cache", [True, False])
+def test_workload_equivalence_reuse_on_off(factor_cache):
+    """The factorization-reuse layer is a pure performance knob: batch
+    outcomes must match the sequential path with the cache on or off."""
+    configs, lookup = _workload_configs("fir")
+    outcomes = assert_equivalent(
+        configs,
+        lookup,
+        configs.shape[1],
+        distance=3,
+        nn_min=1,
+        variogram="auto",
+        min_fit_points=4,
+        refit_interval=1,
+        factor_cache=factor_cache,
+    )
+    assert any(o.interpolated for o in outcomes)
+
+
+def test_workload_process_backend_equivalence():
+    """backend='process' must be decision- and value-identical to the
+    sequential path (groups are shipped to worker processes as contiguous
+    arrays; the fitted variogram models pickle)."""
+    configs, lookup = _workload_configs("fir")
+    outcomes = assert_equivalent(
+        configs,
+        lookup,
+        configs.shape[1],
+        distance=3,
+        nn_min=1,
+        variogram="auto",
+        min_fit_points=4,
+        refit_interval=1,
+        n_jobs=2,
+        backend="process",
+    )
+    assert any(o.interpolated for o in outcomes)
+
+
+def test_process_backend_bitwise_matches_thread_backend():
+    """Same chunking, same per-group arithmetic: the executor kind cannot
+    change a bit of the output."""
+    configs, lookup = _workload_configs("fir")
+    nv = configs.shape[1]
+    kwargs = dict(distance=3, variogram="auto", min_fit_points=4, refit_interval=1)
+    results = {}
+    for backend in ("thread", "process"):
+        with KrigingEstimator(
+            lookup, nv, n_jobs=2, backend=backend, factor_cache=False, **kwargs
+        ) as estimator:
+            results[backend] = estimator.evaluate_batch(configs)
+    assert [o.value for o in results["thread"]] == [o.value for o in results["process"]]
+    assert [o.variance for o in results["thread"]] == [
+        o.variance for o in results["process"]
+    ]
+
+
+def test_invalid_backend_rejected():
+    with pytest.raises(ValueError, match="backend"):
+        KrigingEstimator(_smooth_field, 3, backend="greenlet")
 
 
 @pytest.mark.parametrize("name", ["fir", "squeezenet"])

@@ -1,0 +1,125 @@
+"""Tests for the benchmark regression gate's reuse fields and timing history.
+
+``benchmarks/`` is not a package; the module under test is loaded straight
+from its file path, exactly as CI invokes it.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_MODULE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _report(reuse_speedup=3.0, batch_speedup=8.0):
+    return {
+        "benchmark": "query_engine",
+        "results": [
+            {
+                "n_support": 2000,
+                "seed_seconds": 2.5,
+                "evaluate_batch_seconds": 0.3,
+                "speedup_evaluate_vs_seed": 4.0,
+                "speedup_batch_vs_seed": batch_speedup,
+            }
+        ],
+        "l2_index": {
+            "query_brute_seconds": 0.17,
+            "query_kdtree_seconds": 0.11,
+            "speedup_kdtree_vs_brute": 1.5,
+        },
+        "parallel": {"serial_seconds": 0.3, "parallel_seconds": 0.3},
+        "reuse": {
+            "reuse_fresh_seconds": 7.0,
+            "reuse_cached_seconds": 7.0 / reuse_speedup,
+            "speedup_reuse_vs_fresh": reuse_speedup,
+        },
+    }
+
+
+class TestReuseGate:
+    def test_healthy_run_passes(self):
+        assert check_regression.compare(_report(), _report(), factor=2.0) == []
+
+    def test_reuse_regression_fails(self):
+        failures = check_regression.compare(
+            _report(reuse_speedup=3.0), _report(reuse_speedup=1.2), factor=2.0
+        )
+        assert any("reuse.speedup_reuse_vs_fresh" in f for f in failures)
+
+    def test_baseline_without_reuse_section_tolerated(self):
+        """Older baselines predate the reuse section: no gate, no crash."""
+        baseline = _report()
+        del baseline["reuse"]
+        assert check_regression.compare(baseline, _report(), factor=2.0) == []
+
+
+class TestHistory:
+    def test_entry_collects_seconds_and_ratios(self):
+        entry = check_regression.history_entry(_report(), commit="abc123")
+        assert entry["commit"] == "abc123"
+        assert entry["machine"]["python"]
+        assert entry["absolute_seconds"]["n2000.seed_seconds"] == 2.5
+        assert entry["absolute_seconds"]["reuse.reuse_fresh_seconds"] == 7.0
+        assert entry["ratios"]["n2000.speedup_batch_vs_seed"] == 8.0
+        assert entry["ratios"]["reuse.speedup_reuse_vs_fresh"] == 3.0
+
+    def test_append_creates_and_extends_jsonl(self, tmp_path):
+        history = tmp_path / "BENCH_history.jsonl"
+        check_regression.append_history(history, _report(), commit="one")
+        check_regression.append_history(history, _report(), commit="two")
+        lines = [json.loads(line) for line in history.read_text().splitlines()]
+        assert [line["commit"] for line in lines] == ["one", "two"]
+        assert all(line["benchmark"] == "query_engine" for line in lines)
+
+    def test_cli_appends_history(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        history = tmp_path / "history.jsonl"
+        baseline.write_text(json.dumps(_report()))
+        current.write_text(json.dumps(_report()))
+        code = check_regression.main(
+            [
+                str(baseline),
+                str(current),
+                "--history",
+                str(history),
+                "--commit",
+                "deadbeef",
+            ]
+        )
+        assert code == 0
+        assert "history: appended" in capsys.readouterr().out
+        (line,) = history.read_text().splitlines()
+        assert json.loads(line)["commit"] == "deadbeef"
+
+    def test_committed_history_is_valid_jsonl(self):
+        committed = _MODULE_PATH.parent.parent / "BENCH_history.jsonl"
+        lines = committed.read_text().splitlines()
+        assert lines, "seed history line missing"
+        for line in lines:
+            entry = json.loads(line)
+            assert entry["benchmark"] == "query_engine"
+            assert entry["absolute_seconds"]
+
+
+class TestGateStillRejectsMalformed:
+    def test_malformed_current(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_report()))
+        broken = tmp_path / "broken.json"
+        broken.write_text("{nope")
+        assert check_regression.main([str(baseline), str(broken)]) == 2
+
+    def test_factor_must_exceed_one(self, tmp_path):
+        baseline = tmp_path / "b.json"
+        baseline.write_text(json.dumps(_report()))
+        with pytest.raises(SystemExit):
+            check_regression.main([str(baseline), str(baseline), "--factor", "0.5"])

@@ -1,0 +1,283 @@
+"""Unit tests for repro.core.factor_cache (the factorization-reuse layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import cross_distances
+from repro.core.estimator import KrigingEstimator
+from repro.core.factor_cache import FactorCache, FactorCacheStats
+from repro.core.kriging import _bordered_system, _solve
+from repro.core.models import ExponentialVariogram, LinearVariogram
+
+
+VARIOGRAM = ExponentialVariogram(sill=25.0, range_=8.0)
+
+
+def _cloud(n=80, nv=4, seed=0):
+    """Continuous support points: strictly-PD Gamma systems."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 10.0, size=(n, nv)), rng
+
+
+def _reference_solution(points, variogram, gamma_queries):
+    system = _bordered_system(points, variogram, "l1")
+    rhs = np.vstack([gamma_queries, np.ones((1, gamma_queries.shape[1]))])
+    return _solve(system, rhs)
+
+
+def _signature(rng, n_points, size):
+    return tuple(sorted(rng.choice(n_points, size=size, replace=False).tolist()))
+
+
+class TestFactorSolve:
+    def test_fresh_factor_matches_plain_solver(self):
+        points, rng = _cloud()
+        cache = FactorCache()
+        signature = _signature(rng, 80, 30)
+        factor = cache.factor_for(signature, points, VARIOGRAM, "l1")
+        assert factor is not None
+        assert cache.stats.fresh == 1
+
+        queries = rng.uniform(0.0, 10.0, size=(6, 4))
+        gamma_queries = np.asarray(
+            VARIOGRAM(cross_distances(points[factor.rows], queries, "l1"))
+        )
+        solution = factor.solve(gamma_queries)
+        assert solution is not None
+        reference = _reference_solution(points[factor.rows], VARIOGRAM, gamma_queries)
+        np.testing.assert_allclose(solution, reference, rtol=1e-7, atol=1e-9)
+
+    def test_derived_factor_matches_plain_solver(self):
+        points, rng = _cloud(seed=1)
+        cache = FactorCache()
+        base_signature = _signature(rng, 80, 30)
+        cache.factor_for(base_signature, points, VARIOGRAM, "l1")
+
+        # Add two points, drop one: bridged by rank-1 edits, not refactorized.
+        target = set(base_signature)
+        added = sorted(set(range(80)) - target)[:2]
+        derived_signature = tuple(sorted((target - {base_signature[3]}) | set(added)))
+        factor = cache.factor_for(derived_signature, points, VARIOGRAM, "l1")
+        assert factor is not None
+        assert cache.stats.updates == 1
+        assert cache.stats.update_points == 3
+        assert cache.stats.fresh == 1  # only the base was factorized
+
+        queries = rng.uniform(0.0, 10.0, size=(5, 4))
+        gamma_queries = np.asarray(
+            VARIOGRAM(cross_distances(points[factor.rows], queries, "l1"))
+        )
+        solution = factor.solve(gamma_queries)
+        assert solution is not None
+        reference = _reference_solution(points[factor.rows], VARIOGRAM, gamma_queries)
+        np.testing.assert_allclose(solution, reference, rtol=1e-7, atol=1e-9)
+
+    def test_factor_rows_are_signature_permutation(self):
+        points, rng = _cloud(seed=2)
+        cache = FactorCache()
+        base = _signature(rng, 80, 20)
+        cache.factor_for(base, points, VARIOGRAM, "l1")
+        extended = tuple(sorted(set(base) | set(_signature(rng, 80, 2))))
+        factor = cache.factor_for(extended, points, VARIOGRAM, "l1")
+        assert factor is not None
+        assert sorted(factor.rows.tolist()) == sorted(extended)
+
+
+class TestCachePolicy:
+    def test_exact_hit_returns_same_object(self):
+        points, rng = _cloud(seed=3)
+        cache = FactorCache()
+        signature = _signature(rng, 80, 12)
+        first = cache.factor_for(signature, points, VARIOGRAM, "l1")
+        second = cache.factor_for(signature, points, VARIOGRAM, "l1")
+        assert second is first
+        assert cache.stats.hits == 1
+
+    def test_min_support_bypass(self):
+        points, rng = _cloud(seed=4)
+        cache = FactorCache(min_support=8)
+        assert cache.factor_for((0, 1, 2), points, VARIOGRAM, "l1") is None
+        assert cache.stats.requests == 0
+
+    def test_lru_eviction(self):
+        points, rng = _cloud(seed=5)
+        cache = FactorCache(capacity=2, max_update_points=0)
+        signatures = [_signature(rng, 80, 10 + i) for i in range(3)]
+        for signature in signatures:
+            cache.factor_for(signature, points, VARIOGRAM, "l1")
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The evicted (oldest) signature refactorizes; the survivors hit.
+        cache.factor_for(signatures[-1], points, VARIOGRAM, "l1")
+        assert cache.stats.hits == 1
+        cache.factor_for(signatures[0], points, VARIOGRAM, "l1")
+        assert cache.stats.fresh == 4
+
+    def test_invalidate_clears_everything(self):
+        points, rng = _cloud(seed=6)
+        cache = FactorCache()
+        signature = _signature(rng, 80, 15)
+        cache.factor_for(signature, points, VARIOGRAM, "l1")
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        cache.factor_for(signature, points, VARIOGRAM, "l1")
+        assert cache.stats.fresh == 2  # refactorized, not a hit
+
+    def test_rank_deficient_gamma_fails_and_is_memoized(self):
+        """The piecewise-linear variogram on a dense 2-D lattice patch has a
+        rank-deficient Gamma: no PD shift exists, the cache memoizes the
+        failure, and the solve path falls back (covered elsewhere)."""
+        grid = np.stack(
+            np.meshgrid(np.arange(6.0), np.arange(6.0)), axis=-1
+        ).reshape(-1, 2)
+        cache = FactorCache()
+        signature = tuple(range(36))
+        linear = LinearVariogram(1.0)
+        assert cache.factor_for(signature, grid, linear, "l1") is None
+        assert cache.stats.failures == 1
+        assert cache.factor_for(signature, grid, linear, "l1") is None
+        assert cache.stats.failures == 1  # memoized, no second attempt
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FactorCache(capacity=0)
+        with pytest.raises(ValueError, match="max_update_points"):
+            FactorCache(max_update_points=-1)
+
+
+class TestEstimatorIntegration:
+    @staticmethod
+    def _field(config):
+        c = np.asarray(config, dtype=float)
+        return float(c @ np.resize([1.0, -2.0, 0.5], c.size) + 3.0)
+
+    def _seeded(self, rng, **kwargs):
+        estimator = KrigingEstimator(
+            self._field, 3, distance=6.0, nn_min=1, **kwargs
+        )
+        support = rng.uniform(0.0, 8.0, size=(120, 3))
+        for point in support:
+            row = estimator.cache.add(point, self._field(point))
+            estimator.neighbor_index.insert(point, row)
+        return estimator, support
+
+    def test_reuse_on_off_same_estimates(self):
+        rng = np.random.default_rng(8)
+        queries = rng.uniform(1.0, 7.0, size=(40, 3))
+        values = {}
+        for enabled in (True, False):
+            estimator, _ = self._seeded(
+                np.random.default_rng(8),
+                variogram=VARIOGRAM,
+                factor_cache=enabled,
+            )
+            values[enabled] = [o.value for o in estimator.evaluate_batch(queries)]
+            if enabled:
+                assert estimator.stats.factor.requests > 0
+        np.testing.assert_allclose(values[True], values[False], rtol=1e-9, atol=1e-12)
+
+    def test_refit_invalidates_cached_factors(self):
+        """A variogram refit must drop every cached factorization: with
+        ``refit_interval=1`` each simulation refits, so estimates must match
+        the no-reuse run exactly (no stale-variogram factors) and the cache
+        must record one invalidation per fit."""
+        rng = np.random.default_rng(9)
+        # Alternate interpolation bursts with out-of-range queries that force
+        # simulations (and therefore refits) mid-stream.
+        near = rng.uniform(1.0, 7.0, size=(30, 3))
+        far = rng.uniform(40.0, 60.0, size=(4, 3))
+        sweep = np.vstack([near[:15], far[:2], near[15:], far[2:]])
+
+        outcomes = {}
+        stats = {}
+        for enabled in (True, False):
+            estimator, _ = self._seeded(
+                np.random.default_rng(9),
+                variogram="exponential",
+                min_fit_points=4,
+                refit_interval=1,
+                factor_cache=enabled,
+            )
+            outcomes[enabled] = [o.value for o in estimator.evaluate_batch(sweep)]
+            stats[enabled] = estimator.stats
+        np.testing.assert_allclose(
+            outcomes[True], outcomes[False], rtol=1e-9, atol=1e-12
+        )
+        factor = stats[True].factor
+        # Refits are lazy (one per variogram access after new simulations),
+        # so each far burst produces exactly one invalidation event.
+        assert factor.invalidations >= 2
+        assert stats[True].n_simulated == stats[False].n_simulated
+        assert stats[True].n_simulated > 0
+
+    def test_factor_stats_reachable_via_estimator(self):
+        estimator, _ = self._seeded(np.random.default_rng(10), variogram=VARIOGRAM)
+        assert isinstance(estimator.stats.factor, FactorCacheStats)
+        assert estimator.factor_cache is not None
+        assert estimator.factor_cache.stats is estimator.stats.factor
+
+    def test_disabled_cache_keeps_zero_counters(self):
+        estimator, _ = self._seeded(
+            np.random.default_rng(11), variogram=VARIOGRAM, factor_cache=False
+        )
+        rng = np.random.default_rng(12)
+        estimator.evaluate_batch(rng.uniform(1.0, 7.0, size=(10, 3)))
+        assert estimator.factor_cache is None
+        assert estimator.stats.factor.requests == 0
+
+    def test_custom_cache_instance_adopted(self):
+        cache = FactorCache(capacity=4, min_support=2)
+        estimator, _ = self._seeded(
+            np.random.default_rng(13), variogram=VARIOGRAM, factor_cache=cache
+        )
+        assert estimator.factor_cache is cache
+        assert estimator.stats.factor is cache.stats
+
+
+class TestByteBudget:
+    def test_byte_budget_evicts_but_keeps_most_recent(self):
+        points, rng = _cloud(n=120, seed=14)
+        # Each 40-point factor holds two 40x40 float64 blocks (~25.6 kB);
+        # a 30 kB budget fits exactly one.
+        cache = FactorCache(capacity=64, max_bytes=30_000, max_update_points=0)
+        first = _signature(rng, 120, 40)
+        second = tuple(sorted(set(range(120)) - set(first)))[:40]
+        cache.factor_for(first, points, VARIOGRAM, "l1")
+        assert cache.nbytes > 0
+        cache.factor_for(tuple(sorted(second)), points, VARIOGRAM, "l1")
+        assert len(cache) == 1  # over budget: LRU evicted
+        assert cache.stats.evictions == 1
+        assert cache.nbytes <= 30_000
+
+    def test_oversized_single_factor_still_cached(self):
+        points, rng = _cloud(n=60, seed=15)
+        cache = FactorCache(max_bytes=1_000)  # smaller than any 30-pt factor
+        signature = _signature(rng, 60, 30)
+        factor = cache.factor_for(signature, points, VARIOGRAM, "l1")
+        assert factor is not None
+        assert len(cache) == 1  # the most recent factor always survives
+
+    def test_invalidate_resets_bytes(self):
+        points, rng = _cloud(seed=16)
+        cache = FactorCache()
+        cache.factor_for(_signature(rng, 80, 20), points, VARIOGRAM, "l1")
+        cache.invalidate()
+        assert cache.nbytes == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            FactorCache(max_bytes=0)
+
+
+class TestStatsPairsRoundtrip:
+    def test_from_pairs_preserves_rate(self):
+        stats = FactorCacheStats(hits=6, updates=10, fresh=4, failures=0)
+        rebuilt = FactorCacheStats.from_pairs(stats.as_pairs())
+        assert rebuilt.reuse_rate == stats.reuse_rate == pytest.approx(0.8)
+        assert rebuilt.requests == stats.requests == 20
+
+    def test_from_pairs_empty_is_nan(self):
+        rebuilt = FactorCacheStats.from_pairs(())
+        assert rebuilt.requests == 0
+        assert np.isnan(rebuilt.reuse_rate)

@@ -166,3 +166,85 @@ class TestPolicyInvariants:
             for nn in (0, 1, 2, 4)
         ]
         assert all(a >= b - 1e-9 for a, b in zip(p, p[1:]))
+
+
+class TestLowRankInvariants:
+    """The factor-reuse layer's algebra: edited Cholesky factors must always
+    agree with refactorizing the edited matrix, and factored kriging solves
+    must match the plain solver wherever the factor path engages."""
+
+    spd_dims = st.integers(2, 24)
+
+    @settings(deadline=None, max_examples=25)
+    @given(spd_dims, st.integers(0, 2**31 - 1))
+    def test_update_downdate_roundtrip(self, n, seed):
+        from repro.core.lowrank import choldowndate, cholupdate
+
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(n, n))
+        matrix = m @ m.T + n * np.eye(n)
+        chol = np.linalg.cholesky(matrix)
+        x = rng.normal(size=n)
+        updated = cholupdate(chol, x)
+        np.testing.assert_allclose(
+            updated @ updated.T, matrix + np.outer(x, x), rtol=1e-8, atol=1e-8
+        )
+        back = choldowndate(updated, x)
+        np.testing.assert_allclose(back, chol, rtol=1e-6, atol=1e-7)
+
+    @settings(deadline=None, max_examples=25)
+    @given(spd_dims, st.integers(0, 3), st.integers(0, 2**31 - 1))
+    def test_delete_matches_refactorization(self, n, index, seed):
+        from repro.core.lowrank import chol_delete
+
+        index = index % n
+        rng = np.random.default_rng(seed)
+        m = rng.normal(size=(n, n))
+        matrix = m @ m.T + n * np.eye(n)
+        shrunk = chol_delete(np.linalg.cholesky(matrix), index)
+        keep = [i for i in range(n) if i != index]
+        np.testing.assert_allclose(
+            shrunk,
+            np.linalg.cholesky(matrix[np.ix_(keep, keep)]),
+            rtol=1e-7,
+            atol=1e-7,
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 2**31 - 1), st.integers(6, 20))
+    def test_factored_estimates_match_plain_batch(self, seed, n_support):
+        """Derived factors (the cache walks from a base signature by rank-1
+        edits) must reproduce the plain grouped solve on continuous clouds,
+        where the shifted Gamma matrix is strictly PD."""
+        from repro.core.distances import cross_distances
+        from repro.core.factor_cache import FactorCache
+        from repro.core.kriging import ordinary_kriging_batch
+        from repro.core.models import ExponentialVariogram
+
+        rng = np.random.default_rng(seed)
+        variogram = ExponentialVariogram(sill=10.0, range_=6.0)
+        points = rng.uniform(0.0, 9.0, size=(n_support + 4, 3))
+        values = rng.normal(size=n_support + 4)
+        queries = rng.uniform(1.0, 8.0, size=(3, 3))
+
+        cache = FactorCache(min_support=2)
+        base = tuple(range(n_support))
+        cache.factor_for(base, points, variogram, "l1")
+        derived = tuple(sorted(set(base) - {1} | {n_support, n_support + 1}))
+        factor = cache.factor_for(derived, points, variogram, "l1")
+        if factor is None:
+            return  # ill-conditioned draw: the reuse layer refused, by design
+        support = factor.rows
+        with_factor = ordinary_kriging_batch(
+            points[support], values[support], queries, variogram, factor=factor
+        )
+        plain = ordinary_kriging_batch(
+            points[support], values[support], queries, variogram
+        )
+        for reused, reference in zip(with_factor, plain):
+            assert reused.estimate == pytest.approx(
+                reference.estimate, rel=1e-9, abs=1e-9
+            )
+            assert reused.variance == pytest.approx(
+                reference.variance, rel=1e-6, abs=1e-8
+            )
