@@ -1,10 +1,13 @@
-"""CI gate: compare a fresh query-engine benchmark run against the baseline.
+"""CI gate: compare a fresh benchmark run against its committed baseline.
 
-Absolute seconds are machine-dependent, so the gate compares the *speedup
-ratios* the benchmark already computes — seed vs engine on the same box —
-which are stable across hardware.  A run regresses when any tracked speedup
-falls below ``baseline / factor`` (default factor 2: "fail on >2x
-regression").
+Understands two report kinds, dispatched on the ``benchmark`` field:
+``query_engine`` (``bench_query_engine.py``) and ``service``
+(``bench_service.py``, the multi-client load generator).  Absolute seconds
+are machine-dependent, so the gate compares the *speedup ratios* each
+benchmark already computes — seed vs engine, or batched vs sequential
+clients, on the same box — which are stable across hardware.  A run
+regresses when any tracked speedup falls below ``baseline / factor``
+(default factor 2: "fail on >2x regression").
 
 Alongside the gate, ``--history`` appends one machine-tagged JSON line per
 run — absolute seconds *and* ratios — to a ``BENCH_history.jsonl``, so
@@ -17,6 +20,9 @@ Usage::
     python benchmarks/bench_query_engine.py --quick --output current.json
     python benchmarks/check_regression.py BENCH_query_engine.json current.json \
         --history BENCH_history.jsonl --commit "$GITHUB_SHA"
+
+    python benchmarks/bench_service.py --quick --output service.json
+    python benchmarks/check_regression.py BENCH_service.json service.json
 
 Exit status 0 when every tracked ratio holds up, 1 on regression, 2 on a
 malformed report.
@@ -41,6 +47,14 @@ REUSE_FIELDS = ("speedup_reuse_vs_fresh",)
 # The ``parallel`` section is recorded but not gated: thread scaling depends
 # on the runner's core count (a single-core runner honestly reports ~1x).
 
+#: Top-level speedup fields gated on ``service`` reports.  The
+#: batched-vs-unbatched ratio is recorded but not gated (like thread
+#: scaling, it depends on the runner's core count and scheduler).
+SERVICE_FIELDS = ("speedup_batched_vs_sequential",)
+
+#: Report kinds this gate understands.
+KNOWN_BENCHMARKS = ("query_engine", "service")
+
 
 class MalformedReport(Exception):
     """A benchmark report that cannot be read or parsed (exit status 2)."""
@@ -55,6 +69,8 @@ def _load(path: pathlib.Path) -> dict:
 
 def compare(baseline: dict, current: dict, factor: float) -> list[str]:
     """Return one message per regressed ratio (empty list: gate passes)."""
+    if baseline.get("benchmark") == "service":
+        return _compare_service(baseline, current, factor)
     failures: list[str] = []
 
     current_rows = {row["n_support"]: row for row in current.get("results", [])}
@@ -84,6 +100,32 @@ def compare(baseline: dict, current: dict, factor: float) -> list[str]:
                     f"{section}.{field}: {cur_section[field]:.2f} < {bound:.2f} "
                     f"(baseline {base_section[field]:.2f} / {factor:g})"
                 )
+    return failures
+
+
+def _compare_service(baseline: dict, current: dict, factor: float) -> list[str]:
+    """Gate a ``service`` load-generator report on its top-level ratios."""
+    failures: list[str] = []
+    for field in SERVICE_FIELDS:
+        if field not in baseline:
+            continue  # older baselines predate the field
+        if field not in current:
+            # A current run silently dropping a gated ratio must fail loudly,
+            # not turn the gate vacuously green.
+            failures.append(f"{field}: missing from the current report")
+            continue
+        bound = baseline[field] / factor
+        if current[field] < bound:
+            failures.append(
+                f"{field}: {current[field]:.2f} < {bound:.2f} "
+                f"(baseline {baseline[field]:.2f} / {factor:g})"
+            )
+    if "snapshot" in baseline:
+        snapshot = current.get("snapshot")
+        if snapshot is None:
+            failures.append("snapshot: section missing from the current report")
+        elif not snapshot.get("roundtrip_bitwise", False):
+            failures.append("snapshot.roundtrip_bitwise: snapshot/restore diverged")
     return failures
 
 
@@ -118,6 +160,18 @@ def history_entry(report: dict, commit: str | None = None) -> dict:
                 absolute[f"{section}.{field}"] = value
             elif field.startswith("speedup_"):
                 ratios[f"{section}.{field}"] = value
+    # Service reports: per-scenario wall clock / throughput / latency
+    # percentiles, plus the top-level cross-scenario ratios.
+    for name, data in (report.get("scenarios") or {}).items():
+        for field, value in data.items():
+            if field == "seconds" or field.endswith("_seconds") or field == "qps":
+                absolute[f"scenarios.{name}.{field}"] = value
+            elif field == "latency_ms" and isinstance(value, dict):
+                for percentile, latency in value.items():
+                    absolute[f"scenarios.{name}.latency_ms.{percentile}"] = latency
+    for field, value in report.items():
+        if field.startswith("speedup_"):
+            ratios[field] = value
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "commit": commit,
@@ -170,9 +224,15 @@ def main(argv: list[str] | None = None) -> int:
     except MalformedReport as exc:
         print(f"error: {exc}")
         return 2
+    kind = baseline.get("benchmark")
+    if kind not in KNOWN_BENCHMARKS:
+        print(f"error: baseline benchmark {kind!r} not one of {KNOWN_BENCHMARKS}")
+        return 2
     for name, report in (("baseline", baseline), ("current", current)):
-        if report.get("benchmark") != "query_engine" or "results" not in report:
-            print(f"error: {name} is not a query_engine benchmark report")
+        if report.get("benchmark") != kind or (
+            kind == "query_engine" and "results" not in report
+        ):
+            print(f"error: {name} is not a {kind} benchmark report")
             return 2
 
     if args.history is not None:

@@ -13,11 +13,17 @@ Commands
     Replay a saved trajectory under the kriging policy.
 ``benchmarks``
     List the available benchmark setups.
+``serve``
+    Run the multi-client kriging evaluation service (TCP, JSON lines).
+``client``
+    Talk to a running service (create/eval/simulate/fit/stats/snapshot/
+    restore/shutdown).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments.figure1 import fir_noise_surface, render_surface
@@ -121,6 +127,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("benchmarks", help="list available benchmarks")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-client kriging evaluation service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7331, help="TCP port (0: ephemeral)"
+    )
+    p_serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port number to this file once listening",
+    )
+    p_serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="directory for named session snapshots (snapshot/restore verbs)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="micro-batcher: flush once this many requests are pending",
+    )
+    p_serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="micro-batcher: flush an incomplete batch after this delay",
+    )
+
+    p_client = sub.add_parser("client", help="talk to a running service")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7331)
+    verb = p_client.add_subparsers(dest="verb", required=True)
+
+    v_create = verb.add_parser("create", help="create an estimator session")
+    v_create.add_argument("session")
+    v_create.add_argument(
+        "--simulator",
+        default='{"kind": "linear"}',
+        help="simulator spec as JSON (kinds: linear, quadratic, benchmark)",
+    )
+    v_create.add_argument("--num-variables", type=int, default=None)
+    v_create.add_argument("--distance", type=float, default=3.0)
+    v_create.add_argument("--nn-min", type=int, default=1)
+    v_create.add_argument("--variogram", default="auto")
+    v_create.add_argument("--replace", action="store_true")
+
+    v_eval = verb.add_parser("eval", help="evaluate one configuration")
+    v_eval.add_argument("session")
+    v_eval.add_argument("values", type=float, nargs="+", metavar="V")
+
+    v_sim = verb.add_parser("simulate", help="force-simulate one configuration")
+    v_sim.add_argument("session")
+    v_sim.add_argument("values", type=float, nargs="+", metavar="V")
+    v_sim.add_argument(
+        "--value",
+        type=float,
+        default=None,
+        help="record this externally measured metric value instead of simulating",
+    )
+
+    v_fit = verb.add_parser("fit", help="force a variogram re-identification")
+    v_fit.add_argument("session")
+
+    v_stats = verb.add_parser("stats", help="session (or whole-service) statistics")
+    v_stats.add_argument("session", nargs="?", default=None)
+
+    v_snap = verb.add_parser("snapshot", help="snapshot a session to disk")
+    v_snap.add_argument("session")
+    v_snap.add_argument("--path", default=None)
+    v_snap.add_argument("--name", default=None)
+
+    v_restore = verb.add_parser("restore", help="restore a session from a snapshot")
+    v_restore.add_argument("--path", default=None)
+    v_restore.add_argument("--name", default=None, help="snapshot name in the server's dir")
+    v_restore.add_argument("--session", default=None, help="restore under this name")
+    v_restore.add_argument("--replace", action="store_true")
+
+    verb.add_parser("shutdown", help="stop the service")
     return parser
 
 
@@ -180,6 +267,83 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+
+    try:
+        run_server(
+            args.host,
+            args.port,
+            snapshot_dir=args.snapshot_dir,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            port_file=args.port_file,
+            on_ready=lambda host, port: print(
+                f"repro service listening on {host}:{port}", flush=True
+            ),
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import RemoteError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.verb == "create":
+                try:
+                    simulator = json.loads(args.simulator)
+                except json.JSONDecodeError as exc:
+                    print(f"error: --simulator is not valid JSON: {exc}", file=sys.stderr)
+                    return 2
+                result: object = client.create_session(
+                    args.session,
+                    simulator=simulator,
+                    num_variables=args.num_variables,
+                    replace=args.replace,
+                    distance=args.distance,
+                    nn_min=args.nn_min,
+                    variogram=args.variogram,
+                )
+            elif args.verb == "eval":
+                outcome = client.evaluate(args.session, args.values)
+                result = {
+                    "value": outcome.value,
+                    "interpolated": outcome.interpolated,
+                    "n_neighbors": outcome.n_neighbors,
+                }
+            elif args.verb == "simulate":
+                outcome = client.simulate(args.session, args.values, value=args.value)
+                result = {"value": outcome.value, "exact_hit": outcome.exact_hit}
+            elif args.verb == "fit":
+                result = client.fit(args.session)
+            elif args.verb == "stats":
+                result = client.stats(args.session)
+            elif args.verb == "snapshot":
+                result = client.snapshot(args.session, name=args.name, path=args.path)
+            elif args.verb == "restore":
+                result = client.restore(
+                    path=args.path,
+                    name=args.name,
+                    session=args.session,
+                    replace=args.replace,
+                )
+            else:  # shutdown
+                result = client.shutdown()
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    except RemoteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     for name in ALL_BENCHMARKS:
         setup = build_benchmark(name, "small")
@@ -196,6 +360,8 @@ _COMMANDS = {
     "record": _cmd_record,
     "replay": _cmd_replay,
     "benchmarks": _cmd_benchmarks,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

@@ -126,6 +126,47 @@ class SimulationCache:
         index = self._index.get(self._key(config))
         return float(self._vals[index]) if index is not None else None
 
+    def to_state(self) -> dict:
+        """Serializable state: dimension plus copies of the filled rows.
+
+        The arrays are float64 copies (safe to hand to ``np.savez``); the
+        exact-hit key index is derived data and rebuilt on
+        :meth:`from_state`, so a round-trip reproduces the cache bit for
+        bit — same rows, same order, same keys.
+        """
+        return {
+            "version": 1,
+            "num_variables": self.num_variables,
+            "points": self._data[: self._n].copy(),
+            "values": self._vals[: self._n].copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SimulationCache":
+        """Rebuild a cache from :meth:`to_state` output."""
+        if state.get("version") != 1:
+            raise ValueError(f"unsupported cache state version {state.get('version')!r}")
+        points = np.ascontiguousarray(state["points"], dtype=np.float64)
+        values = np.ascontiguousarray(state["values"], dtype=np.float64)
+        if points.ndim != 2 or values.shape != (points.shape[0],):
+            raise ValueError(
+                f"inconsistent cache state arrays: {points.shape} vs {values.shape}"
+            )
+        cache = cls(int(state["num_variables"]))
+        n = points.shape[0]
+        capacity = cache._data.shape[0]
+        while capacity < n:
+            capacity *= 2
+        cache._data = np.empty((capacity, cache.num_variables), dtype=np.float64)
+        cache._vals = np.empty(capacity, dtype=np.float64)
+        cache._data[:n] = points
+        cache._vals[:n] = values
+        cache._n = n
+        cache._index = {cls._key(points[row]): row for row in range(n)}
+        if len(cache._index) != n:
+            raise ValueError("cache state contains duplicate configurations")
+        return cache
+
     def __contains__(self, configuration: object) -> bool:
         config = self._coerce(configuration)
         return self._key(config) in self._index

@@ -45,7 +45,9 @@ The query hot path is a vectorized engine with three layers:
 
 from __future__ import annotations
 
+import atexit
 import time
+import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -58,12 +60,13 @@ from repro.core.factor_cache import FactorCache, FactorCacheStats, GammaFactor
 from repro.core.fitting import MODEL_KINDS, fit_variogram, select_variogram
 from repro.core.index import NeighborIndex, make_index
 from repro.core.kriging import (
+    make_model_ref,
     ordinary_kriging,
     ordinary_kriging_grouped,
     resolve_backend,
     resolve_n_jobs,
 )
-from repro.core.models import LinearVariogram, VariogramModel
+from repro.core.models import LinearVariogram, VariogramModel, variogram_from_state
 from repro.core.neighborhood import find_neighbors
 from repro.core.universal import adaptive_linear_drift, universal_kriging
 from repro.core.variogram import empirical_semivariogram
@@ -72,6 +75,27 @@ from repro.utils.quantiles import QuantileSketch
 __all__ = ["EstimationOutcome", "KrigingEstimator"]
 
 SimulateFn = Callable[[np.ndarray], float]
+
+#: The scale-free prior used until ``min_fit_points`` simulations exist.
+#: One shared (frozen, stateless) instance so identity-keyed memos — the
+#: process backend's pickled-model ref — stay valid across flushes.
+_PREFIT_VARIOGRAM = LinearVariogram(1.0)
+
+#: Estimators whose solve executor is (or may be) alive.  Closed at
+#: interpreter exit so an abandoned estimator — a crashed service, a test
+#: that never called :meth:`KrigingEstimator.close` — cannot leak process-
+#: pool workers past the parent's lifetime.  A ``WeakSet`` so registration
+#: never keeps an estimator alive (``__del__`` remains reachable).
+_LIVE_ESTIMATORS: "weakref.WeakSet[KrigingEstimator]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_estimators() -> None:
+    for estimator in list(_LIVE_ESTIMATORS):
+        try:
+            estimator.close()
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
 
 
 @dataclass(frozen=True)
@@ -166,6 +190,36 @@ class EstimatorStats:
         if self.n_interpolated == 0:
             return float("nan")
         return self.neighbor_count_sum / self.n_interpolated
+
+    def to_state(self) -> dict:
+        """JSON-safe state: plain counters, the sketch markers and the
+        factor-reuse counter pairs."""
+        return {
+            "n_simulated": self.n_simulated,
+            "n_interpolated": self.n_interpolated,
+            "n_exact_hits": self.n_exact_hits,
+            "simulation_seconds": self.simulation_seconds,
+            "kriging_seconds": self.kriging_seconds,
+            "neighbor_sketch": self.neighbor_sketch.to_state(),
+            "factor": [list(pair) for pair in self.factor.as_pairs()],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EstimatorStats":
+        """Rebuild stats from :meth:`to_state` output (sketch included,
+        bitwise — a restored estimator streams on exactly as the original)."""
+        stats = cls(
+            n_simulated=int(state["n_simulated"]),
+            n_interpolated=int(state["n_interpolated"]),
+            n_exact_hits=int(state["n_exact_hits"]),
+            neighbor_sketch=QuantileSketch.from_state(state["neighbor_sketch"]),
+            simulation_seconds=float(state["simulation_seconds"]),
+            kriging_seconds=float(state["kriging_seconds"]),
+            factor=FactorCacheStats.from_pairs(
+                tuple((str(name), int(value)) for name, value in state["factor"])
+            ),
+        )
+        return stats
 
 
 class KrigingEstimator:
@@ -287,6 +341,7 @@ class KrigingEstimator:
         self.nn_min = int(nn_min)
         self.metric = DistanceMetric.coerce(metric)
         self.cache = SimulationCache(num_variables)
+        self._neighbor_index_kind = neighbor_index
         self.neighbor_index: NeighborIndex = make_index(
             self.metric, num_variables, neighbor_index
         )
@@ -308,6 +363,10 @@ class KrigingEstimator:
         self._max_variance = max_variance
         self._fitted: Callable[[np.ndarray], np.ndarray] | None = None
         self._fitted_at: int = -1
+        # Process-backend dispatch: the current variogram, pickled once per
+        # fit generation (make_model_ref) and memoized here by identity.
+        self._model_ref: tuple[int, bytes] | None = None
+        self._model_ref_source: object | None = None
 
     # ------------------------------------------------------------------
     # variogram management
@@ -318,7 +377,10 @@ class KrigingEstimator:
             return spec
         n_sim = len(self.cache)
         if n_sim < self._min_fit_points:
-            return LinearVariogram(1.0)
+            # The shared module-level instance, not a fresh object: the
+            # process backend memoizes its pickled model by identity, so a
+            # new object per call would re-pickle on every warmup flush.
+            return _PREFIT_VARIOGRAM
         needs_fit = self._fitted is None or (
             self._refit_interval is not None
             and n_sim - self._fitted_at >= self._refit_interval
@@ -344,6 +406,32 @@ class KrigingEstimator:
     def variogram(self) -> Callable[[np.ndarray], np.ndarray]:
         """The variogram currently used for interpolation."""
         return self._current_variogram()
+
+    def refit_variogram(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Force a fresh identification from the current cache, now.
+
+        Discards the current fitted model (cached factorizations with it)
+        and re-identifies per the constructor's ``variogram`` spec;
+        returns the model now in use.  With a fixed model or callable spec
+        this is a no-op returning that spec.  The service's ``fit`` verb
+        and long-lived sessions use this to refresh the model on demand
+        instead of waiting for ``refit_interval``.
+        """
+        if not callable(self._variogram_spec):
+            self._fitted = None
+        return self._current_variogram()
+
+    def _process_model_ref(
+        self, variogram: Callable[[np.ndarray], np.ndarray]
+    ) -> tuple[int, bytes] | None:
+        """The memoized ``(fit generation, pickle)`` ref shipped to process
+        workers — re-pickled only when the fitted model changes."""
+        if self.backend != "process":
+            return None
+        if self._model_ref is None or self._model_ref_source is not variogram:
+            self._model_ref = make_model_ref(variogram)
+            self._model_ref_source = variogram
+        return self._model_ref
 
     # ------------------------------------------------------------------
     # shared steps
@@ -559,6 +647,7 @@ class KrigingEstimator:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.n_jobs, thread_name_prefix="kriging"
                 )
+            _LIVE_ESTIMATORS.add(self)
         grouped_results = ordinary_kriging_grouped(
             groups,
             variogram,
@@ -567,6 +656,7 @@ class KrigingEstimator:
             executor=self._executor,
             backend=self.backend,
             factors=factors if use_factors else None,
+            model_ref=self._process_model_ref(variogram),
         )
         for items, results in zip(batched, grouped_results):
             for (pos, _, neighbors), result in zip(items, results):
@@ -605,11 +695,22 @@ class KrigingEstimator:
         Matters for ``backend="process"``, whose worker processes otherwise
         outlive the estimator; the thread pool is released too.  The
         estimator stays usable after ``close`` — the pool is re-created
-        lazily on the next flush.
+        lazily on the next flush.  Safe to call any number of times, and
+        called automatically on garbage collection (``__del__``) and at
+        interpreter exit, so an abandoned estimator — a crashed service, an
+        exception before the ``with`` block — never leaks worker processes.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        executor = self._executor
+        if executor is not None:
             self._executor = None
+            _LIVE_ESTIMATORS.discard(self)
+            executor.shutdown(wait=True)
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
 
     def __enter__(self) -> "KrigingEstimator":
         return self
@@ -629,3 +730,132 @@ class KrigingEstimator:
         if cached is not None:
             return self._exact_hit_outcome(cached)
         return self._record_simulation(config, 0)
+
+    def record_measurement(self, configuration: object, value: float) -> EstimationOutcome:
+        """Insert an externally measured metric value into the support cache.
+
+        For callers that run their own simulator (e.g. service clients
+        feeding a shared session): the value enters the cache exactly as a
+        simulation would — it becomes a support point for future kriging
+        and counts as a simulation in the statistics (zero simulation
+        seconds, since the work happened elsewhere).  A configuration
+        already in the cache keeps its first measurement: the call returns
+        the cached value as an exact hit (``outcome.exact_hit`` — compare
+        against your value to detect the conflict) and ``value`` is
+        ignored, mirroring the first-measurement-wins semantics of the
+        simulate path.
+        """
+        config = np.asarray(configuration, dtype=np.float64)
+        cached = self.cache.lookup(config)
+        if cached is not None:
+            return self._exact_hit_outcome(cached)
+        row = self.cache.add(config, float(value))
+        self.neighbor_index.insert(config, row)
+        self.stats.n_simulated += 1
+        return EstimationOutcome(value=float(value), interpolated=False, n_neighbors=0)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Everything needed to resume this estimator elsewhere.
+
+        The state bundles the policy configuration, the (possibly fitted)
+        variogram, the full simulation cache (as float64 arrays — bitwise)
+        and the statistics including the quantile-sketch markers.  The
+        ``simulate`` callable, the neighbour index and the factor cache are
+        **not** serialized: the first is supplied to :meth:`from_state`,
+        the other two are derived performance layers rebuilt on restore
+        (decisions and cache contents never depend on them).
+
+        Raises ``ValueError`` when the variogram spec is a custom callable
+        (only :class:`~repro.core.models.VariogramModel` instances and kind
+        strings serialize).
+        """
+        spec = self._variogram_spec
+        if isinstance(spec, VariogramModel):
+            spec_state: dict = {"model": spec.to_state()}
+        elif isinstance(spec, str):
+            spec_state = {"kind": spec}
+        else:
+            raise ValueError(
+                "cannot serialize an estimator whose variogram spec is a "
+                "custom callable; use a VariogramModel or a kind string"
+            )
+        fitted = self._fitted
+        if fitted is not None and not isinstance(fitted, VariogramModel):
+            raise ValueError(
+                "cannot serialize a fitted variogram that is not a VariogramModel"
+            )
+        return {
+            "version": 1,
+            "distance": self.distance,
+            "nn_min": self.nn_min,
+            "metric": self.metric.value,
+            "variogram": spec_state,
+            "min_fit_points": self._min_fit_points,
+            "refit_interval": self._refit_interval,
+            "max_neighbors": self._max_neighbors,
+            "max_variance": self._max_variance,
+            "interpolator": self.interpolator,
+            "neighbor_index": self._neighbor_index_kind,
+            "n_jobs": self.n_jobs,
+            "backend": self.backend,
+            "factor_cache": self.factor_cache is not None,
+            "fitted": fitted.to_state() if fitted is not None else None,
+            "fitted_at": self._fitted_at,
+            "cache": self.cache.to_state(),
+            "stats": self.stats.to_state(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, simulate: SimulateFn, state: dict, **overrides: object
+    ) -> "KrigingEstimator":
+        """Rebuild an estimator from :meth:`to_state` output.
+
+        ``simulate`` re-binds the metric function (callables do not
+        serialize); ``overrides`` replace constructor keywords — e.g.
+        ``n_jobs``/``backend`` when restoring onto different hardware.
+        The restored estimator makes bit-identical decisions and cache
+        additions to the snapshotted one fed the same queries: cache rows,
+        fitted model parameters and sketch markers all round-trip exactly.
+        """
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported estimator state version {state.get('version')!r}"
+            )
+        spec_state = state["variogram"]
+        if "model" in spec_state:
+            spec: object = variogram_from_state(spec_state["model"])
+        else:
+            spec = spec_state["kind"]
+        kwargs: dict = {
+            "distance": state["distance"],
+            "nn_min": state["nn_min"],
+            "metric": state["metric"],
+            "variogram": spec,
+            "min_fit_points": state["min_fit_points"],
+            "refit_interval": state["refit_interval"],
+            "max_neighbors": state["max_neighbors"],
+            "max_variance": state["max_variance"],
+            "interpolator": state["interpolator"],
+            "neighbor_index": state["neighbor_index"],
+            "n_jobs": state["n_jobs"],
+            "backend": state["backend"],
+            "factor_cache": state["factor_cache"],
+        }
+        kwargs.update(overrides)
+        estimator = cls(simulate, int(state["cache"]["num_variables"]), **kwargs)
+        estimator.cache = SimulationCache.from_state(state["cache"])
+        points = estimator.cache.points
+        for row in range(len(estimator.cache)):
+            estimator.neighbor_index.insert(points[row], row)
+        if state["fitted"] is not None:
+            estimator._fitted = variogram_from_state(state["fitted"])
+        estimator._fitted_at = int(state["fitted_at"])
+        estimator.stats = EstimatorStats.from_state(state["stats"])
+        if estimator.factor_cache is not None:
+            # The factor cache and the stats view share one counter object.
+            estimator.factor_cache.stats = estimator.stats.factor
+        return estimator

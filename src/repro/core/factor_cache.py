@@ -261,7 +261,18 @@ class FactorCache:
         self._bytes = 0
         self.stats = stats if stats is not None else FactorCacheStats()
         self._entries: OrderedDict[Signature, GammaFactor] = OrderedDict()
-        self._sets: dict[Signature, frozenset[int]] = {}  # near-match scans
+        # Near-match search structures: an inverted index from support-cache
+        # row to the cached signatures containing it (a candidate within the
+        # update limit must share a row with the target unless both sets are
+        # tiny — those come from the size buckets), plus a monotonic recency
+        # stamp per entry so ties resolve to the most recently used factor
+        # without scanning the LRU.  Keeps `_closest` proportional to the
+        # candidates actually sharing rows instead of the whole cache, so
+        # capacities in the hundreds stay cheap.
+        self._row_index: dict[int, set[Signature]] = {}
+        self._by_size: dict[int, set[Signature]] = {}
+        self._stamps: dict[Signature, int] = {}
+        self._clock = 0
         # Support sets with no PD factorization (rank-deficient Gammas are
         # routine on lattice workloads); memoized so a signature the
         # optimizer keeps revisiting does not pay a doomed O(n^3) Cholesky
@@ -279,7 +290,9 @@ class FactorCache:
     def invalidate(self) -> None:
         """Drop every cached factor (the variogram changed under them)."""
         self._entries.clear()
-        self._sets.clear()
+        self._row_index.clear()
+        self._by_size.clear()
+        self._stamps.clear()
         self._failed.clear()
         self._bytes = 0
         self.stats.invalidations += 1
@@ -306,6 +319,7 @@ class FactorCache:
         entry = self._entries.get(signature)
         if entry is not None:
             self._entries.move_to_end(signature)
+            self._touch(signature)
             self.stats.hits += 1
             return entry
         if signature in self._failed:
@@ -340,18 +354,39 @@ class FactorCache:
     def _factor_bytes(factor: GammaFactor) -> int:
         return factor.gamma.nbytes + factor.chol.nbytes + factor.rows.nbytes
 
+    def _touch(self, signature: Signature) -> None:
+        self._clock += 1
+        self._stamps[signature] = self._clock
+
     def _store(self, signature: Signature, factor: GammaFactor) -> None:
         self._entries[signature] = factor
         self._entries.move_to_end(signature)
-        self._sets[signature] = frozenset(signature)
+        self._touch(signature)
+        for row in signature:
+            self._row_index.setdefault(row, set()).add(signature)
+        self._by_size.setdefault(len(signature), set()).add(signature)
         self._bytes += self._factor_bytes(factor)
         while len(self._entries) > 1 and (
             len(self._entries) > self.capacity or self._bytes > self.max_bytes
         ):
             evicted, old = self._entries.popitem(last=False)
-            del self._sets[evicted]
+            self._unindex(evicted)
             self._bytes -= self._factor_bytes(old)
             self.stats.evictions += 1
+
+    def _unindex(self, signature: Signature) -> None:
+        for row in signature:
+            sigs = self._row_index.get(row)
+            if sigs is not None:
+                sigs.discard(signature)
+                if not sigs:
+                    del self._row_index[row]
+        sized = self._by_size.get(len(signature))
+        if sized is not None:
+            sized.discard(signature)
+            if not sized:
+                del self._by_size[len(signature)]
+        self._stamps.pop(signature, None)
 
     def _update_limit(self, signature: Signature) -> int:
         if self.max_update_points is not None:
@@ -359,20 +394,56 @@ class FactorCache:
         return max(8, len(signature) // 8)
 
     def _closest(self, signature: Signature) -> GammaFactor | None:
-        """The most recently used cached factor within the update limit."""
+        """The closest cached factor within the update limit — smallest
+        symmetric difference, most recently used on ties.
+
+        Candidates come from the inverted row index: every cached signature
+        sharing at least one support row with the target, for which the
+        overlap count gives the symmetric difference without materializing
+        a single set.  Cached sets sharing *no* row can still be within the
+        limit when both sets are tiny (distance is then the plain size
+        sum); the size buckets cover those.  Equivalent to a linear scan of
+        the whole LRU, at a cost proportional to the signatures actually
+        touching the target's rows.
+        """
         limit = self._update_limit(signature)
-        if limit == 0:
+        if limit == 0 or not self._entries:
             return None
-        target = frozenset(signature)
-        best: GammaFactor | None = None
+        target_len = len(signature)
+        overlap: dict[Signature, int] = {}
+        lookup = self._row_index.get
+        for row in signature:
+            for cached in lookup(row, ()):
+                overlap[cached] = overlap.get(cached, 0) + 1
+
+        best: Signature | None = None
         best_distance = limit + 1
-        for cached_signature, factor in reversed(self._entries.items()):
-            distance = len(target.symmetric_difference(self._sets[cached_signature]))
-            if 0 < distance < best_distance:
-                best, best_distance = factor, distance
-                if distance <= 1:
-                    break  # cannot do better than a one-point bridge
-        return best
+        best_stamp = -1
+        for cached, shared in overlap.items():
+            distance = target_len + len(cached) - 2 * shared
+            if distance <= 0 or distance > limit:
+                continue
+            stamp = self._stamps[cached]
+            if distance < best_distance or (
+                distance == best_distance and stamp > best_stamp
+            ):
+                best, best_distance, best_stamp = cached, distance, stamp
+
+        max_disjoint = limit - target_len  # distance of a zero-overlap set
+        if max_disjoint >= 1:
+            for size, sized in self._by_size.items():
+                if size > max_disjoint:
+                    continue
+                for cached in sized:
+                    if cached in overlap:
+                        continue
+                    distance = target_len + size
+                    stamp = self._stamps[cached]
+                    if distance < best_distance or (
+                        distance == best_distance and stamp > best_stamp
+                    ):
+                        best, best_distance, best_stamp = cached, distance, stamp
+        return self._entries[best] if best is not None else None
 
     def _derive(
         self,

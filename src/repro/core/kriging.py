@@ -15,9 +15,12 @@ completeness and for the ablation benches.
 from __future__ import annotations
 
 import os
+import pickle
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
+from itertools import count
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -40,6 +43,7 @@ __all__ = [
     "simple_kriging",
     "resolve_n_jobs",
     "resolve_backend",
+    "make_model_ref",
     "SOLVE_BACKENDS",
 ]
 
@@ -370,6 +374,56 @@ def _solve_group_chunk(
     ]
 
 
+# ---------------------------------------------------------------------------
+# Process-backend model shipping: fit-generation keyed worker cache
+# ---------------------------------------------------------------------------
+_MODEL_KEYS = count(1)
+"""Parent-side fit-generation counter: every (re)fitted variogram shipped to
+process workers gets a fresh key, so worker caches can never serve a stale
+model."""
+
+#: Worker-side cache of unpickled variogram models, keyed by fit generation.
+#: Bounded so long-lived pools shared between estimators stay small.
+_WORKER_MODELS: OrderedDict[int, Variogram] = OrderedDict()
+_WORKER_MODEL_LIMIT = 8
+
+
+def make_model_ref(variogram: Variogram) -> tuple[int, bytes]:
+    """Pickle ``variogram`` once and tag it with a fresh fit-generation key.
+
+    Callers (the estimator) memoize the result per fitted model, so across
+    the hundreds of flushes between two refits the model is pickled exactly
+    once; workers unpickle it once per generation
+    (:func:`_resolve_model_ref`) and reuse the cached object afterwards.
+    The raw ``bytes`` blob still rides along each task — copying bytes is a
+    memcpy, versus re-walking the model's object graph per chunk.
+    """
+    return next(_MODEL_KEYS), pickle.dumps(variogram)
+
+
+def _resolve_model_ref(model_key: int, blob: bytes) -> Variogram:
+    """Worker-side lookup: unpickle on first sight of a generation key."""
+    model = _WORKER_MODELS.get(model_key)
+    if model is None:
+        model = pickle.loads(blob)
+        _WORKER_MODELS[model_key] = model
+        while len(_WORKER_MODELS) > _WORKER_MODEL_LIMIT:
+            _WORKER_MODELS.popitem(last=False)
+    else:
+        _WORKER_MODELS.move_to_end(model_key)
+    return model
+
+
+def _solve_group_chunk_ref(
+    chunk: list[KrigingGroup],
+    model_key: int,
+    blob: bytes,
+    metric: DistanceMetric | str,
+) -> list[list[KrigingResult]]:
+    """Chunk solver taking the variogram by fit-generation reference."""
+    return _solve_group_chunk(chunk, _resolve_model_ref(model_key, blob), metric)
+
+
 def _contiguous_group(group: KrigingGroup) -> KrigingGroup:
     """Copy a group's arrays into contiguous buffers for cheap pickling."""
     points, values, queries = group
@@ -389,6 +443,7 @@ def ordinary_kriging_grouped(
     executor: Executor | None = None,
     backend: str = "thread",
     factors: "Sequence[GammaFactor | None] | None" = None,
+    model_ref: tuple[int, bytes] | None = None,
 ) -> list[list[KrigingResult]]:
     """Solve many independent shared-support kriging groups, optionally in
     parallel.
@@ -436,6 +491,14 @@ def ordinary_kriging_grouped(
         (``None`` entries solve fresh).  Thread backend only: factors hold
         live references into the reuse layer's LRU and are not shipped
         across process boundaries.
+    model_ref:
+        Optional :func:`make_model_ref` result for ``variogram`` (process
+        backend only).  Workers then resolve the model through a
+        fit-generation keyed cache instead of unpickling it per chunk —
+        callers memoize the ref per fitted model, so the variogram is
+        pickled once per (re)fit rather than once per flush.  Purely a
+        dispatch-overhead knob: the resolved model is the same object
+        either way, so results are bit-identical.
 
     Returns
     -------
@@ -473,7 +536,13 @@ def ordinary_kriging_grouped(
         chunks = [
             [_contiguous_group(g) for g in groups[i : i + chunk]] for i in starts
         ]
-        task = partial(_solve_group_chunk, variogram=variogram, metric=metric)
+        if model_ref is not None:
+            key, blob = model_ref
+            task = partial(
+                _solve_group_chunk_ref, model_key=key, blob=blob, metric=metric
+            )
+        else:
+            task = partial(_solve_group_chunk, variogram=variogram, metric=metric)
 
         def run_process(pool: Executor) -> list[list[KrigingResult]]:
             solved = pool.map(task, chunks)

@@ -13,6 +13,7 @@ Every model maps a lag array ``h >= 0`` to ``gamma(h)`` with ``gamma(0) = 0``
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,6 +26,7 @@ __all__ = [
     "GaussianVariogram",
     "PowerVariogram",
     "NuggetVariogram",
+    "variogram_from_state",
 ]
 
 
@@ -53,6 +55,21 @@ class VariogramModel(abc.ABC):
     def nugget(self) -> float:
         """Discontinuity at the origin (0 unless the model defines one)."""
         return 0.0
+
+    def to_state(self) -> dict:
+        """JSON-safe state: model family plus its dataclass parameters.
+
+        Every concrete model is a frozen dataclass of plain floats, so the
+        state round-trips bitwise through JSON (``repr``-based float
+        serialization is exact).  Restore with :func:`variogram_from_state`.
+        """
+        return {
+            "family": type(self).__name__,
+            "params": {
+                f.name: float(getattr(self, f.name))
+                for f in dataclasses.fields(self)  # type: ignore[arg-type]
+            },
+        }
 
 
 @dataclass(frozen=True)
@@ -182,3 +199,37 @@ class NuggetVariogram(VariogramModel):
 
     def _gamma_positive(self, h: np.ndarray) -> np.ndarray:
         return np.full_like(h, self.nugget_)
+
+
+_MODEL_FAMILIES: dict[str, type[VariogramModel]] = {
+    cls.__name__: cls
+    for cls in (
+        LinearVariogram,
+        SphericalVariogram,
+        ExponentialVariogram,
+        GaussianVariogram,
+        PowerVariogram,
+        NuggetVariogram,
+    )
+}
+
+
+def variogram_from_state(state: dict) -> VariogramModel:
+    """Rebuild a model from :meth:`VariogramModel.to_state` output.
+
+    The inverse hook the snapshot/restore layer uses: parameters pass back
+    through the dataclass constructor, so a restored model validates its
+    invariants and evaluates bitwise-identically to the snapshotted one.
+    """
+    try:
+        family = state["family"]
+        params = state["params"]
+    except (TypeError, KeyError) as exc:
+        raise ValueError(f"malformed variogram state {state!r}") from exc
+    cls = _MODEL_FAMILIES.get(family)
+    if cls is None:
+        raise ValueError(
+            f"unknown variogram family {family!r}; expected one of "
+            f"{sorted(_MODEL_FAMILIES)}"
+        )
+    return cls(**{name: float(value) for name, value in params.items()})

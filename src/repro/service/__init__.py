@@ -1,0 +1,43 @@
+"""The kriging evaluation service: a long-lived, multi-client front end.
+
+Everything below :mod:`repro.core` is a single-process library; this package
+turns it into a *system* (the ROADMAP's north star): named estimator
+sessions that many clients share over TCP, so the engine's grouping and
+factor-reuse layers see the union of everyone's queries — exactly the regime
+they get better in.
+
+Modules
+-------
+
+:mod:`repro.service.protocol`
+    The newline-delimited JSON wire format (stdlib only).
+:mod:`repro.service.session`
+    Named estimator sessions; versioned NPZ snapshot/restore.
+:mod:`repro.service.batcher`
+    The asyncio micro-batching coalescer: concurrent ``evaluate`` requests
+    from unrelated clients flush as one ``evaluate_batch`` call.
+:mod:`repro.service.server`
+    The asyncio TCP server (``repro serve``).
+:mod:`repro.service.client`
+    Sync and async clients (``repro client ...``, tests, load generator).
+"""
+
+from repro.service.batcher import BatcherStats, MicroBatcher
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.protocol import ProtocolError, RemoteError
+from repro.service.server import KrigingService, run_server
+from repro.service.session import EstimatorSession, load_snapshot, make_simulator
+
+__all__ = [
+    "AsyncServiceClient",
+    "BatcherStats",
+    "EstimatorSession",
+    "KrigingService",
+    "MicroBatcher",
+    "ProtocolError",
+    "RemoteError",
+    "ServiceClient",
+    "load_snapshot",
+    "make_simulator",
+    "run_server",
+]

@@ -1,0 +1,240 @@
+"""Cross-client micro-batching for the evaluation service.
+
+The batch query engine gets *better* the more queries it sees at once:
+queries sharing a support set share one factorization
+(:func:`~repro.core.kriging.ordinary_kriging_batch`), and consecutive
+near-identical support sets share factors through the reuse layer.  A
+network service naively answering each request with a single
+:meth:`~repro.core.estimator.KrigingEstimator.evaluate` call would throw
+that away — every client would pay a full solve even when eight clients ask
+about the same neighbourhood in the same millisecond (exactly what parallel
+word-length searches do).
+
+:class:`MicroBatcher` closes the gap: concurrent ``evaluate`` requests for
+one session are collected into a pending list and flushed as a **single**
+``evaluate_batch`` call, either when :attr:`~MicroBatcher.max_batch`
+requests have accumulated or when the oldest has waited
+:attr:`~MicroBatcher.max_delay_ms` milliseconds — whichever comes first.
+Lone requests on an idle session therefore pay at most ``max_delay_ms`` of
+extra latency, while bursts coalesce into shared factorizations.
+
+Flushes are serialized on the session's lock and the batch preserves
+arrival order, so decisions stay deterministic given the arrival sequence;
+the flush itself runs on a worker thread (``asyncio.to_thread``), so the
+event loop keeps accepting — and coalescing — the *next* batch while the
+solves run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.estimator import EstimationOutcome
+from repro.utils.quantiles import QuantileSketch
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+FlushFn = Callable[[Sequence[object]], "list[EstimationOutcome]"]
+
+
+@dataclass
+class BatcherStats:
+    """Coalescing effectiveness counters of one :class:`MicroBatcher`."""
+
+    requests: int = 0
+    flushes: int = 0
+    batch_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    """Distribution of flushed batch sizes (P² quantile sketch)."""
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean requests per flush (the coalescing factor)."""
+        return self.batch_sketch.mean
+
+    @property
+    def max_batch_seen(self) -> float:
+        """Largest batch flushed so far."""
+        return self.batch_sketch.max
+
+    def summary(self) -> dict:
+        """JSON-safe summary for the service's ``stats`` verb."""
+        return {
+            "requests": self.requests,
+            "flushes": self.flushes,
+            "batch_size": self.batch_sketch.summary(),
+        }
+
+
+class MicroBatcher:
+    """Coalesce concurrent evaluate requests into ``evaluate_batch`` flushes.
+
+    Parameters
+    ----------
+    flush_fn:
+        Called with the coalesced configuration list, in arrival order;
+        returns one outcome per configuration.  Runs on a worker thread —
+        for the service this is the session's
+        ``estimator.evaluate_batch``.
+    max_batch:
+        Flush as soon as this many requests are pending, and never put
+        more than this many in one flush (a burst beyond it flushes in
+        consecutive chunks).  ``1`` disables coalescing — every request
+        solves alone, which is the fair baseline the load generator
+        compares against.
+    max_delay_ms:
+        Upper bound on how long an incomplete batch may wait after its
+        first request.  The batcher flushes *earlier* as soon as the
+        pending set stops growing for a couple of event-loop iterations —
+        i.e. every request already in flight has been read and coalesced —
+        so a burst of blocked clients never pays the full delay; the bound
+        only matters for stragglers trickling in mid-burst.  ``0`` flushes
+        immediately.
+    lock:
+        Flush serialization lock — pass the session's lock so flushes,
+        direct simulations and snapshots never interleave.
+    """
+
+    def __init__(
+        self,
+        flush_fn: FlushFn,
+        *,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        lock: asyncio.Lock | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self._flush_fn = flush_fn
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self._lock = lock if lock is not None else asyncio.Lock()
+        self._pending: list[tuple[object, asyncio.Future]] = []
+        self._timer: asyncio.Task | None = None
+        # Strong references to in-flight flush tasks: the event loop only
+        # holds tasks weakly, and an unreferenced task's failure would
+        # surface as "exception was never retrieved" GC noise instead of
+        # being observed here.
+        self._flush_tasks: set[asyncio.Task] = set()
+        self.stats = BatcherStats()
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting for the next flush."""
+        return len(self._pending)
+
+    async def submit(self, config: object) -> EstimationOutcome:
+        """Enqueue one configuration; resolves with its outcome after the
+        flush it lands in completes."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((config, future))
+        self.stats.requests += 1
+        if len(self._pending) >= self.max_batch:
+            self._cancel_timer()
+            self._spawn_flush(loop)
+        elif len(self._pending) == 1 and self._timer is None:
+            if self.max_delay_ms <= 0:
+                self._spawn_flush(loop)
+            else:
+                self._timer = loop.create_task(self._delayed_flush())
+                self._timer.add_done_callback(self._flush_done)
+        return await future
+
+    def _spawn_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        task = loop.create_task(self._flush())
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_done)
+
+    def _flush_done(self, task: asyncio.Task) -> None:
+        self._flush_tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            # _flush routes flush_fn errors into the request futures, so an
+            # exception here is a batcher bug: report it deterministically
+            # through the loop's handler instead of as GC-time noise.
+            task.get_loop().call_exception_handler(
+                {"message": "micro-batcher flush task failed", "exception": exc}
+            )
+
+    async def drain(self) -> None:
+        """Flush everything pending and wait for in-flight flushes.
+
+        The snapshot and shutdown paths call this so a snapshot can never
+        cut a batch in half.
+        """
+        self._cancel_timer()
+        await self._flush()
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    #: Event-loop iterations the pending set must stay static before an
+    #: early flush: 1 would race the loop still dispatching just-read
+    #: frames into request tasks; 3+ only adds spin.
+    IDLE_ITERATIONS = 2
+
+    #: Grace period (seconds) before idle detection may flush early: long
+    #: enough for a burst of concurrent requests to cross loopback TCP and
+    #: land in the batch (tens of microseconds apart), short enough to be
+    #: noise next to a kriging solve.
+    IDLE_GRACE_SECONDS = 0.0003
+
+    async def _delayed_flush(self) -> None:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_delay_ms / 1000.0
+        grace = min(deadline, loop.time() + self.IDLE_GRACE_SECONDS)
+        seen = len(self._pending)
+        idle = 0
+        try:
+            await asyncio.sleep(max(0.0, grace - loop.time()))
+            while loop.time() < deadline:
+                # One full loop iteration: sockets are polled and ready
+                # request tasks run (each may submit) before we resume.
+                await asyncio.sleep(0)
+                pending = len(self._pending)
+                if pending >= self.max_batch:
+                    break  # the size trigger scheduled its own flush
+                if pending == seen:
+                    idle += 1
+                    if idle >= self.IDLE_ITERATIONS:
+                        break
+                else:
+                    seen = pending
+                    idle = 0
+        except asyncio.CancelledError:
+            return
+        self._timer = None
+        await self._flush()
+
+    async def _flush(self) -> None:
+        # Loop until nothing is pending: a flush scheduled while another
+        # runs picks up everything that accumulated meanwhile, in chunks of
+        # at most max_batch.  Taking each chunk *before* awaiting the lock
+        # keeps arrival order (and makes the take atomic on the loop).
+        if self._pending:
+            self._cancel_timer()
+        while self._pending:
+            batch = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            async with self._lock:
+                configs = [config for config, _ in batch]
+                try:
+                    outcomes = await asyncio.to_thread(self._flush_fn, configs)
+                except Exception as exc:
+                    for _, future in batch:
+                        if not future.done():
+                            future.set_exception(exc)
+                    continue
+            self.stats.flushes += 1
+            self.stats.batch_sketch.update(float(len(batch)))
+            for (_, future), outcome in zip(batch, outcomes):
+                if not future.done():
+                    future.set_result(outcome)

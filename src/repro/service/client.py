@@ -1,0 +1,361 @@
+"""Clients for the kriging evaluation service.
+
+:class:`ServiceClient` is a small blocking client (plain ``socket``) for
+scripts, the CLI and tests; :class:`AsyncServiceClient` is the asyncio
+twin the load generator uses to keep many logical clients in flight on one
+thread.  Both speak :mod:`repro.service.protocol` and expose one method
+per verb; server-side errors surface as
+:class:`~repro.service.protocol.RemoteError`.
+
+The async client pipelines: requests are matched to responses by ``id``,
+so many may be outstanding per connection — that is what lets a burst of
+``evaluate`` calls from *one* client coalesce in the server's
+micro-batcher alongside other clients' queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from itertools import count
+from typing import Any, Sequence
+
+from repro.core.estimator import EstimationOutcome
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    RemoteError,
+    decode,
+    encode,
+    outcome_from_wire,
+    read_message,
+    write_message,
+)
+
+__all__ = ["ServiceClient", "AsyncServiceClient"]
+
+
+def _raise_on_error(response: dict) -> dict:
+    if not isinstance(response, dict) or "ok" not in response:
+        raise ProtocolError(f"malformed response {response!r}")
+    if not response["ok"]:
+        error = response.get("error") or {}
+        raise RemoteError(
+            str(error.get("type", "UnknownError")), str(error.get("message", ""))
+        )
+    result = response.get("result")
+    return result if isinstance(result, dict) else {}
+
+
+class _VerbsMixin:
+    """Convenience verbs shared by both clients.
+
+    Subclasses provide ``request(op, **fields)`` (sync or async); every
+    verb builds the request dict through :meth:`_fields` so the two
+    transports cannot drift apart.
+    """
+
+    @staticmethod
+    def _fields(**fields: Any) -> dict:
+        return {key: value for key, value in fields.items() if value is not None}
+
+    @staticmethod
+    def _outcome(result: dict) -> EstimationOutcome:
+        return outcome_from_wire(result)
+
+    @staticmethod
+    def _outcomes(result: dict) -> list[EstimationOutcome]:
+        return [outcome_from_wire(data) for data in result["outcomes"]]
+
+
+class ServiceClient(_VerbsMixin):
+    """Blocking newline-delimited JSON client (one request in flight)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = count(1)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """One round trip; raises :class:`RemoteError` on server errors."""
+        request_id = next(self._ids)
+        self._file.write(encode({"id": request_id, "op": op, **self._fields(**fields)}))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode(line)
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} != request id {request_id}"
+            )
+        return _raise_on_error(response)
+
+    # -- verbs ----------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def create_session(
+        self,
+        session: str,
+        *,
+        simulator: dict,
+        num_variables: int | None = None,
+        replace: bool = False,
+        max_batch: int | None = None,
+        max_delay_ms: float | None = None,
+        **estimator_kwargs: Any,
+    ) -> dict:
+        return self.request(
+            "create_session",
+            session=session,
+            simulator=simulator,
+            num_variables=num_variables,
+            replace=replace or None,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            **estimator_kwargs,
+        )
+
+    def list_sessions(self) -> list[dict]:
+        return self.request("list_sessions")["sessions"]
+
+    def evaluate(self, session: str, config: Sequence[float]) -> EstimationOutcome:
+        return self._outcome(self.request("evaluate", session=session, config=list(config)))
+
+    def evaluate_many(
+        self, session: str, configs: Sequence[Sequence[float]]
+    ) -> list[EstimationOutcome]:
+        return self._outcomes(
+            self.request("evaluate", session=session, configs=[list(c) for c in configs])
+        )
+
+    def simulate(
+        self,
+        session: str,
+        config: Sequence[float],
+        value: float | None = None,
+    ) -> EstimationOutcome:
+        return self._outcome(
+            self.request("simulate", session=session, config=list(config), value=value)
+        )
+
+    def simulate_many(
+        self,
+        session: str,
+        configs: Sequence[Sequence[float]],
+        values: Sequence[float] | None = None,
+    ) -> list[EstimationOutcome]:
+        return self._outcomes(
+            self.request(
+                "simulate",
+                session=session,
+                configs=[list(c) for c in configs],
+                values=None if values is None else [float(v) for v in values],
+            )
+        )
+
+    def fit(self, session: str) -> dict:
+        return self.request("fit", session=session)
+
+    def stats(self, session: str | None = None) -> dict:
+        return self.request("stats", session=session)
+
+    def snapshot(
+        self, session: str, *, name: str | None = None, path: str | None = None
+    ) -> dict:
+        return self.request("snapshot", session=session, name=name, path=path)
+
+    def restore(
+        self,
+        *,
+        path: str | None = None,
+        name: str | None = None,
+        session: str | None = None,
+        replace: bool = False,
+    ) -> dict:
+        return self.request(
+            "restore", path=path, name=name, session=session, replace=replace or None
+        )
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+
+class AsyncServiceClient(_VerbsMixin):
+    """Pipelining asyncio client; create with :meth:`connect`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._receiver = asyncio.create_task(self._receive_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._receiver.cancel()
+        try:
+            await self._receiver
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def _receive_loop(self) -> None:
+        try:
+            while True:
+                response = await read_message(self._reader)
+                if response is None:
+                    raise ConnectionError("server closed the connection")
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(exc)
+            self._pending.clear()
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        """One request; may pipeline with other in-flight requests."""
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            await write_message(
+                self._writer, {"id": request_id, "op": op, **self._fields(**fields)}
+            )
+            response = await future
+        finally:
+            self._pending.pop(request_id, None)
+        return _raise_on_error(response)
+
+    # -- verbs ----------------------------------------------------------
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def create_session(
+        self,
+        session: str,
+        *,
+        simulator: dict,
+        num_variables: int | None = None,
+        replace: bool = False,
+        max_batch: int | None = None,
+        max_delay_ms: float | None = None,
+        **estimator_kwargs: Any,
+    ) -> dict:
+        return await self.request(
+            "create_session",
+            session=session,
+            simulator=simulator,
+            num_variables=num_variables,
+            replace=replace or None,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            **estimator_kwargs,
+        )
+
+    async def list_sessions(self) -> list[dict]:
+        return (await self.request("list_sessions"))["sessions"]
+
+    async def evaluate(self, session: str, config: Sequence[float]) -> EstimationOutcome:
+        return self._outcome(
+            await self.request("evaluate", session=session, config=list(config))
+        )
+
+    async def evaluate_many(
+        self, session: str, configs: Sequence[Sequence[float]]
+    ) -> list[EstimationOutcome]:
+        return self._outcomes(
+            await self.request(
+                "evaluate", session=session, configs=[list(c) for c in configs]
+            )
+        )
+
+    async def simulate(
+        self,
+        session: str,
+        config: Sequence[float],
+        value: float | None = None,
+    ) -> EstimationOutcome:
+        return self._outcome(
+            await self.request(
+                "simulate", session=session, config=list(config), value=value
+            )
+        )
+
+    async def simulate_many(
+        self,
+        session: str,
+        configs: Sequence[Sequence[float]],
+        values: Sequence[float] | None = None,
+    ) -> list[EstimationOutcome]:
+        return self._outcomes(
+            await self.request(
+                "simulate",
+                session=session,
+                configs=[list(c) for c in configs],
+                values=None if values is None else [float(v) for v in values],
+            )
+        )
+
+    async def fit(self, session: str) -> dict:
+        return await self.request("fit", session=session)
+
+    async def stats(self, session: str | None = None) -> dict:
+        return await self.request("stats", session=session)
+
+    async def snapshot(
+        self, session: str, *, name: str | None = None, path: str | None = None
+    ) -> dict:
+        return await self.request("snapshot", session=session, name=name, path=path)
+
+    async def restore(
+        self,
+        *,
+        path: str | None = None,
+        name: str | None = None,
+        session: str | None = None,
+        replace: bool = False,
+    ) -> dict:
+        return await self.request(
+            "restore", path=path, name=name, session=session, replace=replace or None
+        )
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")

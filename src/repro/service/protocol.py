@@ -1,0 +1,167 @@
+"""Wire protocol of the kriging evaluation service.
+
+Newline-delimited JSON over a plain TCP stream — one request or response
+object per line, stdlib only, trivially speakable from ``netcat`` or any
+language with a JSON parser.
+
+Requests carry a client-chosen ``id`` (echoed verbatim in the response so
+clients may pipeline), an ``op`` naming the verb, and op-specific fields::
+
+    {"id": 7, "op": "evaluate", "session": "fir", "config": [9, 11]}
+
+Responses are either results or structured errors::
+
+    {"id": 7, "ok": true, "result": {"value": -41.2, ...}}
+    {"id": 7, "ok": false, "error": {"type": "UnknownSession", "message": "..."}}
+
+Responses to pipelined requests may arrive out of order (the server handles
+each request concurrently — that is what lets one client's in-flight
+evaluations coalesce in the micro-batcher); clients match on ``id``.
+
+``NaN`` never crosses the wire (it is not JSON): the kriging variance of a
+simulation outcome is mapped to ``null`` and back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any
+
+from repro.core.estimator import EstimationOutcome
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "RemoteError",
+    "encode",
+    "decode",
+    "json_safe",
+    "ok_response",
+    "error_response",
+    "outcome_to_wire",
+    "outcome_from_wire",
+    "read_message",
+    "write_message",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded line (asyncio's default 64 KiB readline limit
+#: is too small for bulk ``configs`` payloads).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed frame: not JSON, not an object, or over the line limit."""
+
+
+class RemoteError(Exception):
+    """Client-side view of a server-reported error.
+
+    Attributes
+    ----------
+    kind:
+        The server-side error type name (e.g. ``"UnknownSession"``).
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+def encode(message: dict) -> bytes:
+    """One message as a compact JSON line (trailing newline included)."""
+    try:
+        line = json.dumps(message, separators=(",", ":"), allow_nan=False).encode()
+    except (TypeError, ValueError) as exc:
+        # NaN/Infinity (ValueError) or a non-JSON type such as a numpy
+        # scalar (TypeError): not valid strict JSON either way.
+        raise ProtocolError(f"unserializable message: {exc}") from exc
+    if len(line) >= MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(line)} bytes exceeds {MAX_LINE_BYTES}")
+    return line + b"\n"
+
+
+def json_safe(value: object) -> object:
+    """Recursively replace non-finite floats with ``None`` (strict JSON).
+
+    Statistics summaries legitimately contain ``nan`` (empty sketches) and
+    ``inf``; on the wire they become ``null``.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
+
+
+def decode(line: bytes) -> dict:
+    """Parse one line back into a message object."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def ok_response(request_id: Any, result: dict) -> dict:
+    """A success response echoing the request ``id``."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, kind: str, message: str) -> dict:
+    """A structured error response echoing the request ``id``."""
+    return {"id": request_id, "ok": False, "error": {"type": kind, "message": message}}
+
+
+def outcome_to_wire(outcome: EstimationOutcome) -> dict:
+    """An :class:`EstimationOutcome` as a JSON-safe object."""
+    variance = outcome.variance
+    return {
+        "value": outcome.value,
+        "interpolated": outcome.interpolated,
+        "n_neighbors": outcome.n_neighbors,
+        "variance": None if math.isnan(variance) else variance,
+        "exact_hit": outcome.exact_hit,
+    }
+
+
+def outcome_from_wire(data: dict) -> EstimationOutcome:
+    """Inverse of :func:`outcome_to_wire` (client side)."""
+    variance = data.get("variance")
+    return EstimationOutcome(
+        value=float(data["value"]),
+        interpolated=bool(data["interpolated"]),
+        n_neighbors=int(data["n_neighbors"]),
+        variance=float("nan") if variance is None else float(variance),
+        exact_hit=bool(data.get("exact_hit", False)),
+    )
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """Read one message; ``None`` on a clean EOF."""
+    try:
+        line = await reader.readline()
+    except ValueError as exc:
+        # StreamReader.readline signals an over-limit line as ValueError
+        # (LimitOverrunError is converted internally).
+        raise ProtocolError(f"line exceeds stream limit: {exc}") from exc
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        # EOF mid-line: a peer that died while writing.
+        raise ProtocolError("connection closed mid-frame")
+    return decode(line)
+
+
+async def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one message and drain the transport."""
+    writer.write(encode(message))
+    await writer.drain()

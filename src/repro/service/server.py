@@ -1,0 +1,481 @@
+"""The asyncio TCP front end of the kriging evaluation service.
+
+One :class:`KrigingService` owns a set of named
+:class:`~repro.service.session.EstimatorSession` instances and speaks the
+newline-delimited JSON protocol of :mod:`repro.service.protocol` over
+``asyncio.start_server`` (stdlib only — no web framework).
+
+Concurrency model
+-----------------
+
+* every connection gets a handler task; every *request* gets its own task,
+  so a client may pipeline and its in-flight evaluations coalesce in the
+  session's micro-batcher together with everyone else's (responses carry
+  the request ``id`` and may return out of order);
+* all mutation of a session — micro-batch flushes, direct simulations,
+  refits, snapshot writes, restores — serializes on that session's asyncio
+  lock, so decisions are deterministic given the arrival order and a
+  snapshot can never observe a half-applied batch;
+* the actual numeric work runs on worker threads (``asyncio.to_thread``),
+  keeping the event loop free to accept and coalesce the next batch.
+
+Verbs: ``ping``, ``create_session``, ``list_sessions``, ``evaluate``,
+``simulate``, ``fit``, ``stats``, ``snapshot``, ``restore``, ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import math
+import pathlib
+from typing import Awaitable, Callable
+
+from repro.core.estimator import KrigingEstimator
+from repro.core.models import variogram_from_state
+from repro.service import protocol
+from repro.service.session import EstimatorSession, check_name, load_snapshot, make_simulator
+
+__all__ = ["KrigingService", "ServiceError", "run_server"]
+
+#: Estimator constructor keywords ``create_session`` forwards verbatim.
+ESTIMATOR_KEYS = (
+    "distance",
+    "nn_min",
+    "metric",
+    "variogram",
+    "min_fit_points",
+    "refit_interval",
+    "max_neighbors",
+    "max_variance",
+    "interpolator",
+    "neighbor_index",
+    "n_jobs",
+    "backend",
+    "factor_cache",
+)
+
+
+class ServiceError(Exception):
+    """A structured, client-visible error (becomes ``error.type`` on the wire)."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def _bad_request(message: str) -> ServiceError:
+    return ServiceError("BadRequest", message)
+
+
+class KrigingService:
+    """Session registry plus request dispatch (transport-independent core).
+
+    Parameters
+    ----------
+    snapshot_dir:
+        Directory for named snapshots (``snapshot``/``restore`` with a
+        ``name`` instead of a ``path``); created on first use.  Without
+        it, those verbs require explicit paths.
+    max_batch / max_delay_ms:
+        Default micro-batcher knobs for new sessions (overridable per
+        session at ``create_session``).
+    """
+
+    def __init__(
+        self,
+        *,
+        snapshot_dir: object | None = None,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+    ) -> None:
+        self.sessions: dict[str, EstimatorSession] = {}
+        self.snapshot_dir = pathlib.Path(snapshot_dir) if snapshot_dir is not None else None
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms)
+        self.address: tuple[str, int] | None = None
+        self._stopping = asyncio.Event()
+        self._ops: dict[str, Callable[[dict], Awaitable[dict]]] = {
+            "ping": self._op_ping,
+            "create_session": self._op_create_session,
+            "list_sessions": self._op_list_sessions,
+            "evaluate": self._op_evaluate,
+            "simulate": self._op_simulate,
+            "fit": self._op_fit,
+            "stats": self._op_stats,
+            "snapshot": self._op_snapshot,
+            "restore": self._op_restore,
+            "shutdown": self._op_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _session(self, request: dict) -> EstimatorSession:
+        name = request.get("session")
+        if not isinstance(name, str):
+            raise _bad_request("missing 'session' field")
+        session = self.sessions.get(name)
+        if session is None:
+            raise ServiceError("UnknownSession", f"no session named {name!r}")
+        return session
+
+    @staticmethod
+    def _configs(request: dict) -> tuple[list, bool]:
+        """The request's configuration payload: ``(configs, was_batch)``."""
+        if "configs" in request:
+            configs = request["configs"]
+            if not isinstance(configs, list) or not configs:
+                raise _bad_request("'configs' must be a non-empty list")
+            return configs, True
+        if "config" in request:
+            return [request["config"]], False
+        raise _bad_request("missing 'config' or 'configs' field")
+
+    @staticmethod
+    def _checked_config(session: EstimatorSession, config: object) -> list[float]:
+        """Validate one configuration *before* it enters the micro-batcher.
+
+        A flush solves many clients' requests together, so a malformed
+        config must be rejected at the door — inside the batch it would
+        fail every coalesced request, not just its sender's.
+        """
+        nv = session.estimator.cache.num_variables
+        if (
+            not isinstance(config, list)
+            or len(config) != nv
+            or not all(
+                isinstance(x, (int, float)) and not isinstance(x, bool) for x in config
+            )
+        ):
+            raise _bad_request(f"config must be a list of {nv} numbers")
+        values = [float(x) for x in config]
+        if not all(math.isfinite(x) for x in values):
+            raise _bad_request("config contains non-finite values")
+        return values
+
+    def _snapshot_path(self, request: dict) -> pathlib.Path:
+        if "path" in request:
+            return pathlib.Path(str(request["path"]))
+        if self.snapshot_dir is None:
+            raise _bad_request(
+                "no 'path' given and the server has no --snapshot-dir"
+            )
+        name = check_name(request.get("name", request.get("session")))
+        return self.snapshot_dir / f"{name}.npz"
+
+    async def _register(self, session: EstimatorSession, replace: bool) -> None:
+        existing = self.sessions.get(session.name)
+        if existing is not None:
+            if not replace:
+                raise ServiceError(
+                    "SessionExists",
+                    f"session {session.name!r} exists (pass replace=true to swap)",
+                )
+            # Claim the name first so concurrent replaces cannot both close
+            # the same session; close() can wait on in-flight pool work, so
+            # it runs off the event loop.
+            self.sessions[session.name] = session
+            await asyncio.to_thread(existing.close)
+            return
+        self.sessions[session.name] = session
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    async def _op_ping(self, request: dict) -> dict:
+        return {"protocol": protocol.PROTOCOL_VERSION, "sessions": len(self.sessions)}
+
+    async def _op_create_session(self, request: dict) -> dict:
+        name = check_name(request.get("session"))
+        spec = request.get("simulator")
+        if spec is None:
+            raise _bad_request("missing 'simulator' spec")
+        num_variables = request.get("num_variables")
+        kwargs = {key: request[key] for key in ESTIMATOR_KEYS if key in request}
+        if isinstance(kwargs.get("variogram"), dict):
+            # A fixed model shipped as its to_state() dict (kind strings
+            # like "auto"/"exponential" identify from the data instead).
+            kwargs["variogram"] = variogram_from_state(kwargs["variogram"])
+
+        def build() -> tuple[KrigingEstimator, int]:
+            # Off the loop: benchmark simulators construct whole substrates.
+            simulate, nv = make_simulator(
+                spec, int(num_variables) if num_variables is not None else None
+            )
+            return KrigingEstimator(simulate, nv, **kwargs), nv
+
+        estimator, nv = await asyncio.to_thread(build)
+        session = EstimatorSession(
+            name,
+            estimator,
+            spec,
+            max_batch=int(request.get("max_batch", self.max_batch)),
+            max_delay_ms=float(request.get("max_delay_ms", self.max_delay_ms)),
+        )
+        await self._register(session, bool(request.get("replace", False)))
+        return {
+            "session": name,
+            "num_variables": nv,
+            "max_batch": session.batcher.max_batch,
+            "max_delay_ms": session.batcher.max_delay_ms,
+        }
+
+    async def _op_list_sessions(self, request: dict) -> dict:
+        return {
+            "sessions": [
+                {
+                    "session": session.name,
+                    "num_variables": session.estimator.cache.num_variables,
+                    "cache_size": len(session.estimator.cache),
+                }
+                for session in self.sessions.values()
+            ]
+        }
+
+    async def _op_evaluate(self, request: dict) -> dict:
+        session = self._session(request)
+        configs, was_batch = self._configs(request)
+        if was_batch:
+            # A bulk request is already a batch: go straight to
+            # evaluate_batch under the session lock (deterministic grouping,
+            # no reason to trickle it through the coalescer).
+            checked = [self._checked_config(session, config) for config in configs]
+            async with session.lock:
+                outcomes = await asyncio.to_thread(session.evaluate_batch, checked)
+        else:
+            outcomes = [
+                await session.evaluate(self._checked_config(session, configs[0]))
+            ]
+        wired = [protocol.outcome_to_wire(outcome) for outcome in outcomes]
+        return {"outcomes": wired} if was_batch else wired[0]
+
+    async def _op_simulate(self, request: dict) -> dict:
+        session = self._session(request)
+        configs, was_batch = self._configs(request)
+        values = request.get("values")
+        if values is None and "value" in request:
+            values = [request["value"]]
+        if values is not None and (
+            not isinstance(values, list) or len(values) != len(configs)
+        ):
+            raise _bad_request(
+                f"'values' must be a list matching the {len(configs)} configurations"
+            )
+
+        # Same door check as evaluate: simulate *permanently* mutates the
+        # shared cache, so a NaN coordinate would poison every client's
+        # future variogram fits (and any snapshot taken afterwards).
+        checked = [self._checked_config(session, config) for config in configs]
+
+        def run() -> list[dict]:
+            return [
+                protocol.outcome_to_wire(
+                    session.simulate(
+                        config, None if values is None else float(values[i])
+                    )
+                )
+                for i, config in enumerate(checked)
+            ]
+
+        async with session.lock:
+            wired = await asyncio.to_thread(run)
+        return {"outcomes": wired} if was_batch else wired[0]
+
+    async def _op_fit(self, request: dict) -> dict:
+        session = self._session(request)
+        async with session.lock:
+            return protocol.json_safe(await asyncio.to_thread(session.refit))
+
+    async def _op_stats(self, request: dict) -> dict:
+        # Statistics legitimately contain NaN (empty sketches): scrub to
+        # null so the response stays strict JSON.
+        if "session" in request:
+            return protocol.json_safe(self._session(request).stats())
+        return protocol.json_safe(
+            {"sessions": [session.stats() for session in self.sessions.values()]}
+        )
+
+    async def _op_snapshot(self, request: dict) -> dict:
+        session = self._session(request)
+        path = self._snapshot_path(request)
+        # Drain first (the flush needs the lock drain waits on), then write
+        # under the lock so no new flush interleaves with the file write.
+        await session.batcher.drain()
+        async with session.lock:
+            written = await asyncio.to_thread(session.snapshot, path)
+        return {"session": session.name, "path": str(written)}
+
+    async def _op_restore(self, request: dict) -> dict:
+        if "path" not in request and "name" not in request and "session" not in request:
+            raise _bad_request("missing 'path' (or snapshot 'name')")
+        path = self._snapshot_path(request)
+        def rebuild() -> EstimatorSession:
+            # Off the loop: restoring re-inserts every cache row into the
+            # neighbour index.
+            state = load_snapshot(path)
+            return EstimatorSession.from_state(
+                state,
+                name=request.get("session"),
+                max_batch=int(request.get("max_batch", self.max_batch)),
+                max_delay_ms=float(request.get("max_delay_ms", self.max_delay_ms)),
+            )
+
+        try:
+            session = await asyncio.to_thread(rebuild)
+        except FileNotFoundError as exc:
+            raise ServiceError("UnknownSnapshot", str(exc)) from exc
+        await self._register(session, bool(request.get("replace", False)))
+        return {
+            "session": session.name,
+            "path": str(path),
+            "cache_size": len(session.estimator.cache),
+        }
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        return {"stopping": True}
+
+    def stop(self) -> None:
+        """Ask :meth:`serve` to exit (what the ``shutdown`` verb does after
+        its response is on the wire)."""
+        self._stopping.set()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = self._ops.get(op) if isinstance(op, str) else None
+        if handler is None:
+            raise ServiceError("UnknownOp", f"unknown op {op!r}")
+        return await handler(request)
+
+    async def _respond(
+        self,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = request.get("id")
+        try:
+            result = await self.dispatch(request)
+            response = protocol.ok_response(request_id, result)
+        except ServiceError as exc:
+            response = protocol.error_response(request_id, exc.kind, str(exc))
+        except (ValueError, KeyError, TypeError) as exc:
+            response = protocol.error_response(request_id, type(exc).__name__, str(exc))
+        except Exception as exc:  # keep the server alive on estimator bugs
+            response = protocol.error_response(request_id, "InternalError", repr(exc))
+        try:
+            payload = protocol.encode(response)
+        except protocol.ProtocolError as exc:
+            # A result that does not serialize must still answer the
+            # request — a swallowed frame would hang the client forever.
+            # The request id itself may be the unserializable part (e.g. a
+            # NaN literal, which json.loads accepts): fall back to a null
+            # id rather than failing the fallback too.
+            fallback = protocol.error_response(
+                request_id, "ProtocolError", f"unserializable result: {exc}"
+            )
+            try:
+                payload = protocol.encode(fallback)
+            except protocol.ProtocolError:
+                fallback["id"] = None
+                payload = protocol.encode(fallback)
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+        except ConnectionError:
+            return
+        # The response is on the wire; now it is safe to stop accepting.
+        if request.get("op") == "shutdown" and response.get("ok"):
+            self._stopping.set()
+
+    async def handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: read frames, answer each in its own task."""
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    request = await protocol.read_message(reader)
+                except protocol.ProtocolError as exc:
+                    async with write_lock:
+                        await protocol.write_message(
+                            writer,
+                            protocol.error_response(None, "ProtocolError", str(exc)),
+                        )
+                    break
+                if request is None:
+                    break
+                task = asyncio.create_task(self._respond(request, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown after shutdown: close the transport and
+            # exit quietly instead of surfacing a cancellation traceback.
+            pass
+        finally:
+            # Cleanup must not surface a second CancelledError (e.g. the
+            # event loop tearing down after ``shutdown``): a handler task
+            # that ends "cancelled" would be logged as a callback error.
+            with contextlib.suppress(asyncio.CancelledError):
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, ConnectionError):
+                await writer.wait_closed()
+
+    async def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        port_file: object | None = None,
+        on_ready: Callable[[str, int], None] | None = None,
+    ) -> None:
+        """Listen until a ``shutdown`` request arrives.
+
+        ``port=0`` binds an ephemeral port; the bound address lands in
+        :attr:`address`, in ``port_file`` (just the port number — what the
+        CI smoke job polls for) and in the ``on_ready`` callback.
+        """
+        server = await asyncio.start_server(
+            self.handle_client, host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        sockname = server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        if port_file is not None:
+            pathlib.Path(port_file).write_text(f"{self.address[1]}\n")
+        if on_ready is not None:
+            on_ready(self.address[0], self.address[1])
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            for session in self.sessions.values():
+                session.close()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    snapshot_dir: object | None = None,
+    max_batch: int = 64,
+    max_delay_ms: float = 2.0,
+    port_file: object | None = None,
+    on_ready: Callable[[str, int], None] | None = None,
+) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    service = KrigingService(
+        snapshot_dir=snapshot_dir, max_batch=max_batch, max_delay_ms=max_delay_ms
+    )
+    asyncio.run(
+        service.serve(host, port, port_file=port_file, on_ready=on_ready)
+    )

@@ -137,6 +137,31 @@ class P2Quantile:
             return self._heights[lo] * (1.0 - frac) + self._heights[hi] * frac
         return self._heights[2]
 
+    def to_state(self) -> dict:
+        """JSON-safe marker state (``_rates`` is derived from ``prob``).
+
+        Floats serialize via ``repr`` so a JSON round-trip restores the
+        estimator bitwise: feeding both copies the same stream keeps them
+        identical forever.
+        """
+        return {
+            "prob": self.prob,
+            "n": self._n,
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "P2Quantile":
+        """Rebuild an estimator from :meth:`to_state` output."""
+        est = cls(float(state["prob"]))
+        est._n = int(state["n"])
+        est._heights = [float(x) for x in state["heights"]]
+        est._positions = [float(x) for x in state["positions"]]
+        est._desired = [float(x) for x in state["desired"]]
+        return est
+
 
 class QuantileSketch:
     """A bundle of P² estimators plus exact min/max/mean/count.
@@ -225,6 +250,30 @@ class QuantileSketch:
     def quantiles(self) -> Mapping[float, float]:
         """All tracked quantile estimates, keyed by probability."""
         return {p: est.value for p, est in self._estimators.items()}
+
+    def to_state(self) -> dict:
+        """JSON-safe state: exact side statistics plus per-probability
+        :meth:`P2Quantile.to_state` markers."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "estimators": [est.to_state() for est in self._estimators.values()],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`to_state` output (bitwise: the
+        restored sketch streams on exactly as the original would)."""
+        estimators = [P2Quantile.from_state(s) for s in state["estimators"]]
+        sketch = cls(probs=[est.prob for est in estimators])
+        sketch._estimators = {est.prob: est for est in estimators}
+        sketch._count = int(state["count"])
+        sketch._sum = float(state["sum"])
+        sketch._min = float(state["min"])
+        sketch._max = float(state["max"])
+        return sketch
 
     def summary(self) -> dict[str, float]:
         """Plain-dict summary (count, mean, min, max and the quantiles)."""

@@ -240,3 +240,76 @@ def test_batch_empty_and_validation():
     assert est.evaluate_batch(np.empty((0, 3))) == []
     with pytest.raises(ValueError, match="shape"):
         est.evaluate_batch(np.zeros((4, 2)))
+
+
+class TestProcessModelRef:
+    """The worker-side variogram cache (fit-generation keyed) must neither
+    change results nor re-pickle an unchanged model."""
+
+    def test_ref_memoized_until_model_changes(self):
+        from repro.core.models import ExponentialVariogram, LinearVariogram
+
+        est = KrigingEstimator(
+            _smooth_field, 3, n_jobs=2, backend="process", variogram="linear"
+        )
+        model = LinearVariogram(1.0)
+        ref_a = est._process_model_ref(model)
+        ref_b = est._process_model_ref(model)
+        assert ref_a is ref_b  # pickled once per fitted model
+        ref_c = est._process_model_ref(ExponentialVariogram(sill=1.0, range_=2.0))
+        assert ref_c is not ref_a
+        assert ref_c[0] > ref_a[0]  # fit generations are monotonic
+
+    def test_thread_backend_never_builds_a_ref(self):
+        est = KrigingEstimator(_smooth_field, 3, n_jobs=2, backend="thread")
+        assert est._process_model_ref(est.variogram) is None
+
+    def test_worker_cache_resolves_once_and_is_bounded(self):
+        import pickle
+
+        from repro.core import kriging
+        from repro.core.models import LinearVariogram
+
+        kriging._WORKER_MODELS.clear()
+        key, blob = kriging.make_model_ref(LinearVariogram(2.0))
+        first = kriging._resolve_model_ref(key, blob)
+        second = kriging._resolve_model_ref(key, blob)
+        assert second is first  # unpickled once per generation
+        assert first == pickle.loads(blob)
+        for _ in range(2 * kriging._WORKER_MODEL_LIMIT):
+            extra_key, extra_blob = kriging.make_model_ref(LinearVariogram(3.0))
+            kriging._resolve_model_ref(extra_key, extra_blob)
+        assert len(kriging._WORKER_MODELS) <= kriging._WORKER_MODEL_LIMIT
+
+    def test_grouped_solve_with_ref_bitwise(self):
+        """model_ref is a dispatch knob only: grouped process solves return
+        bit-identical results with and without it."""
+        from repro.core.kriging import make_model_ref, ordinary_kriging_grouped
+        from repro.core.models import ExponentialVariogram
+
+        rng = np.random.default_rng(21)
+        model = ExponentialVariogram(sill=9.0, range_=5.0)
+        groups = []
+        for _ in range(6):
+            pts = rng.uniform(0.0, 8.0, size=(12, 3))
+            vals = pts.sum(axis=1)
+            queries = rng.uniform(0.0, 8.0, size=(4, 3))
+            groups.append((pts, vals, queries))
+        plain = ordinary_kriging_grouped(groups, model, n_jobs=2, backend="process")
+        via_ref = ordinary_kriging_grouped(
+            groups, model, n_jobs=2, backend="process", model_ref=make_model_ref(model)
+        )
+        assert [
+            (r.estimate, r.variance) for results in plain for r in results
+        ] == [(r.estimate, r.variance) for results in via_ref for r in results]
+
+    def test_ref_rejected_for_mismatched_factors(self):
+        from repro.core.kriging import ordinary_kriging_grouped
+        from repro.core.models import LinearVariogram
+
+        with pytest.raises(ValueError, match="factors length"):
+            ordinary_kriging_grouped(
+                [(np.zeros((2, 2)), np.zeros(2), np.zeros((1, 2)))],
+                LinearVariogram(1.0),
+                factors=[None, None],
+            )

@@ -106,7 +106,8 @@ class TestHistory:
         assert lines, "seed history line missing"
         for line in lines:
             entry = json.loads(line)
-            assert entry["benchmark"] == "query_engine"
+            # Both benchmark kinds append to the one history file.
+            assert entry["benchmark"] in check_regression.KNOWN_BENCHMARKS
             assert entry["absolute_seconds"]
 
 
@@ -123,3 +124,110 @@ class TestGateStillRejectsMalformed:
         baseline.write_text(json.dumps(_report()))
         with pytest.raises(SystemExit):
             check_regression.main([str(baseline), str(baseline), "--factor", "0.5"])
+
+
+def _service_report(speedup=1.6, bitwise=True):
+    return {
+        "benchmark": "service",
+        "scenarios": {
+            "sequential": {
+                "n_queries": 1280,
+                "seconds": 1.6,
+                "qps": 800.0,
+                "latency_ms": {"p50": 1.2, "p90": 1.5, "p99": 2.4, "max": 9.0},
+            },
+            "concurrent_batched": {
+                "n_queries": 1280,
+                "seconds": 1.0,
+                "qps": 800.0 * speedup,
+                "latency_ms": {"p50": 6.0, "p90": 8.0, "p99": 11.0, "max": 20.0},
+            },
+        },
+        "snapshot": {"roundtrip_bitwise": bitwise, "cache_size": 1500},
+        "speedup_batched_vs_sequential": speedup,
+        "speedup_batched_vs_unbatched": 1.4,
+    }
+
+
+class TestServiceGate:
+    def test_healthy_service_run_passes(self):
+        report = _service_report()
+        assert check_regression.compare(report, report, factor=2.0) == []
+
+    def test_service_regression_fails(self):
+        failures = check_regression.compare(
+            _service_report(speedup=1.6), _service_report(speedup=0.5), factor=2.0
+        )
+        assert any("speedup_batched_vs_sequential" in f for f in failures)
+
+    def test_unbatched_ratio_not_gated(self):
+        current = _service_report()
+        current["speedup_batched_vs_unbatched"] = 0.1  # recorded, not gated
+        assert check_regression.compare(_service_report(), current, factor=2.0) == []
+
+    def test_broken_snapshot_roundtrip_fails(self):
+        failures = check_regression.compare(
+            _service_report(), _service_report(bitwise=False), factor=2.0
+        )
+        assert any("roundtrip_bitwise" in f for f in failures)
+
+    def test_mismatched_kinds_rejected_by_cli(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(_service_report()))
+        current.write_text(json.dumps(_report()))
+        assert check_regression.main([str(baseline), str(current)]) == 2
+
+    def test_unknown_benchmark_kind_rejected(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"benchmark": "mystery"}))
+        assert check_regression.main([str(baseline), str(baseline)]) == 2
+
+    def test_service_cli_gate_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_service_report()))
+        assert check_regression.main([str(baseline), str(baseline)]) == 0
+        assert "smoke OK" in capsys.readouterr().out
+
+
+class TestServiceHistory:
+    def test_entry_collects_scenarios_and_ratios(self):
+        entry = check_regression.history_entry(_service_report(), commit="svc1")
+        absolute = entry["absolute_seconds"]
+        assert absolute["scenarios.sequential.seconds"] == 1.6
+        assert absolute["scenarios.sequential.qps"] == 800.0
+        assert absolute["scenarios.concurrent_batched.latency_ms.p99"] == 11.0
+        assert entry["ratios"]["speedup_batched_vs_sequential"] == 1.6
+        assert entry["ratios"]["speedup_batched_vs_unbatched"] == 1.4
+        assert entry["benchmark"] == "service"
+
+    def test_committed_service_baseline_is_gateable(self):
+        committed = _MODULE_PATH.parent.parent / "BENCH_service.json"
+        report = json.loads(committed.read_text())
+        assert report["benchmark"] == "service"
+        assert check_regression.compare(report, report, factor=2.0) == []
+        assert report["acceptance"]["passed"] is True
+        assert (
+            report["acceptance"]["speedup_batched_vs_sequential"]
+            >= report["acceptance"]["threshold"]
+        )
+        entry = check_regression.history_entry(report)
+        assert entry["absolute_seconds"] and entry["ratios"]
+
+
+class TestServiceGateStrictness:
+    def test_current_dropping_gated_ratio_fails(self):
+        current = _service_report()
+        del current["speedup_batched_vs_sequential"]
+        failures = check_regression.compare(_service_report(), current, factor=2.0)
+        assert any("missing from the current report" in f for f in failures)
+
+    def test_current_dropping_snapshot_section_fails(self):
+        current = _service_report()
+        del current["snapshot"]
+        failures = check_regression.compare(_service_report(), current, factor=2.0)
+        assert any("snapshot: section missing" in f for f in failures)
+
+    def test_older_baseline_without_fields_tolerated(self):
+        baseline = {"benchmark": "service", "scenarios": {}}
+        assert check_regression.compare(baseline, _service_report(), factor=2.0) == []

@@ -193,3 +193,108 @@ class TestGuards:
             KrigingEstimator(sim, 2, refit_interval=0)
         with pytest.raises(ValueError):
             KrigingEstimator(sim, 2, variogram="not-a-model")
+
+
+class TestLifecycle:
+    """close() must be idempotent and fire on __del__/atexit so abandoned
+    estimators never leak worker processes (the service bugfix)."""
+
+    @staticmethod
+    def _field(config):
+        c = np.asarray(config, dtype=float)
+        return float(c.sum())
+
+    def _two_group_estimator(self, backend):
+        est = KrigingEstimator(
+            self._field, 2, distance=2.0, variogram="linear",
+            n_jobs=2, backend=backend,
+        )
+        # Two far-apart clusters -> two shared-support groups in one flush
+        # -> the long-lived pool is created.
+        for x in range(3):
+            for y in range(3):
+                est.record_measurement([x, y], self._field([x, y]))
+                est.record_measurement([x + 50, y + 50], self._field([x + 50, y + 50]))
+        est.evaluate_batch([[0.5, 0.5], [0.6, 0.5], [50.5, 50.5], [50.6, 50.5]])
+        assert est._executor is not None
+        return est
+
+    def test_close_is_idempotent_and_estimator_stays_usable(self):
+        est = self._two_group_estimator("thread")
+        pool = est._executor
+        est.close()
+        est.close()  # second close is a no-op
+        assert est._executor is None
+        assert pool._shutdown
+        # Still usable: the pool is rebuilt lazily on the next flush.
+        out = est.evaluate_batch([[0.5, 0.5], [0.7, 0.5], [50.5, 50.5], [50.7, 50.5]])
+        assert all(o.interpolated for o in out)
+        est.close()
+
+    def test_del_releases_the_pool(self):
+        import gc
+
+        est = self._two_group_estimator("thread")
+        pool = est._executor
+        del est
+        gc.collect()
+        assert pool._shutdown
+
+    def test_process_pool_released_on_close(self):
+        est = self._two_group_estimator("process")
+        pool = est._executor
+        est.close()
+        assert pool._shutdown_thread
+        assert not pool._processes
+
+    def test_atexit_registry_tracks_live_pools(self):
+        from repro.core import estimator as estimator_module
+
+        est = self._two_group_estimator("thread")
+        assert est in estimator_module._LIVE_ESTIMATORS
+        est.close()
+        assert est not in estimator_module._LIVE_ESTIMATORS
+        # The atexit sweep tolerates already-closed estimators.
+        estimator_module._close_live_estimators()
+
+
+class TestRecordMeasurementAndRefit:
+    @staticmethod
+    def _field(config):
+        return float(np.asarray(config, dtype=float).sum())
+
+    def test_record_measurement_feeds_cache_and_policy(self):
+        est = KrigingEstimator(self._field, 2, distance=3.0, variogram="linear")
+        out = est.record_measurement([1, 1], 42.0)
+        assert not out.interpolated and out.value == 42.0
+        assert est.stats.n_simulated == 1
+        assert est.cache.lookup([1, 1]) == 42.0
+        est.record_measurement([2, 1], 43.0)
+        # The pushed values are support points: nearby queries interpolate.
+        assert est.evaluate([1.5, 1.0]).interpolated
+        # Exact revisit returns the stored value without re-recording.
+        again = est.record_measurement([1, 1], 99.0)
+        assert again.exact_hit and again.value == 42.0
+        assert est.stats.n_simulated == 2
+
+    def test_refit_variogram_forces_fresh_identification(self):
+        rng = np.random.default_rng(3)
+        est = KrigingEstimator(
+            self._field, 2, distance=4.0, variogram="exponential",
+            min_fit_points=4, refit_interval=None,
+        )
+        for row in rng.integers(0, 8, size=(30, 2)).tolist():
+            if est.cache.lookup(row) is None:
+                est.record_measurement(row, self._field(row) + rng.normal(0, 0.1))
+        first = est.variogram
+        assert est.variogram is first  # refit_interval=None: fitted once
+        refitted = est.refit_variogram()
+        assert refitted is est.variogram
+        assert refitted is not first  # a genuinely new identification
+
+    def test_refit_variogram_with_fixed_callable_is_noop(self):
+        def fixed(h):
+            return np.asarray(h) * 2.0
+
+        est = KrigingEstimator(self._field, 2, variogram=fixed)
+        assert est.refit_variogram() is fixed

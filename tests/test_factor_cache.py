@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.distances import cross_distances
 from repro.core.estimator import KrigingEstimator
-from repro.core.factor_cache import FactorCache, FactorCacheStats
+from repro.core.factor_cache import FactorCache, FactorCacheStats, GammaFactor
 from repro.core.kriging import _bordered_system, _solve
 from repro.core.models import ExponentialVariogram, LinearVariogram
 
@@ -121,8 +121,27 @@ class TestCachePolicy:
         cache.invalidate()
         assert len(cache) == 0
         assert cache.stats.invalidations == 1
+        assert cache._row_index == {} and cache._by_size == {} and cache._stamps == {}
         cache.factor_for(signature, points, VARIOGRAM, "l1")
         assert cache.stats.fresh == 2  # refactorized, not a hit
+
+    def test_inverted_index_tracks_store_hit_evict(self):
+        points, rng = _cloud(seed=11)
+        cache = FactorCache(capacity=3, max_update_points=0)
+        signatures = [_signature(rng, 80, 12 + i) for i in range(4)]
+        for signature in signatures:
+            cache.factor_for(signature, points, VARIOGRAM, "l1")
+        # Oldest evicted: its rows are gone from the inverted index.
+        assert signatures[0] not in cache._stamps
+        for row, sigs in cache._row_index.items():
+            assert all(sig in cache._entries for sig in sigs)
+            assert all(row in sig for sig in sigs)
+        for size, sigs in cache._by_size.items():
+            assert all(len(sig) == size and sig in cache._entries for sig in sigs)
+        # A hit refreshes the recency stamp.
+        before = cache._stamps[signatures[1]]
+        cache.factor_for(signatures[1], points, VARIOGRAM, "l1")
+        assert cache._stamps[signatures[1]] > before
 
     def test_rank_deficient_gamma_fails_and_is_memoized(self):
         """The piecewise-linear variogram on a dense 2-D lattice patch has a
@@ -281,3 +300,99 @@ class TestStatsPairsRoundtrip:
         rebuilt = FactorCacheStats.from_pairs(())
         assert rebuilt.requests == 0
         assert np.isnan(rebuilt.reuse_rate)
+
+
+class TestInvertedIndexEquivalence:
+    """The inverted row-signature index must pick exactly the factor the old
+    linear LRU scan picked — smallest symmetric difference, most recently
+    used on ties — including at capacities far beyond the default."""
+
+    @staticmethod
+    def _reference_closest(cache, signature):
+        """The pre-index implementation: a reversed scan of the whole LRU."""
+        limit = cache._update_limit(signature)
+        if limit == 0:
+            return None
+        target = frozenset(signature)
+        best = None
+        best_distance = limit + 1
+        for cached_signature, factor in reversed(cache._entries.items()):
+            distance = len(target.symmetric_difference(frozenset(cached_signature)))
+            if 0 < distance < best_distance:
+                best, best_distance = factor, distance
+                if distance <= 1:
+                    break
+        return best
+
+    @staticmethod
+    def _fake_factor(signature, cache):
+        """A solve-free stand-in: `_closest` only reads rows/identity."""
+        rows = np.asarray(signature, dtype=np.int64)
+        return GammaFactor(rows, np.zeros((2, 2)), 1.0, np.eye(2), stats=cache.stats)
+
+    def _populated(self, rng, *, capacity, n_rows, n_stored, sizes, **kwargs):
+        cache = FactorCache(capacity=capacity, **kwargs)
+        for _ in range(n_stored):
+            size = int(rng.integers(*sizes))
+            signature = tuple(sorted(rng.choice(n_rows, size=size, replace=False).tolist()))
+            if signature not in cache._entries:
+                cache._store(signature, self._fake_factor(signature, cache))
+        # Shuffle recency so MRU order differs from insertion order.
+        stored = list(cache._entries)
+        for signature in rng.permutation(len(stored))[: len(stored) // 2]:
+            key = stored[int(signature)]
+            cache._entries.move_to_end(key)
+            cache._touch(key)
+        return cache
+
+    def _queries(self, rng, cache, n_rows, n_queries):
+        stored = list(cache._entries)
+        queries = []
+        for _ in range(n_queries):
+            mode = rng.integers(0, 3)
+            if mode == 0 and stored:  # perturbation of a stored signature
+                base = set(stored[int(rng.integers(0, len(stored)))])
+                for row in rng.choice(n_rows, size=int(rng.integers(1, 6)), replace=False):
+                    base.symmetric_difference_update({int(row)})
+                if base:
+                    queries.append(tuple(sorted(base)))
+            elif mode == 1:  # small signature (exercises the disjoint path)
+                size = int(rng.integers(4, 7))
+                queries.append(
+                    tuple(sorted(rng.choice(n_rows, size=size, replace=False).tolist()))
+                )
+            else:  # unrelated random signature
+                size = int(rng.integers(8, 40))
+                queries.append(
+                    tuple(sorted(rng.choice(n_rows, size=size, replace=False).tolist()))
+                )
+        return queries
+
+    @pytest.mark.parametrize("max_update_points", [None, 24])
+    def test_capacity_512_matches_linear_scan(self, max_update_points):
+        rng = np.random.default_rng(42)
+        cache = self._populated(
+            rng,
+            capacity=512,
+            n_rows=300,
+            n_stored=700,  # forces evictions past capacity
+            sizes=(4, 40),
+            max_update_points=max_update_points,
+        )
+        assert len(cache) == 512
+        queries = self._queries(rng, cache, n_rows=300, n_queries=300)
+        for query in queries:
+            if query in cache._entries:
+                continue  # factor_for answers exact hits before _closest
+            assert cache._closest(query) is self._reference_closest(cache, query), query
+
+    def test_small_cache_matches_linear_scan(self):
+        rng = np.random.default_rng(7)
+        cache = self._populated(
+            rng, capacity=16, n_rows=60, n_stored=40, sizes=(4, 20),
+            max_update_points=30,
+        )
+        for query in self._queries(rng, cache, n_rows=60, n_queries=200):
+            if query in cache._entries:
+                continue
+            assert cache._closest(query) is self._reference_closest(cache, query), query

@@ -1,0 +1,149 @@
+"""Unit tests for the micro-batching coalescer (repro.service.batcher)."""
+
+import asyncio
+
+import pytest
+
+from repro.service.batcher import MicroBatcher
+
+
+class Recorder:
+    """Flush function that records the batches it receives."""
+
+    def __init__(self, fail_on=None):
+        self.batches = []
+        self.fail_on = fail_on
+
+    def __call__(self, configs):
+        batch = list(configs)
+        self.batches.append(batch)
+        if self.fail_on is not None and any(c == self.fail_on for c in batch):
+            raise RuntimeError(f"simulator exploded on {self.fail_on}")
+        return [f"out:{config}" for config in batch]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_one_flush(self):
+        recorder = Recorder()
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=64, max_delay_ms=50.0)
+            return await asyncio.gather(*(batcher.submit(i) for i in range(10)))
+
+        results = run(main())
+        assert results == [f"out:{i}" for i in range(10)]
+        assert len(recorder.batches) == 1  # all ten coalesced
+        assert recorder.batches[0] == list(range(10))  # arrival order kept
+
+    def test_max_batch_triggers_immediate_flush(self):
+        recorder = Recorder()
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=4, max_delay_ms=10_000.0)
+            return await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+
+        run(main())
+        # A 10-second delay cannot have elapsed: the size trigger flushed.
+        assert recorder.batches == [[0, 1, 2, 3]]
+
+    def test_max_batch_one_disables_coalescing(self):
+        recorder = Recorder()
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=1, max_delay_ms=10_000.0)
+            return await asyncio.gather(*(batcher.submit(i) for i in range(5)))
+
+        results = run(main())
+        assert results == [f"out:{i}" for i in range(5)]
+        assert all(len(batch) == 1 for batch in recorder.batches)
+
+    def test_delay_flushes_lone_request(self):
+        recorder = Recorder()
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=64, max_delay_ms=5.0)
+            return await batcher.submit("solo")
+
+        assert run(main()) == "out:solo"
+        assert recorder.batches == [["solo"]]
+
+    def test_sequential_submits_flush_separately(self):
+        recorder = Recorder()
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=64, max_delay_ms=1.0)
+            first = await batcher.submit("a")
+            second = await batcher.submit("b")
+            return first, second
+
+        assert run(main()) == ("out:a", "out:b")
+        assert recorder.batches == [["a"], ["b"]]
+
+
+class TestFailure:
+    def test_flush_error_propagates_to_every_member(self):
+        recorder = Recorder(fail_on=1)
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=64, max_delay_ms=50.0)
+            return await asyncio.gather(
+                *(batcher.submit(i) for i in range(3)), return_exceptions=True
+            )
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_failed_batch_does_not_poison_next(self):
+        recorder = Recorder(fail_on="bad")
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=64, max_delay_ms=5.0)
+            with pytest.raises(RuntimeError):
+                await batcher.submit("bad")
+            return await batcher.submit("good")
+
+        assert run(main()) == "out:good"
+
+
+class TestDrainAndStats:
+    def test_drain_flushes_pending(self):
+        recorder = Recorder()
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=64, max_delay_ms=60_000.0)
+            futures = [asyncio.ensure_future(batcher.submit(i)) for i in range(3)]
+            await asyncio.sleep(0)  # let the submits enqueue
+            assert batcher.pending == 3
+            await batcher.drain()
+            assert batcher.pending == 0
+            return await asyncio.gather(*futures)
+
+        assert run(main()) == ["out:0", "out:1", "out:2"]
+        assert recorder.batches == [[0, 1, 2]]
+
+    def test_stats_track_batches(self):
+        recorder = Recorder()
+
+        async def main():
+            batcher = MicroBatcher(recorder, max_batch=64, max_delay_ms=50.0)
+            await asyncio.gather(*(batcher.submit(i) for i in range(8)))
+            await batcher.submit("later")
+            return batcher.stats
+
+        stats = run(main())
+        assert stats.requests == 9
+        assert stats.flushes == 2
+        assert stats.max_batch_seen == 8.0
+        summary = stats.summary()
+        assert summary["requests"] == 9
+        assert summary["batch_size"]["count"] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda c: [], max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda c: [], max_delay_ms=-1.0)

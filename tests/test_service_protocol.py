@@ -1,0 +1,88 @@
+"""Unit tests for the service wire protocol (repro.service.protocol)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.estimator import EstimationOutcome
+from repro.service import protocol
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        message = {"id": 7, "op": "evaluate", "config": [1.0, 2.5, -0.0]}
+        line = protocol.encode(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert protocol.decode(line) == message
+
+    def test_floats_roundtrip_bitwise(self):
+        values = [0.1 + 0.2, 1e-309, 2**-1074, 123456789.123456789]
+        decoded = protocol.decode(protocol.encode({"id": 1, "values": values}))
+        assert decoded["values"] == values  # exact float equality
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1, 2]\n")
+
+    def test_encode_rejects_oversized(self):
+        huge = {"id": 1, "blob": "x" * protocol.MAX_LINE_BYTES}
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode(huge)
+
+    def test_encode_rejects_nan(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode({"id": 1, "value": float("nan")})
+
+    def test_json_safe_scrubs_non_finite(self):
+        scrubbed = protocol.json_safe(
+            {"a": float("nan"), "b": [1.0, float("inf")], "c": {"d": -float("inf")}}
+        )
+        assert scrubbed == {"a": None, "b": [1.0, None], "c": {"d": None}}
+
+
+class TestResponses:
+    def test_ok_response_echoes_id(self):
+        response = protocol.ok_response(42, {"value": 1.0})
+        assert response == {"id": 42, "ok": True, "result": {"value": 1.0}}
+
+    def test_error_response_structure(self):
+        response = protocol.error_response("abc", "UnknownSession", "no such session")
+        assert response["ok"] is False
+        assert response["error"]["type"] == "UnknownSession"
+        assert response["id"] == "abc"
+
+    def test_remote_error_carries_kind(self):
+        error = protocol.RemoteError("BadRequest", "missing field")
+        assert error.kind == "BadRequest"
+        assert "BadRequest" in str(error)
+
+
+class TestOutcomeWire:
+    def test_interpolation_roundtrip(self):
+        outcome = EstimationOutcome(
+            value=-41.25, interpolated=True, n_neighbors=9, variance=0.125
+        )
+        wire = protocol.outcome_to_wire(outcome)
+        json.dumps(wire, allow_nan=False)  # wire form is strict JSON
+        assert protocol.outcome_from_wire(wire) == outcome
+
+    def test_simulation_nan_variance_becomes_null(self):
+        outcome = EstimationOutcome(value=3.0, interpolated=False, n_neighbors=0)
+        wire = protocol.outcome_to_wire(outcome)
+        assert wire["variance"] is None
+        back = protocol.outcome_from_wire(wire)
+        assert math.isnan(back.variance)
+        assert back.value == outcome.value
+        assert back.exact_hit is False
+
+    def test_exact_hit_preserved(self):
+        outcome = EstimationOutcome(
+            value=1.5, interpolated=True, n_neighbors=1, variance=0.0, exact_hit=True
+        )
+        assert protocol.outcome_from_wire(protocol.outcome_to_wire(outcome)) == outcome
