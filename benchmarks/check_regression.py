@@ -1,12 +1,13 @@
 """CI gate: compare a fresh benchmark run against its committed baseline.
 
-Understands two report kinds, dispatched on the ``benchmark`` field:
-``query_engine`` (``bench_query_engine.py``) and ``service``
-(``bench_service.py``, the multi-client load generator).  Absolute seconds
-are machine-dependent, so the gate compares the *speedup ratios* each
-benchmark already computes — seed vs engine, or batched vs sequential
-clients, on the same box — which are stable across hardware.  A run
-regresses when any tracked speedup falls below ``baseline / factor``
+Understands three report kinds, dispatched on the ``benchmark`` field:
+``query_engine`` (``bench_query_engine.py``), ``service``
+(``bench_service.py``, the multi-client load generator) and ``cluster``
+(``bench_cluster.py``, the sharded-router scaling/availability drill).
+Absolute seconds are machine-dependent, so the gate compares the *speedup
+ratios* each benchmark already computes — seed vs engine, or batched vs
+sequential clients, on the same box — which are stable across hardware.
+A run regresses when any tracked speedup falls below ``baseline / factor``
 (default factor 2: "fail on >2x regression").
 
 Alongside the gate, ``--history`` appends one machine-tagged JSON line per
@@ -52,8 +53,16 @@ REUSE_FIELDS = ("speedup_reuse_vs_fresh",)
 #: scaling, it depends on the runner's core count and scheduler).
 SERVICE_FIELDS = ("speedup_batched_vs_sequential",)
 
+#: The aggregate-throughput floor and ratio gate on ``cluster`` reports
+#: apply only on machines with at least this many CPUs: two workers cannot
+#: outrun one on a single core, and the committed baseline may come from
+#: such a box.  The correctness flags (migration byte-identity, lossless
+#: failover, local-estimator equivalence) gate on every machine.
+CLUSTER_MIN_CPUS = 4
+CLUSTER_SPEEDUP_FLOOR = 1.5
+
 #: Report kinds this gate understands.
-KNOWN_BENCHMARKS = ("query_engine", "service")
+KNOWN_BENCHMARKS = ("query_engine", "service", "cluster")
 
 
 class MalformedReport(Exception):
@@ -71,6 +80,8 @@ def compare(baseline: dict, current: dict, factor: float) -> list[str]:
     """Return one message per regressed ratio (empty list: gate passes)."""
     if baseline.get("benchmark") == "service":
         return _compare_service(baseline, current, factor)
+    if baseline.get("benchmark") == "cluster":
+        return _compare_cluster(baseline, current, factor)
     failures: list[str] = []
 
     current_rows = {row["n_support"]: row for row in current.get("results", [])}
@@ -129,6 +140,61 @@ def _compare_service(baseline: dict, current: dict, factor: float) -> list[str]:
     return failures
 
 
+def _compare_cluster(baseline: dict, current: dict, factor: float) -> list[str]:
+    """Gate a ``cluster`` report: correctness everywhere, throughput only
+    where two workers actually have two cores to run on."""
+    failures: list[str] = []
+
+    # Correctness flags gate unconditionally — a migration that changes a
+    # byte or a failover that loses a session is a bug on any hardware.
+    migration = current.get("migration")
+    if migration is None:
+        failures.append("migration: section missing from the current report")
+    elif not migration.get("bitwise_preserved", False):
+        failures.append(
+            "migration.bitwise_preserved: migrated snapshot diverged byte-for-byte"
+        )
+    failover = current.get("failover")
+    if failover is None:
+        failures.append("failover: section missing from the current report")
+    else:
+        lost = failover.get("sessions_lost")
+        if lost != 0:
+            failures.append(f"failover.sessions_lost: {lost!r} != 0")
+        if not failover.get("all_sessions_answer", False):
+            failures.append(
+                "failover.all_sessions_answer: a session stopped answering"
+            )
+    if not current.get("equivalence_ok", False):
+        failures.append("equivalence_ok: cluster diverged from the local estimator")
+
+    field = "speedup_cluster_vs_single"
+    if field not in current:
+        failures.append(f"{field}: missing from the current report")
+        return failures
+    cpus = (current.get("hardware") or {}).get("cpus", 0)
+    if cpus < CLUSTER_MIN_CPUS:
+        print(
+            f"note: {field} = {current[field]:.2f} recorded but not gated "
+            f"({cpus} cpu < {CLUSTER_MIN_CPUS}: one core cannot scale out)"
+        )
+        return failures
+    # On real multi-core hardware the acceptance floor is absolute, and the
+    # committed baseline additionally ratchets it when it was measured on
+    # comparable hardware (a single-core baseline would only weaken it).
+    bound = CLUSTER_SPEEDUP_FLOOR
+    baseline_cpus = (baseline.get("hardware") or {}).get("cpus", 0)
+    if baseline_cpus >= CLUSTER_MIN_CPUS and field in baseline:
+        bound = max(bound, baseline[field] / factor)
+    if current[field] < bound:
+        failures.append(
+            f"{field}: {current[field]:.2f} < {bound:.2f} "
+            f"(floor {CLUSTER_SPEEDUP_FLOOR:g}, baseline "
+            f"{baseline.get(field, 'n/a')} / {factor:g})"
+        )
+    return failures
+
+
 def _machine_tag() -> dict:
     """Identify the box a run happened on, so history lines are comparable
     only within the same hardware."""
@@ -151,7 +217,9 @@ def history_entry(report: dict, commit: str | None = None) -> dict:
                 absolute[f"{prefix}.{field}"] = value
             elif field.startswith("speedup_"):
                 ratios[f"{prefix}.{field}"] = value
-    for section in ("l2_index", "parallel", "reuse"):
+    # The cluster drills contribute their absolute timings too
+    # (migration.migrate_seconds, failover.detect_seconds).
+    for section in ("l2_index", "parallel", "reuse", "migration", "failover"):
         data = report.get(section)
         if not data:
             continue

@@ -15,9 +15,12 @@ Commands
     List the available benchmark setups.
 ``serve``
     Run the multi-client kriging evaluation service (TCP, JSON lines).
+``cluster``
+    Run a sharded cluster: a router plus N worker services, with session
+    replication, live migration and failover.
 ``client``
-    Talk to a running service (create/eval/simulate/fit/stats/snapshot/
-    restore/shutdown).
+    Talk to a running service or cluster (create/eval/simulate/fit/stats/
+    snapshot/restore/delete/migrate/replicate/cluster-stats/shutdown).
 """
 
 from __future__ import annotations
@@ -158,6 +161,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batcher: flush an incomplete batch after this delay",
     )
 
+    p_cluster = sub.add_parser(
+        "cluster", help="run a sharded multi-worker kriging cluster"
+    )
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument(
+        "--port", type=int, default=7330, help="router TCP port (0: ephemeral)"
+    )
+    p_cluster.add_argument(
+        "--port-file",
+        default=None,
+        help="write the router's bound port number to this file once listening",
+    )
+    p_cluster.add_argument(
+        "--workers", type=int, default=2, help="worker processes to spawn"
+    )
+    p_cluster.add_argument(
+        "--replica-dir",
+        default=None,
+        help="shared directory for replicated session snapshots "
+        "(default: a per-run temporary directory)",
+    )
+    p_cluster.add_argument(
+        "--replication-interval",
+        type=float,
+        default=5.0,
+        help="seconds between replica refreshes (the durability window)",
+    )
+    p_cluster.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="seconds between worker health pings",
+    )
+    p_cluster.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="admission control: concurrent requests per worker",
+    )
+    p_cluster.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        help="admission control: requests allowed to wait per worker "
+        "(beyond it: structured 'Overloaded' rejection)",
+    )
+    p_cluster.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="worker micro-batcher: flush once this many requests are pending",
+    )
+    p_cluster.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="worker micro-batcher: flush an incomplete batch after this delay",
+    )
+
     p_client = sub.add_parser("client", help="talk to a running service")
     p_client.add_argument("--host", default="127.0.0.1")
     p_client.add_argument("--port", type=int, default=7331)
@@ -206,6 +268,26 @@ def build_parser() -> argparse.ArgumentParser:
     v_restore.add_argument("--name", default=None, help="snapshot name in the server's dir")
     v_restore.add_argument("--session", default=None, help="restore under this name")
     v_restore.add_argument("--replace", action="store_true")
+
+    v_delete = verb.add_parser("delete", help="delete a session")
+    v_delete.add_argument("session")
+
+    v_migrate = verb.add_parser(
+        "migrate", help="live-migrate a session to another worker (cluster only)"
+    )
+    v_migrate.add_argument("session")
+    v_migrate.add_argument(
+        "--worker", default=None, help="target worker id (default: least loaded)"
+    )
+
+    v_repl = verb.add_parser(
+        "replicate", help="force a replica refresh (cluster only)"
+    )
+    v_repl.add_argument(
+        "session", nargs="?", default=None, help="one session (default: all)"
+    )
+
+    verb.add_parser("cluster-stats", help="cluster topology and counters")
 
     verb.add_parser("shutdown", help="stop the service")
     return parser
@@ -287,6 +369,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import run_cluster
+
+    try:
+        run_cluster(
+            args.host,
+            args.port,
+            workers=args.workers,
+            replica_dir=args.replica_dir,
+            replication_interval=args.replication_interval,
+            health_interval=args.health_interval,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            port_file=args.port_file,
+            on_ready=lambda host, port: print(
+                f"repro cluster router listening on {host}:{port} "
+                f"({args.workers} workers)",
+                flush=True,
+            ),
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_client(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient
     from repro.service.protocol import RemoteError
@@ -331,6 +440,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     session=args.session,
                     replace=args.replace,
                 )
+            elif args.verb == "delete":
+                result = client.delete_session(args.session)
+            elif args.verb == "migrate":
+                result = client.migrate(args.session, worker=args.worker)
+            elif args.verb == "replicate":
+                result = client.replicate(args.session)
+            elif args.verb == "cluster-stats":
+                result = client.cluster_stats()
             else:  # shutdown
                 result = client.shutdown()
     except (ConnectionError, OSError) as exc:
@@ -361,6 +478,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "benchmarks": _cmd_benchmarks,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "client": _cmd_client,
 }
 

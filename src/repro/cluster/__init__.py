@@ -1,0 +1,97 @@
+"""repro.cluster: sharded multi-worker serving for the kriging service.
+
+One router socket, many ``KrigingService`` worker processes.  Sessions are
+placed on workers by a consistent-hash ring and proxied transparently —
+clients built for a single ``repro serve`` (including
+:class:`repro.service.client.ServiceClient`) work against a cluster
+unchanged.  On top of the proxy: per-worker admission control with
+structured ``Overloaded`` rejections, periodic snapshot replication, live
+session migration (``migrate`` verb) and automatic failover when a worker
+dies.
+
+Layout
+------
+
+``ring``        consistent-hash placement (stable across processes)
+``admission``   per-worker in-flight caps + bounded wait queue
+``router``      the TCP front end (a :class:`~repro.service.server.JsonLineServer`)
+``migration``   drain → snapshot → restore → flip choreography; failover restore
+``supervisor``  worker spawning, health pings, replication loop, reaping
+
+Entry point: ``repro cluster`` (CLI) or :func:`run_cluster`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from typing import Callable
+
+from repro.cluster.admission import AdmissionController, Overloaded, WorkerLost
+from repro.cluster.migration import migrate_session, restore_lost_sessions
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.cluster.router import ClusterRouter, WorkerHandle
+from repro.cluster.supervisor import WorkerSupervisor
+
+__all__ = [
+    "AdmissionController",
+    "ClusterRouter",
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "Overloaded",
+    "WorkerHandle",
+    "WorkerLost",
+    "WorkerSupervisor",
+    "migrate_session",
+    "restore_lost_sessions",
+    "run_cluster",
+]
+
+
+def run_cluster(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    workers: int = 2,
+    replica_dir: object | None = None,
+    replication_interval: float = 5.0,
+    health_interval: float = 1.0,
+    max_inflight: int = 32,
+    max_queue: int = 128,
+    max_batch: int = 64,
+    max_delay_ms: float = 2.0,
+    port_file: object | None = None,
+    on_ready: Callable[[str, int], None] | None = None,
+) -> None:
+    """Blocking entry point used by ``repro cluster``.
+
+    Spawns ``workers`` subprocess workers, then serves the router until a
+    ``shutdown`` request or SIGTERM/SIGINT; both paths drain in-flight
+    requests, stop the workers cleanly and reap their processes.  Without
+    ``replica_dir`` a temporary directory holds the replicas (fine for a
+    single run; pass a real directory to survive router restarts).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    async def _amain(replicas: object) -> None:
+        router = ClusterRouter(
+            replica_dir=replicas, max_inflight=max_inflight, max_queue=max_queue
+        )
+        supervisor = WorkerSupervisor(
+            router,
+            health_interval=health_interval,
+            replication_interval=replication_interval,
+        )
+        await supervisor.spawn_workers(
+            workers, host=host, max_batch=max_batch, max_delay_ms=max_delay_ms
+        )
+        await router.serve(
+            host, port, port_file=port_file, on_ready=on_ready, handle_signals=True
+        )
+
+    if replica_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+            asyncio.run(_amain(tmp))
+    else:
+        asyncio.run(_amain(replica_dir))

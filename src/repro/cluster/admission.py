@@ -1,0 +1,180 @@
+"""Admission control: per-worker in-flight caps with a bounded queue.
+
+Without backpressure, a front-end melting one estimator manifests as an
+unbounded pile of buffered requests inside the router — latency grows
+without limit and memory with it, and by the time anything fails, every
+queued client has already timed out.  The controller keeps two small,
+hard numbers per worker instead:
+
+* ``max_inflight`` — requests concurrently forwarded to one worker; and
+* ``max_queue`` — requests allowed to *wait* for a slot on that worker.
+
+A request beyond both is rejected **immediately** with a structured
+``Overloaded`` error carrying a ``retry_after_ms`` hint (the moral
+equivalent of HTTP 503 + ``Retry-After``), so well-behaved clients back
+off instead of stampeding, and the router's memory stays bounded no
+matter the offered load.
+
+Waiters are FIFO per worker; releasing a slot hands it directly to the
+oldest waiter (no thundering herd).  When a worker dies, its waiters fail
+fast with :class:`WorkerLost` so the failover window never strands them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from collections import deque
+from typing import AsyncIterator
+
+__all__ = ["AdmissionController", "Overloaded", "WorkerLost"]
+
+
+class Overloaded(Exception):
+    """Both the in-flight cap and the wait queue of a worker are full.
+
+    ``retry_after_ms`` is the back-off hint shipped to the client.
+    """
+
+    def __init__(self, worker: str, retry_after_ms: float) -> None:
+        super().__init__(
+            f"worker {worker!r} is at capacity; retry in ~{retry_after_ms:.0f} ms"
+        )
+        self.worker = worker
+        self.retry_after_ms = retry_after_ms
+
+
+class WorkerLost(Exception):
+    """The worker a request was queued for was declared dead."""
+
+    def __init__(self, worker: str) -> None:
+        super().__init__(f"worker {worker!r} was lost while the request waited")
+        self.worker = worker
+
+
+class _WorkerGate:
+    """In-flight count plus FIFO waiters of one worker."""
+
+    __slots__ = ("inflight", "waiters")
+
+    def __init__(self) -> None:
+        self.inflight = 0
+        self.waiters: deque[asyncio.Future] = deque()
+
+
+class AdmissionController:
+    """Bounded concurrency per worker, structured rejection beyond it."""
+
+    #: Base of the ``retry_after_ms`` hint; scaled by how full the queue is
+    #: so clients rejected from a deeper backlog back off longer.
+    RETRY_HINT_MS = 50.0
+
+    def __init__(self, *, max_inflight: int = 32, max_queue: int = 128) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self._gates: dict[str, _WorkerGate] = {}
+        self.admitted = 0
+        self.queued = 0
+        self.rejected = 0
+        self.peak_queue = 0
+
+    def _gate(self, worker: str) -> _WorkerGate:
+        gate = self._gates.get(worker)
+        if gate is None:
+            gate = self._gates[worker] = _WorkerGate()
+        return gate
+
+    def retry_hint_ms(self, gate_depth: int) -> float:
+        return self.RETRY_HINT_MS * (1.0 + gate_depth / max(1, self.max_inflight))
+
+    async def acquire(self, worker: str) -> None:
+        """Take an in-flight slot on ``worker``; may wait in the bounded
+        queue; raises :class:`Overloaded` beyond it."""
+        gate = self._gate(worker)
+        if gate.inflight < self.max_inflight and not gate.waiters:
+            gate.inflight += 1
+            self.admitted += 1
+            return
+        if len(gate.waiters) >= self.max_queue:
+            self.rejected += 1
+            raise Overloaded(worker, self.retry_hint_ms(len(gate.waiters)))
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        gate.waiters.append(future)
+        self.queued += 1
+        self.peak_queue = max(self.peak_queue, len(gate.waiters))
+        try:
+            await future
+        except asyncio.CancelledError:
+            # The request task was cancelled while waiting.  If the slot
+            # was already granted, pass it on; otherwise just leave.
+            if future.cancelled():
+                with contextlib.suppress(ValueError):
+                    gate.waiters.remove(future)
+            elif future.done() and future.exception() is None:
+                self._grant_next(gate)
+            raise
+        self.admitted += 1
+
+    def _grant_next(self, gate: _WorkerGate) -> None:
+        """Hand the (already-counted) in-flight slot to the next waiter, or
+        free it."""
+        while gate.waiters:
+            future = gate.waiters.popleft()
+            if not future.done():
+                future.set_result(None)
+                return  # the slot transfers: inflight count unchanged
+        gate.inflight -= 1
+
+    def release(self, worker: str) -> None:
+        """Return an in-flight slot (wakes the oldest waiter, FIFO)."""
+        gate = self._gates.get(worker)
+        if gate is None or gate.inflight <= 0:
+            raise RuntimeError(f"release without acquire for worker {worker!r}")
+        self._grant_next(gate)
+
+    @contextlib.asynccontextmanager
+    async def admit(self, worker: str) -> AsyncIterator[None]:
+        await self.acquire(worker)
+        try:
+            yield
+        finally:
+            self.release(worker)
+
+    def forget(self, worker: str) -> None:
+        """Drop a dead worker: fail its waiters fast with
+        :class:`WorkerLost` and discard its counters."""
+        gate = self._gates.pop(worker, None)
+        if gate is None:
+            return
+        for future in gate.waiters:
+            if not future.done():
+                future.set_exception(WorkerLost(worker))
+        gate.waiters.clear()
+
+    def inflight(self, worker: str) -> int:
+        gate = self._gates.get(worker)
+        return gate.inflight if gate is not None else 0
+
+    def waiting(self, worker: str) -> int:
+        gate = self._gates.get(worker)
+        return len(gate.waiters) if gate is not None else 0
+
+    def stats(self) -> dict:
+        """JSON-safe counters for ``cluster_stats``."""
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "rejected": self.rejected,
+            "peak_queue": self.peak_queue,
+            "inflight": {
+                worker: gate.inflight
+                for worker, gate in sorted(self._gates.items())
+                if gate.inflight
+            },
+        }

@@ -1,0 +1,183 @@
+"""Live session migration and failover restore.
+
+Both operations are built from the same primitive the snapshot format
+already guarantees: a drained session's NPZ snapshot restores **bit for
+bit** anywhere.  Migration is the planned form — drain, snapshot at the
+source, restore at the target, flip the routing entry, delete the source
+copy — and failover is the unplanned one: the source is gone, so the
+latest *replicated* snapshot stands in for the drain point (anything
+simulated after the last replication interval is lost, which is the
+replication-lag trade every snapshot-replicated system makes).
+
+The functions here operate on the router's state (workers, routing table,
+hash ring, draining markers) but are kept out of :mod:`.router` so the
+choreography — the part with ordering bugs — is readable and testable on
+its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import time
+
+from repro.service.server import ServiceError
+
+__all__ = [
+    "drain_worker_session",
+    "migrate_session",
+    "pick_target",
+    "replica_path",
+    "restore_lost_sessions",
+]
+
+
+def replica_path(replica_dir: pathlib.Path, session: str) -> pathlib.Path:
+    """Where ``session``'s replicated (and migration) snapshot lives."""
+    return pathlib.Path(replica_dir) / f"{session}.npz"
+
+
+async def drain_worker_session(
+    handle, session: str, *, timeout: float = 30.0, poll: float = 0.005
+) -> None:
+    """Wait until the source worker has zero in-flight requests for
+    ``session`` (the router must already be holding new ones)."""
+    deadline = time.monotonic() + timeout
+    while handle.session_inflight.get(session, 0) > 0:
+        if time.monotonic() > deadline:
+            raise ServiceError(
+                "MigrationFailed",
+                f"session {session!r} did not drain within {timeout:.0f}s "
+                f"({handle.session_inflight.get(session, 0)} requests in flight)",
+            )
+        await asyncio.sleep(poll)
+
+
+def pick_target(router, *, exclude: set[str]) -> str:
+    """The least-loaded live worker outside ``exclude`` (session count,
+    then in-flight requests, then id for determinism)."""
+    candidates = [
+        handle
+        for handle in router.workers.values()
+        if handle.alive and handle.id not in exclude
+    ]
+    if not candidates:
+        raise ServiceError("Unavailable", "no live worker available as migration target")
+    return min(
+        candidates,
+        key=lambda h: (len(h.sessions), sum(h.session_inflight.values()), h.id),
+    ).id
+
+
+async def migrate_session(
+    router,
+    session: str,
+    *,
+    target: str | None = None,
+    drain_timeout: float = 30.0,
+) -> dict:
+    """Move a live session to another worker without losing a request.
+
+    Order matters:
+
+    1. mark the session *draining* — the router holds new requests for it
+       (they resume against whatever the routing table says afterwards);
+    2. wait for the source's in-flight requests for the session to finish;
+    3. snapshot at the source (this also refreshes the session's replica —
+       the file doubles as the failover copy);
+    4. restore at the target (``replace`` in case a stale copy exists);
+    5. flip the routing entry;
+    6. delete the source copy.
+
+    A failure before step 5 leaves the session where it was; a failure at
+    step 6 leaves a dead copy on the source, which is harmless (the
+    routing table already points at the target).
+    """
+    source_id = router.table.get(session)
+    if source_id is None:
+        raise ServiceError("UnknownSession", f"no session named {session!r}")
+    source = router.workers[source_id]
+    if not source.alive:
+        raise ServiceError(
+            "Unavailable", f"session {session!r}'s worker {source_id!r} is down"
+        )
+    if target is None:
+        target = pick_target(router, exclude={source_id})
+    handle = router.workers.get(target)
+    if handle is None or not handle.alive:
+        raise ServiceError("BadRequest", f"no live worker named {target!r}")
+    if target == source_id:
+        raise ServiceError(
+            "BadRequest", f"session {session!r} is already on worker {target!r}"
+        )
+
+    t0 = time.perf_counter()
+    event = asyncio.Event()
+    router.draining[session] = event
+    try:
+        await drain_worker_session(source, session, timeout=drain_timeout)
+        path = replica_path(router.replica_dir, session)
+        await source.client.request("snapshot", session=session, path=str(path))
+        await handle.client.request(
+            "restore", path=str(path), session=session, replace=True
+        )
+        router.table[session] = target
+        handle.sessions.add(session)
+        source.sessions.discard(session)
+        router.migrations += 1
+        # The source copy is now shadow state; drop it so its memory (and
+        # any confusion about ownership) goes with it.
+        await source.client.request("delete_session", session=session)
+    finally:
+        router.draining.pop(session, None)
+        event.set()
+    return {
+        "session": session,
+        "source": source_id,
+        "target": target,
+        "snapshot": str(replica_path(router.replica_dir, session)),
+        "seconds": round(time.perf_counter() - t0, 6),
+    }
+
+
+async def restore_lost_sessions(router, dead) -> dict:
+    """Failover: rehome every session of a dead worker from its replica.
+
+    Sessions are restored onto their ring-preferred surviving worker (the
+    same answer :meth:`HashRing.preference` gives every process, so even
+    two routers would agree).  A session with no replica on disk — created
+    and never yet replicated — is *lost*: it is dropped from the routing
+    table and counted, because routing traffic to a ghost would just turn
+    every request into an error.
+    """
+    restored: list[dict] = []
+    lost: list[str] = []
+    for session in sorted(dead.sessions):
+        path = replica_path(router.replica_dir, session)
+        target_id = None
+        for candidate in router.ring.preference(session):
+            handle = router.workers.get(candidate)
+            if handle is not None and handle.alive:
+                target_id = candidate
+                break
+        if target_id is None or not path.exists():
+            lost.append(session)
+            router.table.pop(session, None)
+            router.sessions_lost += 1
+            continue
+        handle = router.workers[target_id]
+        try:
+            await handle.client.request(
+                "restore", path=str(path), session=session, replace=True
+            )
+        except Exception as exc:  # noqa: BLE001 - keep failing over the rest
+            lost.append(session)
+            router.table.pop(session, None)
+            router.sessions_lost += 1
+            router.log(f"failover: restoring {session!r} on {target_id!r} failed: {exc}")
+            continue
+        router.table[session] = target_id
+        handle.sessions.add(session)
+        restored.append({"session": session, "worker": target_id})
+    dead.sessions.clear()
+    return {"restored": restored, "lost": lost}

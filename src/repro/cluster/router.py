@@ -1,0 +1,473 @@
+"""The cluster router: one address, many workers, the same protocol.
+
+:class:`ClusterRouter` listens exactly like ``repro serve`` and speaks the
+same newline-delimited JSON verbs, so every existing client — the sync and
+async :mod:`repro.service.client`, the CLI, the load generators — works
+against a cluster unchanged.  Behind the socket it keeps a fleet of
+:class:`WorkerHandle`\\ s (one ``KrigingService`` process each), places
+sessions on them with a consistent-hash ring keyed on session name, and
+proxies each request to its session's owner over a pipelined connection.
+
+What the router adds on top of transparent proxying:
+
+* **admission control** — per-worker in-flight caps with a bounded wait
+  queue (:mod:`repro.cluster.admission`); beyond both, clients get a
+  structured ``Overloaded`` error with a ``retry_after_ms`` hint instead
+  of unbounded buffering;
+* **live migration** — the ``migrate`` verb drains a session, snapshots
+  it, restores it on another worker, flips the routing entry and deletes
+  the source copy, all while new requests for the session wait at the
+  router (:mod:`repro.cluster.migration`);
+* **failover** — together with :mod:`repro.cluster.supervisor`: dead
+  workers are detected by health pings and their sessions restored onto
+  survivors from replicated snapshots;
+* **admin verbs** — ``cluster_stats``, ``replicate`` (force a replication
+  pass) and ``kill_worker`` (chaos drill: SIGKILL one worker so a test or
+  benchmark can watch failover happen).
+
+Cross-host note: workers are subprocesses on the router's host and
+snapshots travel through a shared directory; the wire protocol is already
+host-agnostic, but a remote-worker transport for snapshot files is future
+work (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import pathlib
+import sys
+from typing import Awaitable, Callable
+
+from repro.cluster import migration
+from repro.cluster.admission import AdmissionController, Overloaded, WorkerLost
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.service import protocol
+from repro.service.client import AsyncServiceClient
+from repro.service.protocol import RemoteError
+from repro.service.server import JsonLineServer, ServiceError
+from repro.service.session import check_name
+
+__all__ = ["ClusterRouter", "WorkerHandle"]
+
+#: Fields of a request that never forward to a worker.
+_LOCAL_FIELDS = ("id", "op", "worker")
+
+#: ``retry_after_ms`` hint sent with ``Unavailable`` errors during a
+#: failover window — long enough for a health-check round plus a restore.
+FAILOVER_RETRY_HINT_MS = 250.0
+
+
+def _forwarded(request: dict) -> dict:
+    return {key: value for key, value in request.items() if key not in _LOCAL_FIELDS}
+
+
+class WorkerHandle:
+    """The router's view of one worker: address, connection, placement."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        host: str,
+        port: int,
+        *,
+        process: object | None = None,
+    ) -> None:
+        self.id = str(worker_id)
+        self.host = host
+        self.port = int(port)
+        self.process = process  # subprocess.Popen when the supervisor spawned it
+        self.alive = True
+        self.sessions: set[str] = set()
+        self.session_inflight: dict[str, int] = {}
+        self.ping_failures = 0
+        self.client: AsyncServiceClient | None = None
+
+    async def connect(self) -> None:
+        self.client = await AsyncServiceClient.connect(self.host, self.port)
+
+    async def close(self) -> None:
+        if self.client is not None:
+            await self.client.close()
+            self.client = None
+
+    def describe(self, admission: AdmissionController) -> dict:
+        return {
+            "worker": self.id,
+            "host": self.host,
+            "port": self.port,
+            "alive": self.alive,
+            "sessions": sorted(self.sessions),
+            "inflight": admission.inflight(self.id),
+            "waiting": admission.waiting(self.id),
+        }
+
+
+class ClusterRouter(JsonLineServer):
+    """Sharded serving front end (see module docstring).
+
+    Parameters
+    ----------
+    replica_dir:
+        Shared directory for replicated snapshots — the failover source
+        and the migration channel.  Created on first use.
+    max_inflight / max_queue:
+        Admission-control knobs, per worker.
+    ring_replicas:
+        Virtual points per worker on the consistent-hash ring.
+    """
+
+    def __init__(
+        self,
+        *,
+        replica_dir: object,
+        max_inflight: int = 32,
+        max_queue: int = 128,
+        ring_replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        super().__init__()
+        self.replica_dir = pathlib.Path(replica_dir)
+        self.workers: dict[str, WorkerHandle] = {}
+        self.ring = HashRing(replicas=ring_replicas)
+        self.table: dict[str, str] = {}
+        self.draining: dict[str, asyncio.Event] = {}
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, max_queue=max_queue
+        )
+        self.migrations = 0
+        self.failovers = 0
+        self.sessions_lost = 0
+        self.proxied = 0
+        self.supervisor = None  # attached by WorkerSupervisor
+        self._ops: dict[str, Callable[[dict], Awaitable[dict]]] = {
+            "ping": self._op_ping,
+            "create_session": self._op_create_session,
+            "restore": self._op_restore,
+            "list_sessions": self._op_list_sessions,
+            "stats": self._op_stats,
+            "delete_session": self._op_delete_session,
+            "migrate": self._op_migrate,
+            "replicate": self._op_replicate,
+            "cluster_stats": self._op_cluster_stats,
+            "kill_worker": self._op_kill_worker,
+            "shutdown": self._op_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # fleet management
+    # ------------------------------------------------------------------
+    def log(self, message: str) -> None:
+        print(f"[cluster] {message}", file=sys.stderr, flush=True)
+
+    async def add_worker(self, handle: WorkerHandle) -> None:
+        """Register (and connect to) a worker; it starts receiving sessions."""
+        if handle.id in self.workers:
+            raise ValueError(f"worker {handle.id!r} already registered")
+        if handle.client is None:
+            await handle.connect()
+        self.workers[handle.id] = handle
+        self.ring.add(handle.id)
+
+    def live_workers(self) -> list[WorkerHandle]:
+        return [handle for handle in self.workers.values() if handle.alive]
+
+    async def mark_dead(self, handle: WorkerHandle) -> dict:
+        """Declare a worker dead and fail its sessions over to survivors.
+
+        Called by the supervisor's health loop; safe to call once per
+        worker (subsequent calls are no-ops).
+        """
+        if not handle.alive:
+            return {"restored": [], "lost": []}
+        handle.alive = False
+        self.ring.remove(handle.id)
+        self.admission.forget(handle.id)
+        self.failovers += 1
+        with contextlib.suppress(Exception):
+            await handle.close()
+        outcome = await migration.restore_lost_sessions(self, handle)
+        self.log(
+            f"worker {handle.id!r} died: restored "
+            f"{[r['session'] for r in outcome['restored']]}, lost {outcome['lost']}"
+        )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _wait_not_draining(self, session: str) -> None:
+        while (event := self.draining.get(session)) is not None:
+            await event.wait()
+
+    def _live_handle(self, worker_id: str, *, context: str) -> WorkerHandle:
+        handle = self.workers.get(worker_id)
+        if handle is None or not handle.alive:
+            raise ServiceError(
+                "Unavailable",
+                f"{context} (worker {worker_id!r} is down)",
+                retry_after_ms=FAILOVER_RETRY_HINT_MS,
+            )
+        return handle
+
+    async def _forward(self, handle: WorkerHandle, op: str, fields: dict) -> dict:
+        """One admitted, accounted round trip to a worker."""
+        session = fields.get("session") if isinstance(fields.get("session"), str) else None
+        try:
+            async with self.admission.admit(handle.id):
+                if session is not None:
+                    self.session_inflight_inc(handle, session)
+                try:
+                    self.proxied += 1
+                    return await handle.client.request(op, **fields)
+                finally:
+                    if session is not None:
+                        self.session_inflight_dec(handle, session)
+        except Overloaded as exc:
+            raise ServiceError(
+                "Overloaded", str(exc), retry_after_ms=exc.retry_after_ms
+            ) from exc
+        except WorkerLost as exc:
+            raise ServiceError(
+                "Unavailable", str(exc), retry_after_ms=FAILOVER_RETRY_HINT_MS
+            ) from exc
+        except RemoteError as exc:
+            raise ServiceError(exc.kind, str(exc), **exc.details) from exc
+        except (ConnectionError, protocol.ProtocolError) as exc:
+            # The worker died mid-request; the health loop will confirm and
+            # fail its sessions over.  The client retries through the window.
+            raise ServiceError(
+                "Unavailable",
+                f"worker {handle.id!r} connection failed: {exc}",
+                retry_after_ms=FAILOVER_RETRY_HINT_MS,
+            ) from exc
+
+    @staticmethod
+    def session_inflight_inc(handle: WorkerHandle, session: str) -> None:
+        handle.session_inflight[session] = handle.session_inflight.get(session, 0) + 1
+
+    @staticmethod
+    def session_inflight_dec(handle: WorkerHandle, session: str) -> None:
+        left = handle.session_inflight.get(session, 0) - 1
+        if left > 0:
+            handle.session_inflight[session] = left
+        else:
+            handle.session_inflight.pop(session, None)
+
+    async def _proxy_session_op(self, request: dict) -> dict:
+        """Route a session-scoped verb to the session's owner."""
+        name = request.get("session")
+        if not isinstance(name, str):
+            raise ServiceError("BadRequest", "missing 'session' field")
+        await self._wait_not_draining(name)
+        worker_id = self.table.get(name)
+        if worker_id is None:
+            raise ServiceError("UnknownSession", f"no session named {name!r}")
+        handle = self._live_handle(
+            worker_id, context=f"session {name!r} is failing over"
+        )
+        return await self._forward(handle, request["op"], _forwarded(request))
+
+    def _placement(self, name: str, pin: object) -> WorkerHandle:
+        """Owner for a new session: existing entry > explicit pin > ring."""
+        existing = self.table.get(name)
+        if existing is not None:
+            return self._live_handle(
+                existing, context=f"session {name!r} is failing over"
+            )
+        if pin is not None:
+            if not isinstance(pin, str) or pin not in self.workers:
+                raise ServiceError("BadRequest", f"no worker named {pin!r}")
+            return self._live_handle(pin, context=f"worker {pin!r} requested")
+        if not self.ring.workers:
+            raise ServiceError("Unavailable", "no live workers registered")
+        return self._live_handle(
+            self.ring.assign(name), context=f"placing session {name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    async def _op_ping(self, request: dict) -> dict:
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "role": "router",
+            "sessions": len(self.table),
+            "workers": len(self.live_workers()),
+        }
+
+    async def _op_create_session(self, request: dict) -> dict:
+        name = check_name(request.get("session"))
+        await self._wait_not_draining(name)
+        handle = self._placement(name, request.get("worker"))
+        result = await self._forward(handle, "create_session", _forwarded(request))
+        self.table[name] = handle.id
+        handle.sessions.add(name)
+        return {**result, "worker": handle.id}
+
+    async def _op_restore(self, request: dict) -> dict:
+        # The worker would take the restored name from the snapshot
+        # manifest; the router cannot read the file before routing it, so
+        # a cluster restore must name its session explicitly.
+        name = request.get("session", request.get("name"))
+        if not isinstance(name, str):
+            raise ServiceError(
+                "BadRequest",
+                "cluster restore requires an explicit 'session' (or 'name')",
+            )
+        name = check_name(name)
+        await self._wait_not_draining(name)
+        handle = self._placement(name, request.get("worker"))
+        fields = {**_forwarded(request), "session": name}
+        result = await self._forward(handle, "restore", fields)
+        self.table[name] = handle.id
+        handle.sessions.add(name)
+        return {**result, "worker": handle.id}
+
+    async def _op_list_sessions(self, request: dict) -> dict:
+        merged: list[dict] = []
+        for handle in self.live_workers():
+            result = await self._forward(handle, "list_sessions", {})
+            for row in result.get("sessions", []):
+                merged.append({**row, "worker": handle.id})
+        merged.sort(key=lambda row: row.get("session", ""))
+        return {"sessions": merged}
+
+    async def _op_stats(self, request: dict) -> dict:
+        if "session" in request:
+            return await self._proxy_session_op(request)
+        merged: list[dict] = []
+        for handle in self.live_workers():
+            result = await self._forward(handle, "stats", {})
+            for row in result.get("sessions", []):
+                merged.append({**row, "worker": handle.id})
+        merged.sort(key=lambda row: row.get("session", ""))
+        return {"sessions": merged, "cluster": self._describe()}
+
+    async def _op_delete_session(self, request: dict) -> dict:
+        result = await self._proxy_session_op(request)
+        # The worker confirmed the delete: forget the route, the placement
+        # and the replica, so a later failover cannot resurrect the session.
+        name = request["session"]
+        worker_id = self.table.pop(name, None)
+        if worker_id is not None:
+            handle = self.workers.get(worker_id)
+            if handle is not None:
+                handle.sessions.discard(name)
+        with contextlib.suppress(FileNotFoundError):
+            migration.replica_path(self.replica_dir, name).unlink()
+        return result
+
+    async def _op_migrate(self, request: dict) -> dict:
+        name = request.get("session")
+        if not isinstance(name, str):
+            raise ServiceError("BadRequest", "missing 'session' field")
+        if name in self.draining:
+            raise ServiceError(
+                "BadRequest", f"session {name!r} is already migrating"
+            )
+        target = request.get("worker")
+        if target is not None and not isinstance(target, str):
+            raise ServiceError("BadRequest", "'worker' must be a worker id string")
+        return await migration.migrate_session(self, name, target=target)
+
+    async def replicate_session(self, session: str) -> bool:
+        """Refresh one session's replica; False when skipped (draining or
+        its worker is down)."""
+        if session in self.draining:
+            return False
+        worker_id = self.table.get(session)
+        if worker_id is None:
+            return False
+        handle = self.workers.get(worker_id)
+        if handle is None or not handle.alive:
+            return False
+        path = migration.replica_path(self.replica_dir, session)
+        await self._forward(
+            handle, "snapshot", {"session": session, "path": str(path)}
+        )
+        return True
+
+    async def _op_replicate(self, request: dict) -> dict:
+        names = (
+            [request["session"]]
+            if isinstance(request.get("session"), str)
+            else sorted(self.table)
+        )
+        replicated: list[str] = []
+        skipped: list[str] = []
+        for name in names:
+            if name not in self.table:
+                raise ServiceError("UnknownSession", f"no session named {name!r}")
+            (replicated if await self.replicate_session(name) else skipped).append(name)
+        return {"replicated": replicated, "skipped": skipped}
+
+    def _describe(self) -> dict:
+        return {
+            "workers": [
+                handle.describe(self.admission)
+                for _, handle in sorted(self.workers.items())
+            ],
+            "table": dict(sorted(self.table.items())),
+            "draining": sorted(self.draining),
+            "admission": self.admission.stats(),
+            "counters": {
+                "proxied": self.proxied,
+                "migrations": self.migrations,
+                "failovers": self.failovers,
+                "sessions_lost": self.sessions_lost,
+            },
+            "replica_dir": str(self.replica_dir),
+        }
+
+    async def _op_cluster_stats(self, request: dict) -> dict:
+        return self._describe()
+
+    async def _op_kill_worker(self, request: dict) -> dict:
+        """Chaos drill: SIGKILL a spawned worker (no clean shutdown), so
+        tests and benchmarks can watch the health loop + failover react."""
+        worker_id = request.get("worker")
+        if not isinstance(worker_id, str) or worker_id not in self.workers:
+            raise ServiceError("BadRequest", f"no worker named {worker_id!r}")
+        handle = self.workers[worker_id]
+        if handle.process is None:
+            raise ServiceError(
+                "BadRequest", f"worker {worker_id!r} was not spawned by this router"
+            )
+        handle.process.kill()
+        return {"worker": worker_id, "killed": True}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        return {"stopping": True}
+
+    # ------------------------------------------------------------------
+    # transport hooks
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if not isinstance(op, str):
+            raise ServiceError("UnknownOp", f"unknown op {op!r}")
+        handler = self._ops.get(op)
+        if handler is not None:
+            return await handler(request)
+        if isinstance(request.get("session"), str):
+            # Unknown-to-the-router session verbs (evaluate, simulate, fit,
+            # snapshot, delete_session, future additions) proxy untouched.
+            return await self._proxy_session_op(request)
+        raise ServiceError("UnknownOp", f"unknown op {op!r}")
+
+    async def _started(self) -> None:
+        self.replica_dir.mkdir(parents=True, exist_ok=True)
+        if self.supervisor is not None:
+            self.supervisor.start()
+
+    async def _cleanup(self) -> None:
+        if self.supervisor is not None:
+            await self.supervisor.stop()
+        for handle in self.workers.values():
+            if handle.alive and handle.client is not None:
+                with contextlib.suppress(Exception):
+                    await asyncio.wait_for(handle.client.request("shutdown"), 5)
+            with contextlib.suppress(Exception):
+                await handle.close()
+        if self.supervisor is not None:
+            await self.supervisor.reap()

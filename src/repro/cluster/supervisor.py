@@ -1,0 +1,236 @@
+"""Worker lifecycle: spawn, watch, replicate, fail over.
+
+The supervisor owns the two background loops that make the cluster more
+than a static proxy:
+
+* the **health loop** pings every live worker each ``health_interval``
+  seconds (and checks its process for an exit code, which catches a
+  SIGKILL faster than a timed-out ping).  A worker that misses
+  ``max_ping_failures`` consecutive pings — or whose process is simply
+  gone — is declared dead: the router pulls it off the ring, fails its
+  queued admissions fast, and restores its sessions from their replicas
+  onto survivors (:func:`repro.cluster.migration.restore_lost_sessions`);
+* the **replication loop** refreshes every session's replica snapshot
+  each ``replication_interval`` seconds.  The interval is the cluster's
+  durability knob: at most that many seconds of simulated observations
+  can be lost when a worker dies.
+
+Workers are plain ``repro serve`` subprocesses bound to ephemeral ports
+(discovered through per-worker port files), with their snapshot dir
+pointed at the cluster's replica dir so named snapshots and replicas
+share one namespace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+from repro.cluster.router import ClusterRouter, WorkerHandle
+
+__all__ = ["WorkerSupervisor", "spawn_worker_process"]
+
+#: How long to wait for a freshly spawned worker's port file.
+SPAWN_TIMEOUT = 60.0
+
+
+def _worker_env() -> dict:
+    """Subprocess environment that can ``import repro`` the way we did."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
+
+
+def spawn_worker_process(
+    *,
+    port_file: pathlib.Path,
+    snapshot_dir: pathlib.Path,
+    host: str = "127.0.0.1",
+    max_batch: int = 64,
+    max_delay_ms: float = 2.0,
+    timeout: float = SPAWN_TIMEOUT,
+) -> tuple[subprocess.Popen, int]:
+    """Start one ``repro serve`` worker and wait for its bound port.
+
+    Blocking (file polling) — call via ``asyncio.to_thread`` from a loop.
+    """
+    port_file = pathlib.Path(port_file)
+    with contextlib.suppress(FileNotFoundError):
+        port_file.unlink()
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            host,
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--snapshot-dir",
+            str(snapshot_dir),
+            "--max-batch",
+            str(int(max_batch)),
+            "--max-delay-ms",
+            str(float(max_delay_ms)),
+        ],
+        env=_worker_env(),
+        stdout=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"worker exited with code {process.returncode} before binding"
+            )
+        try:
+            text = port_file.read_text().strip()
+            if text:
+                return process, int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError(f"worker did not bind within {timeout:.0f}s")
+        time.sleep(0.02)
+
+
+class WorkerSupervisor:
+    """Health checking, replication and process reaping for a router's fleet."""
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        *,
+        health_interval: float = 1.0,
+        replication_interval: float = 5.0,
+        ping_timeout: float = 5.0,
+        max_ping_failures: int = 2,
+    ) -> None:
+        self.router = router
+        self.health_interval = float(health_interval)
+        self.replication_interval = float(replication_interval)
+        self.ping_timeout = float(ping_timeout)
+        self.max_ping_failures = int(max_ping_failures)
+        self._tasks: list[asyncio.Task] = []
+        router.supervisor = self
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+    async def spawn_workers(
+        self,
+        count: int,
+        *,
+        host: str = "127.0.0.1",
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+    ) -> list[WorkerHandle]:
+        """Spawn ``count`` subprocess workers and register them."""
+        replica_dir = self.router.replica_dir
+        replica_dir.mkdir(parents=True, exist_ok=True)
+        handles: list[WorkerHandle] = []
+        for index in range(count):
+            worker_id = f"w{index}"
+            process, port = await asyncio.to_thread(
+                lambda wid=worker_id: spawn_worker_process(
+                    port_file=replica_dir / f"{wid}.port",
+                    snapshot_dir=replica_dir,
+                    host=host,
+                    max_batch=max_batch,
+                    max_delay_ms=max_delay_ms,
+                )
+            )
+            handle = WorkerHandle(worker_id, host, port, process=process)
+            await self.router.add_worker(handle)
+            handles.append(handle)
+        return handles
+
+    # ------------------------------------------------------------------
+    # loops
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the health and replication loops (idempotent)."""
+        if self._tasks:
+            return
+        self._tasks = [
+            asyncio.create_task(self._health_loop(), name="cluster-health"),
+            asyncio.create_task(self._replication_loop(), name="cluster-replication"),
+        ]
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._tasks = []
+
+    async def check_health(self) -> None:
+        """One health pass over the fleet (what the loop runs each tick)."""
+        for handle in list(self.router.workers.values()):
+            if not handle.alive:
+                continue
+            process = handle.process
+            if process is not None and process.poll() is not None:
+                await self.router.mark_dead(handle)
+                continue
+            try:
+                await asyncio.wait_for(
+                    handle.client.request("ping"), self.ping_timeout
+                )
+            except Exception:
+                handle.ping_failures += 1
+                if handle.ping_failures >= self.max_ping_failures:
+                    await self.router.mark_dead(handle)
+            else:
+                handle.ping_failures = 0
+
+    async def replicate_all(self) -> list[str]:
+        """One replication pass; returns the sessions refreshed."""
+        refreshed: list[str] = []
+        for session in sorted(self.router.table):
+            try:
+                if await self.router.replicate_session(session):
+                    refreshed.append(session)
+            except Exception as exc:  # noqa: BLE001 - keep replicating the rest
+                self.router.log(f"replication of {session!r} failed: {exc}")
+        return refreshed
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            await self.check_health()
+
+    async def _replication_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.replication_interval)
+            await self.replicate_all()
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    async def reap(self) -> None:
+        """Make sure no worker process outlives the router."""
+
+        def _reap_one(process: subprocess.Popen) -> None:
+            if process.poll() is None:
+                process.terminate()
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=10)
+
+        for handle in self.router.workers.values():
+            if handle.process is not None:
+                await asyncio.to_thread(_reap_one, handle.process)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import socket
+import time
 from itertools import count
 from typing import Any, Sequence
 
@@ -41,10 +42,18 @@ def _raise_on_error(response: dict) -> dict:
     if not response["ok"]:
         error = response.get("error") or {}
         raise RemoteError(
-            str(error.get("type", "UnknownError")), str(error.get("message", ""))
+            str(error.get("type", "UnknownError")),
+            str(error.get("message", "")),
+            {k: v for k, v in error.items() if k not in ("type", "message")},
         )
     result = response.get("result")
     return result if isinstance(result, dict) else {}
+
+
+#: Server-side error kinds worth retrying when the client opts into
+#: ``retries``: admission-control rejections and the transient window while
+#: the cluster migrates or fails a session over to another worker.
+RETRYABLE_KINDS = frozenset({"Overloaded", "Unavailable"})
 
 
 class _VerbsMixin:
@@ -69,18 +78,67 @@ class _VerbsMixin:
 
 
 class ServiceClient(_VerbsMixin):
-    """Blocking newline-delimited JSON client (one request in flight)."""
+    """Blocking newline-delimited JSON client (one request in flight).
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    With ``retries > 0`` the client survives transient failures: a dropped
+    connection (``ConnectionResetError``/``BrokenPipeError``/clean EOF)
+    triggers a reconnect, and retryable server errors (``Overloaded``
+    admission rejections, the ``Unavailable`` window while the cluster
+    fails a session over) are retried after a capped exponential back-off —
+    honouring the server's ``retry_after_ms`` hint when it sends one.
+
+    Retries re-send the request verbatim, so a retried ``simulate`` that
+    *did* reach the server before the connection died may record its
+    measurement twice; retries are therefore opt-in, and the default
+    (``retries=0``) keeps the old fail-fast behaviour.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 60.0,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self._sock: socket.socket | None = None
+        self._file = None
         self._ids = count(1)
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _disconnect(self) -> None:
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:
+            pass
+        finally:
+            self._file = None
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._disconnect()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -88,10 +146,21 @@ class ServiceClient(_VerbsMixin):
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def request(self, op: str, **fields: Any) -> dict:
-        """One round trip; raises :class:`RemoteError` on server errors."""
+    def _backoff(self, attempt: int, hint_ms: float | None = None) -> None:
+        """Sleep before retry ``attempt`` (0-based): capped exponential, or
+        the server's explicit hint when it gave one."""
+        if hint_ms is not None:
+            delay = min(hint_ms / 1000.0, self.backoff_max)
+        else:
+            delay = min(self.backoff_base * (2.0**attempt), self.backoff_max)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _roundtrip(self, op: str, fields: dict) -> dict:
+        if self._file is None:
+            self._connect()
         request_id = next(self._ids)
-        self._file.write(encode({"id": request_id, "op": op, **self._fields(**fields)}))
+        self._file.write(encode({"id": request_id, "op": op, **fields}))
         self._file.flush()
         line = self._file.readline(MAX_LINE_BYTES)
         if not line:
@@ -102,6 +171,28 @@ class ServiceClient(_VerbsMixin):
                 f"response id {response.get('id')!r} != request id {request_id}"
             )
         return _raise_on_error(response)
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """One round trip; raises :class:`RemoteError` on server errors.
+
+        With ``retries > 0``, reconnects and retries on connection failure
+        and on retryable server errors (see :data:`RETRYABLE_KINDS`).
+        """
+        payload = self._fields(**fields)
+        for attempt in count():
+            try:
+                return self._roundtrip(op, payload)
+            except ConnectionError:
+                # Covers ConnectionResetError and BrokenPipeError (both are
+                # subclasses) plus the clean-EOF ConnectionError above.
+                self._disconnect()
+                if attempt >= self.retries:
+                    raise
+                self._backoff(attempt)
+            except RemoteError as exc:
+                if attempt >= self.retries or exc.kind not in RETRYABLE_KINDS:
+                    raise
+                self._backoff(attempt, exc.retry_after_ms)
 
     # -- verbs ----------------------------------------------------------
     def ping(self) -> dict:
@@ -190,8 +281,25 @@ class ServiceClient(_VerbsMixin):
             "restore", path=path, name=name, session=session, replace=replace or None
         )
 
+    def delete_session(self, session: str) -> dict:
+        return self.request("delete_session", session=session)
+
     def shutdown(self) -> dict:
         return self.request("shutdown")
+
+    # -- cluster-only verbs (answered by the router) --------------------
+    def migrate(self, session: str, *, worker: str | None = None) -> dict:
+        """Live-migrate a session to another worker (cluster router only)."""
+        return self.request("migrate", session=session, worker=worker)
+
+    def cluster_stats(self) -> dict:
+        """Routing table, worker fleet and admission counters (router only)."""
+        return self.request("cluster_stats")
+
+    def replicate(self, session: str | None = None) -> dict:
+        """Force snapshot replication now (router only; all sessions when
+        ``session`` is omitted)."""
+        return self.request("replicate", session=session)
 
 
 class AsyncServiceClient(_VerbsMixin):
@@ -262,6 +370,12 @@ class AsyncServiceClient(_VerbsMixin):
             response = await future
         finally:
             self._pending.pop(request_id, None)
+            # If this request was cancelled (e.g. a timed-out health ping)
+            # in the same tick the receive loop failed the future, nobody
+            # awaits it any more: mark the exception retrieved so the loop
+            # does not log "exception was never retrieved".
+            if future.done() and not future.cancelled():
+                future.exception()
         return _raise_on_error(response)
 
     # -- verbs ----------------------------------------------------------
@@ -357,5 +471,18 @@ class AsyncServiceClient(_VerbsMixin):
             "restore", path=path, name=name, session=session, replace=replace or None
         )
 
+    async def delete_session(self, session: str) -> dict:
+        return await self.request("delete_session", session=session)
+
     async def shutdown(self) -> dict:
         return await self.request("shutdown")
+
+    # -- cluster-only verbs (answered by the router) --------------------
+    async def migrate(self, session: str, *, worker: str | None = None) -> dict:
+        return await self.request("migrate", session=session, worker=worker)
+
+    async def cluster_stats(self) -> dict:
+        return await self.request("cluster_stats")
+
+    async def replicate(self, session: str | None = None) -> dict:
+        return await self.request("replicate", session=session)

@@ -65,11 +65,21 @@ class RemoteError(Exception):
     ----------
     kind:
         The server-side error type name (e.g. ``"UnknownSession"``).
+    details:
+        Any extra structured fields the error carried (e.g. the
+        ``retry_after_ms`` hint on an ``Overloaded`` rejection).
     """
 
-    def __init__(self, kind: str, message: str) -> None:
+    def __init__(self, kind: str, message: str, details: dict | None = None) -> None:
         super().__init__(f"{kind}: {message}")
         self.kind = kind
+        self.details = details if details is not None else {}
+
+    @property
+    def retry_after_ms(self) -> float | None:
+        """The server's back-off hint, when it sent one."""
+        hint = self.details.get("retry_after_ms")
+        return float(hint) if isinstance(hint, (int, float)) else None
 
 
 def encode(message: dict) -> bytes:
@@ -116,9 +126,19 @@ def ok_response(request_id: Any, result: dict) -> dict:
     return {"id": request_id, "ok": True, "result": result}
 
 
-def error_response(request_id: Any, kind: str, message: str) -> dict:
-    """A structured error response echoing the request ``id``."""
-    return {"id": request_id, "ok": False, "error": {"type": kind, "message": message}}
+def error_response(request_id: Any, kind: str, message: str, **details: Any) -> dict:
+    """A structured error response echoing the request ``id``.
+
+    ``details`` become extra fields of the error object — machine-readable
+    context such as the ``retry_after_ms`` back-off hint of an
+    ``Overloaded`` rejection or the ``worker`` an ``Unavailable`` error
+    names.
+    """
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": kind, "message": message, **details},
+    }
 
 
 def outcome_to_wire(outcome: EstimationOutcome) -> dict:

@@ -5,6 +5,12 @@ One :class:`KrigingService` owns a set of named
 newline-delimited JSON protocol of :mod:`repro.service.protocol` over
 ``asyncio.start_server`` (stdlib only — no web framework).
 
+The transport machinery lives in :class:`JsonLineServer`, a small reusable
+base (connection handling, per-request tasks, structured errors, graceful
+drain); :class:`KrigingService` layers the session registry and verbs on
+top.  The cluster router (:mod:`repro.cluster.router`) reuses the same base
+to speak the same protocol.
+
 Concurrency model
 -----------------
 
@@ -20,7 +26,13 @@ Concurrency model
   keeping the event loop free to accept and coalesce the next batch.
 
 Verbs: ``ping``, ``create_session``, ``list_sessions``, ``evaluate``,
-``simulate``, ``fit``, ``stats``, ``snapshot``, ``restore``, ``shutdown``.
+``simulate``, ``fit``, ``stats``, ``snapshot``, ``restore``,
+``delete_session``, ``shutdown``.
+
+Shutdown is graceful: a ``shutdown`` request — or SIGTERM/SIGINT when run
+via ``repro serve`` — stops the listener first, then waits for every
+in-flight request, flushes each session's micro-batcher, and only then
+releases the sessions, so no accepted request is ever dropped mid-solve.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ import asyncio
 import contextlib
 import math
 import pathlib
+import signal
 from typing import Awaitable, Callable
 
 from repro.core.estimator import KrigingEstimator
@@ -36,7 +49,7 @@ from repro.core.models import variogram_from_state
 from repro.service import protocol
 from repro.service.session import EstimatorSession, check_name, load_snapshot, make_simulator
 
-__all__ = ["KrigingService", "ServiceError", "run_server"]
+__all__ = ["JsonLineServer", "KrigingService", "ServiceError", "run_server"]
 
 #: Estimator constructor keywords ``create_session`` forwards verbatim.
 ESTIMATOR_KEYS = (
@@ -57,18 +70,224 @@ ESTIMATOR_KEYS = (
 
 
 class ServiceError(Exception):
-    """A structured, client-visible error (becomes ``error.type`` on the wire)."""
+    """A structured, client-visible error (becomes ``error.type`` on the wire).
 
-    def __init__(self, kind: str, message: str) -> None:
+    ``details`` travel as extra fields of the wire error object (e.g. the
+    ``retry_after_ms`` hint of an ``Overloaded`` rejection).
+    """
+
+    def __init__(self, kind: str, message: str, **details: object) -> None:
         super().__init__(message)
         self.kind = kind
+        self.details = details
 
 
 def _bad_request(message: str) -> ServiceError:
     return ServiceError("BadRequest", message)
 
 
-class KrigingService:
+class JsonLineServer:
+    """Transport core of a newline-delimited JSON verb server.
+
+    Subclasses implement :meth:`dispatch` (verb -> result dict, raising
+    :class:`ServiceError` for structured failures) and may override the
+    lifecycle hooks: :meth:`_started` (after the socket binds),
+    :meth:`_drained` (after the listener closed and every in-flight request
+    finished — flush buffers here) and :meth:`_cleanup` (always, last).
+
+    Request accounting hooks ``_request_begun``/``_request_ended`` bracket
+    every dispatch; the base keeps the set of in-flight request tasks that
+    the graceful drain waits on.
+    """
+
+    #: Ceiling on the graceful drain (seconds): how long ``serve`` waits for
+    #: in-flight requests after the listener closed before giving up.
+    drain_timeout: float = 30.0
+
+    def __init__(self) -> None:
+        self.address: tuple[str, int] | None = None
+        self._stopping = asyncio.Event()
+        self._request_tasks: set[asyncio.Task] = set()
+
+    # -- subclass surface ----------------------------------------------
+    async def dispatch(self, request: dict) -> dict:
+        raise NotImplementedError
+
+    async def _started(self) -> None:
+        """Hook: the socket is bound and :attr:`address` is set."""
+
+    async def _drained(self) -> None:
+        """Hook: listener closed, every in-flight request answered."""
+
+    async def _cleanup(self) -> None:
+        """Hook: final teardown (runs even when the drain timed out)."""
+
+    def _request_begun(self, request: dict) -> None:
+        """Hook: a request entered dispatch."""
+
+    def _request_ended(self, request: dict) -> None:
+        """Hook: the request's response is being written."""
+
+    # -- request plumbing ----------------------------------------------
+    def stop(self) -> None:
+        """Ask :meth:`serve` to exit (what the ``shutdown`` verb does after
+        its response is on the wire, and what SIGTERM triggers)."""
+        self._stopping.set()
+
+    async def _respond(
+        self,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = request.get("id")
+        self._request_begun(request)
+        try:
+            result = await self.dispatch(request)
+            response = protocol.ok_response(request_id, result)
+        except ServiceError as exc:
+            response = protocol.error_response(
+                request_id, exc.kind, str(exc), **exc.details
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            response = protocol.error_response(request_id, type(exc).__name__, str(exc))
+        except Exception as exc:  # keep the server alive on estimator bugs
+            response = protocol.error_response(request_id, "InternalError", repr(exc))
+        finally:
+            self._request_ended(request)
+        try:
+            payload = protocol.encode(response)
+        except protocol.ProtocolError as exc:
+            # A result that does not serialize must still answer the
+            # request — a swallowed frame would hang the client forever.
+            # The request id itself may be the unserializable part (e.g. a
+            # NaN literal, which json.loads accepts): fall back to a null
+            # id rather than failing the fallback too.
+            fallback = protocol.error_response(
+                request_id, "ProtocolError", f"unserializable result: {exc}"
+            )
+            try:
+                payload = protocol.encode(fallback)
+            except protocol.ProtocolError:
+                fallback["id"] = None
+                payload = protocol.encode(fallback)
+        try:
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+        except ConnectionError:
+            return
+        # The response is on the wire; now it is safe to stop accepting.
+        if request.get("op") == "shutdown" and response.get("ok"):
+            self._stopping.set()
+
+    async def handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: read frames, answer each in its own task."""
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    request = await protocol.read_message(reader)
+                except protocol.ProtocolError as exc:
+                    async with write_lock:
+                        await protocol.write_message(
+                            writer,
+                            protocol.error_response(None, "ProtocolError", str(exc)),
+                        )
+                    break
+                if request is None:
+                    break
+                task = asyncio.create_task(self._respond(request, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown after shutdown: close the transport and
+            # exit quietly instead of surfacing a cancellation traceback.
+            pass
+        finally:
+            # Cleanup must not surface a second CancelledError (e.g. the
+            # event loop tearing down after ``shutdown``): a handler task
+            # that ends "cancelled" would be logged as a callback error.
+            with contextlib.suppress(asyncio.CancelledError):
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, ConnectionError):
+                await writer.wait_closed()
+
+    async def _drain_requests(self) -> None:
+        """Wait (bounded) for every in-flight request task to answer."""
+        pending = [task for task in self._request_tasks if not task.done()]
+        if not pending:
+            return
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(
+                asyncio.gather(*pending, return_exceptions=True), self.drain_timeout
+            )
+
+    async def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        port_file: object | None = None,
+        on_ready: Callable[[str, int], None] | None = None,
+        handle_signals: bool = False,
+    ) -> None:
+        """Listen until a ``shutdown`` request (or handled signal) arrives.
+
+        ``port=0`` binds an ephemeral port; the bound address lands in
+        :attr:`address`, in ``port_file`` (just the port number — what the
+        CI smoke job polls for) and in the ``on_ready`` callback.
+
+        With ``handle_signals`` (the CLI entry points), SIGTERM and SIGINT
+        trigger the same graceful path as ``shutdown``: stop accepting,
+        drain in-flight requests, flush buffers, exit — so an operator's
+        ``kill`` never drops an accepted request.
+        """
+        server = await asyncio.start_server(
+            self.handle_client, host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        sockname = server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        if port_file is not None:
+            pathlib.Path(port_file).write_text(f"{self.address[1]}\n")
+        handled_signals: list[signal.Signals] = []
+        if handle_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(signum, self.stop)
+                    handled_signals.append(signum)
+        await self._started()
+        if on_ready is not None:
+            on_ready(self.address[0], self.address[1])
+        try:
+            async with server:
+                await self._stopping.wait()
+                # Graceful drain: stop accepting first, then let every
+                # request already accepted run to completion and answer.
+                server.close()
+                await server.wait_closed()
+                await self._drain_requests()
+                await self._drained()
+        finally:
+            if handled_signals:
+                loop = asyncio.get_running_loop()
+                for signum in handled_signals:
+                    with contextlib.suppress(NotImplementedError, RuntimeError):
+                        loop.remove_signal_handler(signum)
+            await self._cleanup()
+
+
+class KrigingService(JsonLineServer):
     """Session registry plus request dispatch (transport-independent core).
 
     Parameters
@@ -76,7 +295,8 @@ class KrigingService:
     snapshot_dir:
         Directory for named snapshots (``snapshot``/``restore`` with a
         ``name`` instead of a ``path``); created on first use.  Without
-        it, those verbs require explicit paths.
+        it, those verbs require explicit paths.  Named snapshots may never
+        resolve outside this directory (hostile names are rejected).
     max_batch / max_delay_ms:
         Default micro-batcher knobs for new sessions (overridable per
         session at ``create_session``).
@@ -89,12 +309,12 @@ class KrigingService:
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
     ) -> None:
+        super().__init__()
         self.sessions: dict[str, EstimatorSession] = {}
         self.snapshot_dir = pathlib.Path(snapshot_dir) if snapshot_dir is not None else None
         self.max_batch = int(max_batch)
         self.max_delay_ms = float(max_delay_ms)
-        self.address: tuple[str, int] | None = None
-        self._stopping = asyncio.Event()
+        self._inflight: dict[str, int] = {}
         self._ops: dict[str, Callable[[dict], Awaitable[dict]]] = {
             "ping": self._op_ping,
             "create_session": self._op_create_session,
@@ -105,6 +325,7 @@ class KrigingService:
             "stats": self._op_stats,
             "snapshot": self._op_snapshot,
             "restore": self._op_restore,
+            "delete_session": self._op_delete_session,
             "shutdown": self._op_shutdown,
         }
 
@@ -162,7 +383,19 @@ class KrigingService:
                 "no 'path' given and the server has no --snapshot-dir"
             )
         name = check_name(request.get("name", request.get("session")))
-        return self.snapshot_dir / f"{name}.npz"
+        path = self.snapshot_dir / f"{name}.npz"
+        # check_name already forbids separators and leading dots, but a
+        # *resolved* containment check closes what the regex cannot see —
+        # e.g. a symlink planted inside the snapshot dir pointing outside
+        # it.  resolve() follows symlinks in every existing component and
+        # keeps the (possibly not-yet-created) tail.
+        base = self.snapshot_dir.resolve()
+        resolved = path.resolve()
+        if resolved.parent != base and base not in resolved.parents:
+            raise _bad_request(
+                f"snapshot name {name!r} resolves outside the snapshot dir"
+            )
+        return path
 
     async def _register(self, session: EstimatorSession, replace: bool) -> None:
         existing = self.sessions.get(session.name)
@@ -180,11 +413,36 @@ class KrigingService:
             return
         self.sessions[session.name] = session
 
+    # -- request accounting --------------------------------------------
+    def _request_begun(self, request: dict) -> None:
+        name = request.get("session")
+        if isinstance(name, str):
+            self._inflight[name] = self._inflight.get(name, 0) + 1
+
+    def _request_ended(self, request: dict) -> None:
+        name = request.get("session")
+        if isinstance(name, str):
+            left = self._inflight.get(name, 0) - 1
+            if left > 0:
+                self._inflight[name] = left
+            else:
+                self._inflight.pop(name, None)
+
+    def inflight(self, session: str | None = None) -> int:
+        """In-flight request count — one session's, or the whole server's."""
+        if session is not None:
+            return self._inflight.get(session, 0)
+        return sum(self._inflight.values())
+
     # ------------------------------------------------------------------
     # verbs
     # ------------------------------------------------------------------
     async def _op_ping(self, request: dict) -> dict:
-        return {"protocol": protocol.PROTOCOL_VERSION, "sessions": len(self.sessions)}
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "sessions": len(self.sessions),
+            "inflight": self.inflight(),
+        }
 
     async def _op_create_session(self, request: dict) -> dict:
         name = check_name(request.get("session"))
@@ -291,7 +549,10 @@ class KrigingService:
         # Statistics legitimately contain NaN (empty sketches): scrub to
         # null so the response stays strict JSON.
         if "session" in request:
-            return protocol.json_safe(self._session(request).stats())
+            session = self._session(request)
+            stats = session.stats()
+            stats["inflight"] = self.inflight(session.name)
+            return protocol.json_safe(stats)
         return protocol.json_safe(
             {"sessions": [session.stats() for session in self.sessions.values()]}
         )
@@ -332,16 +593,20 @@ class KrigingService:
             "cache_size": len(session.estimator.cache),
         }
 
+    async def _op_delete_session(self, request: dict) -> dict:
+        session = self._session(request)
+        # Drain the batcher first so no coalesced request is dropped, then
+        # unregister; close() may wait on pool work, so off the loop.
+        await session.batcher.drain()
+        self.sessions.pop(session.name, None)
+        await asyncio.to_thread(session.close)
+        return {"session": session.name, "deleted": True}
+
     async def _op_shutdown(self, request: dict) -> dict:
         return {"stopping": True}
 
-    def stop(self) -> None:
-        """Ask :meth:`serve` to exit (what the ``shutdown`` verb does after
-        its response is on the wire)."""
-        self._stopping.set()
-
     # ------------------------------------------------------------------
-    # transport
+    # transport hooks
     # ------------------------------------------------------------------
     async def dispatch(self, request: dict) -> dict:
         op = request.get("op")
@@ -350,116 +615,15 @@ class KrigingService:
             raise ServiceError("UnknownOp", f"unknown op {op!r}")
         return await handler(request)
 
-    async def _respond(
-        self,
-        request: dict,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
-        request_id = request.get("id")
-        try:
-            result = await self.dispatch(request)
-            response = protocol.ok_response(request_id, result)
-        except ServiceError as exc:
-            response = protocol.error_response(request_id, exc.kind, str(exc))
-        except (ValueError, KeyError, TypeError) as exc:
-            response = protocol.error_response(request_id, type(exc).__name__, str(exc))
-        except Exception as exc:  # keep the server alive on estimator bugs
-            response = protocol.error_response(request_id, "InternalError", repr(exc))
-        try:
-            payload = protocol.encode(response)
-        except protocol.ProtocolError as exc:
-            # A result that does not serialize must still answer the
-            # request — a swallowed frame would hang the client forever.
-            # The request id itself may be the unserializable part (e.g. a
-            # NaN literal, which json.loads accepts): fall back to a null
-            # id rather than failing the fallback too.
-            fallback = protocol.error_response(
-                request_id, "ProtocolError", f"unserializable result: {exc}"
-            )
-            try:
-                payload = protocol.encode(fallback)
-            except protocol.ProtocolError:
-                fallback["id"] = None
-                payload = protocol.encode(fallback)
-        try:
-            async with write_lock:
-                writer.write(payload)
-                await writer.drain()
-        except ConnectionError:
-            return
-        # The response is on the wire; now it is safe to stop accepting.
-        if request.get("op") == "shutdown" and response.get("ok"):
-            self._stopping.set()
+    async def _drained(self) -> None:
+        # Every request task has answered; flush whatever the batchers
+        # still hold (e.g. requests whose flush task had not run yet).
+        for session in list(self.sessions.values()):
+            await session.batcher.drain()
 
-    async def handle_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """One connection: read frames, answer each in its own task."""
-        write_lock = asyncio.Lock()
-        tasks: set[asyncio.Task] = set()
-        try:
-            while True:
-                try:
-                    request = await protocol.read_message(reader)
-                except protocol.ProtocolError as exc:
-                    async with write_lock:
-                        await protocol.write_message(
-                            writer,
-                            protocol.error_response(None, "ProtocolError", str(exc)),
-                        )
-                    break
-                if request is None:
-                    break
-                task = asyncio.create_task(self._respond(request, writer, write_lock))
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
-        except ConnectionError:
-            pass
-        except asyncio.CancelledError:
-            # Event-loop teardown after shutdown: close the transport and
-            # exit quietly instead of surfacing a cancellation traceback.
-            pass
-        finally:
-            # Cleanup must not surface a second CancelledError (e.g. the
-            # event loop tearing down after ``shutdown``): a handler task
-            # that ends "cancelled" would be logged as a callback error.
-            with contextlib.suppress(asyncio.CancelledError):
-                if tasks:
-                    await asyncio.gather(*tasks, return_exceptions=True)
-            writer.close()
-            with contextlib.suppress(asyncio.CancelledError, ConnectionError):
-                await writer.wait_closed()
-
-    async def serve(
-        self,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        *,
-        port_file: object | None = None,
-        on_ready: Callable[[str, int], None] | None = None,
-    ) -> None:
-        """Listen until a ``shutdown`` request arrives.
-
-        ``port=0`` binds an ephemeral port; the bound address lands in
-        :attr:`address`, in ``port_file`` (just the port number — what the
-        CI smoke job polls for) and in the ``on_ready`` callback.
-        """
-        server = await asyncio.start_server(
-            self.handle_client, host, port, limit=protocol.MAX_LINE_BYTES
-        )
-        sockname = server.sockets[0].getsockname()
-        self.address = (sockname[0], sockname[1])
-        if port_file is not None:
-            pathlib.Path(port_file).write_text(f"{self.address[1]}\n")
-        if on_ready is not None:
-            on_ready(self.address[0], self.address[1])
-        try:
-            async with server:
-                await self._stopping.wait()
-        finally:
-            for session in self.sessions.values():
-                session.close()
+    async def _cleanup(self) -> None:
+        for session in self.sessions.values():
+            session.close()
 
 
 def run_server(
@@ -472,10 +636,17 @@ def run_server(
     port_file: object | None = None,
     on_ready: Callable[[str, int], None] | None = None,
 ) -> None:
-    """Blocking entry point used by ``repro serve``."""
+    """Blocking entry point used by ``repro serve``.
+
+    Installs SIGTERM/SIGINT handlers: either signal triggers the graceful
+    drain (stop accepting, answer in-flight requests, flush batchers) and
+    the process exits 0.
+    """
     service = KrigingService(
         snapshot_dir=snapshot_dir, max_batch=max_batch, max_delay_ms=max_delay_ms
     )
     asyncio.run(
-        service.serve(host, port, port_file=port_file, on_ready=on_ready)
+        service.serve(
+            host, port, port_file=port_file, on_ready=on_ready, handle_signals=True
+        )
     )

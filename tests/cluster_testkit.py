@@ -1,0 +1,96 @@
+"""In-process cluster harness for tests.
+
+Runs a real :class:`~repro.cluster.router.ClusterRouter` plus N real
+:class:`~repro.service.server.KrigingService` workers on one event loop,
+all on ephemeral loopback ports speaking the real wire protocol — so
+cluster tests cover framing, routing, admission, migration and failover
+end to end without subprocess start-up cost.
+
+Worker "death" is simulated by severing the router→worker connection
+(:func:`sever_worker`): health pings then fail exactly as they would for
+a killed process, driving the same failover path.  The subprocess
+spawn/kill path is exercised by the CLI smoke test and the cluster
+benchmark's failover drill.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.cluster import ClusterRouter, WorkerHandle, WorkerSupervisor
+from repro.service.client import AsyncServiceClient
+from repro.service.server import KrigingService
+
+NV = 3
+SIMULATOR = {"kind": "linear", "coefficients": [1.0, -2.0, 0.5], "offset": -6.0}
+SESSION_KWARGS = dict(
+    simulator=SIMULATOR, num_variables=NV, distance=4.0, variogram="linear"
+)
+
+
+def run_cluster(
+    test_body,
+    *,
+    tmp_path,
+    workers=2,
+    supervisor_kwargs=None,
+    **router_kwargs,
+):
+    """Run ``await test_body(client, router, services, supervisor)`` against
+    a live in-process cluster; returns the body's return value.
+
+    ``supervisor_kwargs``: None attaches no supervisor (tests drive
+    failover by hand); a dict attaches one (its loops start with the
+    router, so pass short intervals deliberately).
+    """
+
+    async def main():
+        router = ClusterRouter(replica_dir=tmp_path, **router_kwargs)
+        supervisor = (
+            WorkerSupervisor(router, **supervisor_kwargs)
+            if supervisor_kwargs is not None
+            else None
+        )
+        services: list[KrigingService] = []
+        tasks: list[asyncio.Task] = []
+        for index in range(workers):
+            service = KrigingService(snapshot_dir=tmp_path)
+            tasks.append(asyncio.create_task(service.serve("127.0.0.1", 0)))
+            while service.address is None:
+                await asyncio.sleep(0.005)
+            await router.add_worker(WorkerHandle(f"w{index}", *service.address))
+            services.append(service)
+        router_task = asyncio.create_task(router.serve("127.0.0.1", 0))
+        try:
+            while router.address is None:
+                await asyncio.sleep(0.005)
+            async with await AsyncServiceClient.connect(*router.address) as client:
+                return await test_body(client, router, services, supervisor)
+        finally:
+            router.stop()
+            # Router teardown asks live workers to shut down; severed ones
+            # never saw the request, so stop them directly as well.
+            await asyncio.wait_for(router_task, 15)
+            for service, task in zip(services, tasks):
+                if not task.done():
+                    service.stop()
+                    await asyncio.wait_for(task, 10)
+
+    return asyncio.run(main())
+
+
+def sever_worker(router: ClusterRouter, worker_id: str) -> None:
+    """Cut the router's connection to a worker (simulates abrupt death:
+    the next health ping fails just like it would for a SIGKILLed process)."""
+    router.workers[worker_id].client._writer.close()
+
+
+async def detect_death(supervisor: WorkerSupervisor, worker_id: str) -> None:
+    """Run health passes until the worker is declared dead (bounded)."""
+    handle = supervisor.router.workers[worker_id]
+    for _ in range(20):
+        if not handle.alive:
+            return
+        await supervisor.check_health()
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"worker {worker_id!r} was never declared dead")

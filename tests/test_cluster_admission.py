@@ -1,0 +1,141 @@
+"""Admission control: caps, FIFO queueing, structured rejection, loss."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.admission import AdmissionController, Overloaded, WorkerLost
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestValidation:
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+    def test_release_without_acquire(self):
+        async def body():
+            ctl = AdmissionController()
+            with pytest.raises(RuntimeError):
+                ctl.release("w0")
+
+        run(body())
+
+
+class TestCapAndQueue:
+    def test_under_cap_admits_immediately(self):
+        async def body():
+            ctl = AdmissionController(max_inflight=2, max_queue=0)
+            await ctl.acquire("w0")
+            await ctl.acquire("w0")
+            assert ctl.inflight("w0") == 2
+            ctl.release("w0")
+            ctl.release("w0")
+            assert ctl.inflight("w0") == 0
+
+        run(body())
+
+    def test_per_worker_isolation(self):
+        async def body():
+            ctl = AdmissionController(max_inflight=1, max_queue=0)
+            await ctl.acquire("w0")
+            await ctl.acquire("w1")  # w1's cap is its own
+            assert ctl.inflight("w0") == ctl.inflight("w1") == 1
+
+        run(body())
+
+    def test_beyond_cap_and_queue_rejects_with_hint(self):
+        async def body():
+            ctl = AdmissionController(max_inflight=1, max_queue=0)
+            await ctl.acquire("w0")
+            with pytest.raises(Overloaded) as err:
+                await ctl.acquire("w0")
+            assert err.value.worker == "w0"
+            assert err.value.retry_after_ms >= ctl.RETRY_HINT_MS
+            assert ctl.stats()["rejected"] == 1
+
+        run(body())
+
+    def test_queue_admits_fifo(self):
+        async def body():
+            ctl = AdmissionController(max_inflight=1, max_queue=4)
+            await ctl.acquire("w0")
+            order = []
+
+            async def waiter(tag):
+                await ctl.acquire("w0")
+                order.append(tag)
+
+            tasks = [asyncio.create_task(waiter(i)) for i in range(3)]
+            await asyncio.sleep(0.01)
+            assert ctl.waiting("w0") == 3
+            for _ in range(3):
+                ctl.release("w0")
+                await asyncio.sleep(0.01)
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2]  # oldest waiter first, no stampede
+            assert ctl.inflight("w0") == 1  # the last waiter still holds it
+
+        run(body())
+
+    def test_deeper_queue_means_longer_hint(self):
+        ctl = AdmissionController(max_inflight=4, max_queue=100)
+        assert ctl.retry_hint_ms(40) > ctl.retry_hint_ms(4) > 0
+
+
+class TestCancellationAndLoss:
+    def test_cancelled_waiter_leaves_the_queue(self):
+        async def body():
+            ctl = AdmissionController(max_inflight=1, max_queue=4)
+            await ctl.acquire("w0")
+            task = asyncio.create_task(ctl.acquire("w0"))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert ctl.waiting("w0") == 0
+            ctl.release("w0")
+            assert ctl.inflight("w0") == 0  # the slot was freed, not leaked
+
+        run(body())
+
+    def test_forget_fails_waiters_fast(self):
+        async def body():
+            ctl = AdmissionController(max_inflight=1, max_queue=4)
+            await ctl.acquire("w0")
+            tasks = [asyncio.create_task(ctl.acquire("w0")) for _ in range(2)]
+            await asyncio.sleep(0.01)
+            ctl.forget("w0")
+            for task in tasks:
+                with pytest.raises(WorkerLost):
+                    await task
+            ctl.forget("w0")  # idempotent
+
+        run(body())
+
+    def test_stats_shape(self):
+        async def body():
+            ctl = AdmissionController(max_inflight=1, max_queue=1)
+            await ctl.acquire("w0")
+            stats = ctl.stats()
+            assert stats["max_inflight"] == 1
+            assert stats["admitted"] == 1
+            assert stats["inflight"] == {"w0": 1}
+
+        run(body())
+
+    def test_admit_context_manager_releases_on_error(self):
+        async def body():
+            ctl = AdmissionController(max_inflight=1, max_queue=0)
+            with pytest.raises(RuntimeError):
+                async with ctl.admit("w0"):
+                    assert ctl.inflight("w0") == 1
+                    raise RuntimeError("boom")
+            assert ctl.inflight("w0") == 0
+
+        run(body())

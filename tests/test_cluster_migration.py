@@ -1,0 +1,159 @@
+"""Live migration: correctness of the drain → snapshot → restore → flip
+choreography, bit-identical answers, byte-identical snapshots, and
+behaviour under concurrent traffic."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from cluster_testkit import NV, SESSION_KWARGS, run_cluster
+from repro.cluster.migration import pick_target, replica_path
+from repro.service.protocol import RemoteError
+
+
+def _support(n=30, seed=3):
+    rng = np.random.default_rng(seed)
+    return np.unique(rng.integers(0, 6, size=(n, NV)), axis=0).astype(float).tolist()
+
+
+class TestMigrate:
+    def test_migrate_moves_session_and_preserves_answers(self, tmp_path):
+        support = _support()
+        queries = [[c + 0.25 for c in cfg] for cfg in support[:6]]
+
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="mover", worker="w0", **SESSION_KWARGS
+            )
+            # A pinned, never-migrated replica of the same session state is
+            # the control: the migrated session must answer identically.
+            await client.request(
+                "create_session", session="control", worker="w1", **SESSION_KWARGS
+            )
+            for name in ("mover", "control"):
+                await client.simulate_many(name, support)
+
+            before = [
+                (o.value, o.variance, o.n_neighbors)
+                for o in await client.evaluate_many("mover", queries)
+            ]
+            result = await client.migrate("mover")
+            assert result["source"] == "w0"
+            assert result["target"] == "w1"
+            assert router.table["mover"] == "w1"
+            assert "mover" in router.workers["w1"].sessions
+            assert "mover" not in router.workers["w0"].sessions
+            assert "mover" not in router.draining  # marker cleared
+
+            after = [
+                (o.value, o.variance, o.n_neighbors)
+                for o in await client.evaluate_many("mover", queries)
+            ]
+            control = [
+                (o.value, o.variance, o.n_neighbors)
+                for o in await client.evaluate_many("control", queries)
+            ]
+            assert after == before  # migration changed nothing the client sees
+            assert after == control  # and matches the never-migrated twin
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_migrated_snapshot_is_byte_identical_to_premigration(self, tmp_path):
+        support = _support(seed=4)
+
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            await client.simulate_many("s", support)
+            await client.snapshot("s", path=str(tmp_path / "before.npz"))
+            await client.migrate("s", worker="w1")
+            await client.snapshot("s", path=str(tmp_path / "after.npz"))
+            before = (tmp_path / "before.npz").read_bytes()
+            after = (tmp_path / "after.npz").read_bytes()
+            assert before == after  # the move was bit-perfect
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_migration_refreshes_replica(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            assert not replica_path(tmp_path, "s").exists()
+            await client.migrate("s", worker="w1")
+            # The migration snapshot doubles as the failover replica.
+            assert replica_path(tmp_path, "s").exists()
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_migrate_errors(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            with pytest.raises(RemoteError) as err:
+                await client.migrate("ghost")
+            assert err.value.kind == "UnknownSession"
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            with pytest.raises(RemoteError) as err:
+                await client.migrate("s", worker="w0")  # already there
+            assert err.value.kind == "BadRequest"
+            with pytest.raises(RemoteError) as err:
+                await client.migrate("s", worker="nope")
+            assert err.value.kind == "BadRequest"
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_concurrent_traffic_during_migration(self, tmp_path):
+        """Requests racing a migration all succeed and stay correct: the
+        router holds them while the session drains and releases them
+        against the new owner."""
+        support = _support(seed=5)
+        query = [1.25, 2.25, 0.25]
+
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="busy", worker="w0", **SESSION_KWARGS
+            )
+            await client.simulate_many("busy", support)
+            baseline = (await client.evaluate("busy", query)).value
+
+            async def traffic():
+                values = []
+                for _ in range(20):
+                    values.append((await client.evaluate("busy", query)).value)
+                    await asyncio.sleep(0.001)
+                return values
+
+            traffic_tasks = [asyncio.create_task(traffic()) for _ in range(3)]
+            await asyncio.sleep(0.01)  # let traffic start flowing
+            result = await client.migrate("busy", worker="w1")
+            assert result["target"] == "w1"
+            all_values = sum(await asyncio.gather(*traffic_tasks), [])
+            assert len(all_values) == 60  # nothing lost, nothing errored
+            assert all(v == baseline for v in all_values)
+            assert router.table["busy"] == "w1"
+
+        run_cluster(body, tmp_path=tmp_path)
+
+
+class TestPickTarget:
+    def test_least_loaded_wins(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="a", worker="w0", **SESSION_KWARGS
+            )
+            await client.request(
+                "create_session", session="b", worker="w1", **SESSION_KWARGS
+            )
+            await client.request(
+                "create_session", session="c", worker="w1", **SESSION_KWARGS
+            )
+            # w2 has nothing: it must be the target for anything moving.
+            assert pick_target(router, exclude={"w0"}) == "w2"
+            assert pick_target(router, exclude=set()) == "w2"
+            with pytest.raises(Exception):
+                pick_target(router, exclude={"w0", "w1", "w2"})
+
+        run_cluster(body, tmp_path=tmp_path, workers=3)

@@ -1,0 +1,106 @@
+"""Consistent-hash ring: stability, balance, minimal movement."""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+
+
+def keys(n):
+    return [f"session-{i}" for i in range(n)]
+
+
+class TestBasics:
+    def test_empty_ring_rejects_assignment(self):
+        with pytest.raises(LookupError):
+            HashRing().assign("anything")
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_worker_id_validated(self):
+        with pytest.raises(ValueError):
+            HashRing().add("")
+
+    def test_membership_and_len(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.workers == ["a", "b"]
+
+    def test_add_and_remove_idempotent(self):
+        ring = HashRing(["a"])
+        ring.add("a")
+        assert len(ring) == 1
+        ring.remove("ghost")  # no-op
+        ring.remove("a")
+        assert len(ring) == 0
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        # Two independently built rings (even with different insertion
+        # order) agree on every key: placement must be reproducible in any
+        # process, which is why hashing is BLAKE2b and not hash().
+        one = HashRing(["w0", "w1", "w2"])
+        two = HashRing(["w2", "w0", "w1"])
+        for key in keys(200):
+            assert one.assign(key) == two.assign(key)
+
+    def test_roughly_balanced(self):
+        ring = HashRing([f"w{i}" for i in range(4)])
+        counts = {w: 0 for w in ring.workers}
+        for key in keys(4000):
+            counts[ring.assign(key)] += 1
+        for count in counts.values():
+            # Fair share is 1000; DEFAULT_REPLICAS keeps the skew modest.
+            assert 500 < count < 1600, counts
+
+    def test_removal_moves_only_the_removed_workers_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {key: ring.assign(key) for key in keys(500)}
+        ring.remove("w1")
+        for key, owner in before.items():
+            if owner == "w1":
+                assert ring.assign(key) in ("w0", "w2")
+            else:
+                assert ring.assign(key) == owner  # survivors keep their keys
+
+    def test_addition_only_steals_keys(self):
+        ring = HashRing(["w0", "w1"])
+        before = {key: ring.assign(key) for key in keys(500)}
+        ring.add("w2")
+        moved = 0
+        for key, owner in before.items():
+            after = ring.assign(key)
+            if after != owner:
+                assert after == "w2"  # keys only ever move *to* the newcomer
+                moved += 1
+        assert 0 < moved < len(before)  # it took some, not everything
+
+
+class TestPreference:
+    def test_first_preference_is_the_assignment(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in keys(100):
+            assert next(ring.preference(key)) == ring.assign(key)
+
+    def test_preference_lists_every_worker_once(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        for key in keys(50):
+            order = list(ring.preference(key))
+            assert sorted(order) == ring.workers
+            assert len(set(order)) == len(order)
+
+    def test_preference_predicts_failover_target(self):
+        # The second preference is exactly where the key lands if its
+        # owner disappears — the invariant the failover path relies on.
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in keys(100):
+            first, second = list(ring.preference(key))[:2]
+            ring.remove(first)
+            assert ring.assign(key) == second
+            ring.add(first)
+
+    def test_empty_ring_preference(self):
+        assert list(HashRing().preference("k")) == []

@@ -1,0 +1,254 @@
+"""End-to-end router tests: placement, proxying, admission, equivalence.
+
+Everything runs against a real router and real workers over loopback TCP
+(see ``cluster_testkit``); clients are the unchanged service clients —
+the transparency contract under test.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from cluster_testkit import NV, SESSION_KWARGS, SIMULATOR, run_cluster
+from repro.cluster.migration import replica_path
+from repro.core.estimator import KrigingEstimator
+from repro.service.protocol import RemoteError
+
+
+def _field(config):
+    return float(np.asarray(config, dtype=float) @ np.array([1.0, -2.0, 0.5]) - 6.0)
+
+
+def _configs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [[float(v) for v in row] for row in rng.integers(0, 6, size=(n, NV))]
+
+
+class TestRoutingVerbs:
+    def test_ping_reports_router_role_and_fleet(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            info = await client.ping()
+            assert info["role"] == "router"
+            assert info["workers"] == 2
+            assert info["sessions"] == 0
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_create_routes_by_ring_and_reports_worker(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            placed = {}
+            for name in ("alpha", "beta", "gamma", "delta"):
+                info = await client.create_session(name, **SESSION_KWARGS)
+                assert info["worker"] == router.ring.assign(name)
+                placed[name] = info["worker"]
+            assert router.table == placed
+            # Both list_sessions and stats merge across workers and
+            # annotate each row with its owner.
+            rows = await client.list_sessions()
+            assert {r["session"]: r["worker"] for r in rows} == placed
+            stats = await client.stats()
+            assert {r["session"]: r["worker"] for r in stats["sessions"]} == placed
+            assert stats["cluster"]["counters"]["migrations"] == 0
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_worker_pin_overrides_ring(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            for name in ("a1", "a2"):
+                info = await client.request(
+                    "create_session", session=name, worker="w1", **SESSION_KWARGS
+                )
+                assert info["worker"] == "w1"
+            with pytest.raises(RemoteError) as err:
+                await client.request(
+                    "create_session", session="a3", worker="ghost", **SESSION_KWARGS
+                )
+            assert err.value.kind == "BadRequest"
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_unknown_session_and_ops(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            with pytest.raises(RemoteError) as err:
+                await client.evaluate("ghost", [1, 2, 3])
+            assert err.value.kind == "UnknownSession"
+            with pytest.raises(RemoteError) as err:
+                await client.request("frobnicate")
+            assert err.value.kind == "UnknownOp"
+            with pytest.raises(RemoteError) as err:
+                await client.request("evaluate")  # no session field
+            assert err.value.kind == "UnknownOp"
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_worker_errors_pass_through_verbatim(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.create_session("s", **SESSION_KWARGS)
+            with pytest.raises(RemoteError) as err:
+                await client.evaluate("s", [1.0])  # wrong arity
+            assert err.value.kind == "BadRequest"
+            assert "3 numbers" in str(err.value)
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_delete_session_clears_route_and_replica(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.create_session("doomed", **SESSION_KWARGS)
+            await client.replicate("doomed")
+            assert replica_path(tmp_path, "doomed").exists()
+            await client.delete_session("doomed")
+            assert "doomed" not in router.table
+            assert not replica_path(tmp_path, "doomed").exists()
+            with pytest.raises(RemoteError) as err:
+                await client.evaluate("doomed", [1, 2, 3])
+            assert err.value.kind == "UnknownSession"
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_restore_requires_explicit_session_name(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.create_session("orig", **SESSION_KWARGS)
+            await client.simulate("orig", [1.0, 2.0, 3.0])
+            path = str(tmp_path / "orig-snap.npz")
+            await client.snapshot("orig", path=path)
+            with pytest.raises(RemoteError) as err:
+                await client.restore(path=path)  # no session name
+            assert err.value.kind == "BadRequest"
+            info = await client.restore(path=path, session="copy")
+            assert info["session"] == "copy"
+            assert router.table["copy"] == info["worker"]
+            out = await client.evaluate("copy", [1.0, 2.0, 3.0])
+            assert out.exact_hit
+
+        run_cluster(body, tmp_path=tmp_path)
+
+
+class TestEquivalence:
+    def test_cluster_matches_local_estimator_bitwise(self, tmp_path):
+        """Two sessions pinned to two different workers answer exactly —
+        bit for bit — like a local estimator fed the same sequence;
+        sharding must not change a single bit of any answer."""
+        rng = np.random.default_rng(1)
+        support = np.unique(rng.integers(0, 6, size=(40, NV)), axis=0).astype(float)
+        queries = np.vstack([support[:8] + 0.25, support[:3]])  # interp + exact
+
+        async def body(client, router, services, supervisor):
+            for name, worker in (("left", "w0"), ("right", "w1")):
+                await client.request(
+                    "create_session", session=name, worker=worker, **SESSION_KWARGS
+                )
+            results = {}
+            for name in ("left", "right"):
+                await client.simulate_many(name, support.tolist())
+                # Single queries take the single-evaluate path; the bulk
+                # call takes evaluate_batch — compare each to its local twin.
+                singles = [
+                    await client.evaluate(name, q) for q in queries.tolist()
+                ]
+                bulk = await client.evaluate_many(name, queries.tolist())
+                results[name] = (
+                    [(o.value, o.variance, o.n_neighbors, o.exact_hit) for o in singles],
+                    [(o.value, o.variance, o.n_neighbors, o.exact_hit) for o in bulk],
+                )
+            return results
+
+        remote = run_cluster(body, tmp_path=tmp_path)
+
+        local = KrigingEstimator(_field, NV, distance=4.0, variogram="linear")
+        for point in support:
+            local.record_measurement(point, _field(point))
+        # A remote single evaluate is flushed by the micro-batcher as a
+        # batch of one; its local twin is evaluate_batch([q]).
+        expected_singles = [
+            (o.value, o.variance, o.n_neighbors, o.exact_hit)
+            for o in (local.evaluate_batch([q])[0] for q in queries)
+        ]
+        expected_bulk = [
+            (o.value, o.variance, o.n_neighbors, o.exact_hit)
+            for o in local.evaluate_batch(queries)
+        ]
+        for name in ("left", "right"):
+            singles, bulk = remote[name]
+            assert singles == expected_singles
+            assert bulk == expected_bulk
+
+    def test_sessions_are_independent_across_workers(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="sa", worker="w0", **SESSION_KWARGS
+            )
+            await client.request(
+                "create_session", session="sb", worker="w1", **SESSION_KWARGS
+            )
+            await client.simulate("sa", [1.0, 1.0, 1.0])
+            stats_a = await client.stats("sa")
+            stats_b = await client.stats("sb")
+            assert stats_a["cache_size"] == 1
+            assert stats_b["cache_size"] == 0
+
+        run_cluster(body, tmp_path=tmp_path)
+
+
+class TestAdmission:
+    def test_overload_rejects_with_retry_hint(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.create_session("hot", **SESSION_KWARGS)
+            config = [1.0, 2.0, 3.0]
+            await client.simulate("hot", config)
+            # Pipeline far more requests than the single slot + empty
+            # queue admit; the surplus must be rejected, not buffered.
+            tasks = [
+                asyncio.create_task(client.evaluate("hot", config))
+                for _ in range(12)
+            ]
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            rejected = [
+                e
+                for e in outcomes
+                if isinstance(e, RemoteError) and e.kind == "Overloaded"
+            ]
+            succeeded = [o for o in outcomes if not isinstance(o, Exception)]
+            assert rejected, "overload never triggered"
+            assert succeeded, "admission starved every request"
+            for error in rejected:
+                assert error.retry_after_ms is not None
+                assert error.retry_after_ms > 0
+            stats = await client.cluster_stats()
+            assert stats["admission"]["rejected"] == len(rejected)
+
+        run_cluster(
+            body, tmp_path=tmp_path, workers=1, max_inflight=1, max_queue=2
+        )
+
+    def test_queue_absorbs_bursts_without_rejection(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.create_session("s", **SESSION_KWARGS)
+            config = [1.0, 2.0, 3.0]
+            await client.simulate("s", config)
+            tasks = [
+                asyncio.create_task(client.evaluate("s", config)) for _ in range(8)
+            ]
+            outcomes = await asyncio.gather(*tasks)
+            assert len(outcomes) == 8
+            stats = await client.cluster_stats()
+            assert stats["admission"]["rejected"] == 0
+            assert stats["admission"]["queued"] > 0  # the burst did queue
+
+        run_cluster(
+            body, tmp_path=tmp_path, workers=1, max_inflight=2, max_queue=32
+        )
+
+
+class TestClusterStats:
+    def test_topology_shape(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await client.create_session("s", **SESSION_KWARGS)
+            stats = await client.cluster_stats()
+            assert [w["worker"] for w in stats["workers"]] == ["w0", "w1"]
+            assert all(w["alive"] for w in stats["workers"])
+            assert stats["table"] == {"s": router.table["s"]}
+            assert stats["counters"]["proxied"] > 0
+            assert stats["replica_dir"] == str(tmp_path)
+
+        run_cluster(body, tmp_path=tmp_path)

@@ -1,0 +1,184 @@
+"""ServiceClient reconnect/backoff behaviour against scripted servers."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import protocol
+from repro.service.client import RETRYABLE_KINDS, ServiceClient
+from repro.service.protocol import RemoteError
+from repro.service.server import JsonLineServer, ServiceError
+
+
+class ScriptedService(JsonLineServer):
+    """Answers ``ping`` normally; one scripted failure per ``fail`` entry
+    (consumed in order) for any other op."""
+
+    def __init__(self, failures):
+        super().__init__()
+        self.failures = list(failures)
+        self.calls = 0
+
+    async def dispatch(self, request):
+        if request.get("op") == "ping":
+            return {"pong": True}
+        self.calls += 1
+        if self.failures:
+            kind, details = self.failures.pop(0)
+            raise ServiceError(kind, f"scripted {kind}", **details)
+        return {"ok_after": self.calls}
+
+
+class ServerThread:
+    """Run any JsonLineServer on a background thread with its own loop."""
+
+    def __init__(self, service):
+        self.service = service
+        self.ready = threading.Event()
+        self.port = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self.ready.wait(10), "server never came up"
+
+    def _run(self):
+        def on_ready(host, port):
+            self.port = port
+            self.ready.set()
+
+        asyncio.run(self.service.serve("127.0.0.1", 0, on_ready=on_ready))
+
+    def stop(self):
+        with ServiceClient("127.0.0.1", self.port, timeout=5) as client:
+            client.request("shutdown")
+        self.thread.join(timeout=10)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        try:
+            if self.thread.is_alive():
+                self.stop()
+        except Exception:
+            pass
+
+
+class TestRetryableErrors:
+    def test_default_is_fail_fast(self):
+        with ServerThread(ScriptedService([("Overloaded", {"retry_after_ms": 1})])) as st:
+            with ServiceClient("127.0.0.1", st.port) as client:
+                with pytest.raises(RemoteError) as err:
+                    client.request("work")
+                assert err.value.kind == "Overloaded"
+                assert err.value.retry_after_ms == 1
+
+    def test_retries_overloaded_until_success(self):
+        failures = [("Overloaded", {"retry_after_ms": 1})] * 2
+        with ServerThread(ScriptedService(failures)) as st:
+            with ServiceClient("127.0.0.1", st.port, retries=3) as client:
+                result = client.request("work")
+                assert result["ok_after"] == 3  # two rejections, then served
+
+    def test_retries_exhausted_raises_last_error(self):
+        failures = [("Unavailable", {"retry_after_ms": 1})] * 5
+        with ServerThread(ScriptedService(failures)) as st:
+            with ServiceClient("127.0.0.1", st.port, retries=2) as client:
+                with pytest.raises(RemoteError) as err:
+                    client.request("work")
+                assert err.value.kind == "Unavailable"
+                assert st.service.calls == 3  # initial try + 2 retries
+
+    def test_non_retryable_kinds_never_retry(self):
+        with ServerThread(ScriptedService([("BadRequest", {})])) as st:
+            with ServiceClient("127.0.0.1", st.port, retries=5) as client:
+                with pytest.raises(RemoteError) as err:
+                    client.request("work")
+                assert err.value.kind == "BadRequest"
+                assert st.service.calls == 1
+
+    def test_retryable_kinds_are_the_documented_set(self):
+        assert RETRYABLE_KINDS == {"Overloaded", "Unavailable"}
+
+
+class DropFirstConnections:
+    """Raw TCP server: drops the first N connections on arrival, then
+    proxies the rest to a ScriptedService-style dispatch."""
+
+    def __init__(self, drops):
+        self.drops = drops
+        self.accepted = 0
+        self.ready = threading.Event()
+        self.port = None
+        self.stop_event = None
+        self.loop = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self.ready.wait(10)
+
+    def _run(self):
+        async def main():
+            self.loop = asyncio.get_running_loop()
+            self.stop_event = asyncio.Event()
+
+            async def handle(reader, writer):
+                self.accepted += 1
+                if self.accepted <= self.drops:
+                    writer.close()  # simulates a server dying mid-session
+                    return
+                while True:
+                    request = await protocol.read_message(reader)
+                    if request is None:
+                        break
+                    await protocol.write_message(
+                        writer,
+                        protocol.ok_response(request.get("id"), {"served": True}),
+                    )
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            self.port = server.sockets[0].getsockname()[1]
+            self.ready.set()
+            async with server:
+                await self.stop_event.wait()
+
+        asyncio.run(main())
+
+    def stop(self):
+        self.loop.call_soon_threadsafe(self.stop_event.set)
+        self.thread.join(timeout=10)
+
+
+class TestReconnect:
+    def test_reconnects_after_connection_drop(self):
+        server = DropFirstConnections(drops=1)
+        try:
+            # The constructor's connection is the one that gets dropped;
+            # with retries the request reconnects and succeeds.
+            client = ServiceClient("127.0.0.1", server.port, retries=2)
+            assert client.request("work") == {"served": True}
+            client.close()
+        finally:
+            server.stop()
+
+    def test_no_retries_surfaces_connection_error(self):
+        server = DropFirstConnections(drops=2)
+        try:
+            client = ServiceClient("127.0.0.1", server.port)
+            with pytest.raises(ConnectionError):
+                client.request("work")
+            client.close()
+        finally:
+            server.stop()
+
+    def test_backoff_honours_server_hint_and_caps(self):
+        client = ServiceClient.__new__(ServiceClient)  # no connection needed
+        client.backoff_base = 0.05
+        client.backoff_max = 0.2
+        import time
+
+        t0 = time.perf_counter()
+        client._backoff(0, hint_ms=1.0)
+        assert time.perf_counter() - t0 < 0.05  # hint overrides exponential
+        t0 = time.perf_counter()
+        client._backoff(10)  # 0.05 * 2^10 would be 51s; the cap bounds it
+        assert time.perf_counter() - t0 < 0.5

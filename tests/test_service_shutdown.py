@@ -1,0 +1,259 @@
+"""Graceful shutdown: signals, drain, and snapshot-path hardening.
+
+The signal tests spawn a real ``repro serve`` subprocess and assert the
+operator contract: SIGTERM/SIGINT stop the listener, drain in-flight
+work and exit 0 — never a traceback, never a dropped accepted request.
+"""
+
+import asyncio
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.protocol import RemoteError
+from repro.service.server import KrigingService
+
+NV = 3
+SIMULATOR = {"kind": "linear", "coefficients": [1.0, -2.0, 0.5], "offset": -6.0}
+SESSION_KWARGS = dict(
+    simulator=SIMULATOR, num_variables=NV, distance=4.0, variogram="linear"
+)
+
+
+def _spawn_server(tmp_path, *extra):
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    port_file = tmp_path / "port"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 60
+    while True:
+        try:
+            text = port_file.read_text().strip()
+            if text:
+                return process, int(text)
+        except FileNotFoundError:
+            pass
+        if process.poll() is not None or time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("server did not start")
+        time.sleep(0.02)
+
+
+class TestSignals:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_exits_zero_after_serving(self, tmp_path, signum):
+        process, port = _spawn_server(tmp_path)
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=30) as client:
+                client.create_session("s", **SESSION_KWARGS)
+                client.simulate("s", [1.0, 2.0, 3.0])
+            process.send_signal(signum)
+            returncode = process.wait(timeout=30)
+            stderr = process.stderr.read().decode()
+            assert returncode == 0, stderr
+            assert "Traceback" not in stderr
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+    def test_sigterm_with_no_activity(self, tmp_path):
+        process, _port = _spawn_server(tmp_path)
+        try:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+
+class TestDrain:
+    def test_stop_answers_every_inflight_request(self, tmp_path):
+        """stop() mid-burst: the listener closes but every accepted
+        request is answered before serve() returns."""
+
+        async def main():
+            service = KrigingService()
+            server_task = asyncio.create_task(service.serve("127.0.0.1", 0))
+            while service.address is None:
+                await asyncio.sleep(0.005)
+            async with await AsyncServiceClient.connect(*service.address) as client:
+                await client.create_session(
+                    "s", max_delay_ms=20.0, **SESSION_KWARGS
+                )
+                await client.simulate("s", [1.0, 2.0, 3.0])
+                tasks = [
+                    asyncio.create_task(client.evaluate("s", [1.0, 2.0, 3.0]))
+                    for _ in range(10)
+                ]
+                await asyncio.sleep(0)  # let the requests hit the wire
+                service.stop()
+                outcomes = await asyncio.gather(*tasks)
+                assert len(outcomes) == 10
+                assert all(o.exact_hit for o in outcomes)
+            await asyncio.wait_for(server_task, 15)
+
+        asyncio.run(main())
+
+
+class TestSnapshotPathHardening:
+    def run_with_service(self, tmp_path, body):
+        async def main():
+            snapshot_dir = tmp_path / "snaps"
+            snapshot_dir.mkdir()
+            service = KrigingService(snapshot_dir=snapshot_dir)
+            server_task = asyncio.create_task(service.serve("127.0.0.1", 0))
+            while service.address is None:
+                await asyncio.sleep(0.005)
+            try:
+                async with await AsyncServiceClient.connect(
+                    *service.address
+                ) as client:
+                    await client.create_session("s", **SESSION_KWARGS)
+                    await body(client, snapshot_dir)
+            finally:
+                service.stop()
+                await asyncio.wait_for(server_task, 15)
+
+        asyncio.run(main())
+
+    @pytest.mark.parametrize(
+        "hostile",
+        [
+            "../escape",
+            "..",
+            "a/b",
+            "a\\b",
+            ".hidden",
+            "",
+            "x" * 200,
+            "name\n",
+        ],
+    )
+    def test_hostile_names_rejected(self, tmp_path, hostile):
+        async def body(client, snapshot_dir):
+            with pytest.raises(RemoteError) as err:
+                await client.snapshot("s", name=hostile)
+            assert err.value.kind in ("BadRequest", "ValueError")
+            with pytest.raises(RemoteError) as err:
+                await client.restore(name=hostile, session="t")
+            assert err.value.kind in ("BadRequest", "ValueError")
+            assert list(snapshot_dir.iterdir()) == []  # nothing written
+
+        self.run_with_service(tmp_path, body)
+
+    def test_symlink_escape_rejected(self, tmp_path):
+        """A symlink planted inside the snapshot dir must not let a
+        well-formed name write outside it."""
+
+        async def body(client, snapshot_dir):
+            outside = tmp_path / "outside.npz"
+            (snapshot_dir / "evil.npz").symlink_to(outside)
+            with pytest.raises(RemoteError) as err:
+                await client.snapshot("s", name="evil")
+            assert err.value.kind == "BadRequest"
+            assert not outside.exists()
+
+        self.run_with_service(tmp_path, body)
+
+    def test_honest_names_still_work(self, tmp_path):
+        async def body(client, snapshot_dir):
+            await client.simulate("s", [1.0, 2.0, 3.0])
+            result = await client.snapshot("s", name="good-name_1.0")
+            assert (snapshot_dir / "good-name_1.0.npz").exists()
+            restored = await client.restore(
+                name="good-name_1.0", session="copy"
+            )
+            assert restored["cache_size"] == 1
+            assert result["session"] == "s"
+
+        self.run_with_service(tmp_path, body)
+
+
+class TestSnapshotDuringTraffic:
+    def test_snapshot_concurrent_with_evaluates_is_consistent(self, tmp_path):
+        """A snapshot taken while evaluates are in flight restores to a
+        consistent session: restore succeeds, and re-snapshotting the
+        restored session reproduces the file byte for byte (no torn
+        state can survive that round trip)."""
+
+        async def main():
+            service = KrigingService()
+            server_task = asyncio.create_task(service.serve("127.0.0.1", 0))
+            while service.address is None:
+                await asyncio.sleep(0.005)
+            async with await AsyncServiceClient.connect(*service.address) as client:
+                await client.create_session(
+                    "busy", max_delay_ms=5.0, **SESSION_KWARGS
+                )
+                support = [[float(i), float(j), 1.0] for i in range(4) for j in range(4)]
+                await client.simulate_many("busy", support)
+
+                stop = asyncio.Event()
+
+                async def traffic():
+                    count = 0
+                    while not stop.is_set():
+                        await client.evaluate("busy", [1.3, 2.3, 1.0])
+                        count += 1
+                    return count
+
+                traffic_tasks = [asyncio.create_task(traffic()) for _ in range(4)]
+                snap_path = tmp_path / "mid.npz"
+                for _ in range(5):  # several snapshots mid-stream
+                    await client.snapshot("busy", path=str(snap_path))
+                    await asyncio.sleep(0.005)
+                stop.set()
+                counts = await asyncio.gather(*traffic_tasks)
+                assert sum(counts) > 0
+
+                # Restore under the *same* name (the manifest carries it)
+                # on a second service, so the re-snapshot is byte-comparable.
+                twin = KrigingService()
+                twin_task = asyncio.create_task(twin.serve("127.0.0.1", 0))
+                while twin.address is None:
+                    await asyncio.sleep(0.005)
+                async with await AsyncServiceClient.connect(
+                    *twin.address
+                ) as twin_client:
+                    restored = await twin_client.restore(path=str(snap_path))
+                    assert restored["session"] == "busy"
+                    assert restored["cache_size"] == len(support)
+                    await twin_client.snapshot(
+                        "busy", path=str(tmp_path / "re.npz")
+                    )
+                    assert (
+                        (tmp_path / "re.npz").read_bytes()
+                        == snap_path.read_bytes()
+                    )
+                    # And the restored session answers like the original.
+                    a = await client.evaluate("busy", [1.3, 2.3, 1.0])
+                    b = await twin_client.evaluate("busy", [1.3, 2.3, 1.0])
+                    assert (a.value, a.variance) == (b.value, b.variance)
+                twin.stop()
+                await asyncio.wait_for(twin_task, 15)
+            service.stop()
+            await asyncio.wait_for(server_task, 15)
+
+        asyncio.run(main())
