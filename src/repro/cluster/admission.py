@@ -77,6 +77,9 @@ class AdmissionController:
         self.max_inflight = int(max_inflight)
         self.max_queue = int(max_queue)
         self._gates: dict[str, _WorkerGate] = {}
+        #: Slots still held against workers already dropped by forget();
+        #: their release() calls are absorbed here instead of raising.
+        self._forgotten_inflight: dict[str, int] = {}
         self.admitted = 0
         self.queued = 0
         self.rejected = 0
@@ -130,7 +133,21 @@ class AdmissionController:
         gate.inflight -= 1
 
     def release(self, worker: str) -> None:
-        """Return an in-flight slot (wakes the oldest waiter, FIFO)."""
+        """Return an in-flight slot (wakes the oldest waiter, FIFO).
+
+        A slot acquired before the worker was dropped by :meth:`forget`
+        releases into the void: that is the expected tail of a request
+        that was in flight when the worker died, so it is absorbed
+        silently — raising here would mask the connection error the
+        caller is in the middle of propagating.
+        """
+        left = self._forgotten_inflight.get(worker)
+        if left is not None:
+            if left <= 1:
+                del self._forgotten_inflight[worker]
+            else:
+                self._forgotten_inflight[worker] = left - 1
+            return
         gate = self._gates.get(worker)
         if gate is None or gate.inflight <= 0:
             raise RuntimeError(f"release without acquire for worker {worker!r}")
@@ -146,10 +163,17 @@ class AdmissionController:
 
     def forget(self, worker: str) -> None:
         """Drop a dead worker: fail its waiters fast with
-        :class:`WorkerLost` and discard its counters."""
+        :class:`WorkerLost` and discard its counters.
+
+        Slots still held by in-flight requests are remembered so their
+        eventual :meth:`release` is a no-op rather than an error."""
         gate = self._gates.pop(worker, None)
         if gate is None:
             return
+        if gate.inflight > 0:
+            self._forgotten_inflight[worker] = (
+                self._forgotten_inflight.get(worker, 0) + gate.inflight
+            )
         for future in gate.waiters:
             if not future.done():
                 future.set_exception(WorkerLost(worker))

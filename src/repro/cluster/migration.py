@@ -89,9 +89,11 @@ async def migrate_session(
     5. flip the routing entry;
     6. delete the source copy.
 
-    A failure before step 5 leaves the session where it was; a failure at
-    step 6 leaves a dead copy on the source, which is harmless (the
-    routing table already points at the target).
+    A failure before step 5 leaves the session where it was.  Step 6 runs
+    *after* the migration has committed, so a failure there is logged and
+    reported as ``source_deleted: false`` rather than raised — the shadow
+    copy on the source is harmless (the routing table already points at
+    the target) and raising would make a successful migration look failed.
     """
     source_id = router.table.get(session)
     if source_id is None:
@@ -126,8 +128,17 @@ async def migrate_session(
         source.sessions.discard(session)
         router.migrations += 1
         # The source copy is now shadow state; drop it so its memory (and
-        # any confusion about ownership) goes with it.
-        await source.client.request("delete_session", session=session)
+        # any confusion about ownership) goes with it.  The migration has
+        # already committed, so a failed delete must not raise.
+        source_deleted = True
+        try:
+            await source.client.request("delete_session", session=session)
+        except Exception as exc:  # noqa: BLE001 - post-commit cleanup only
+            source_deleted = False
+            router.log(
+                f"migration of {session!r}: deleting the source copy on "
+                f"{source_id!r} failed (shadow copy left behind): {exc}"
+            )
     finally:
         router.draining.pop(session, None)
         event.set()
@@ -135,6 +146,7 @@ async def migrate_session(
         "session": session,
         "source": source_id,
         "target": target,
+        "source_deleted": source_deleted,
         "snapshot": str(replica_path(router.replica_dir, session)),
         "seconds": round(time.perf_counter() - t0, 6),
     }

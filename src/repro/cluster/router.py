@@ -212,16 +212,20 @@ class ClusterRouter(JsonLineServer):
     async def _forward(self, handle: WorkerHandle, op: str, fields: dict) -> dict:
         """One admitted, accounted round trip to a worker."""
         session = fields.get("session") if isinstance(fields.get("session"), str) else None
+        # Count the request against its session *before* it can wait in
+        # the admission queue (synchronously, so no drain can start in
+        # between): a migration drain must also wait for queued requests,
+        # or it would flip the table and delete the source under them.
+        if session is not None:
+            self.session_inflight_inc(handle, session)
         try:
-            async with self.admission.admit(handle.id):
-                if session is not None:
-                    self.session_inflight_inc(handle, session)
-                try:
+            try:
+                async with self.admission.admit(handle.id):
                     self.proxied += 1
                     return await handle.client.request(op, **fields)
-                finally:
-                    if session is not None:
-                        self.session_inflight_dec(handle, session)
+            finally:
+                if session is not None:
+                    self.session_inflight_dec(handle, session)
         except Overloaded as exc:
             raise ServiceError(
                 "Overloaded", str(exc), retry_after_ms=exc.retry_after_ms

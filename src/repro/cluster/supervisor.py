@@ -122,6 +122,7 @@ class WorkerSupervisor:
         self.ping_timeout = float(ping_timeout)
         self.max_ping_failures = int(max_ping_failures)
         self._tasks: list[asyncio.Task] = []
+        self._spawned = 0  # monotonic: worker ids are never reused
         router.supervisor = self
 
     # ------------------------------------------------------------------
@@ -139,8 +140,9 @@ class WorkerSupervisor:
         replica_dir = self.router.replica_dir
         replica_dir.mkdir(parents=True, exist_ok=True)
         handles: list[WorkerHandle] = []
-        for index in range(count):
-            worker_id = f"w{index}"
+        for _ in range(count):
+            worker_id = f"w{self._spawned}"
+            self._spawned += 1
             process, port = await asyncio.to_thread(
                 lambda wid=worker_id: spawn_worker_process(
                     port_file=replica_dir / f"{wid}.port",

@@ -329,6 +329,16 @@ class AsyncServiceClient(_VerbsMixin):
             await self._receiver
         except (asyncio.CancelledError, Exception):
             pass
+        # Nothing can complete the in-flight futures once the receiver is
+        # gone: fail them so concurrent request() calls return instead of
+        # awaiting forever (e.g. requests proxied to a hung worker whose
+        # client is closed by mark_dead).
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionError("client closed with the request in flight")
+                )
+        self._pending.clear()
         self._writer.close()
         try:
             await self._writer.wait_closed()

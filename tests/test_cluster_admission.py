@@ -118,6 +118,36 @@ class TestCancellationAndLoss:
 
         run(body())
 
+    def test_release_after_forget_is_absorbed(self):
+        """Slots held by in-flight requests when the worker is forgotten
+        release without raising (regression: the release raised
+        RuntimeError, masking the connection error being propagated)."""
+
+        async def body():
+            ctl = AdmissionController(max_inflight=2, max_queue=0)
+            await ctl.acquire("w0")
+            await ctl.acquire("w0")
+            ctl.forget("w0")
+            ctl.release("w0")  # the in-flight requests unwind quietly
+            ctl.release("w0")
+            with pytest.raises(RuntimeError):
+                ctl.release("w0")  # beyond the forgotten slots it is misuse
+
+        run(body())
+
+    def test_admit_propagates_error_after_forget_mid_flight(self):
+        """mark_dead() during a forwarded request must not turn the
+        request's real failure into a release RuntimeError."""
+
+        async def body():
+            ctl = AdmissionController(max_inflight=1, max_queue=0)
+            with pytest.raises(ConnectionError):
+                async with ctl.admit("w0"):
+                    ctl.forget("w0")  # the health loop declared w0 dead
+                    raise ConnectionError("worker died mid-request")
+
+        run(body())
+
     def test_stats_shape(self):
         async def body():
             ctl = AdmissionController(max_inflight=1, max_queue=1)

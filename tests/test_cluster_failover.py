@@ -148,6 +148,82 @@ class TestFailover:
         )
 
 
+class TestMarkDeadMidRequest:
+    def test_inflight_request_maps_to_unavailable_not_internal(self, tmp_path):
+        """mark_dead() while a request is in flight to that worker must
+        still surface the retryable Unavailable hint (regression: the
+        admission release hit the forgotten gate and its RuntimeError
+        escaped as a non-retryable InternalError)."""
+
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            await client.simulate("s", [1.0, 2.0, 3.0])
+            await client.replicate("s")
+
+            handle = router.workers["w0"]
+            in_flight = asyncio.Event()
+            released = asyncio.Event()
+
+            async def hung_request(op, **fields):
+                in_flight.set()
+                await released.wait()
+                raise ConnectionError("worker died mid-request")
+
+            handle.client.request = hung_request
+            task = asyncio.create_task(client.evaluate("s", [1.0, 2.0, 3.0]))
+            await in_flight.wait()
+            # The health loop declares w0 dead with the request in flight;
+            # failover restores the session onto w1 from its replica.
+            await router.mark_dead(handle)
+            released.set()
+            with pytest.raises(RemoteError) as err:
+                await task
+            assert err.value.kind == "Unavailable"
+            assert err.value.retry_after_ms > 0
+            # The retry the hint asks for succeeds against the survivor.
+            out = await client.evaluate("s", [1.0, 2.0, 3.0])
+            assert out.exact_hit
+
+        run_cluster(body, tmp_path=tmp_path, supervisor_kwargs=SUP_KWARGS)
+
+
+class TestSpawnIds:
+    def test_spawn_ids_never_collide_across_calls(self, tmp_path, monkeypatch):
+        """Growing the fleet (or replacing a dead worker) with a second
+        spawn_workers() call must mint fresh ids, not recycle w0.."""
+        from repro.cluster import supervisor as supervisor_mod
+        from repro.cluster.router import ClusterRouter
+
+        class FakeProcess:
+            def poll(self):
+                return None
+
+        async def main():
+            router = ClusterRouter(replica_dir=tmp_path)
+            sup = supervisor_mod.WorkerSupervisor(router)
+            monkeypatch.setattr(
+                supervisor_mod,
+                "spawn_worker_process",
+                lambda **kwargs: (FakeProcess(), 1),
+            )
+            added = []
+
+            async def fake_add(handle):
+                if handle.id in router.workers:
+                    raise ValueError(f"worker {handle.id!r} already registered")
+                added.append(handle.id)
+                router.workers[handle.id] = handle
+
+            monkeypatch.setattr(router, "add_worker", fake_add)
+            await sup.spawn_workers(2)
+            await sup.spawn_workers(2)  # the second call must not collide
+            assert added == ["w0", "w1", "w2", "w3"]
+
+        asyncio.run(main())
+
+
 class TestAdmissionDuringFailover:
     def test_dead_worker_placement_skips_it(self, tmp_path):
         async def body(client, router, services, supervisor):

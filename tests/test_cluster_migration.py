@@ -41,6 +41,7 @@ class TestMigrate:
             result = await client.migrate("mover")
             assert result["source"] == "w0"
             assert result["target"] == "w1"
+            assert result["source_deleted"] is True
             assert router.table["mover"] == "w1"
             assert "mover" in router.workers["w1"].sessions
             assert "mover" not in router.workers["w0"].sessions
@@ -134,6 +135,70 @@ class TestMigrate:
             assert len(all_values) == 60  # nothing lost, nothing errored
             assert all(v == baseline for v in all_values)
             assert router.table["busy"] == "w1"
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_queued_request_is_seen_by_drain(self, tmp_path):
+        """A request waiting in the admission queue already counts as in
+        flight for its session, so the drain waits for it (regression:
+        drain saw zero in-flight, flipped the table and deleted the
+        source under the queued request, which then failed with
+        UnknownSession)."""
+        support = _support(seed=6)
+        query = [1.25, 2.25, 0.25]
+
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="busy", worker="w0", **SESSION_KWARGS
+            )
+            await client.simulate_many("busy", support)
+            baseline = (await client.evaluate("busy", query)).value
+
+            # Occupy w0's only admission slot so the next evaluate queues.
+            await router.admission.acquire("w0")
+            task = asyncio.create_task(client.evaluate("busy", query))
+            while router.admission.waiting("w0") == 0:
+                await asyncio.sleep(0.005)
+            assert router.workers["w0"].session_inflight.get("busy", 0) == 1
+
+            migrate = asyncio.create_task(client.migrate("busy", worker="w1"))
+            await asyncio.sleep(0.05)
+            assert not migrate.done()  # the drain waits for the queued request
+
+            router.admission.release("w0")  # let it run against the source
+            out = await task
+            assert out.value == baseline  # served, not UnknownSession
+            result = await migrate
+            assert result["target"] == "w1"
+            assert router.table["busy"] == "w1"
+
+        run_cluster(body, tmp_path=tmp_path, max_inflight=1, max_queue=8)
+
+    def test_committed_migration_survives_source_delete_failure(self, tmp_path):
+        """Once the routing entry has flipped, a failing source-side
+        delete_session is reported, not raised: the client must be able
+        to tell the migration succeeded."""
+
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            await client.simulate("s", [1.0, 2.0, 3.0])
+            real_request = router.workers["w0"].client.request
+
+            async def flaky(op, **fields):
+                if op == "delete_session":
+                    raise ConnectionError("source died right after the flip")
+                return await real_request(op, **fields)
+
+            router.workers["w0"].client.request = flaky
+            result = await client.migrate("s", worker="w1")
+            assert result["target"] == "w1"
+            assert result["source_deleted"] is False
+            assert router.table["s"] == "w1"
+            assert "s" not in router.draining  # marker still cleaned up
+            out = await client.evaluate("s", [1.0, 2.0, 3.0])
+            assert out.exact_hit  # the target copy serves
 
         run_cluster(body, tmp_path=tmp_path)
 

@@ -6,7 +6,7 @@ import threading
 import pytest
 
 from repro.service import protocol
-from repro.service.client import RETRYABLE_KINDS, ServiceClient
+from repro.service.client import RETRYABLE_KINDS, AsyncServiceClient, ServiceClient
 from repro.service.protocol import RemoteError
 from repro.service.server import JsonLineServer, ServiceError
 
@@ -169,6 +169,30 @@ class TestReconnect:
             client.close()
         finally:
             server.stop()
+
+    def test_async_close_fails_inflight_requests(self):
+        """close() must fail still-pending futures, not strand them: a
+        request in flight to a hung server would otherwise await its
+        future forever (regression: mark_dead closing a hung worker's
+        client permanently hung every proxied request to it)."""
+
+        async def main():
+            async def handle(reader, writer):
+                await reader.read()  # swallow everything, never answer
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await AsyncServiceClient.connect("127.0.0.1", port)
+            task = asyncio.create_task(client.request("ping"))
+            while not client._pending:
+                await asyncio.sleep(0.005)
+            await client.close()
+            with pytest.raises(ConnectionError):
+                await asyncio.wait_for(task, 5)
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
 
     def test_backoff_honours_server_hint_and_caps(self):
         client = ServiceClient.__new__(ServiceClient)  # no connection needed
