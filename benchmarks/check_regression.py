@@ -1,9 +1,12 @@
 """CI gate: compare a fresh benchmark run against its committed baseline.
 
-Understands three report kinds, dispatched on the ``benchmark`` field:
+Understands four report kinds, dispatched on the ``benchmark`` field:
 ``query_engine`` (``bench_query_engine.py``), ``service``
-(``bench_service.py``, the multi-client load generator) and ``cluster``
-(``bench_cluster.py``, the sharded-router scaling/availability drill).
+(``bench_service.py``, the multi-client load generator), ``cluster``
+(``bench_cluster.py``, the sharded-router scaling/availability drill) and
+``chaos`` (``bench_chaos.py``, the seeded fault-injection drill — its
+robustness invariants gate on every machine; its under-fire throughput is
+ratcheted against the baseline only on multi-core boxes).
 Absolute seconds are machine-dependent, so the gate compares the *speedup
 ratios* each benchmark already computes — seed vs engine, or batched vs
 sequential clients, on the same box — which are stable across hardware.
@@ -62,7 +65,7 @@ CLUSTER_MIN_CPUS = 4
 CLUSTER_SPEEDUP_FLOOR = 1.5
 
 #: Report kinds this gate understands.
-KNOWN_BENCHMARKS = ("query_engine", "service", "cluster")
+KNOWN_BENCHMARKS = ("query_engine", "service", "cluster", "chaos")
 
 
 class MalformedReport(Exception):
@@ -82,6 +85,8 @@ def compare(baseline: dict, current: dict, factor: float) -> list[str]:
         return _compare_service(baseline, current, factor)
     if baseline.get("benchmark") == "cluster":
         return _compare_cluster(baseline, current, factor)
+    if baseline.get("benchmark") == "chaos":
+        return _compare_chaos(baseline, current, factor)
     failures: list[str] = []
 
     current_rows = {row["n_support"]: row for row in current.get("results", [])}
@@ -192,6 +197,52 @@ def _compare_cluster(baseline: dict, current: dict, factor: float) -> list[str]:
             f"(floor {CLUSTER_SPEEDUP_FLOOR:g}, baseline "
             f"{baseline.get(field, 'n/a')} / {factor:g})"
         )
+    return failures
+
+
+def _compare_chaos(baseline: dict, current: dict, factor: float) -> list[str]:
+    """Gate a ``chaos`` fault-drill report: the robustness invariants are
+    correctness and gate on every machine; under-fire throughput is timing
+    and is ratcheted only where the fleet has real cores to run on."""
+    failures: list[str] = []
+
+    scenarios = current.get("scenarios") or {}
+    if not scenarios:
+        failures.append("scenarios: no per-seed drills in the current report")
+    for name, row in sorted(scenarios.items()):
+        for invariant, held in sorted((row.get("invariants") or {}).items()):
+            if not held:
+                failures.append(f"scenarios.{name}.invariants.{invariant}: violated")
+        for message in row.get("unexpected_errors") or []:
+            failures.append(f"scenarios.{name}: unexpected error: {message}")
+    acceptance = current.get("acceptance") or {}
+    seeds_run = acceptance.get("seeds_run", 0)
+    base_seeds = (baseline.get("acceptance") or {}).get("seeds_run", 3)
+    if seeds_run < base_seeds:
+        failures.append(
+            f"acceptance.seeds_run: {seeds_run} < {base_seeds} (baseline coverage)"
+        )
+
+    field = "qps_under_chaos"
+    if field not in current:
+        failures.append(f"{field}: missing from the current report")
+        return failures
+    cpus = (current.get("hardware") or {}).get("cpus", 0)
+    baseline_cpus = (baseline.get("hardware") or {}).get("cpus", 0)
+    if cpus < CLUSTER_MIN_CPUS or baseline_cpus < CLUSTER_MIN_CPUS:
+        print(
+            f"note: {field} = {current[field]:.2f} recorded but not gated "
+            f"({cpus} cpu here, {baseline_cpus} in baseline; "
+            f"need {CLUSTER_MIN_CPUS}+ on both)"
+        )
+        return failures
+    if field in baseline:
+        bound = baseline[field] / factor
+        if current[field] < bound:
+            failures.append(
+                f"{field}: {current[field]:.2f} < {bound:.2f} "
+                f"(baseline {baseline[field]:.2f} / {factor:g})"
+            )
     return failures
 
 

@@ -219,6 +219,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="worker micro-batcher: flush an incomplete batch after this delay",
     )
+    p_cluster.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=30.0,
+        help="ceiling in seconds on any proxied worker call "
+        "(a hung worker fails the call with a retryable 'Unavailable')",
+    )
+    p_cluster.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="circuit breaker: consecutive transport failures that trip "
+        "a worker's breaker open",
+    )
+    p_cluster.add_argument(
+        "--breaker-reset-ms",
+        type=float,
+        default=250.0,
+        help="circuit breaker: cool-off before the half-open probe",
+    )
 
     p_client = sub.add_parser("client", help="talk to a running service")
     p_client.add_argument("--host", default="127.0.0.1")
@@ -384,6 +404,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             max_batch=args.max_batch,
             max_delay_ms=args.max_delay_ms,
+            worker_timeout=args.worker_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_ms=args.breaker_reset_ms,
             port_file=args.port_file,
             on_ready=lambda host, port: print(
                 f"repro cluster router listening on {host}:{port} "

@@ -28,6 +28,7 @@ import tempfile
 from typing import Callable
 
 from repro.cluster.admission import AdmissionController, Overloaded, WorkerLost
+from repro.cluster.breaker import CircuitBreaker
 from repro.cluster.migration import migrate_session, restore_lost_sessions
 from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
 from repro.cluster.router import ClusterRouter, WorkerHandle
@@ -35,6 +36,7 @@ from repro.cluster.supervisor import WorkerSupervisor
 
 __all__ = [
     "AdmissionController",
+    "CircuitBreaker",
     "ClusterRouter",
     "DEFAULT_REPLICAS",
     "HashRing",
@@ -60,6 +62,9 @@ def run_cluster(
     max_queue: int = 128,
     max_batch: int = 64,
     max_delay_ms: float = 2.0,
+    worker_timeout: float = 30.0,
+    breaker_threshold: int = 3,
+    breaker_reset_ms: float = 250.0,
     port_file: object | None = None,
     on_ready: Callable[[str, int], None] | None = None,
 ) -> None:
@@ -76,7 +81,12 @@ def run_cluster(
 
     async def _amain(replicas: object) -> None:
         router = ClusterRouter(
-            replica_dir=replicas, max_inflight=max_inflight, max_queue=max_queue
+            replica_dir=replicas,
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+            worker_timeout=worker_timeout,
+            breaker_threshold=breaker_threshold,
+            breaker_reset_ms=breaker_reset_ms,
         )
         supervisor = WorkerSupervisor(
             router,

@@ -1,0 +1,156 @@
+"""Per-worker circuit breakers for the cluster router.
+
+A worker that stops answering — hung process, dead TCP peer, a garbled
+stream — fails every request sent to it, each one burning a full timeout.
+Without a breaker the router keeps queueing new work onto the sick worker:
+every caller pays the timeout, the admission queue fills with doomed
+requests, and the fleet's tail latency is set by its slowest member.
+
+:class:`CircuitBreaker` is the classic three-state machine:
+
+``closed``
+    Healthy: requests flow.  Each transport failure or timeout increments
+    a *consecutive*-failure counter (any success resets it); reaching
+    ``failure_threshold`` trips the breaker open.
+``open``
+    Fast-fail: the router answers new requests immediately with a
+    retryable ``Unavailable`` carrying a ``retry_after_ms`` hint, instead
+    of queueing them onto the sick worker.  After ``reset_after_ms`` the
+    breaker moves to half-open.
+``half_open``
+    Exactly one request is let through as the *probe*; everyone else
+    still fast-fails.  The probe's success closes the breaker, its
+    failure re-opens it (restarting the cool-off).  A probe whose caller
+    vanished without reporting (e.g. cancelled mid-flight) stops blocking
+    after ``reset_after_ms``: the next caller becomes the new probe.
+
+Only *transport* outcomes drive the machine: a structured error from the
+worker (``Overloaded``, ``UnknownSession`` …) proves the worker is alive
+and counts as a success.  The clock is injectable so tests can step time
+instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (see module docstring).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive transport failures that trip a closed breaker open.
+    reset_after_ms:
+        Cool-off after a trip before the first half-open probe — and how
+        long a half-open probe may stay unreported before another caller
+        is allowed to probe in its place.
+    clock:
+        Monotonic seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_after_ms: float = 250.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_after_ms <= 0:
+            raise ValueError(f"reset_after_ms must be > 0, got {reset_after_ms}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_ms = float(reset_after_ms)
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.fast_fails = 0
+        self._opened_at = 0.0
+        self._probe_at: float | None = None
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request go to the worker right now?
+
+        Called once per request *before* sending; a ``False`` means
+        fast-fail with :meth:`retry_after_ms` as the hint.  In half-open
+        state the first ``True`` caller *is* the probe — it must report
+        back through :meth:`record_success` or :meth:`record_failure`.
+        """
+        now = self._clock()
+        if self.state == OPEN:
+            if (now - self._opened_at) * 1000.0 < self.reset_after_ms:
+                self.fast_fails += 1
+                return False
+            self.state = HALF_OPEN
+            self._probe_at = None
+        if self.state == HALF_OPEN:
+            if (
+                self._probe_at is not None
+                and (now - self._probe_at) * 1000.0 < self.reset_after_ms
+            ):
+                self.fast_fails += 1
+                return False
+            self._probe_at = now
+            return True
+        return True
+
+    def retry_after_ms(self) -> float:
+        """Back-off hint for a fast-failed caller: time until the breaker
+        will next let a probe through (floored at 1 ms so a client never
+        spins)."""
+        if self.state == OPEN:
+            elapsed = (self._clock() - self._opened_at) * 1000.0
+            return max(1.0, self.reset_after_ms - elapsed)
+        if self.state == HALF_OPEN and self._probe_at is not None:
+            elapsed = (self._clock() - self._probe_at) * 1000.0
+            return max(1.0, self.reset_after_ms - elapsed)
+        return 1.0
+
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """A request reached the worker and got an answer (any answer)."""
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self._probe_at = None
+
+    def record_failure(self) -> None:
+        """A request failed at the transport level (reset, EOF, garbled
+        frame, timeout) — the kind of failure that says the *worker* is
+        sick, not the request."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or self.consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        if self.state != OPEN:
+            self.trips += 1
+        self.state = OPEN
+        self._opened_at = self._clock()
+        self._probe_at = None
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-safe state for ``cluster_stats``."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "fast_fails": self.fast_fails,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self.consecutive_failures}, trips={self.trips})"
+        )

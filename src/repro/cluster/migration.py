@@ -24,12 +24,19 @@ import time
 from repro.service.server import ServiceError
 
 __all__ = [
+    "STEP_TIMEOUT",
     "drain_worker_session",
     "migrate_session",
     "pick_target",
     "replica_path",
     "restore_lost_sessions",
 ]
+
+#: Ceiling (seconds) on each worker round trip these choreographies make
+#: (snapshot, restore, delete).  A hung worker mid-migration or
+#: mid-failover must fail the step — and move on to the next candidate —
+#: not park the supervisor's loops forever.
+STEP_TIMEOUT = 30.0
 
 
 def replica_path(replica_dir: pathlib.Path, session: str) -> pathlib.Path:
@@ -119,10 +126,21 @@ async def migrate_session(
     try:
         await drain_worker_session(source, session, timeout=drain_timeout)
         path = replica_path(router.replica_dir, session)
-        await source.client.request("snapshot", session=session, path=str(path))
-        await handle.client.request(
-            "restore", path=str(path), session=session, replace=True
-        )
+        try:
+            await source.client.request(
+                "snapshot", session=session, path=str(path), timeout=STEP_TIMEOUT
+            )
+            await handle.client.request(
+                "restore", path=str(path), session=session, replace=True,
+                timeout=STEP_TIMEOUT,
+            )
+        except (asyncio.TimeoutError, TimeoutError, ConnectionError) as exc:
+            # Pre-flip failure: the session stays where it was; surface a
+            # structured error instead of an InternalError.
+            raise ServiceError(
+                "MigrationFailed",
+                f"migrating {session!r} to {target!r} failed mid-step: {exc!r}",
+            ) from exc
         router.table[session] = target
         handle.sessions.add(session)
         source.sessions.discard(session)
@@ -132,7 +150,9 @@ async def migrate_session(
         # already committed, so a failed delete must not raise.
         source_deleted = True
         try:
-            await source.client.request("delete_session", session=session)
+            await source.client.request(
+                "delete_session", session=session, timeout=STEP_TIMEOUT
+            )
         except Exception as exc:  # noqa: BLE001 - post-commit cleanup only
             source_deleted = False
             router.log(
@@ -166,30 +186,44 @@ async def restore_lost_sessions(router, dead) -> dict:
     lost: list[str] = []
     for session in sorted(dead.sessions):
         path = replica_path(router.replica_dir, session)
-        target_id = None
-        for candidate in router.ring.preference(session):
-            handle = router.workers.get(candidate)
-            if handle is not None and handle.alive:
-                target_id = candidate
-                break
-        if target_id is None or not path.exists():
+        candidates = [
+            candidate
+            for candidate in router.ring.preference(session)
+            if (handle := router.workers.get(candidate)) is not None and handle.alive
+        ]
+        if not candidates or not path.exists():
             lost.append(session)
             router.table.pop(session, None)
             router.sessions_lost += 1
             continue
-        handle = router.workers[target_id]
-        try:
-            await handle.client.request(
-                "restore", path=str(path), session=session, replace=True
-            )
-        except Exception as exc:  # noqa: BLE001 - keep failing over the rest
+        # Walk the ring preference instead of betting everything on its
+        # first entry: during a multi-failure event the preferred survivor
+        # may itself be sick (hung but not yet declared dead) — each
+        # attempt is bounded so one such candidate costs a timeout, not
+        # the whole failover.
+        target_id = None
+        for candidate in candidates:
+            handle = router.workers[candidate]
+            try:
+                await handle.ensure_connected()
+                await handle.client.request(
+                    "restore", path=str(path), session=session, replace=True,
+                    timeout=STEP_TIMEOUT,
+                )
+            except Exception as exc:  # noqa: BLE001 - try the next candidate
+                router.log(
+                    f"failover: restoring {session!r} on {candidate!r} failed: {exc!r}"
+                )
+                continue
+            target_id = candidate
+            break
+        if target_id is None:
             lost.append(session)
             router.table.pop(session, None)
             router.sessions_lost += 1
-            router.log(f"failover: restoring {session!r} on {target_id!r} failed: {exc}")
             continue
         router.table[session] = target_id
-        handle.sessions.add(session)
+        router.workers[target_id].sessions.add(session)
         restored.append({"session": session, "worker": target_id})
     dead.sessions.clear()
     return {"restored": restored, "lost": lost}

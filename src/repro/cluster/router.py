@@ -14,6 +14,17 @@ What the router adds on top of transparent proxying:
   queue (:mod:`repro.cluster.admission`); beyond both, clients get a
   structured ``Overloaded`` error with a ``retry_after_ms`` hint instead
   of unbounded buffering;
+* **deadline enforcement** — the client's ``deadline_ms`` budget is
+  restamped (minus router queueing time) onto every proxied request and
+  bounds the proxied call with :func:`asyncio.wait_for`; requests whose
+  budget ran out waiting are shed with ``DeadlineExceeded``, and calls
+  with no deadline still hit the ``worker_timeout`` ceiling so a hung
+  worker can never park a request forever;
+* **circuit breakers** — per-worker (:mod:`repro.cluster.breaker`):
+  consecutive transport failures or timeouts trip the worker's breaker
+  open and new requests fast-fail with a retryable ``Unavailable`` +
+  ``retry_after_ms`` instead of queueing onto the sick worker; a
+  half-open probe closes the breaker once the worker answers again;
 * **live migration** — the ``migrate`` verb drains a session, snapshots
   it, restores it on another worker, flips the routing entry and deletes
   the source copy, all while new requests for the session wait at the
@@ -41,6 +52,7 @@ from typing import Awaitable, Callable
 
 from repro.cluster import migration
 from repro.cluster.admission import AdmissionController, Overloaded, WorkerLost
+from repro.cluster.breaker import CircuitBreaker
 from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
 from repro.service import protocol
 from repro.service.client import AsyncServiceClient
@@ -59,7 +71,23 @@ FAILOVER_RETRY_HINT_MS = 250.0
 
 
 def _forwarded(request: dict) -> dict:
-    return {key: value for key, value in request.items() if key not in _LOCAL_FIELDS}
+    """The worker-bound copy of a request.
+
+    Strips the router-local fields and every underscore-prefixed internal
+    annotation (``_deadline`` is a live object, not JSON), and restamps
+    ``deadline_ms`` with the budget actually *left* — the time the request
+    spent queued at the router is gone and must not be granted again
+    downstream.
+    """
+    fields = {
+        key: value
+        for key, value in request.items()
+        if key not in _LOCAL_FIELDS and not key.startswith("_")
+    }
+    deadline = request.get("_deadline")
+    if deadline is not None:
+        fields["deadline_ms"] = max(0.0, deadline.remaining_ms())
+    return fields
 
 
 class WorkerHandle:
@@ -81,10 +109,31 @@ class WorkerHandle:
         self.sessions: set[str] = set()
         self.session_inflight: dict[str, int] = {}
         self.ping_failures = 0
+        self.breaker = CircuitBreaker()
         self.client: AsyncServiceClient | None = None
+        self._connect_lock = asyncio.Lock()
 
     async def connect(self) -> None:
         self.client = await AsyncServiceClient.connect(self.host, self.port)
+
+    async def ensure_connected(self) -> None:
+        """Reconnect when the pipelined connection has died.
+
+        A garbled frame (or reset) kills the async client's receive loop;
+        requests written to such a *broken* client would sit unanswered
+        until their timeout.  Serialized on a per-handle lock so a burst of
+        requests reconnects once, not once each.
+        """
+        if self.client is not None and not self.client.is_broken:
+            return
+        async with self._connect_lock:
+            if self.client is not None:
+                if not self.client.is_broken:
+                    return
+                old, self.client = self.client, None
+                with contextlib.suppress(Exception):
+                    await old.close()
+            await self.connect()
 
     async def close(self) -> None:
         if self.client is not None:
@@ -100,6 +149,7 @@ class WorkerHandle:
             "sessions": sorted(self.sessions),
             "inflight": admission.inflight(self.id),
             "waiting": admission.waiting(self.id),
+            "breaker": self.breaker.describe(),
         }
 
 
@@ -115,6 +165,13 @@ class ClusterRouter(JsonLineServer):
         Admission-control knobs, per worker.
     ring_replicas:
         Virtual points per worker on the consistent-hash ring.
+    worker_timeout:
+        Ceiling (seconds) on any proxied worker call, deadline or not — a
+        hung worker fails the call with a retryable ``Unavailable``
+        instead of parking it until the health loop notices.
+    breaker_threshold / breaker_reset_ms:
+        Per-worker circuit-breaker knobs (consecutive transport failures
+        that trip it open; cool-off before the half-open probe).
     """
 
     def __init__(
@@ -124,9 +181,15 @@ class ClusterRouter(JsonLineServer):
         max_inflight: int = 32,
         max_queue: int = 128,
         ring_replicas: int = DEFAULT_REPLICAS,
+        worker_timeout: float = 30.0,
+        breaker_threshold: int = 3,
+        breaker_reset_ms: float = 250.0,
     ) -> None:
         super().__init__()
         self.replica_dir = pathlib.Path(replica_dir)
+        self.worker_timeout = float(worker_timeout)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset_ms = float(breaker_reset_ms)
         self.workers: dict[str, WorkerHandle] = {}
         self.ring = HashRing(replicas=ring_replicas)
         self.table: dict[str, str] = {}
@@ -138,6 +201,8 @@ class ClusterRouter(JsonLineServer):
         self.failovers = 0
         self.sessions_lost = 0
         self.proxied = 0
+        self.deadline_misses = 0
+        self.breaker_fast_fails = 0
         self.supervisor = None  # attached by WorkerSupervisor
         self._ops: dict[str, Callable[[dict], Awaitable[dict]]] = {
             "ping": self._op_ping,
@@ -163,6 +228,10 @@ class ClusterRouter(JsonLineServer):
         """Register (and connect to) a worker; it starts receiving sessions."""
         if handle.id in self.workers:
             raise ValueError(f"worker {handle.id!r} already registered")
+        handle.breaker = CircuitBreaker(
+            failure_threshold=self.breaker_threshold,
+            reset_after_ms=self.breaker_reset_ms,
+        )
         if handle.client is None:
             await handle.connect()
         self.workers[handle.id] = handle
@@ -209,8 +278,36 @@ class ClusterRouter(JsonLineServer):
             )
         return handle
 
-    async def _forward(self, handle: WorkerHandle, op: str, fields: dict) -> dict:
-        """One admitted, accounted round trip to a worker."""
+    async def _forward(
+        self,
+        handle: WorkerHandle,
+        op: str,
+        fields: dict,
+        deadline: protocol.Deadline | None = None,
+    ) -> dict:
+        """One admitted, breaker-gated, deadline-bounded round trip.
+
+        The ``asyncio.wait_for`` budget is the request's remaining
+        deadline, capped by :attr:`worker_timeout` (which also bounds
+        deadline-less calls) — and the admission-queue wait counts against
+        it, so a request cannot outlive its budget queueing.  Transport
+        failures and timeouts feed the worker's circuit breaker; answers
+        of any kind (including structured errors) feed it successes.
+        """
+        breaker = handle.breaker
+        if not breaker.allow():
+            self.breaker_fast_fails += 1
+            raise ServiceError(
+                "Unavailable",
+                f"worker {handle.id!r} circuit is open "
+                f"(tripped after {breaker.failure_threshold} consecutive "
+                "transport failures)",
+                retry_after_ms=breaker.retry_after_ms(),
+            )
+        timeout = self.worker_timeout
+        if deadline is not None:
+            deadline.raise_if_expired(f"proxy to worker {handle.id!r}")
+            timeout = min(timeout, deadline.remaining_ms() / 1000.0)
         session = fields.get("session") if isinstance(fields.get("session"), str) else None
         # Count the request against its session *before* it can wait in
         # the admission queue (synchronously, so no drain can start in
@@ -220,9 +317,11 @@ class ClusterRouter(JsonLineServer):
             self.session_inflight_inc(handle, session)
         try:
             try:
-                async with self.admission.admit(handle.id):
-                    self.proxied += 1
-                    return await handle.client.request(op, **fields)
+                result = await asyncio.wait_for(
+                    self._admitted_request(handle, op, fields), timeout
+                )
+                breaker.record_success()
+                return result
             finally:
                 if session is not None:
                     self.session_inflight_dec(handle, session)
@@ -235,15 +334,40 @@ class ClusterRouter(JsonLineServer):
                 "Unavailable", str(exc), retry_after_ms=FAILOVER_RETRY_HINT_MS
             ) from exc
         except RemoteError as exc:
+            # The worker answered — a structured error is a healthy
+            # transport, whatever the verb thinks of the request.
+            breaker.record_success()
             raise ServiceError(exc.kind, str(exc), **exc.details) from exc
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            breaker.record_failure()
+            if deadline is not None and deadline.expired:
+                self.deadline_misses += 1
+                raise protocol.DeadlineExceeded(
+                    f"proxied call to worker {handle.id!r} outlived the "
+                    f"request deadline ({deadline.budget_ms:.0f} ms budget)"
+                ) from exc
+            raise ServiceError(
+                "Unavailable",
+                f"worker {handle.id!r} did not answer within {timeout:.1f}s",
+                retry_after_ms=FAILOVER_RETRY_HINT_MS,
+            ) from exc
         except (ConnectionError, protocol.ProtocolError) as exc:
             # The worker died mid-request; the health loop will confirm and
             # fail its sessions over.  The client retries through the window.
+            breaker.record_failure()
             raise ServiceError(
                 "Unavailable",
                 f"worker {handle.id!r} connection failed: {exc}",
                 retry_after_ms=FAILOVER_RETRY_HINT_MS,
             ) from exc
+
+    async def _admitted_request(self, handle: WorkerHandle, op: str, fields: dict) -> dict:
+        """Admission slot + (re)connect + the actual worker round trip —
+        one awaitable so :meth:`_forward` can bound all of it at once."""
+        async with self.admission.admit(handle.id):
+            self.proxied += 1
+            await handle.ensure_connected()
+            return await handle.client.request(op, **fields)
 
     @staticmethod
     def session_inflight_inc(handle: WorkerHandle, session: str) -> None:
@@ -269,7 +393,9 @@ class ClusterRouter(JsonLineServer):
         handle = self._live_handle(
             worker_id, context=f"session {name!r} is failing over"
         )
-        return await self._forward(handle, request["op"], _forwarded(request))
+        return await self._forward(
+            handle, request["op"], _forwarded(request), request.get("_deadline")
+        )
 
     def _placement(self, name: str, pin: object) -> WorkerHandle:
         """Owner for a new session: existing entry > explicit pin > ring."""
@@ -303,7 +429,9 @@ class ClusterRouter(JsonLineServer):
         name = check_name(request.get("session"))
         await self._wait_not_draining(name)
         handle = self._placement(name, request.get("worker"))
-        result = await self._forward(handle, "create_session", _forwarded(request))
+        result = await self._forward(
+            handle, "create_session", _forwarded(request), request.get("_deadline")
+        )
         self.table[name] = handle.id
         handle.sessions.add(name)
         return {**result, "worker": handle.id}
@@ -322,30 +450,30 @@ class ClusterRouter(JsonLineServer):
         await self._wait_not_draining(name)
         handle = self._placement(name, request.get("worker"))
         fields = {**_forwarded(request), "session": name}
-        result = await self._forward(handle, "restore", fields)
+        result = await self._forward(handle, "restore", fields, request.get("_deadline"))
         self.table[name] = handle.id
         handle.sessions.add(name)
         return {**result, "worker": handle.id}
 
     async def _op_list_sessions(self, request: dict) -> dict:
-        merged: list[dict] = []
-        for handle in self.live_workers():
-            result = await self._forward(handle, "list_sessions", {})
-            for row in result.get("sessions", []):
-                merged.append({**row, "worker": handle.id})
-        merged.sort(key=lambda row: row.get("session", ""))
-        return {"sessions": merged}
+        return {"sessions": await self._fanout("list_sessions", request)}
 
     async def _op_stats(self, request: dict) -> dict:
         if "session" in request:
             return await self._proxy_session_op(request)
+        merged = await self._fanout("stats", request)
+        return {"sessions": merged, "cluster": self._describe()}
+
+    async def _fanout(self, op: str, request: dict) -> list[dict]:
+        """Merge one read-only verb's per-session rows across the fleet."""
+        deadline = request.get("_deadline")
         merged: list[dict] = []
         for handle in self.live_workers():
-            result = await self._forward(handle, "stats", {})
+            result = await self._forward(handle, op, {}, deadline)
             for row in result.get("sessions", []):
                 merged.append({**row, "worker": handle.id})
         merged.sort(key=lambda row: row.get("session", ""))
-        return {"sessions": merged, "cluster": self._describe()}
+        return merged
 
     async def _op_delete_session(self, request: dict) -> dict:
         result = await self._proxy_session_op(request)
@@ -419,6 +547,8 @@ class ClusterRouter(JsonLineServer):
                 "migrations": self.migrations,
                 "failovers": self.failovers,
                 "sessions_lost": self.sessions_lost,
+                "deadline_misses": self.deadline_misses,
+                "breaker_fast_fails": self.breaker_fast_fails,
             },
             "replica_dir": str(self.replica_dir),
         }

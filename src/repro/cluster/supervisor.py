@@ -178,24 +178,35 @@ class WorkerSupervisor:
         self._tasks = []
 
     async def check_health(self) -> None:
-        """One health pass over the fleet (what the loop runs each tick)."""
-        for handle in list(self.router.workers.values()):
-            if not handle.alive:
-                continue
+        """One health pass over the fleet (what the loop runs each tick).
+
+        Workers are pinged **concurrently**: one hung worker costs the
+        pass a single ``ping_timeout``, not one per sick worker — serial
+        pings would delay dead-worker detection for the whole fleet by
+        however many workers hang in front of it.
+        """
+
+        async def check_one(handle: WorkerHandle) -> None:
             process = handle.process
             if process is not None and process.poll() is not None:
                 await self.router.mark_dead(handle)
-                continue
+                return
             try:
-                await asyncio.wait_for(
-                    handle.client.request("ping"), self.ping_timeout
-                )
+                # ensure_connected first: a connection whose receive loop
+                # died (e.g. a garbled frame) would otherwise fail every
+                # future ping and condemn a perfectly healthy worker.
+                await asyncio.wait_for(handle.ensure_connected(), self.ping_timeout)
+                await handle.client.request("ping", timeout=self.ping_timeout)
             except Exception:
                 handle.ping_failures += 1
                 if handle.ping_failures >= self.max_ping_failures:
                     await self.router.mark_dead(handle)
             else:
                 handle.ping_failures = 0
+
+        alive = [h for h in list(self.router.workers.values()) if h.alive]
+        if alive:
+            await asyncio.gather(*(check_one(handle) for handle in alive))
 
     async def replicate_all(self) -> list[str]:
         """One replication pass; returns the sessions refreshed."""

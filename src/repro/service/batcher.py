@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.estimator import EstimationOutcome
+from repro.service.protocol import Deadline, DeadlineExceeded
 from repro.utils.quantiles import QuantileSketch
 
 __all__ = ["BatcherStats", "MicroBatcher"]
@@ -45,6 +46,8 @@ class BatcherStats:
 
     requests: int = 0
     flushes: int = 0
+    deadline_misses: int = 0
+    """Requests shed at flush time because their deadline had expired."""
     batch_sketch: QuantileSketch = field(default_factory=QuantileSketch)
     """Distribution of flushed batch sizes (P² quantile sketch)."""
 
@@ -63,6 +66,7 @@ class BatcherStats:
         return {
             "requests": self.requests,
             "flushes": self.flushes,
+            "deadline_misses": self.deadline_misses,
             "batch_size": self.batch_sketch.summary(),
         }
 
@@ -112,7 +116,7 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_delay_ms = float(max_delay_ms)
         self._lock = lock if lock is not None else asyncio.Lock()
-        self._pending: list[tuple[object, asyncio.Future]] = []
+        self._pending: list[tuple[object, asyncio.Future, Deadline | None]] = []
         self._timer: asyncio.Task | None = None
         # Strong references to in-flight flush tasks: the event loop only
         # holds tasks weakly, and an unreferenced task's failure would
@@ -126,12 +130,21 @@ class MicroBatcher:
         """Requests waiting for the next flush."""
         return len(self._pending)
 
-    async def submit(self, config: object) -> EstimationOutcome:
+    async def submit(
+        self, config: object, deadline: Deadline | None = None
+    ) -> EstimationOutcome:
         """Enqueue one configuration; resolves with its outcome after the
-        flush it lands in completes."""
+        flush it lands in completes.
+
+        A ``deadline`` that expires before the request's flush starts sheds
+        the request with :class:`~repro.service.protocol.DeadlineExceeded`
+        instead of spending a solve on an answer nobody is waiting for —
+        and, because a flush solves many clients' requests together,
+        instead of delaying everyone else's batch with it.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((config, future))
+        self._pending.append((config, future, deadline))
         self.stats.requests += 1
         if len(self._pending) >= self.max_batch:
             self._cancel_timer()
@@ -222,8 +235,26 @@ class MicroBatcher:
         if self._pending:
             self._cancel_timer()
         while self._pending:
-            batch = self._pending[: self.max_batch]
+            taken = self._pending[: self.max_batch]
             del self._pending[: self.max_batch]
+            # Shed expired requests at the door of the flush: their clients
+            # have already given up, and a batch entry costs every coalesced
+            # request solve time.
+            batch = []
+            for config, future, deadline in taken:
+                if deadline is not None and deadline.expired:
+                    self.stats.deadline_misses += 1
+                    if not future.done():
+                        future.set_exception(
+                            DeadlineExceeded(
+                                "evaluate: deadline expired "
+                                f"{-deadline.remaining_ms():.0f} ms before the flush"
+                            )
+                        )
+                    continue
+                batch.append((config, future))
+            if not batch:
+                continue
             async with self._lock:
                 configs = [config for config, _ in batch]
                 try:

@@ -11,6 +11,13 @@ The async client pipelines: requests are matched to responses by ``id``,
 so many may be outstanding per connection — that is what lets a burst of
 ``evaluate`` calls from *one* client coalesce in the server's
 micro-batcher alongside other clients' queries.
+
+Both clients stamp their ``timeout`` onto every request as the wire-level
+``deadline_ms`` budget (see :mod:`repro.service.protocol`): the server and
+the cluster router shed the request with a structured ``DeadlineExceeded``
+once the budget runs out, instead of doing work nobody is waiting for.
+Pass an explicit ``deadline_ms`` field to override per request; clients
+constructed with ``timeout=None`` stamp nothing (no deadline).
 """
 
 from __future__ import annotations
@@ -82,7 +89,9 @@ class ServiceClient(_VerbsMixin):
 
     With ``retries > 0`` the client survives transient failures: a dropped
     connection (``ConnectionResetError``/``BrokenPipeError``/clean EOF)
-    triggers a reconnect, and retryable server errors (``Overloaded``
+    or a read timeout triggers a reconnect (a timed-out stream is always
+    dropped — the late response would otherwise be matched against the
+    next request's id), and retryable server errors (``Overloaded``
     admission rejections, the ``Unavailable`` window while the cluster
     fails a session over) are retried after a capped exponential back-off —
     honouring the server's ``retry_after_ms`` hint when it sends one.
@@ -160,7 +169,12 @@ class ServiceClient(_VerbsMixin):
         if self._file is None:
             self._connect()
         request_id = next(self._ids)
-        self._file.write(encode({"id": request_id, "op": op, **fields}))
+        message = {"id": request_id, "op": op, **fields}
+        if "deadline_ms" not in message and self._timeout is not None:
+            # Stamp the read timeout as the request's time budget: the
+            # server sheds it once we would have stopped listening anyway.
+            message["deadline_ms"] = self._timeout * 1000.0
+        self._file.write(encode(message))
         self._file.flush()
         line = self._file.readline(MAX_LINE_BYTES)
         if not line:
@@ -185,6 +199,16 @@ class ServiceClient(_VerbsMixin):
             except ConnectionError:
                 # Covers ConnectionResetError and BrokenPipeError (both are
                 # subclasses) plus the clean-EOF ConnectionError above.
+                self._disconnect()
+                if attempt >= self.retries:
+                    raise
+                self._backoff(attempt)
+            except TimeoutError:
+                # socket.timeout (an OSError, *not* a ConnectionError): the
+                # late response may still arrive and sit buffered, where it
+                # would be matched against the next request's id — the
+                # stream is poisoned either way, so drop the connection and
+                # treat the timeout like any other transport failure.
                 self._disconnect()
                 if attempt >= self.retries:
                     raise
@@ -303,25 +327,53 @@ class ServiceClient(_VerbsMixin):
 
 
 class AsyncServiceClient(_VerbsMixin):
-    """Pipelining asyncio client; create with :meth:`connect`."""
+    """Pipelining asyncio client; create with :meth:`connect`.
+
+    ``timeout`` bounds every request (overridable per call): the await is
+    wrapped in :func:`asyncio.wait_for` and the ``deadline_ms`` budget is
+    stamped onto the wire request, so a hung server fails the call with
+    ``TimeoutError`` instead of parking it forever.  The default ``None``
+    keeps the old wait-until-``close()`` behaviour.  Unlike the blocking
+    client a timeout does *not* poison the stream — responses match by
+    ``id``, and a late response to a timed-out request is simply dropped.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        timeout: float | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._timeout = timeout
         self._ids = count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._receiver = asyncio.create_task(self._receive_loop())
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 0
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float | None = None,
     ) -> "AsyncServiceClient":
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=MAX_LINE_BYTES
-        )
-        return cls(reader, writer)
+        opening = asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+        if timeout is not None:
+            reader, writer = await asyncio.wait_for(opening, timeout)
+        else:
+            reader, writer = await opening
+        return cls(reader, writer, timeout=timeout)
+
+    @property
+    def is_broken(self) -> bool:
+        """True once the receive loop has died — EOF, reset or a garbled
+        frame.  New requests on a broken client would hang until their
+        timeout (nothing reads responses any more); owners such as the
+        cluster router check this and reconnect."""
+        return self._receiver.done()
 
     async def close(self) -> None:
         self._receiver.cancel()
@@ -368,16 +420,30 @@ class AsyncServiceClient(_VerbsMixin):
                     future.set_exception(exc)
             self._pending.clear()
 
-    async def request(self, op: str, **fields: Any) -> dict:
-        """One request; may pipeline with other in-flight requests."""
+    async def request(
+        self, op: str, *, timeout: float | None = None, **fields: Any
+    ) -> dict:
+        """One request; may pipeline with other in-flight requests.
+
+        ``timeout`` (falling back to the client-wide default) bounds the
+        whole round trip and is stamped as the request's ``deadline_ms``
+        budget; on expiry the await fails with ``TimeoutError`` and the
+        response, should it ever arrive, is dropped by the receive loop.
+        """
+        if timeout is None:
+            timeout = self._timeout
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
+        message = {"id": request_id, "op": op, **self._fields(**fields)}
+        if "deadline_ms" not in message and timeout is not None:
+            message["deadline_ms"] = timeout * 1000.0
         try:
-            await write_message(
-                self._writer, {"id": request_id, "op": op, **self._fields(**fields)}
-            )
-            response = await future
+            await write_message(self._writer, message)
+            if timeout is not None:
+                response = await asyncio.wait_for(future, timeout)
+            else:
+                response = await future
         finally:
             self._pending.pop(request_id, None)
             # If this request was cancelled (e.g. a timed-out health ping)

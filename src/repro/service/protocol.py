@@ -20,6 +20,20 @@ evaluations coalesce in the micro-batcher); clients match on ``id``.
 
 ``NaN`` never crosses the wire (it is not JSON): the kriging variance of a
 simulation outcome is mapped to ``null`` and back.
+
+Deadlines
+---------
+
+Requests may carry a ``deadline_ms`` field: the **remaining time budget**
+in milliseconds, relative to the moment the receiver reads the frame
+(relative budgets survive hops between machines whose clocks disagree;
+absolute timestamps would not).  Every hop restamps the field with
+whatever budget is left when it forwards the request — the cluster router
+decrements it by its own queueing time before proxying to a worker — and
+any hop may *shed* a request whose budget has already run out, answering a
+structured ``DeadlineExceeded`` error instead of doing work nobody is
+waiting for.  Requests without the field have no deadline (the pre-v2
+behaviour).
 """
 
 from __future__ import annotations
@@ -27,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import time
 from typing import Any
 
 from repro.core.estimator import EstimationOutcome
@@ -34,6 +49,8 @@ from repro.core.estimator import EstimationOutcome
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
+    "Deadline",
+    "DeadlineExceeded",
     "ProtocolError",
     "RemoteError",
     "encode",
@@ -56,6 +73,66 @@ MAX_LINE_BYTES = 16 * 1024 * 1024
 
 class ProtocolError(Exception):
     """A malformed frame: not JSON, not an object, or over the line limit."""
+
+
+class DeadlineExceeded(Exception):
+    """A request's time budget ran out before (or while) serving it.
+
+    Raised inside the server when an already-expired request is shed —
+    at dispatch, in the micro-batcher, or while waiting on a proxied
+    worker call — and mapped to the ``DeadlineExceeded`` wire error kind.
+    """
+
+
+class Deadline:
+    """One request's remaining time budget, stamped at frame-read time.
+
+    Wraps the wire-level ``deadline_ms`` budget (see the module docstring)
+    with a monotonic-clock expiry so every later stage — dispatch, queue
+    wait, batch flush, proxied call — asks the same object how much time
+    is left instead of re-deriving it.
+    """
+
+    __slots__ = ("budget_ms", "_expires_at")
+
+    def __init__(self, budget_ms: float) -> None:
+        self.budget_ms = float(budget_ms)
+        self._expires_at = time.monotonic() + self.budget_ms / 1000.0
+
+    @classmethod
+    def from_request(cls, request: dict) -> "Deadline | None":
+        """The request's deadline, or ``None`` when it carries none.
+
+        A malformed ``deadline_ms`` (non-numeric, non-finite, bool) is
+        treated as absent rather than rejected: deadlines are an
+        optimization, and a lenient reader keeps old clients working.
+        """
+        budget = request.get("deadline_ms")
+        if (
+            isinstance(budget, (int, float))
+            and not isinstance(budget, bool)
+            and math.isfinite(budget)
+        ):
+            return cls(float(budget))
+        return None
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left; negative once expired."""
+        return (self._expires_at - time.monotonic()) * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_ms() <= 0.0
+
+    def raise_if_expired(self, context: str) -> None:
+        if self.expired:
+            raise DeadlineExceeded(
+                f"{context}: deadline exceeded by {-self.remaining_ms():.0f} ms "
+                f"(budget was {self.budget_ms:.0f} ms)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(budget_ms={self.budget_ms}, remaining_ms={self.remaining_ms():.1f})"
 
 
 class RemoteError(Exception):

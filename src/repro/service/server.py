@@ -128,6 +128,11 @@ class JsonLineServer:
     def _request_ended(self, request: dict) -> None:
         """Hook: the request's response is being written."""
 
+    def _deadline_missed(self, request: dict) -> None:
+        """Hook: a request was shed at the dispatch door — its deadline had
+        already expired when its turn came (the micro-batcher counts its
+        own flush-time sheds separately)."""
+
     # -- request plumbing ----------------------------------------------
     def stop(self) -> None:
         """Ask :meth:`serve` to exit (what the ``shutdown`` verb does after
@@ -143,8 +148,17 @@ class JsonLineServer:
         request_id = request.get("id")
         self._request_begun(request)
         try:
+            deadline = request.get("_deadline")
+            if deadline is not None and deadline.expired:
+                # Shed at the door: the client has already given up, so any
+                # work done now — a solve, a snapshot write — is wasted and
+                # delays requests someone *is* still waiting for.
+                self._deadline_missed(request)
+                deadline.raise_if_expired("dispatch")
             result = await self.dispatch(request)
             response = protocol.ok_response(request_id, result)
+        except protocol.DeadlineExceeded as exc:
+            response = protocol.error_response(request_id, "DeadlineExceeded", str(exc))
         except ServiceError as exc:
             response = protocol.error_response(
                 request_id, exc.kind, str(exc), **exc.details
@@ -200,6 +214,10 @@ class JsonLineServer:
                     break
                 if request is None:
                     break
+                # Stamp the deadline now: the wire budget is relative to the
+                # moment the frame is read, and everything downstream —
+                # dispatch, batcher, proxied calls — shares this one object.
+                request["_deadline"] = protocol.Deadline.from_request(request)
                 task = asyncio.create_task(self._respond(request, writer, write_lock))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
@@ -314,6 +332,9 @@ class KrigingService(JsonLineServer):
         self.snapshot_dir = pathlib.Path(snapshot_dir) if snapshot_dir is not None else None
         self.max_batch = int(max_batch)
         self.max_delay_ms = float(max_delay_ms)
+        #: Dispatch-door sheds of requests naming no (known) session —
+        #: per-session sheds live on the sessions themselves.
+        self.deadline_misses = 0
         self._inflight: dict[str, int] = {}
         self._ops: dict[str, Callable[[dict], Awaitable[dict]]] = {
             "ping": self._op_ping,
@@ -434,6 +455,21 @@ class KrigingService(JsonLineServer):
             return self._inflight.get(session, 0)
         return sum(self._inflight.values())
 
+    def _deadline_missed(self, request: dict) -> None:
+        name = request.get("session")
+        session = self.sessions.get(name) if isinstance(name, str) else None
+        if session is not None:
+            session.deadline_misses += 1
+        else:
+            self.deadline_misses += 1
+
+    def total_deadline_misses(self) -> int:
+        """Every shed so far: dispatch-door plus flush-time, all sessions."""
+        return self.deadline_misses + sum(
+            session.deadline_misses + session.batcher.stats.deadline_misses
+            for session in self.sessions.values()
+        )
+
     # ------------------------------------------------------------------
     # verbs
     # ------------------------------------------------------------------
@@ -442,6 +478,7 @@ class KrigingService(JsonLineServer):
             "protocol": protocol.PROTOCOL_VERSION,
             "sessions": len(self.sessions),
             "inflight": self.inflight(),
+            "deadline_misses": self.total_deadline_misses(),
         }
 
     async def _op_create_session(self, request: dict) -> dict:
@@ -494,16 +531,24 @@ class KrigingService(JsonLineServer):
     async def _op_evaluate(self, request: dict) -> dict:
         session = self._session(request)
         configs, was_batch = self._configs(request)
+        deadline = request.get("_deadline")
         if was_batch:
             # A bulk request is already a batch: go straight to
             # evaluate_batch under the session lock (deterministic grouping,
             # no reason to trickle it through the coalescer).
             checked = [self._checked_config(session, config) for config in configs]
             async with session.lock:
+                # Re-check after the lock wait: the budget may have run out
+                # queueing behind other flushes — shed before the solve.
+                if deadline is not None and deadline.expired:
+                    session.deadline_misses += 1
+                    deadline.raise_if_expired("evaluate")
                 outcomes = await asyncio.to_thread(session.evaluate_batch, checked)
         else:
             outcomes = [
-                await session.evaluate(self._checked_config(session, configs[0]))
+                await session.evaluate(
+                    self._checked_config(session, configs[0]), deadline
+                )
             ]
         wired = [protocol.outcome_to_wire(outcome) for outcome in outcomes]
         return {"outcomes": wired} if was_batch else wired[0]

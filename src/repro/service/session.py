@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.core.estimator import EstimationOutcome, KrigingEstimator
 from repro.service.batcher import MicroBatcher
+from repro.service.protocol import Deadline
 
 __all__ = [
     "SNAPSHOT_VERSION",
@@ -204,6 +205,9 @@ class EstimatorSession:
         self.estimator = estimator
         self.simulator_spec = dict(simulator_spec)
         self.lock = asyncio.Lock()
+        #: Requests shed at the dispatch door because their deadline had
+        #: already expired (the batcher counts its own flush-time sheds).
+        self.deadline_misses = 0
         self.batcher = MicroBatcher(
             self.evaluate_batch,
             max_batch=max_batch,
@@ -216,9 +220,11 @@ class EstimatorSession:
         """Synchronous batch evaluation (the batcher's flush function)."""
         return self.estimator.evaluate_batch(np.asarray(configs, dtype=np.float64))
 
-    async def evaluate(self, config: object) -> EstimationOutcome:
+    async def evaluate(
+        self, config: object, deadline: Deadline | None = None
+    ) -> EstimationOutcome:
         """One query through the micro-batcher (coalesces across clients)."""
-        return await self.batcher.submit(config)
+        return await self.batcher.submit(config, deadline)
 
     def simulate(self, config: object, value: float | None = None) -> EstimationOutcome:
         """Force a simulation — or record a client-measured ``value``."""
@@ -248,6 +254,8 @@ class EstimatorSession:
             "interpolated_fraction": stats.interpolated_fraction,
             "neighbor_sketch": stats.neighbor_sketch.summary(),
             "factor": dict(stats.factor.as_pairs()),
+            "deadline_misses": self.deadline_misses
+            + self.batcher.stats.deadline_misses,
             "batcher": self.batcher.stats.summary(),
         }
 

@@ -1,0 +1,17 @@
+"""Test and drill instrumentation shipped with the package.
+
+Lives under ``src`` (not ``tests/``) because the chaos drill benchmark
+(``benchmarks/bench_chaos.py``) and the test suite both need it, and
+because injecting faults against *your own* deployment is a supported way
+to rehearse failure handling, not a test-only trick.
+
+``faults``
+    :class:`~repro.testing.faults.ChaosProxy` — an asyncio TCP proxy that
+    injects schedulable faults (latency, resets, blackholes, garbled
+    frames, slow-drip writes) between any client and server speaking the
+    service protocol.
+"""
+
+from repro.testing.faults import Fault, ChaosProxy
+
+__all__ = ["ChaosProxy", "Fault"]

@@ -1,0 +1,246 @@
+"""Fault-injecting TCP proxy for chaos tests and drills.
+
+:class:`ChaosProxy` sits between a client and a server (router → worker,
+or client → router), forwarding bytes untouched until a :class:`Fault` is
+installed.  Faults model the transport failures a real deployment sees:
+
+``latency``
+    Every forwarded chunk waits ``latency_ms`` first — a congested or
+    distant peer.  Requests still succeed; deadlines and timeouts decide
+    whether slowly.
+``blackhole``
+    Connections stay open and bytes are *read* but never forwarded, in
+    either direction — the classic hung-but-alive worker: accepts TCP,
+    never replies.  Only deadlines/timeouts get a caller out.
+``reset``
+    The connection is aborted the moment a chunk arrives — a crashed peer
+    or a middlebox sending RST.
+``garble``
+    Chunk bytes are XOR-scrambled (newlines preserved, so framing stays
+    intact but every frame is junk) — a corrupted stream; receivers see
+    ``ProtocolError``.
+``truncate``
+    Half of the chunk is forwarded, then the connection is aborted — a
+    peer dying mid-frame.
+``drip``
+    Chunks are forwarded ``drip_bytes`` at a time with a pause between
+    pieces — a slow-loris peer; completion is bounded only by the
+    reader's deadline.
+
+Faults are installed and removed *explicitly* (:meth:`ChaosProxy.set_fault`)
+— the proxy rolls no dice, so a drill that owns a seeded RNG is exactly
+reproducible.  A fault applies to chunks flowing in its ``direction``
+(``"to_server"``, ``"to_client"`` or ``"both"``), letting a test break the
+request path and the response path independently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+
+__all__ = ["FAULT_KINDS", "ChaosProxy", "Fault"]
+
+FAULT_KINDS = ("latency", "blackhole", "reset", "garble", "truncate", "drip")
+
+#: XOR mask for ``garble`` — maps printable JSON to junk.
+_GARBLE_MASK = 0x5A
+
+
+def _garble(chunk: bytes) -> bytes:
+    """Scramble every byte, preserving newlines exactly: real frame
+    boundaries stay where they are and none are forged (a scrambled byte
+    that would land on ``\\n`` becomes ``\\x00`` instead)."""
+    out = bytearray()
+    for b in chunk:
+        if b == 0x0A:
+            out.append(b)
+            continue
+        g = b ^ _GARBLE_MASK
+        out.append(0x00 if g == 0x0A else g)
+    return bytes(out)
+
+
+@dataclass
+class Fault:
+    """One installed failure mode (see module docstring for the kinds)."""
+
+    kind: str
+    direction: str = "both"  # "to_server" | "to_client" | "both"
+    latency_ms: float = 50.0
+    drip_bytes: int = 16
+    drip_interval_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if self.direction not in ("to_server", "to_client", "both"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+    def applies(self, direction: str) -> bool:
+        return self.direction == "both" or self.direction == direction
+
+
+class _Connection:
+    """One proxied client↔server connection (a pump task per direction)."""
+
+    def __init__(
+        self,
+        proxy: "ChaosProxy",
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+        server_reader: asyncio.StreamReader,
+        server_writer: asyncio.StreamWriter,
+    ) -> None:
+        self.proxy = proxy
+        self.client_writer = client_writer
+        self.server_writer = server_writer
+        self.tasks = [
+            asyncio.create_task(
+                self._pump(client_reader, server_writer, "to_server")
+            ),
+            asyncio.create_task(
+                self._pump(server_reader, client_writer, "to_client")
+            ),
+        ]
+
+    def abort(self) -> None:
+        """Kill both sides abruptly (RST where the OS allows it)."""
+        for writer in (self.client_writer, self.server_writer):
+            with contextlib.suppress(Exception):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        direction: str,
+    ) -> None:
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                fault = self.proxy.fault
+                if fault is not None and fault.applies(direction):
+                    self.proxy.injected[fault.kind] = (
+                        self.proxy.injected.get(fault.kind, 0) + 1
+                    )
+                    if fault.kind == "latency":
+                        await asyncio.sleep(fault.latency_ms / 1000.0)
+                    elif fault.kind == "blackhole":
+                        continue  # read and discard; never forward
+                    elif fault.kind == "reset":
+                        self.abort()
+                        break
+                    elif fault.kind == "garble":
+                        chunk = _garble(chunk)
+                    elif fault.kind == "truncate":
+                        writer.write(chunk[: max(1, len(chunk) // 2)])
+                        with contextlib.suppress(Exception):
+                            await writer.drain()
+                        self.abort()
+                        break
+                    elif fault.kind == "drip":
+                        for start in range(0, len(chunk), fault.drip_bytes):
+                            writer.write(chunk[start : start + fault.drip_bytes])
+                            await writer.drain()
+                            await asyncio.sleep(fault.drip_interval_ms / 1000.0)
+                        continue
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def wait_closed(self) -> None:
+        for task in self.tasks:
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of one ``(host, port)`` target.
+
+    Usage::
+
+        proxy = ChaosProxy(worker_host, worker_port)
+        await proxy.start()            # binds an ephemeral loopback port
+        ... point the client/router at proxy.address ...
+        proxy.set_fault(Fault("blackhole"))
+        ...
+        proxy.set_fault(None)          # heal
+        await proxy.stop()
+
+    One fault is active at a time (the drill schedules them one by one);
+    installing a fault affects in-flight *and* future connections, and
+    :meth:`set_fault` with ``reset``/``truncate`` semantics still only
+    fires when bytes flow — use :meth:`abort_connections` to cut every
+    live connection immediately.
+    """
+
+    def __init__(self, target_host: str, target_port: int, *, host: str = "127.0.0.1") -> None:
+        self.target_host = target_host
+        self.target_port = int(target_port)
+        self.host = host
+        self.fault: Fault | None = None
+        self.address: tuple[str, int] | None = None
+        self.connections_seen = 0
+        self.injected: dict[str, int] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, 0, limit=2**20
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    def set_fault(self, fault: Fault | None) -> None:
+        self.fault = fault
+
+    def abort_connections(self) -> None:
+        """Abort every live proxied connection right now."""
+        for connection in list(self._connections):
+            connection.abort()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_seen += 1
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.target_host, self.target_port, limit=2**20
+            )
+        except OSError:
+            with contextlib.suppress(Exception):
+                writer.close()
+            return
+        connection = _Connection(self, reader, writer, server_reader, server_writer)
+        self._connections.add(connection)
+        try:
+            await connection.wait_closed()
+        finally:
+            self._connections.discard(connection)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections):
+            connection.abort()
+            for task in connection.tasks:
+                task.cancel()
+        for connection in list(self._connections):
+            await connection.wait_closed()
+        self._connections.clear()

@@ -20,6 +20,7 @@ import asyncio
 from repro.cluster import ClusterRouter, WorkerHandle, WorkerSupervisor
 from repro.service.client import AsyncServiceClient
 from repro.service.server import KrigingService
+from repro.testing import ChaosProxy
 
 NV = 3
 SIMULATOR = {"kind": "linear", "coefficients": [1.0, -2.0, 0.5], "offset": -6.0}
@@ -34,6 +35,7 @@ def run_cluster(
     tmp_path,
     workers=2,
     supervisor_kwargs=None,
+    chaos=False,
     **router_kwargs,
 ):
     """Run ``await test_body(client, router, services, supervisor)`` against
@@ -42,6 +44,11 @@ def run_cluster(
     ``supervisor_kwargs``: None attaches no supervisor (tests drive
     failover by hand); a dict attaches one (its loops start with the
     router, so pass short intervals deliberately).
+
+    ``chaos=True`` fronts every worker with a
+    :class:`~repro.testing.faults.ChaosProxy` (the router connects through
+    it) and passes the proxy list as a fifth argument:
+    ``await test_body(client, router, services, supervisor, proxies)``.
     """
 
     async def main():
@@ -52,25 +59,40 @@ def run_cluster(
             else None
         )
         services: list[KrigingService] = []
+        proxies: list[ChaosProxy] = []
         tasks: list[asyncio.Task] = []
         for index in range(workers):
             service = KrigingService(snapshot_dir=tmp_path)
             tasks.append(asyncio.create_task(service.serve("127.0.0.1", 0)))
             while service.address is None:
                 await asyncio.sleep(0.005)
-            await router.add_worker(WorkerHandle(f"w{index}", *service.address))
+            address = service.address
+            if chaos:
+                proxy = ChaosProxy(*service.address)
+                address = await proxy.start()
+                proxies.append(proxy)
+            await router.add_worker(WorkerHandle(f"w{index}", *address))
             services.append(service)
         router_task = asyncio.create_task(router.serve("127.0.0.1", 0))
         try:
             while router.address is None:
                 await asyncio.sleep(0.005)
             async with await AsyncServiceClient.connect(*router.address) as client:
+                if chaos:
+                    return await test_body(
+                        client, router, services, supervisor, proxies
+                    )
                 return await test_body(client, router, services, supervisor)
         finally:
             router.stop()
             # Router teardown asks live workers to shut down; severed ones
-            # never saw the request, so stop them directly as well.
+            # never saw the request, so stop them directly as well.  Heal
+            # the proxies first or the shutdown requests may be eaten.
+            for proxy in proxies:
+                proxy.set_fault(None)
             await asyncio.wait_for(router_task, 15)
+            for proxy in proxies:
+                await proxy.stop()
             for service, task in zip(services, tasks):
                 if not task.done():
                     service.stop()
@@ -81,8 +103,16 @@ def run_cluster(
 
 def sever_worker(router: ClusterRouter, worker_id: str) -> None:
     """Cut the router's connection to a worker (simulates abrupt death:
-    the next health ping fails just like it would for a SIGKILLed process)."""
-    router.workers[worker_id].client._writer.close()
+    the next health ping fails just like it would for a SIGKILLed process).
+
+    The handle is also repointed at a port nothing listens on: the router
+    reconnects on a broken connection (``ensure_connected``), so merely
+    dropping the live connection no longer looks like death — a real dead
+    process refuses new connections too.
+    """
+    handle = router.workers[worker_id]
+    handle.client._writer.close()
+    handle.port = 1  # reserved port, nothing listens: reconnects are refused
 
 
 async def detect_death(supervisor: WorkerSupervisor, worker_id: str) -> None:

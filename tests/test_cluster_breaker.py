@@ -1,0 +1,194 @@
+"""Circuit breaker: state machine unit tests + router integration."""
+
+import time
+
+import pytest
+
+from cluster_testkit import SESSION_KWARGS, run_cluster
+from repro.cluster.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.protocol import RemoteError
+from repro.testing import Fault
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance_ms(self, ms):
+        self.now += ms / 1000.0
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = Clock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two in a row
+
+    def test_retry_after_counts_down_the_cooloff(self):
+        clock = Clock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_ms=200.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.retry_after_ms() == pytest.approx(200.0)
+        clock.advance_ms(150.0)
+        assert breaker.retry_after_ms() == pytest.approx(50.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = Clock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_ms=100.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance_ms(101.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # everyone else still fast-fails
+
+    def test_probe_success_closes(self):
+        clock = Clock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_ms=100.0, clock=clock)
+        breaker.record_failure()
+        clock.advance_ms(101.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() and breaker.allow()  # fully open for business
+
+    def test_probe_failure_reopens_and_restarts_cooloff(self):
+        clock = Clock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_ms=100.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance_ms(101.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance_ms(99.0)
+        assert not breaker.allow()  # cool-off restarted
+
+    def test_stuck_probe_does_not_block_forever(self):
+        clock = Clock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_ms=100.0, clock=clock)
+        breaker.record_failure()
+        clock.advance_ms(101.0)
+        assert breaker.allow()  # probe whose caller then vanishes
+        clock.advance_ms(101.0)
+        assert breaker.allow()  # a new caller may probe in its place
+
+    def test_describe_is_json_safe(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        breaker.allow()
+        description = breaker.describe()
+        assert description["state"] == OPEN
+        assert description["trips"] == 1
+        assert description["fast_fails"] == 1
+        assert description["consecutive_failures"] == 1
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after_ms=0.0)
+
+
+class TestRouterIntegration:
+    def test_breaker_trips_fast_fails_and_recovers(self, tmp_path):
+        """Blackholed worker: timeouts trip its breaker, new requests
+        fast-fail with a retryable hint, and healing closes it again."""
+
+        async def body(client, router, services, supervisor, proxies):
+            await client.request("create_session", session="s", **SESSION_KWARGS)
+            worker_id = router.table["s"]
+            proxy = proxies[int(worker_id[1:])]
+            handle = router.workers[worker_id]
+
+            proxy.set_fault(Fault("blackhole"))
+            for _ in range(2):  # breaker_threshold timeouts trip it
+                with pytest.raises((RemoteError, TimeoutError)):
+                    await client.request(
+                        "evaluate", session="s", config=[1.0, 2.0, 3.0], timeout=2.0
+                    )
+            assert handle.breaker.state == OPEN
+
+            # Fast-fail: answered from the router, no worker_timeout wait.
+            t0 = time.perf_counter()
+            with pytest.raises(RemoteError) as err:
+                await client.request(
+                    "evaluate", session="s", config=[1.0, 2.0, 3.0], timeout=5.0
+                )
+            assert time.perf_counter() - t0 < 0.2
+            assert err.value.kind == "Unavailable"
+            assert err.value.retry_after_ms is not None
+            assert "circuit" in str(err.value)
+
+            # Breaker state is surfaced in cluster_stats.
+            stats = await client.request("cluster_stats")
+            by_id = {row["worker"]: row for row in stats["workers"]}
+            assert by_id[worker_id]["breaker"]["state"] == OPEN
+            assert by_id[worker_id]["breaker"]["trips"] >= 1
+            assert stats["counters"]["breaker_fast_fails"] >= 1
+
+            # Heal the worker; after the cool-off the probe closes it.
+            proxy.set_fault(None)
+            import asyncio
+
+            await asyncio.sleep(0.25)  # > breaker_reset_ms
+            outcome = await client.request(
+                "evaluate", session="s", config=[1.0, 2.0, 3.0], timeout=5.0
+            )
+            assert "value" in outcome
+            assert handle.breaker.state == CLOSED
+
+        run_cluster(
+            body,
+            tmp_path=tmp_path,
+            workers=2,
+            chaos=True,
+            worker_timeout=0.4,
+            breaker_threshold=2,
+            breaker_reset_ms=200.0,
+        )
+
+    def test_structured_errors_do_not_trip_the_breaker(self, tmp_path):
+        """A worker that *answers* — even with an error — is healthy; only
+        transport failures count."""
+
+        async def body(client, router, services, supervisor):
+            await client.request("create_session", session="s", **SESSION_KWARGS)
+            worker_id = router.table["s"]
+            handle = router.workers[worker_id]
+            for _ in range(5):
+                with pytest.raises(RemoteError) as err:
+                    # Wrong dimension: the worker rejects it structurally.
+                    await client.request("evaluate", session="s", config=[1.0])
+                assert err.value.kind not in ("Unavailable",)
+            assert handle.breaker.state == CLOSED
+            assert handle.breaker.consecutive_failures == 0
+
+        run_cluster(body, tmp_path=tmp_path, workers=2, breaker_threshold=2)

@@ -1,0 +1,168 @@
+"""Chaos scenarios end to end: a hung-but-accepting worker is detected,
+failed over, and ridden through; corrupt and slow transports surface as
+structured, bounded errors — never hangs."""
+
+import asyncio
+import time
+
+import pytest
+
+from cluster_testkit import SESSION_KWARGS, detect_death, run_cluster
+from repro.service.client import RETRYABLE_KINDS
+from repro.service.protocol import RemoteError
+from repro.testing import Fault
+
+SUP_KWARGS = dict(
+    health_interval=30.0,  # loops effectively off; tests drive check_health
+    replication_interval=30.0,
+    ping_timeout=0.3,
+    max_ping_failures=2,
+)
+
+
+async def evaluate_with_retries(client, session, config, *, attempts=10):
+    """The documented client-side loop: honor ``retry_after_ms`` hints."""
+    for attempt in range(attempts):
+        try:
+            return await client.request(
+                "evaluate", session=session, config=config, timeout=5.0
+            )
+        except RemoteError as exc:
+            if exc.kind not in RETRYABLE_KINDS or attempt == attempts - 1:
+                raise
+            await asyncio.sleep((exc.retry_after_ms or 50.0) / 1000.0)
+    raise AssertionError("unreachable")
+
+
+class TestHungWorker:
+    def test_hung_worker_is_detected_and_ridden_through(self, tmp_path):
+        """The nastiest failure mode: the worker accepts TCP but never
+        replies.  In-flight requests must fail retryably within the
+        deadline (+1s slack), the health loop must declare it dead, and a
+        retrying client must ride through the failover untouched."""
+
+        async def body(client, router, services, supervisor, proxies):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            await client.request("simulate", session="s", config=[1.0, 2.0, 3.0])
+            await client.request("replicate")
+
+            proxies[0].set_fault(Fault("blackhole"))
+
+            # In-flight request: structured + retryable, bounded by the
+            # deadline — not a hang, not an opaque socket error.
+            deadline_s = 5.0
+            t0 = time.perf_counter()
+            with pytest.raises(RemoteError) as err:
+                await client.request(
+                    "evaluate", session="s", config=[1.0, 2.0, 3.0],
+                    timeout=deadline_s,
+                )
+            elapsed = time.perf_counter() - t0
+            assert elapsed < deadline_s + 1.0
+            assert err.value.kind == "Unavailable"
+            assert err.value.kind in RETRYABLE_KINDS
+            assert err.value.retry_after_ms > 0
+
+            # Health pings time out (TCP connects fine!) until the worker
+            # is declared dead and its sessions fail over.
+            await detect_death(supervisor, "w0")
+            stats = await client.request("cluster_stats")
+            assert stats["counters"]["failovers"] == 1
+            assert stats["counters"]["sessions_lost"] == 0
+            assert stats["table"]["s"] == "w1"
+
+            # A client that honors retry hints sees the session again —
+            # with its replicated state.
+            outcome = await evaluate_with_retries(client, "s", [1.0, 2.0, 3.0])
+            assert outcome["exact_hit"] is True
+
+        run_cluster(
+            body,
+            tmp_path=tmp_path,
+            workers=2,
+            chaos=True,
+            supervisor_kwargs=SUP_KWARGS,
+            worker_timeout=0.5,
+        )
+
+    def test_retry_loop_rides_through_undetected_outage(self, tmp_path):
+        """Even before the health loop notices, a retrying client makes
+        progress the moment the worker heals."""
+
+        async def body(client, router, services, supervisor, proxies):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            proxies[0].set_fault(Fault("blackhole"))
+
+            async def heal_soon():
+                await asyncio.sleep(0.7)
+                proxies[0].set_fault(None)
+
+            healer = asyncio.create_task(heal_soon())
+            outcome = await evaluate_with_retries(client, "s", [1.0, 2.0, 3.0])
+            assert "value" in outcome
+            await healer
+
+        run_cluster(
+            body,
+            tmp_path=tmp_path,
+            workers=2,
+            chaos=True,
+            worker_timeout=0.3,
+        )
+
+
+class TestCorruptTransport:
+    def test_garbled_worker_frames_fail_retryable_then_recover(self, tmp_path):
+        """A worker whose responses are corrupted mid-flight surfaces a
+        retryable Unavailable; once the stream heals the router reconnects
+        transparently."""
+
+        async def body(client, router, services, supervisor, proxies):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            proxies[0].set_fault(Fault("garble", direction="to_client"))
+            with pytest.raises(RemoteError) as err:
+                await client.request(
+                    "evaluate", session="s", config=[1.0, 2.0, 3.0], timeout=5.0
+                )
+            assert err.value.kind == "Unavailable"
+            assert err.value.kind in RETRYABLE_KINDS
+
+            proxies[0].set_fault(None)
+            outcome = await evaluate_with_retries(client, "s", [1.0, 2.0, 3.0])
+            assert "value" in outcome
+
+        run_cluster(
+            body, tmp_path=tmp_path, workers=2, chaos=True, worker_timeout=1.0
+        )
+
+
+class TestDeadlineThroughRouter:
+    def test_slow_worker_trips_the_deadline_not_the_full_timeout(self, tmp_path):
+        """An explicit 100 ms budget beats the generous client timeout: the
+        router gives up when the budget runs out and answers with a
+        non-retryable DeadlineExceeded."""
+
+        async def body(client, router, services, supervisor, proxies):
+            await client.request(
+                "create_session", session="s", worker="w0", **SESSION_KWARGS
+            )
+            proxies[0].set_fault(Fault("latency", latency_ms=400.0))
+            t0 = time.perf_counter()
+            with pytest.raises(RemoteError) as err:
+                await client.request(
+                    "evaluate", session="s", config=[1.0, 2.0, 3.0],
+                    deadline_ms=100.0, timeout=5.0,
+                )
+            assert time.perf_counter() - t0 < 1.0  # budget, not timeout
+            assert err.value.kind == "DeadlineExceeded"
+            assert err.value.kind not in RETRYABLE_KINDS
+            stats = await client.request("cluster_stats")
+            assert stats["counters"]["deadline_misses"] >= 1
+
+        run_cluster(body, tmp_path=tmp_path, workers=2, chaos=True)

@@ -1,0 +1,142 @@
+"""ChaosProxy: each fault kind produces its documented failure shape."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service.client import AsyncServiceClient
+from repro.service.protocol import ProtocolError
+from repro.service.server import JsonLineServer
+from repro.testing import ChaosProxy, Fault
+from repro.testing.faults import FAULT_KINDS, _garble
+
+
+class EchoService(JsonLineServer):
+    async def dispatch(self, request):
+        return {"echo": request.get("payload"), "op": request.get("op")}
+
+
+def run_proxied(body):
+    """``await body(client, proxy)`` against an EchoService behind a proxy."""
+
+    async def main():
+        service = EchoService()
+        serve_task = asyncio.create_task(service.serve("127.0.0.1", 0))
+        while service.address is None:
+            await asyncio.sleep(0.005)
+        proxy = ChaosProxy(*service.address)
+        await proxy.start()
+        try:
+            client = await AsyncServiceClient.connect(*proxy.address)
+            try:
+                return await body(client, proxy)
+            finally:
+                await client.close()
+        finally:
+            await proxy.stop()
+            service.stop()
+            await asyncio.wait_for(serve_task, 10)
+
+    return asyncio.run(main())
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("gremlins")
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError, match="unknown direction"):
+            Fault("latency", direction="sideways")
+
+    def test_direction_filter(self):
+        fault = Fault("latency", direction="to_client")
+        assert fault.applies("to_client")
+        assert not fault.applies("to_server")
+        assert Fault("latency").applies("to_server")
+
+    def test_garble_preserves_newlines_and_never_forges_them(self):
+        line = b'{"id": 1, "op": "Ping"}\n'  # 'P' ^ 0x5A == 0x0A: the trap
+        garbled = _garble(line)
+        assert garbled.count(b"\n") == line.count(b"\n")
+        assert garbled.endswith(b"\n")
+        assert garbled != line
+
+
+class TestFaultKinds:
+    def test_passthrough_without_fault(self):
+        async def body(client, proxy):
+            result = await client.request("work", payload="x")
+            assert result == {"echo": "x", "op": "work"}
+            assert proxy.connections_seen == 1
+            assert proxy.injected == {}
+
+        run_proxied(body)
+
+    def test_latency_delays_but_serves(self):
+        async def body(client, proxy):
+            proxy.set_fault(Fault("latency", latency_ms=120.0))
+            t0 = time.perf_counter()
+            result = await client.request("work", payload="x")
+            assert result["echo"] == "x"
+            assert time.perf_counter() - t0 >= 0.1
+            assert proxy.injected.get("latency", 0) >= 1
+
+        run_proxied(body)
+
+    def test_blackhole_hangs_until_timeout(self):
+        async def body(client, proxy):
+            proxy.set_fault(Fault("blackhole"))
+            t0 = time.perf_counter()
+            with pytest.raises((asyncio.TimeoutError, TimeoutError)):
+                await client.request("work", payload="x", timeout=0.3)
+            assert time.perf_counter() - t0 < 2.0  # bounded, not a hang
+            # Heal: the same connection carries traffic again.
+            proxy.set_fault(None)
+            assert (await client.request("work", payload="y"))["echo"] == "y"
+
+        run_proxied(body)
+
+    def test_reset_surfaces_connection_error(self):
+        async def body(client, proxy):
+            proxy.set_fault(Fault("reset"))
+            with pytest.raises((ConnectionError, asyncio.TimeoutError, TimeoutError)):
+                await client.request("work", payload="x", timeout=2.0)
+
+        run_proxied(body)
+
+    def test_garbled_response_breaks_the_client(self):
+        async def body(client, proxy):
+            # Garble only the response path: the server sees a clean
+            # request, the client receives junk.
+            proxy.set_fault(Fault("garble", direction="to_client"))
+            with pytest.raises((ProtocolError, ConnectionError)):
+                await client.request("work", payload="x", timeout=2.0)
+            assert client.is_broken
+
+        run_proxied(body)
+
+    def test_truncate_kills_mid_frame(self):
+        async def body(client, proxy):
+            proxy.set_fault(Fault("truncate", direction="to_client"))
+            with pytest.raises(
+                (ProtocolError, ConnectionError, asyncio.TimeoutError, TimeoutError)
+            ):
+                await client.request("work", payload="x" * 2000, timeout=2.0)
+
+        run_proxied(body)
+
+    def test_drip_is_slow_but_complete(self):
+        async def body(client, proxy):
+            proxy.set_fault(
+                Fault("drip", direction="to_client", drip_bytes=8, drip_interval_ms=2.0)
+            )
+            result = await client.request("work", payload="x", timeout=10.0)
+            assert result["echo"] == "x"
+
+        run_proxied(body)
+
+    def test_every_kind_is_exercised_above(self):
+        exercised = {"latency", "blackhole", "reset", "garble", "truncate", "drip"}
+        assert exercised == set(FAULT_KINDS)

@@ -206,3 +206,64 @@ class TestReconnect:
         t0 = time.perf_counter()
         client._backoff(10)  # 0.05 * 2^10 would be 51s; the cap bounds it
         assert time.perf_counter() - t0 < 0.5
+
+
+class SlowFirstService(JsonLineServer):
+    """First ``slow`` call stalls ``delay`` seconds, the rest are instant;
+    ``ping`` always answers immediately."""
+
+    def __init__(self, delay=1.0):
+        super().__init__()
+        self.delay = delay
+        self.calls = 0
+
+    async def dispatch(self, request):
+        if request.get("op") == "ping":
+            return {"pong": True}
+        self.calls += 1
+        if self.calls == 1:
+            await asyncio.sleep(self.delay)
+        return {"ok_after": self.calls}
+
+
+class TestReadTimeout:
+    def test_timeout_drops_the_stream_so_late_replies_cannot_poison_it(self):
+        """Regression: a read timeout used to leave the connection open, so
+        the late reply sat buffered and the *next* request consumed it as
+        its own response.  The timeout must tear the connection down; the
+        follow-up request gets a fresh stream and a correct answer."""
+        with ServerThread(SlowFirstService(delay=1.0)) as st:
+            with ServiceClient("127.0.0.1", st.port, timeout=0.3) as client:
+                with pytest.raises(TimeoutError):
+                    client.request("slow")
+                # Fresh connection, correct pairing — NOT the stale reply.
+                assert client.request("ping") == {"pong": True}
+
+    def test_timeout_is_retried_like_a_transport_failure(self):
+        with ServerThread(SlowFirstService(delay=1.0)) as st:
+            with ServiceClient(
+                "127.0.0.1", st.port, timeout=0.3, retries=2
+            ) as client:
+                result = client.request("slow")
+                assert result["ok_after"] == 2  # timed out once, then served
+                assert st.service.calls == 2
+
+    def test_async_per_request_timeout(self):
+        """The async client's per-request timeout bounds a single await
+        without poisoning the shared pipelined connection."""
+
+        async def main():
+            async def handle(reader, writer):
+                await reader.read()  # swallow everything, never answer
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with await AsyncServiceClient.connect("127.0.0.1", port) as client:
+                with pytest.raises((asyncio.TimeoutError, TimeoutError)):
+                    await client.request("ping", timeout=0.2)
+                assert not client.is_broken  # connection healthy, reply just late
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
+

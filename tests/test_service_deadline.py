@@ -1,0 +1,173 @@
+"""Deadline propagation: wire parsing, batcher shedding, server shedding."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service.batcher import MicroBatcher
+from repro.service.client import ServiceClient
+from repro.service.protocol import Deadline, DeadlineExceeded, RemoteError
+from repro.service.server import KrigingService
+
+SIMULATOR = {"kind": "linear", "coefficients": [1.0, -2.0, 0.5], "offset": -6.0}
+
+
+class TestDeadlineParsing:
+    def test_absent_field_means_no_deadline(self):
+        assert Deadline.from_request({"op": "ping"}) is None
+
+    @pytest.mark.parametrize(
+        "bad", [True, False, "250", None, float("inf"), float("nan"), [250]]
+    )
+    def test_malformed_budgets_are_treated_as_absent(self, bad):
+        assert Deadline.from_request({"deadline_ms": bad}) is None
+
+    def test_numeric_budget_parses(self):
+        deadline = Deadline.from_request({"deadline_ms": 250})
+        assert deadline is not None
+        assert deadline.budget_ms == 250.0
+        assert 0.0 < deadline.remaining_ms() <= 250.0
+        assert not deadline.expired
+
+    def test_expiry_and_raise(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="dispatch"):
+            deadline.raise_if_expired("dispatch")
+        # A generous budget neither expires nor raises.
+        Deadline(60_000).raise_if_expired("dispatch")
+
+    def test_remaining_decreases(self):
+        deadline = Deadline(50.0)
+        first = deadline.remaining_ms()
+        time.sleep(0.01)
+        assert deadline.remaining_ms() < first
+
+
+class TestBatcherShedding:
+    def test_expired_requests_shed_instead_of_solving(self):
+        flushed = []
+
+        def flush(configs):
+            flushed.append(list(configs))
+            return [f"out:{c}" for c in configs]
+
+        async def main():
+            batcher = MicroBatcher(flush, max_batch=8, max_delay_ms=0.0)
+            live = asyncio.ensure_future(batcher.submit("a", Deadline(60_000)))
+            dead = asyncio.ensure_future(batcher.submit("b", Deadline(0.0)))
+            bare = asyncio.ensure_future(batcher.submit("c", None))
+            assert await live == "out:a"
+            assert await bare == "out:c"
+            with pytest.raises(DeadlineExceeded):
+                await dead
+            return batcher
+
+        batcher = asyncio.run(main())
+        # The expired request never reached a flush; the others coalesced.
+        assert all("b" not in batch for batch in flushed)
+        assert batcher.stats.deadline_misses == 1
+
+    def test_all_expired_batch_flushes_nothing(self):
+        def flush(configs):  # pragma: no cover - must never run
+            raise AssertionError("flush ran for an all-expired batch")
+
+        async def main():
+            batcher = MicroBatcher(flush, max_batch=8, max_delay_ms=0.0)
+            futures = [
+                asyncio.ensure_future(batcher.submit(i, Deadline(0.0)))
+                for i in range(3)
+            ]
+            for future in futures:
+                with pytest.raises(DeadlineExceeded):
+                    await future
+            assert batcher.stats.deadline_misses == 3
+            assert batcher.stats.flushes == 0
+
+        asyncio.run(main())
+
+
+class ServerThread:
+    """A real KrigingService on a background thread."""
+
+    def __init__(self):
+        self.service = KrigingService()
+        self.ready = threading.Event()
+        self.port = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self.ready.wait(10), "server never came up"
+
+    def _run(self):
+        def on_ready(host, port):
+            self.port = port
+            self.ready.set()
+
+        asyncio.run(self.service.serve("127.0.0.1", 0, on_ready=on_ready))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        try:
+            with ServiceClient("127.0.0.1", self.port, timeout=5) as client:
+                client.request("shutdown")
+            self.thread.join(timeout=10)
+        except Exception:
+            pass
+
+
+class TestServerShedding:
+    def test_expired_request_is_shed_with_structured_error(self):
+        with ServerThread() as st:
+            with ServiceClient("127.0.0.1", st.port) as client:
+                client.create_session(
+                    "s", simulator=SIMULATOR, num_variables=3, distance=4.0,
+                    variogram="linear",
+                )
+                with pytest.raises(RemoteError) as err:
+                    client.request(
+                        "evaluate", session="s", config=[1.0, 2.0, 3.0],
+                        deadline_ms=0.0,
+                    )
+                assert err.value.kind == "DeadlineExceeded"
+                # The shed is counted — in the session stats and in ping.
+                assert client.stats("s")["deadline_misses"] >= 1
+                assert client.ping()["deadline_misses"] >= 1
+
+    def test_generous_deadline_serves_normally(self):
+        with ServerThread() as st:
+            # The client stamps deadline_ms from its timeout on every
+            # request; a normal round trip must be unaffected by it.
+            with ServiceClient("127.0.0.1", st.port, timeout=30.0) as client:
+                client.create_session(
+                    "s", simulator=SIMULATOR, num_variables=3, distance=4.0,
+                    variogram="linear",
+                )
+                outcome = client.evaluate("s", [1.0, 2.0, 3.0])
+                assert outcome.value == pytest.approx(1.0 - 4.0 + 1.5 - 6.0)
+                assert client.stats("s")["deadline_misses"] == 0
+
+    def test_expired_bulk_evaluate_is_shed(self):
+        with ServerThread() as st:
+            with ServiceClient("127.0.0.1", st.port) as client:
+                client.create_session(
+                    "s", simulator=SIMULATOR, num_variables=3, distance=4.0,
+                    variogram="linear",
+                )
+                with pytest.raises(RemoteError) as err:
+                    client.request(
+                        "evaluate", session="s",
+                        configs=[[1.0, 2.0, 3.0], [2.0, 2.0, 2.0]],
+                        deadline_ms=0.0,
+                    )
+                assert err.value.kind == "DeadlineExceeded"
+
+    def test_deadline_exceeded_is_not_retryable(self):
+        from repro.service.client import RETRYABLE_KINDS
+
+        # The budget is the *client's* own patience: once it is gone there
+        # is no point re-sending, unlike Overloaded/Unavailable.
+        assert "DeadlineExceeded" not in RETRYABLE_KINDS
