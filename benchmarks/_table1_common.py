@@ -1,14 +1,16 @@
 """Shared driver for the per-benchmark Table I benches (experiments E2-E6).
 
-Each bench module parametrizes over the paper's distance sweep ``d = 2..5``,
-times the kriging replay of the recorded ground-truth trajectory (the
-operation the paper's method adds to a DSE flow) and records the reproduced
-Table I row both in ``benchmark.extra_info`` and as a text artefact.
+The sweep definitions (paper defaults, envelope checks) live in the harness
+module :mod:`repro.bench.workloads.table1`; this driver adapts them to the
+pytest-benchmark fixtures: it times the kriging replay of the recorded
+ground-truth trajectory (the operation the paper's method adds to a DSE
+flow) and records the reproduced Table I row both in
+``benchmark.extra_info`` and as a text artefact.
 """
 
 from __future__ import annotations
 
-from repro.experiments.replay import replay_trace
+from repro.bench.workloads.table1 import replay_call
 from repro.experiments.reporting import format_row
 from repro.experiments.table1 import Table1Row
 
@@ -18,14 +20,7 @@ def run_table1_bench(benchmark, setup, distance, artifact_writer):
     trace = setup.record_trajectory()
 
     def replay():
-        return replay_trace(
-            trace,
-            benchmark=setup.name,
-            metric_kind=setup.metric_kind,
-            distance=distance,
-            nn_min=1,
-            variogram="auto",
-        )
+        return replay_call(setup, trace, distance=distance, variogram="auto")
 
     stats = benchmark.pedantic(replay, rounds=3, iterations=1, warmup_rounds=1)
     row = Table1Row.from_stats(

@@ -1,544 +1,44 @@
-"""Cluster scaling and availability benchmark for the sharded router.
+"""Cluster scaling and availability benchmark for the sharded router (shim).
 
-Spawns two real ``repro cluster`` deployments (router + worker
-subprocesses, exactly the operator path) and measures the horizontal
-scaling win of sharding sessions across workers:
-
-* ``single_worker`` — router in front of ONE worker holding all
-  ``N_SESSIONS`` sessions: the proxy-overhead baseline.
-* ``two_workers``   — the same sessions pinned round-robin across TWO
-  workers: concurrent client streams now solve on two cores.
-
-``speedup_cluster_vs_single`` is the aggregate-throughput ratio.  On a
-single-core box both deployments share one CPU and the ratio is ~1.0 by
-physics, so the report records ``hardware.cpus`` and the acceptance
-threshold (>= 1.5x) is enforced only on multi-core machines (CI runners)
-— correctness is enforced everywhere:
-
-* **equivalence** — every answer from both deployments must match a local
-  :class:`KrigingEstimator` fed the identical support sequence (1e-9;
-  batch composition varies under concurrency, so last-ulp-exact is the
-  tier-1 suite's job, not the load generator's).
-* **migration drill** — snapshot a session, live-migrate it to the other
-  worker, snapshot again: the two files must be byte-for-byte identical.
-* **failover drill**  — SIGKILL the busiest worker (the router's
-  ``kill_worker`` chaos verb) while client load is running: the health
-  loop must detect it, restore every session from its replica on the
-  survivor (``sessions_lost == 0``), and every session must still answer
-  from replicated state while clients ride through on retryable errors.
-
-Writes ``BENCH_cluster.json`` (gated in CI by ``check_regression.py``
-against the committed baseline).
+The workload now lives in :mod:`repro.bench.workloads.cluster`; this script
+keeps the historical CLI working (``python benchmarks/bench_cluster.py
+[--quick] [--output PATH]``).  Prefer ``python -m repro bench cluster``
+for new automation.
 """
 
 from __future__ import annotations
 
-import argparse
-import asyncio
-import json
-import os
 import pathlib
-import platform
-import subprocess
 import sys
-import tempfile
-import time
-
-import numpy as np
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
-sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
-
-from bench_service import (  # noqa: E402
-    DISTANCE,
-    MAX_BATCH,
-    MAX_DELAY_MS,
-    NUM_VARIABLES,
-    SESSION_KWARGS,
-    SIMULATOR,
-    _make_workload,
-    _scenario_row,
-)
-from repro.core.estimator import KrigingEstimator  # noqa: E402
-from repro.core.models import variogram_from_state  # noqa: E402
-from repro.service.client import (  # noqa: E402
-    RETRYABLE_KINDS,
-    AsyncServiceClient,
-    ServiceClient,
-)
-from repro.service.protocol import RemoteError  # noqa: E402
-from repro.service.session import make_simulator  # noqa: E402
-
 RESULT_PATH = REPO_ROOT / "BENCH_cluster.json"
 
-N_SESSIONS = 4
-N_SUPPORT = 600
-QUERIES_PER_CLIENT = 120
-REPETITIONS = 2
-QUICK_SUPPORT = 300
-QUICK_QUERIES_PER_CLIENT = 32
-QUICK_REPETITIONS = 1
-ACCEPTANCE_SPEEDUP = 1.5
-#: The throughput floor only binds where two workers can actually run on
-#: two cores; below this the report still carries the ratio for the record.
-MULTICORE_MIN_CPUS = 4
-FAILOVER_TIMEOUT = 30.0
+try:
+    import repro.bench  # noqa: F401
+except ImportError:  # running from a checkout without an editable install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SESSION_NAMES = [f"shard{i}" for i in range(N_SESSIONS)]
-
-
-# ---------------------------------------------------------------------------
-# local reference
-# ---------------------------------------------------------------------------
-def _local_reference(support: np.ndarray) -> KrigingEstimator:
-    """The estimator every cluster session must agree with: same simulator
-    spec, same variogram, same support sequence — no service in between."""
-    simulate, _ = make_simulator(SIMULATOR, NUM_VARIABLES)
-    local = KrigingEstimator(
-        simulate,
-        NUM_VARIABLES,
-        distance=DISTANCE,
-        nn_min=SESSION_KWARGS["nn_min"],
-        variogram=variogram_from_state(SESSION_KWARGS["variogram"]),
-    )
-    for point in support:
-        local.record_measurement(point, simulate(np.asarray(point)))
-    return local
-
-
-def _stream_assignment(streams) -> list[tuple[str, int, list]]:
-    """Stream ``si`` drives session ``SESSION_NAMES[si % N_SESSIONS]`` —
-    every session gets the same number of concurrent client streams."""
-    return [
-        (SESSION_NAMES[si % N_SESSIONS], si, stream)
-        for si, stream in enumerate(streams)
-    ]
-
-
-def _expected_values(local: KrigingEstimator, streams) -> list[float]:
-    """Reference answers in the same (session, stream) flattening order
-    the load runner reports."""
-    per_key = {
-        (name, si): [o.value for o in local.evaluate_batch(stream)]
-        for name, si, stream in _stream_assignment(streams)
-    }
-    return [v for key in sorted(per_key) for v in per_key[key]]
-
-
-# ---------------------------------------------------------------------------
-# load generation
-# ---------------------------------------------------------------------------
-def _seed_sessions(client: ServiceClient, support: np.ndarray, *, workers: int) -> None:
-    for i, name in enumerate(SESSION_NAMES):
-        client.request(
-            "create_session",
-            session=name,
-            worker=f"w{i % workers}",  # pin round-robin: balanced by design
-            simulator=SIMULATOR,
-            replace=True,
-            max_batch=MAX_BATCH,
-            max_delay_ms=MAX_DELAY_MS,
-            **SESSION_KWARGS,
-        )
-        rows = support.tolist()
-        for start in range(0, len(rows), 500):
-            client.simulate_many(name, rows[start : start + 500])
-
-
-def run_load(host: str, port: int, streams) -> dict:
-    """All client streams at once, each on its own router connection."""
-    latencies: list[float] = []
-    values: dict[tuple[str, int], list[float]] = {}
-
-    async def one(name: str, si: int, stream) -> None:
-        async with await AsyncServiceClient.connect(host, port) as client:
-            out = []
-            for query in stream:
-                t0 = time.perf_counter()
-                outcome = await client.evaluate(name, query)
-                latencies.append(time.perf_counter() - t0)
-                out.append(outcome.value)
-            values[(name, si)] = out
-
-    async def main():
-        await asyncio.gather(
-            *(one(name, si, stream) for name, si, stream in _stream_assignment(streams))
-        )
-
-    start = time.perf_counter()
-    asyncio.run(main())
-    seconds = time.perf_counter() - start
-    ordered = [v for key in sorted(values) for v in values[key]]
-    return _scenario_row(seconds, latencies, ordered)
-
-
-# ---------------------------------------------------------------------------
-# drills (run against the two-worker deployment)
-# ---------------------------------------------------------------------------
-def run_migration_drill(client: ServiceClient, tmp_dir: pathlib.Path) -> dict:
-    """snapshot → live-migrate → snapshot: byte-for-byte identical files."""
-    session = SESSION_NAMES[0]
-    before = pathlib.Path(
-        client.snapshot(session, path=str(tmp_dir / "before"))["path"]
-    )
-    t0 = time.perf_counter()
-    moved = client.migrate(session)
-    migrate_seconds = time.perf_counter() - t0
-    after = pathlib.Path(
-        client.snapshot(session, path=str(tmp_dir / "after"))["path"]
-    )
-    return {
-        "session": session,
-        "source": moved["source"],
-        "target": moved["target"],
-        "migrate_seconds": round(migrate_seconds, 6),
-        "snapshot_bytes": before.stat().st_size,
-        "bitwise_preserved": before.read_bytes() == after.read_bytes(),
-    }
-
-
-def run_failover_drill(host: str, port: int, streams, support: np.ndarray) -> dict:
-    """SIGKILL the busiest worker under live load; every session must
-    come back from its replica with zero losses."""
-    result: dict = {}
-
-    async def main():
-        async with await AsyncServiceClient.connect(host, port) as control:
-            await control.replicate()  # replicas current as of this instant
-            stats = await control.cluster_stats()
-            owners = {name: stats["table"][name] for name in SESSION_NAMES}
-            counts: dict[str, int] = {}
-            for owner in owners.values():
-                counts[owner] = counts.get(owner, 0) + 1
-            victim = max(counts, key=lambda w: (counts[w], w))
-            base_failovers = stats["counters"]["failovers"]
-
-            stop = asyncio.Event()
-            retries = 0
-            served = 0
-
-            async def loader(name: str, stream) -> None:
-                nonlocal retries, served
-                async with await AsyncServiceClient.connect(host, port) as client:
-                    i = 0
-                    while not stop.is_set():
-                        query = stream[i % len(stream)]
-                        i += 1
-                        while True:
-                            try:
-                                await client.evaluate(name, query)
-                                served += 1
-                                break
-                            except RemoteError as exc:
-                                # The documented ride-through: retryable,
-                                # hinted errors until failover completes.
-                                if exc.kind not in RETRYABLE_KINDS:
-                                    raise
-                                retries += 1
-                                hint = exc.retry_after_ms or 50.0
-                                await asyncio.sleep(hint / 1000.0)
-
-            loaders = [
-                asyncio.create_task(loader(name, streams[si]))
-                for si, name in enumerate(SESSION_NAMES)
-            ]
-            await asyncio.sleep(0.2)  # load established
-
-            t0 = time.perf_counter()
-            await control.request("kill_worker", worker=victim)
-            deadline = t0 + FAILOVER_TIMEOUT
-            while True:
-                stats = await control.cluster_stats()
-                live = {w["worker"] for w in stats["workers"] if w["alive"]}
-                if stats["counters"]["failovers"] > base_failovers and all(
-                    owner in live for owner in stats["table"].values()
-                ):
-                    break
-                if time.perf_counter() > deadline:
-                    raise RuntimeError(f"failover of {victim!r} not detected in time")
-                await asyncio.sleep(0.05)
-            detect_seconds = time.perf_counter() - t0
-
-            await asyncio.sleep(0.3)  # let the load observe the new topology
-            stop.set()
-            await asyncio.gather(*loaders)
-            stats = await control.cluster_stats()
-
-            # Every session answers from replicated state: the support was
-            # replicated before the kill, so a support point is an exact hit
-            # on whichever worker now owns the session.
-            probe = support[0].tolist()
-            exact = [
-                (await control.evaluate(name, probe)).exact_hit
-                for name in SESSION_NAMES
-            ]
-            result.update(
-                {
-                    "victim": victim,
-                    "sessions_on_victim": sorted(
-                        n for n, owner in owners.items() if owner == victim
-                    ),
-                    "detect_seconds": round(detect_seconds, 6),
-                    "sessions_lost": stats["counters"]["sessions_lost"],
-                    "all_sessions_answer": all(exact),
-                    "queries_during_drill": served,
-                    "retries_observed": retries,
-                }
-            )
-
-    asyncio.run(main())
-    return result
-
-
-# ---------------------------------------------------------------------------
-# cluster lifecycle
-# ---------------------------------------------------------------------------
-class _SpawnedCluster:
-    """A ``repro cluster`` subprocess (router + spawned workers) on an
-    ephemeral port.  Fast health/replication intervals so the failover
-    drill converges in benchmark time."""
-
-    def __init__(self, workers: int) -> None:
-        self._dir = tempfile.TemporaryDirectory(prefix="repro-bench-cluster-")
-        base = pathlib.Path(self._dir.name)
-        port_file = base / "router.port"
-        self._stderr_path = base / "router.stderr"
-        self._stderr = open(self._stderr_path, "wb")
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
-            os.pathsep + env["PYTHONPATH"] if "PYTHONPATH" in env else ""
-        )
-        self.process = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro",
-                "cluster",
-                "--port",
-                "0",
-                "--port-file",
-                str(port_file),
-                "--workers",
-                str(workers),
-                "--replica-dir",
-                str(base / "replicas"),
-                "--replication-interval",
-                "0.5",
-                "--health-interval",
-                "0.2",
-            ],
-            env=env,
-            stdout=subprocess.DEVNULL,
-            stderr=self._stderr,
-        )
-        deadline = time.perf_counter() + 120.0
-        while time.perf_counter() < deadline:
-            if port_file.exists() and port_file.read_text().strip():
-                break
-            if self.process.poll() is not None:
-                raise RuntimeError(
-                    "cluster subprocess died during startup:\n"
-                    + self._stderr_path.read_text()
-                )
-            time.sleep(0.05)
-        else:
-            raise RuntimeError("cluster did not report a port within 120s")
-        self.host = "127.0.0.1"
-        self.port = int(port_file.read_text().strip())
-
-    def stop(self) -> None:
-        try:
-            with ServiceClient(self.host, self.port, timeout=10.0) as client:
-                client.shutdown()
-            self.process.wait(timeout=30.0)
-        except Exception:
-            self.process.kill()
-            self.process.wait(timeout=10.0)
-        finally:
-            self._stderr.close()
-            self._dir.cleanup()
-
-
-# ---------------------------------------------------------------------------
-# the benchmark
-# ---------------------------------------------------------------------------
-def _measure_deployment(
-    cluster: _SpawnedCluster, support, streams, repetitions: int
-) -> dict:
-    best: dict | None = None
-    for _ in range(repetitions):
-        row = run_load(cluster.host, cluster.port, streams)
-        if best is None or row["seconds"] < best["seconds"]:
-            best = row
-    assert best is not None
-    return best
-
-
-def _assert_no_simulation_fallback(client: ServiceClient, n_support: int) -> None:
-    for name in SESSION_NAMES:
-        stats = client.stats(name)
-        assert stats["n_simulated"] == n_support, (
-            f"{name}: {stats['n_simulated']} simulations != {n_support} support "
-            "points — a query fell back to simulation, the deployments are no "
-            "longer comparable"
-        )
-
-
-def run_benchmark(
-    *,
-    n_support: int = N_SUPPORT,
-    queries_per_client: int = QUERIES_PER_CLIENT,
-    repetitions: int = REPETITIONS,
-) -> dict:
-    support, streams = _make_workload(n_support, queries_per_client)
-    expected = _expected_values(_local_reference(support), streams)
-
-    scenarios: dict[str, dict] = {}
-
-    cluster = _SpawnedCluster(workers=1)
-    try:
-        with ServiceClient(cluster.host, cluster.port, retries=3) as client:
-            _seed_sessions(client, support, workers=1)
-            scenarios["single_worker"] = _measure_deployment(
-                cluster, support, streams, repetitions
-            )
-            _assert_no_simulation_fallback(client, n_support)
-    finally:
-        cluster.stop()
-
-    cluster = _SpawnedCluster(workers=2)
-    try:
-        with ServiceClient(cluster.host, cluster.port, retries=3) as client:
-            _seed_sessions(client, support, workers=2)
-            scenarios["two_workers"] = _measure_deployment(
-                cluster, support, streams, repetitions
-            )
-            _assert_no_simulation_fallback(client, n_support)
-            with tempfile.TemporaryDirectory(prefix="repro-bench-migr-") as tmp:
-                migration = run_migration_drill(client, pathlib.Path(tmp))
-        failover = run_failover_drill(cluster.host, cluster.port, streams, support)
-    finally:
-        cluster.stop()
-
-    # Equivalence: both deployments answered exactly like the local
-    # estimator (to the batching envelope) — sharding changed nothing.
-    for name in ("single_worker", "two_workers"):
-        np.testing.assert_allclose(
-            scenarios[name].pop("_values"), expected, rtol=1e-9, atol=1e-12
-        )
-    equivalence_ok = True
-
-    speedup = round(
-        scenarios["two_workers"]["qps"] / scenarios["single_worker"]["qps"], 2
-    )
-    cpus = os.cpu_count() or 1
-    multicore = cpus >= MULTICORE_MIN_CPUS
-    failover_lossless = (
-        failover["sessions_lost"] == 0 and failover["all_sessions_answer"]
-    )
-    return {
-        "benchmark": "cluster",
-        "hardware": {
-            "cpus": cpus,
-            "machine": platform.machine(),
-        },
-        "workload": {
-            "num_variables": NUM_VARIABLES,
-            "distance": DISTANCE,
-            "n_sessions": N_SESSIONS,
-            "n_client_streams": len(streams),
-            "n_support": n_support,
-            "queries_per_client": queries_per_client,
-            "max_batch": MAX_BATCH,
-            "max_delay_ms": MAX_DELAY_MS,
-            "query_model": "interleaved clustered sweep, sessions pinned round-robin",
-        },
-        "scenarios": scenarios,
-        "speedup_cluster_vs_single": speedup,
-        "migration": migration,
-        "failover": failover,
-        "equivalence_ok": equivalence_ok,
-        "acceptance": {
-            "speedup_cluster_vs_single": speedup,
-            "threshold": ACCEPTANCE_SPEEDUP,
-            "cpus": cpus,
-            "speedup_enforced": multicore,
-            "migration_bitwise": migration["bitwise_preserved"],
-            "failover_lossless": failover_lossless,
-            "equivalence_ok": equivalence_ok,
-            "passed": (
-                migration["bitwise_preserved"]
-                and failover_lossless
-                and equivalence_ok
-                and (speedup >= ACCEPTANCE_SPEEDUP or not multicore)
-            ),
-        },
-    }
+from repro.bench.workloads.cluster import (  # noqa: E402,F401
+    N_SESSIONS,
+    SESSION_NAMES,
+    _SpawnedCluster,
+    run_benchmark,
+    run_failover_drill,
+    run_load,
+    run_migration_drill,
+)
+from repro.bench.workloads import cluster as _workload  # noqa: E402
 
 
 def write_report(report: dict, path: pathlib.Path = RESULT_PATH) -> None:
-    path.write_text(json.dumps(report, indent=2) + "\n")
+    from repro.bench.report import write_report as _write
 
-
-def _print_report(report: dict) -> None:
-    for name in ("single_worker", "two_workers"):
-        row = report["scenarios"][name]
-        print(
-            f"{name:<16s} {row['seconds']:>7.3f}s  {row['qps']:>8.1f} q/s  "
-            f"p50={row['latency_ms']['p50']:.2f}ms  p99={row['latency_ms']['p99']:.2f}ms"
-        )
-    migration = report["migration"]
-    print(
-        f"migration: {migration['session']} {migration['source']}->{migration['target']} "
-        f"in {migration['migrate_seconds']:.3f}s, bitwise={migration['bitwise_preserved']}"
-    )
-    failover = report["failover"]
-    print(
-        f"failover: killed {failover['victim']} "
-        f"({len(failover['sessions_on_victim'])} sessions), detected in "
-        f"{failover['detect_seconds']:.2f}s, lost={failover['sessions_lost']}, "
-        f"retries={failover['retries_observed']}"
-    )
-    acceptance = report["acceptance"]
-    enforced = "enforced" if acceptance["speedup_enforced"] else (
-        f"recorded only ({acceptance['cpus']} cpu)"
-    )
-    print(
-        f"speedup: cluster-vs-single {report['speedup_cluster_vs_single']:.2f}x "
-        f"(threshold {acceptance['threshold']}x {enforced}) "
-        f"passed={acceptance['passed']}"
-    )
+    _write(report, path)
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="CI smoke mode: smaller support set and fewer queries per stream",
-    )
-    parser.add_argument(
-        "--output",
-        type=pathlib.Path,
-        default=RESULT_PATH,
-        help=f"report destination (default: {RESULT_PATH})",
-    )
-    args = parser.parse_args(argv)
-
-    if args.quick:
-        report = run_benchmark(
-            n_support=QUICK_SUPPORT,
-            queries_per_client=QUICK_QUERIES_PER_CLIENT,
-            repetitions=QUICK_REPETITIONS,
-        )
-    else:
-        report = run_benchmark()
-
-    write_report(report, args.output)
-    _print_report(report)
-    print("written:", args.output)
-    return 0
+    return _workload.main(argv, default_output=RESULT_PATH)
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ interpolation statistics.
 import pytest
 
 from benchmarks._table1_common import run_table1_bench
+from repro.bench.workloads.table1 import TABLE1_DISTANCES, check_row
 from repro.experiments.registry import build_benchmark
 
 
@@ -18,8 +19,8 @@ def dct_full():
     return setup
 
 
-@pytest.mark.parametrize("distance", [2, 3])
+@pytest.mark.parametrize("distance", list(TABLE1_DISTANCES["dct"]))
 def test_extra_dct_rows(benchmark, dct_full, distance, artifact_writer):
     row = run_table1_bench(benchmark, dct_full, distance, artifact_writer)
-    assert 30.0 <= row.p_percent <= 95.0
-    assert row.mean_error < 2.0
+    failures = check_row("dct", row)
+    assert not failures, failures

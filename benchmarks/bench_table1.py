@@ -1,0 +1,31 @@
+"""E2-E6 — Table I rows for every paper benchmark (d = 2..5).
+
+One parametrized bench replaces the five per-benchmark wrappers; the
+distance sweep and the reproduction-shape envelopes come from the harness
+registry (:mod:`repro.bench.workloads.table1`), so pytest and
+``python -m repro bench table1-<name>`` enforce the same envelopes.
+
+Paper values the envelopes bracket:
+
+* fir        — p = 33.3 / 52.8 / 58.3 / 66.7 %
+* iir        — p = 47.5 / 64.5 / 70.9 / 77.3 %, mu eps = 0.44-1.24 bits
+* fft        — p = 78.1 / 89.1 / 91.9 / 95.6 %, mu eps = 0.18-0.68 bits
+* hevc       — p = 87.4 / 93.3 / 95.6 / 96.0 %, mu eps = 0.07-0.52 bits
+* squeezenet — p = 78.3 / 89.3 / 91.4 / 93.1 %, mu eps = 3.5-12.2 % rel.
+"""
+
+import pytest
+
+from benchmarks._table1_common import run_table1_bench
+from repro.bench.workloads.table1 import DISTANCES, check_row
+
+PAPER_BENCHMARKS = ["fir", "iir", "fft", "hevc", "squeezenet"]
+
+
+@pytest.mark.parametrize("distance", list(DISTANCES))
+@pytest.mark.parametrize("name", PAPER_BENCHMARKS)
+def test_table1(benchmark, name, distance, request, artifact_writer):
+    setup = request.getfixturevalue(f"{name}_full")
+    row = run_table1_bench(benchmark, setup, distance, artifact_writer)
+    failures = check_row(name, row)
+    assert not failures, failures

@@ -1,375 +1,48 @@
-"""CI gate: compare a fresh benchmark run against its committed baseline.
+"""CI gate: compare a fresh benchmark run against its committed baseline (shim).
 
-Understands four report kinds, dispatched on the ``benchmark`` field:
-``query_engine`` (``bench_query_engine.py``), ``service``
-(``bench_service.py``, the multi-client load generator), ``cluster``
-(``bench_cluster.py``, the sharded-router scaling/availability drill) and
-``chaos`` (``bench_chaos.py``, the seeded fault-injection drill — its
-robustness invariants gate on every machine; its under-fire throughput is
-ratcheted against the baseline only on multi-core boxes).
-Absolute seconds are machine-dependent, so the gate compares the *speedup
-ratios* each benchmark already computes — seed vs engine, or batched vs
-sequential clients, on the same box — which are stable across hardware.
-A run regresses when any tracked speedup falls below ``baseline / factor``
-(default factor 2: "fail on >2x regression").
-
-Alongside the gate, ``--history`` appends one machine-tagged JSON line per
-run — absolute seconds *and* ratios — to a ``BENCH_history.jsonl``, so
-per-commit timing trends stay plottable even though the pass/fail decision
-only ever looks at ratios.  CI appends to the committed history and uploads
-it as an artifact on every push.
-
-Usage::
+The gate logic now lives in the harness as declarative per-metric specs —
+:mod:`repro.bench.gates` — and the history writer in
+:mod:`repro.bench.history`; this script keeps the historical CLI working::
 
     python benchmarks/bench_query_engine.py --quick --output current.json
     python benchmarks/check_regression.py BENCH_query_engine.json current.json \
         --history BENCH_history.jsonl --commit "$GITHUB_SHA"
 
-    python benchmarks/bench_service.py --quick --output service.json
-    python benchmarks/check_regression.py BENCH_service.json service.json
-
 Exit status 0 when every tracked ratio holds up, 1 on regression, 2 on a
-malformed report.
+malformed report.  Absolute seconds are machine-dependent, so the gate
+compares the *speedup ratios* each benchmark computes on the same box; a
+run regresses when any tracked ratio falls below ``baseline / factor``
+(default factor 2: "fail on >2x regression").
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
-import platform
-import time
+import sys
 
-#: Speedup fields gated per support-size row of ``results``.
-ROW_FIELDS = ("speedup_evaluate_vs_seed", "speedup_batch_vs_seed")
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-#: Speedup fields gated in the ``l2_index`` section.
-L2_FIELDS = ("speedup_kdtree_vs_brute",)
+try:
+    import repro.bench  # noqa: F401
+except ImportError:  # running from a checkout without an editable install
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: Speedup fields gated in the ``reuse`` (factorization cache) section.
-REUSE_FIELDS = ("speedup_reuse_vs_fresh",)
-# The ``parallel`` section is recorded but not gated: thread scaling depends
-# on the runner's core count (a single-core runner honestly reports ~1x).
-
-#: Top-level speedup fields gated on ``service`` reports.  The
-#: batched-vs-unbatched ratio is recorded but not gated (like thread
-#: scaling, it depends on the runner's core count and scheduler).
-SERVICE_FIELDS = ("speedup_batched_vs_sequential",)
-
-#: The aggregate-throughput floor and ratio gate on ``cluster`` reports
-#: apply only on machines with at least this many CPUs: two workers cannot
-#: outrun one on a single core, and the committed baseline may come from
-#: such a box.  The correctness flags (migration byte-identity, lossless
-#: failover, local-estimator equivalence) gate on every machine.
-CLUSTER_MIN_CPUS = 4
-CLUSTER_SPEEDUP_FLOOR = 1.5
-
-#: Report kinds this gate understands.
-KNOWN_BENCHMARKS = ("query_engine", "service", "cluster", "chaos")
-
-
-class MalformedReport(Exception):
-    """A benchmark report that cannot be read or parsed (exit status 2)."""
-
-
-def _load(path: pathlib.Path) -> dict:
-    try:
-        return json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        raise MalformedReport(f"cannot read benchmark report {path}: {exc}") from exc
-
-
-def compare(baseline: dict, current: dict, factor: float) -> list[str]:
-    """Return one message per regressed ratio (empty list: gate passes)."""
-    if baseline.get("benchmark") == "service":
-        return _compare_service(baseline, current, factor)
-    if baseline.get("benchmark") == "cluster":
-        return _compare_cluster(baseline, current, factor)
-    if baseline.get("benchmark") == "chaos":
-        return _compare_chaos(baseline, current, factor)
-    failures: list[str] = []
-
-    current_rows = {row["n_support"]: row for row in current.get("results", [])}
-    for base_row in baseline.get("results", []):
-        n_support = base_row["n_support"]
-        cur_row = current_rows.get(n_support)
-        if cur_row is None:
-            continue  # quick mode runs a subset of the baseline sizes
-        for field in ROW_FIELDS:
-            bound = base_row[field] / factor
-            if cur_row[field] < bound:
-                failures.append(
-                    f"results[n_support={n_support}].{field}: "
-                    f"{cur_row[field]:.2f} < {bound:.2f} "
-                    f"(baseline {base_row[field]:.2f} / {factor:g})"
-                )
-
-    for section, fields in (("l2_index", L2_FIELDS), ("reuse", REUSE_FIELDS)):
-        base_section = baseline.get(section)
-        cur_section = current.get(section)
-        if not (base_section and cur_section):
-            continue  # older baselines predate the section
-        for field in fields:
-            bound = base_section[field] / factor
-            if cur_section[field] < bound:
-                failures.append(
-                    f"{section}.{field}: {cur_section[field]:.2f} < {bound:.2f} "
-                    f"(baseline {base_section[field]:.2f} / {factor:g})"
-                )
-    return failures
-
-
-def _compare_service(baseline: dict, current: dict, factor: float) -> list[str]:
-    """Gate a ``service`` load-generator report on its top-level ratios."""
-    failures: list[str] = []
-    for field in SERVICE_FIELDS:
-        if field not in baseline:
-            continue  # older baselines predate the field
-        if field not in current:
-            # A current run silently dropping a gated ratio must fail loudly,
-            # not turn the gate vacuously green.
-            failures.append(f"{field}: missing from the current report")
-            continue
-        bound = baseline[field] / factor
-        if current[field] < bound:
-            failures.append(
-                f"{field}: {current[field]:.2f} < {bound:.2f} "
-                f"(baseline {baseline[field]:.2f} / {factor:g})"
-            )
-    if "snapshot" in baseline:
-        snapshot = current.get("snapshot")
-        if snapshot is None:
-            failures.append("snapshot: section missing from the current report")
-        elif not snapshot.get("roundtrip_bitwise", False):
-            failures.append("snapshot.roundtrip_bitwise: snapshot/restore diverged")
-    return failures
-
-
-def _compare_cluster(baseline: dict, current: dict, factor: float) -> list[str]:
-    """Gate a ``cluster`` report: correctness everywhere, throughput only
-    where two workers actually have two cores to run on."""
-    failures: list[str] = []
-
-    # Correctness flags gate unconditionally — a migration that changes a
-    # byte or a failover that loses a session is a bug on any hardware.
-    migration = current.get("migration")
-    if migration is None:
-        failures.append("migration: section missing from the current report")
-    elif not migration.get("bitwise_preserved", False):
-        failures.append(
-            "migration.bitwise_preserved: migrated snapshot diverged byte-for-byte"
-        )
-    failover = current.get("failover")
-    if failover is None:
-        failures.append("failover: section missing from the current report")
-    else:
-        lost = failover.get("sessions_lost")
-        if lost != 0:
-            failures.append(f"failover.sessions_lost: {lost!r} != 0")
-        if not failover.get("all_sessions_answer", False):
-            failures.append(
-                "failover.all_sessions_answer: a session stopped answering"
-            )
-    if not current.get("equivalence_ok", False):
-        failures.append("equivalence_ok: cluster diverged from the local estimator")
-
-    field = "speedup_cluster_vs_single"
-    if field not in current:
-        failures.append(f"{field}: missing from the current report")
-        return failures
-    cpus = (current.get("hardware") or {}).get("cpus", 0)
-    if cpus < CLUSTER_MIN_CPUS:
-        print(
-            f"note: {field} = {current[field]:.2f} recorded but not gated "
-            f"({cpus} cpu < {CLUSTER_MIN_CPUS}: one core cannot scale out)"
-        )
-        return failures
-    # On real multi-core hardware the acceptance floor is absolute, and the
-    # committed baseline additionally ratchets it when it was measured on
-    # comparable hardware (a single-core baseline would only weaken it).
-    bound = CLUSTER_SPEEDUP_FLOOR
-    baseline_cpus = (baseline.get("hardware") or {}).get("cpus", 0)
-    if baseline_cpus >= CLUSTER_MIN_CPUS and field in baseline:
-        bound = max(bound, baseline[field] / factor)
-    if current[field] < bound:
-        failures.append(
-            f"{field}: {current[field]:.2f} < {bound:.2f} "
-            f"(floor {CLUSTER_SPEEDUP_FLOOR:g}, baseline "
-            f"{baseline.get(field, 'n/a')} / {factor:g})"
-        )
-    return failures
-
-
-def _compare_chaos(baseline: dict, current: dict, factor: float) -> list[str]:
-    """Gate a ``chaos`` fault-drill report: the robustness invariants are
-    correctness and gate on every machine; under-fire throughput is timing
-    and is ratcheted only where the fleet has real cores to run on."""
-    failures: list[str] = []
-
-    scenarios = current.get("scenarios") or {}
-    if not scenarios:
-        failures.append("scenarios: no per-seed drills in the current report")
-    for name, row in sorted(scenarios.items()):
-        for invariant, held in sorted((row.get("invariants") or {}).items()):
-            if not held:
-                failures.append(f"scenarios.{name}.invariants.{invariant}: violated")
-        for message in row.get("unexpected_errors") or []:
-            failures.append(f"scenarios.{name}: unexpected error: {message}")
-    acceptance = current.get("acceptance") or {}
-    seeds_run = acceptance.get("seeds_run", 0)
-    base_seeds = (baseline.get("acceptance") or {}).get("seeds_run", 3)
-    if seeds_run < base_seeds:
-        failures.append(
-            f"acceptance.seeds_run: {seeds_run} < {base_seeds} (baseline coverage)"
-        )
-
-    field = "qps_under_chaos"
-    if field not in current:
-        failures.append(f"{field}: missing from the current report")
-        return failures
-    cpus = (current.get("hardware") or {}).get("cpus", 0)
-    baseline_cpus = (baseline.get("hardware") or {}).get("cpus", 0)
-    if cpus < CLUSTER_MIN_CPUS or baseline_cpus < CLUSTER_MIN_CPUS:
-        print(
-            f"note: {field} = {current[field]:.2f} recorded but not gated "
-            f"({cpus} cpu here, {baseline_cpus} in baseline; "
-            f"need {CLUSTER_MIN_CPUS}+ on both)"
-        )
-        return failures
-    if field in baseline:
-        bound = baseline[field] / factor
-        if current[field] < bound:
-            failures.append(
-                f"{field}: {current[field]:.2f} < {bound:.2f} "
-                f"(baseline {baseline[field]:.2f} / {factor:g})"
-            )
-    return failures
-
-
-def _machine_tag() -> dict:
-    """Identify the box a run happened on, so history lines are comparable
-    only within the same hardware."""
-    return {
-        "node": platform.node(),
-        "machine": platform.machine(),
-        "system": platform.system(),
-        "python": platform.python_version(),
-    }
-
-
-def history_entry(report: dict, commit: str | None = None) -> dict:
-    """One ``BENCH_history.jsonl`` line: absolute seconds plus ratios."""
-    absolute: dict[str, float] = {}
-    ratios: dict[str, float] = {}
-    for row in report.get("results", []):
-        prefix = f"n{row['n_support']}"
-        for field, value in row.items():
-            if field.endswith("_seconds"):
-                absolute[f"{prefix}.{field}"] = value
-            elif field.startswith("speedup_"):
-                ratios[f"{prefix}.{field}"] = value
-    # The cluster drills contribute their absolute timings too
-    # (migration.migrate_seconds, failover.detect_seconds).
-    for section in ("l2_index", "parallel", "reuse", "migration", "failover"):
-        data = report.get(section)
-        if not data:
-            continue
-        for field, value in data.items():
-            if field.endswith("_seconds"):
-                absolute[f"{section}.{field}"] = value
-            elif field.startswith("speedup_"):
-                ratios[f"{section}.{field}"] = value
-    # Service reports: per-scenario wall clock / throughput / latency
-    # percentiles, plus the top-level cross-scenario ratios.
-    for name, data in (report.get("scenarios") or {}).items():
-        for field, value in data.items():
-            if field == "seconds" or field.endswith("_seconds") or field == "qps":
-                absolute[f"scenarios.{name}.{field}"] = value
-            elif field == "latency_ms" and isinstance(value, dict):
-                for percentile, latency in value.items():
-                    absolute[f"scenarios.{name}.latency_ms.{percentile}"] = latency
-    for field, value in report.items():
-        if field.startswith("speedup_"):
-            ratios[field] = value
-    return {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "commit": commit,
-        "benchmark": report.get("benchmark"),
-        "machine": _machine_tag(),
-        "absolute_seconds": absolute,
-        "ratios": ratios,
-    }
-
-
-def append_history(
-    path: pathlib.Path, report: dict, commit: str | None = None
-) -> dict:
-    """Append this run's :func:`history_entry` to ``path`` (created if
-    missing); returns the appended entry."""
-    entry = history_entry(report, commit)
-    with path.open("a") as handle:
-        handle.write(json.dumps(entry, sort_keys=True) + "\n")
-    return entry
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=pathlib.Path, help="committed baseline JSON")
-    parser.add_argument("current", type=pathlib.Path, help="fresh benchmark JSON")
-    parser.add_argument(
-        "--factor",
-        type=float,
-        default=2.0,
-        help="maximum tolerated slowdown of any speedup ratio (default 2.0)",
-    )
-    parser.add_argument(
-        "--history",
-        type=pathlib.Path,
-        default=None,
-        help="append a machine-tagged absolute-timings line to this JSONL file",
-    )
-    parser.add_argument(
-        "--commit",
-        default=None,
-        help="commit SHA recorded in the history line (e.g. $GITHUB_SHA)",
-    )
-    args = parser.parse_args(argv)
-    if args.factor <= 1.0:
-        parser.error(f"--factor must be > 1, got {args.factor}")
-
-    try:
-        baseline = _load(args.baseline)
-        current = _load(args.current)
-    except MalformedReport as exc:
-        print(f"error: {exc}")
-        return 2
-    kind = baseline.get("benchmark")
-    if kind not in KNOWN_BENCHMARKS:
-        print(f"error: baseline benchmark {kind!r} not one of {KNOWN_BENCHMARKS}")
-        return 2
-    for name, report in (("baseline", baseline), ("current", current)):
-        if report.get("benchmark") != kind or (
-            kind == "query_engine" and "results" not in report
-        ):
-            print(f"error: {name} is not a {kind} benchmark report")
-            return 2
-
-    if args.history is not None:
-        entry = append_history(args.history, current, args.commit)
-        print(
-            f"history: appended {len(entry['absolute_seconds'])} timings "
-            f"to {args.history}"
-        )
-
-    failures = compare(baseline, current, args.factor)
-    if failures:
-        print(f"benchmark regression vs {args.baseline}:")
-        for message in failures:
-            print(f"  {message}")
-        return 1
-    print(f"benchmark smoke OK (no ratio below baseline/{args.factor:g})")
-    return 0
-
+from repro.bench.gates import (  # noqa: E402,F401
+    CLUSTER_MIN_CPUS,
+    CLUSTER_SPEEDUP_FLOOR,
+    GATE_SETS,
+    KNOWN_BENCHMARKS,
+    MalformedReport,
+    compare,
+    evaluate,
+    main,
+)
+from repro.bench.history import (  # noqa: E402,F401
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    history_entry,
+    read_history,
+)
 
 if __name__ == "__main__":
     raise SystemExit(main())

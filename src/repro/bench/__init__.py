@@ -1,0 +1,64 @@
+"""``repro.bench`` — the load/latency harness behind every benchmark.
+
+Layers (one module each):
+
+* :mod:`repro.bench.spec` — declarative workload specs (seeds, warmup,
+  open/closed-loop load, fault schedules).
+* :mod:`repro.bench.runner` — monotonic-clock measurement, per-request
+  sample logs, P²-backed streaming latency tails, best-of-N orchestration.
+* :mod:`repro.bench.report` / :mod:`repro.bench.provenance` — the
+  versioned report schema and dated ``experiments/<name>-<date>/`` dirs.
+* :mod:`repro.bench.gates` — declarative per-metric regression gates.
+* :mod:`repro.bench.history` — versioned trend history with a back-compat
+  reader.
+* :mod:`repro.bench.registry` — every runnable workload as data; the CI
+  gate matrix is generated from it.
+
+Workload implementations live under :mod:`repro.bench.workloads`; the
+``benchmarks/bench_*.py`` scripts are thin shims over them.
+"""
+
+from repro.bench.gates import (
+    GATE_SETS,
+    KNOWN_BENCHMARKS,
+    MalformedReport,
+    compare,
+    evaluate,
+)
+from repro.bench.history import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    history_entry,
+    read_history,
+)
+from repro.bench.registry import REGISTRY, BenchmarkDef, RunResult, listing
+from repro.bench.report import REPORT_SCHEMA_VERSION, finalize_report, write_report
+from repro.bench.runner import LatencyStats, SampleLog, best_of, latency_summary, measure
+from repro.bench.spec import FaultScheduleSpec, LoadSpec, WorkloadSpec
+
+__all__ = [
+    "GATE_SETS",
+    "KNOWN_BENCHMARKS",
+    "MalformedReport",
+    "compare",
+    "evaluate",
+    "HISTORY_SCHEMA_VERSION",
+    "append_history",
+    "history_entry",
+    "read_history",
+    "REGISTRY",
+    "BenchmarkDef",
+    "RunResult",
+    "listing",
+    "REPORT_SCHEMA_VERSION",
+    "finalize_report",
+    "write_report",
+    "LatencyStats",
+    "SampleLog",
+    "best_of",
+    "latency_summary",
+    "measure",
+    "FaultScheduleSpec",
+    "LoadSpec",
+    "WorkloadSpec",
+]

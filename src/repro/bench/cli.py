@@ -1,0 +1,128 @@
+"""``python -m repro bench``: the one entry point for every benchmark.
+
+Two-stage parsing: the harness flags (``--list``, ``--quick``,
+``--output``, ``--experiment-root``, ``--date``) are parsed first, then
+the selected workload's own ``add_arguments`` hook (``--connect``,
+``--seeds``, ...) gets the leftovers — so the registry stays the single
+source of truth and workload flags never leak into the shared parser.
+
+``--list`` prints the registry as single-line JSON (``--gated`` for the
+CI-gate subset): the GitHub Actions ``bench-gate`` matrix is generated
+from exactly this output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.bench import registry
+from repro.bench.provenance import experiment_dir, write_experiment
+from repro.bench.report import write_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run a registered benchmark through the load/latency harness",
+    )
+    parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registry entry to run (see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_benchmarks",
+        help="print the registry as single-line JSON and exit",
+    )
+    parser.add_argument(
+        "--gated",
+        action="store_true",
+        help="with --list: only entries gated in CI (the bench-gate matrix)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: apply the workload spec's quick overrides",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="report destination (default: BENCH_<kind>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--experiment-root",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also write a dated experiments/<name>-<date>/ provenance dir "
+        "(config + raw samples + report) under DIR",
+    )
+    parser.add_argument(
+        "--date",
+        default=None,
+        metavar="YYYY-MM-DD",
+        help="experiment-dir date stamp (default: today, UTC)",
+    )
+    return parser
+
+
+def _default_output(definition: registry.BenchmarkDef) -> pathlib.Path:
+    if definition.gated:
+        return pathlib.Path(f"BENCH_{definition.kind}.json")
+    return pathlib.Path(f"BENCH_{definition.name.replace('-', '_')}.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args, extra = parser.parse_known_args(argv)
+
+    if args.list_benchmarks:
+        if extra:
+            parser.error(f"unrecognized arguments: {' '.join(extra)}")
+        print(registry.listing_json(gated_only=args.gated))
+        return 0
+
+    if not args.name:
+        parser.error("benchmark name required (or --list)")
+    try:
+        definition = registry.get(args.name)
+    except KeyError as exc:
+        parser.error(exc.args[0])
+    module = definition.load()
+
+    if hasattr(module, "add_arguments"):
+        workload_parser = argparse.ArgumentParser(
+            prog=f"repro bench {args.name}", add_help=False
+        )
+        module.add_arguments(workload_parser)
+        workload_parser.parse_args(extra, namespace=args)
+    elif extra:
+        parser.error(f"unrecognized arguments: {' '.join(extra)}")
+
+    result = module.run(args.name, args)
+
+    output = args.output or _default_output(definition)
+    write_report(result.report, output)
+    print("written:", output)
+
+    if args.experiment_root is not None:
+        directory = experiment_dir(args.experiment_root, args.name, date=args.date)
+        write_experiment(
+            directory,
+            report=result.report,
+            config=result.config,
+            samples=result.samples,
+        )
+        print("experiment:", directory)
+
+    passed = result.report.get("acceptance", {}).get("passed", True)
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

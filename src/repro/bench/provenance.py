@@ -1,0 +1,97 @@
+"""Dated experiment directories: ``experiments/<name>-<date>/``.
+
+A provenance dir captures everything needed to reread or replay a run:
+
+``config.json``
+    The resolved :class:`~repro.bench.spec.WorkloadSpec` plus the exact
+    invocation (quick flag, extra CLI arguments).
+``report.json``
+    The finalized versioned report (the same bytes as ``--output``).
+``samples.jsonl``
+    Raw per-request samples from the runner's :class:`SampleLog`, one JSON
+    object per line — the data behind the summarized percentiles.
+``README.md``
+    Human summary with the replay command line.
+
+Directory names are ``<name>-<YYYY-MM-DD>``; same-day reruns get ``-2``,
+``-3`` suffixes instead of clobbering (a committed provenance dir is an
+immutable record).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.bench.report import strip_private
+
+__all__ = ["experiment_dir", "write_experiment"]
+
+
+def experiment_dir(root: str | Path, name: str, date: str | None = None) -> Path:
+    """Create and return ``<root>/<name>-<date>/`` (collision-suffixed).
+
+    ``date`` defaults to today (UTC); pass an explicit ``YYYY-MM-DD`` for
+    deterministic naming in tests and replays.
+    """
+    root = Path(root)
+    stamp = date or time.strftime("%Y-%m-%d", time.gmtime())
+    base = root / f"{name}-{stamp}"
+    path = base
+    suffix = 2
+    while path.exists():
+        path = base.with_name(f"{base.name}-{suffix}")
+        suffix += 1
+    path.mkdir(parents=True)
+    return path
+
+
+def write_experiment(
+    directory: str | Path,
+    *,
+    report: Mapping[str, Any],
+    config: Mapping[str, Any],
+    samples: Iterable[Mapping[str, Any]] = (),
+) -> Path:
+    """Populate a provenance dir with config, report, raw samples, README."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    (directory / "config.json").write_text(json.dumps(dict(config), indent=2) + "\n")
+    report = strip_private(report)
+    (directory / "report.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    sample_rows = list(samples)
+    with (directory / "samples.jsonl").open("w") as fh:
+        for row in sample_rows:
+            fh.write(json.dumps(dict(row)) + "\n")
+
+    name = config.get("name", report.get("benchmark", "unknown"))
+    provenance = report.get("provenance", {}) if isinstance(report, Mapping) else {}
+    lines = [
+        f"# Experiment: {directory.name}",
+        "",
+        f"- benchmark: `{report.get('benchmark', name)}`",
+        f"- schema_version: {report.get('schema_version')}",
+        f"- seed: {report.get('seed')}",
+        f"- git commit: {provenance.get('git_commit')}",
+        f"- timestamp: {provenance.get('timestamp')}",
+        f"- raw samples: {len(sample_rows)} rows in `samples.jsonl`",
+        "",
+        "Replay this run (the spec in `config.json` is authoritative):",
+        "",
+        "```sh",
+        f"python -m repro bench {name} --output report.json",
+        "```",
+        "",
+        "Gate it against the committed baseline:",
+        "",
+        "```sh",
+        f"python benchmarks/check_regression.py BENCH_{report.get('benchmark', name)}.json report.json",
+        "```",
+        "",
+    ]
+    (directory / "README.md").write_text("\n".join(lines))
+    return directory

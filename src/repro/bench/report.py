@@ -1,0 +1,138 @@
+"""The versioned benchmark report schema and its provenance stamps.
+
+Every report produced through the harness carries the same envelope on top
+of its workload-specific body:
+
+``benchmark``
+    The report kind (``query_engine`` / ``service`` / ``cluster`` /
+    ``chaos`` / ``replay_sweep``) — what the gate layer dispatches on.
+``schema_version``
+    :data:`REPORT_SCHEMA_VERSION`.  Version 1 is the pre-harness era
+    (no version field at all); readers treat a missing field as 1.
+``seed``
+    The workload seed(s) the run used — an int, or a list for multi-seed
+    drills (chaos).
+``hardware``
+    :func:`hardware_stamp` — cpus/machine/system/python/node.  Gates that
+    are only meaningful on multi-core hardware read ``hardware.cpus``.
+``provenance``
+    UTC timestamp, git commit (when resolvable), the argv the run was
+    invoked with and the harness schema version — enough to replay the run.
+
+Private working state (keys starting with ``_``) is stripped before a
+report is written; bodies can stash raw values for cross-checks without
+leaking them into the committed JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "hardware_stamp",
+    "git_commit",
+    "finalize_report",
+    "strip_private",
+    "write_report",
+]
+
+REPORT_SCHEMA_VERSION = 2
+
+
+def hardware_stamp() -> dict[str, Any]:
+    """Hardware/platform identity of the current machine."""
+    return {
+        "cpus": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "node": platform.node(),
+    }
+
+
+def git_commit() -> str | None:
+    """Current commit hash: ``$GITHUB_SHA`` in CI, else ``git rev-parse``.
+
+    Returns ``None`` outside a git checkout — provenance degrades, it never
+    blocks a run.
+    """
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def strip_private(value: Any) -> Any:
+    """Recursively drop dict keys starting with ``_`` (working state)."""
+    if isinstance(value, Mapping):
+        return {
+            k: strip_private(v)
+            for k, v in value.items()
+            if not (isinstance(k, str) and k.startswith("_"))
+        }
+    if isinstance(value, (list, tuple)):
+        return [strip_private(v) for v in value]
+    return value
+
+
+def finalize_report(
+    kind: str,
+    body: Mapping[str, Any],
+    *,
+    seed: int | Sequence[int] | None,
+    argv: Sequence[str] | None = None,
+) -> dict[str, Any]:
+    """Wrap a workload body in the versioned report envelope.
+
+    The body's own keys win over nothing — envelope keys are written last
+    so a body cannot accidentally ship an unversioned ``schema_version``.
+    ``hardware`` merges over anything the body already stamped (keeping
+    body-provided keys like ``cpus`` authoritative for the run that
+    measured them).
+    """
+    report = dict(body)
+    report["benchmark"] = kind
+    report["schema_version"] = REPORT_SCHEMA_VERSION
+    if isinstance(seed, (list, tuple)):
+        report["seed"] = list(seed)
+    else:
+        report["seed"] = seed
+    hardware = hardware_stamp()
+    body_hardware = body.get("hardware")
+    if isinstance(body_hardware, Mapping):
+        hardware.update(body_hardware)
+    report["hardware"] = hardware
+    report["provenance"] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_commit": git_commit(),
+        "argv": list(argv) if argv is not None else None,
+        "harness": f"repro.bench/{REPORT_SCHEMA_VERSION}",
+    }
+    return report
+
+
+def write_report(report: Mapping[str, Any], path: str | Path) -> Path:
+    """Write a finalized report as indented JSON, private keys stripped."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(strip_private(report), indent=2) + "\n")
+    return path

@@ -1,0 +1,221 @@
+"""Measurement primitives shared by every benchmark workload.
+
+One place for the timing idioms the five ``bench_*`` scripts used to
+copy-paste:
+
+* :func:`measure` / :func:`best_of` — best-of-N wall-clock orchestration on
+  the monotonic ``perf_counter`` clock.
+* :class:`SampleLog` — per-request sample collection against a monotonic
+  epoch, dumpable as the raw ``samples.jsonl`` of a provenance dir.
+* :class:`LatencyStats` — streaming latency tails via the existing P²
+  sketches (:mod:`repro.utils.quantiles`): p50/p90/p99, exact min/max/mean,
+  Welford stddev and tail *jitter* (p99 − p50) without storing samples.
+* :func:`latency_summary` — one-shot summary of a collected latency list,
+  in milliseconds, the shape every report's ``latency_ms`` block uses.
+* :func:`paced_arrivals` — open-loop arrival schedule generator for
+  ``LoadSpec(mode="open")`` workloads.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.utils.quantiles import QuantileSketch
+
+__all__ = [
+    "measure",
+    "best_of",
+    "SampleLog",
+    "LatencyStats",
+    "latency_summary",
+    "paced_arrivals",
+]
+
+LATENCY_PROBS = (0.5, 0.9, 0.99)
+
+
+def measure(fn: Callable[[], Any], repetitions: int = 1) -> tuple[float, Any]:
+    """Run ``fn`` ``repetitions`` times; return ``(best_seconds, result)``.
+
+    The result comes from the fastest repetition's run.  Timing uses
+    ``time.perf_counter`` (monotonic, highest available resolution).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    best = math.inf
+    result: Any = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            result = value
+    return best, result
+
+
+def best_of(
+    repetitions: int,
+    run_once: Callable[[], dict],
+    key: Callable[[dict], float] = lambda row: row["seconds"],
+) -> dict:
+    """Run a self-timing scenario ``repetitions`` times, keep the best row.
+
+    ``run_once`` returns a report row containing its own timing; ``key``
+    extracts the figure of merit (lower is better, default the row's
+    ``"seconds"``).  This is the orchestration shape the service/cluster
+    benches use, where a scenario times itself internally.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    best_row: dict | None = None
+    best_key = math.inf
+    for _ in range(repetitions):
+        row = run_once()
+        row_key = key(row)
+        if best_row is None or row_key < best_key:
+            best_row, best_key = row, row_key
+    assert best_row is not None
+    return best_row
+
+
+class SampleLog:
+    """Per-request samples against a monotonic epoch.
+
+    Each :meth:`record` stores ``(t_offset_s, seconds, label)`` where
+    ``t_offset_s`` is the monotonic offset from the log's creation — wall
+    clocks never enter the record, so merged or replayed logs stay
+    comparable.  :meth:`rows` yields JSON-safe dicts for ``samples.jsonl``.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._samples: list[tuple[float, float, str]] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, seconds: float, label: str = "") -> None:
+        """Record one completed operation of duration ``seconds``."""
+        self._samples.append((time.perf_counter() - self._epoch, float(seconds), label))
+
+    @contextmanager
+    def time(self, label: str = "") -> Iterator[None]:
+        """Time a ``with`` block and record it."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(time.perf_counter() - start, label)
+
+    def durations(self, label: str | None = None) -> list[float]:
+        """All recorded durations (optionally only those matching ``label``)."""
+        return [s for t, s, lab in self._samples if label is None or lab == label]
+
+    def rows(self) -> list[dict]:
+        """JSON-safe rows: ``{"t": offset_s, "seconds": ..., "label": ...}``."""
+        return [
+            {"t": round(t, 6), "seconds": s, "label": label}
+            for t, s, label in self._samples
+        ]
+
+
+class LatencyStats:
+    """Streaming latency statistics: P² tails plus Welford variance.
+
+    Observations are durations in *seconds*; :meth:`summary` reports in
+    milliseconds (the convention of every report's ``latency_ms`` block).
+    Memory is O(1) regardless of how long the load is sustained.
+    """
+
+    def __init__(self) -> None:
+        self._sketch = QuantileSketch(probs=LATENCY_PROBS)
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def __len__(self) -> int:
+        return self._sketch.count
+
+    @property
+    def count(self) -> int:
+        return self._sketch.count
+
+    def update(self, seconds: float) -> None:
+        """Consume one request latency (seconds)."""
+        self._sketch.update(seconds)
+        n = self._sketch.count
+        delta = seconds - self._mean
+        self._mean += delta / n
+        self._m2 += delta * (seconds - self._mean)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        for value in latencies:
+            self.update(value)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation in seconds (``nan`` below 2 samples)."""
+        n = self._sketch.count
+        if n < 2:
+            return float("nan")
+        return math.sqrt(self._m2 / (n - 1))
+
+    def summary(self) -> dict[str, float]:
+        """Milliseconds summary: p50/p90/p99/max/mean/stddev/jitter.
+
+        ``jitter`` is the tail spread p99 − p50 — the sustained-load
+        dispersion figure, not gated but tracked in history.
+        """
+        if self._sketch.count == 0:
+            return {}
+        to_ms = lambda s: round(s * 1000.0, 3)  # noqa: E731
+        p50 = self._sketch.quantile(0.5)
+        p99 = self._sketch.quantile(0.99)
+        stddev = self.stddev
+        return {
+            "p50": to_ms(p50),
+            "p90": to_ms(self._sketch.quantile(0.9)),
+            "p99": to_ms(p99),
+            "max": to_ms(self._sketch.max),
+            "mean": to_ms(self._sketch.mean),
+            "stddev": to_ms(stddev) if not math.isnan(stddev) else None,
+            "jitter": to_ms(p99 - p50),
+        }
+
+
+def latency_summary(latencies: Sequence[float]) -> dict[str, float]:
+    """One-shot :class:`LatencyStats` summary of a latency list (seconds in,
+    milliseconds out).  Empty input yields an empty dict."""
+    stats = LatencyStats()
+    stats.extend(latencies)
+    return stats.summary()
+
+
+def paced_arrivals(
+    rate_hz: float,
+    duration_s: float | None = None,
+    n_arrivals: int | None = None,
+) -> Iterator[float]:
+    """Open-loop arrival offsets (seconds from load start) at ``rate_hz``.
+
+    Deterministic uniform pacing: arrival ``i`` is due at ``i / rate_hz``.
+    Bounded by ``duration_s``, ``n_arrivals``, or both (whichever cuts
+    first); at least one bound is required.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be > 0, got {rate_hz}")
+    if duration_s is None and n_arrivals is None:
+        raise ValueError("paced_arrivals needs duration_s or n_arrivals")
+    interval = 1.0 / rate_hz
+    i = 0
+    while True:
+        due = i * interval
+        if duration_s is not None and due >= duration_s:
+            return
+        if n_arrivals is not None and i >= n_arrivals:
+            return
+        yield due
+        i += 1

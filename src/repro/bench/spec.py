@@ -1,0 +1,154 @@
+"""Declarative workload specifications for the benchmark harness.
+
+A :class:`WorkloadSpec` describes *what* a benchmark run does — seeds,
+warm-up, best-of-N repetitions, the client-load shape and an optional
+fault schedule — separately from the code that executes it.  Every
+registered benchmark (``repro bench --list``) exposes one, the harness
+resolves it (``--quick`` applies the spec's own quick overrides instead of
+ad-hoc flag plumbing), and the resolved form is written verbatim into the
+``experiments/<name>-<date>/config.json`` provenance record so a run can
+be replayed from its spec alone.
+
+Load shapes:
+
+* **closed-loop** — each logical client issues its next request as soon as
+  the previous one answers (throughput is demand-driven; the shape of
+  every ``bench_service``/``bench_cluster`` scenario).
+* **open-loop**  — requests arrive on a fixed schedule (``rate_hz`` per
+  client) regardless of completions, so queueing delay shows up in the
+  latency tail instead of silently throttling the offered load.  The
+  arrival schedule comes from :func:`repro.bench.runner.paced_arrivals`.
+
+Fault schedules (:class:`FaultScheduleSpec`) make chaos drills part of the
+spec: the schedule is seeded, so the same spec replays the same storm.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "LoadSpec",
+    "FaultScheduleSpec",
+    "WorkloadSpec",
+]
+
+LOAD_MODES = ("closed", "open")
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """The client-load shape of a workload.
+
+    ``mode="closed"``: ``clients`` loops issue requests back to back.
+    ``mode="open"``: each client issues requests at ``rate_hz`` arrivals
+    per second for ``duration_s`` (or one full pass over its stream).
+    """
+
+    mode: str = "closed"
+    clients: int = 1
+    rate_hz: float | None = None
+    duration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in LOAD_MODES:
+            raise ValueError(f"load mode must be one of {LOAD_MODES}, got {self.mode!r}")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.mode == "open" and not self.rate_hz:
+            raise ValueError("open-loop load requires rate_hz")
+        if self.rate_hz is not None and self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be > 0, got {self.rate_hz}")
+
+
+@dataclass(frozen=True)
+class FaultScheduleSpec:
+    """A seeded transport-fault storm: ``n_events`` one-victim-at-a-time
+    faults drawn from ``kinds`` with uniform duration/recovery-gap ranges.
+
+    The draw order (victim, kind, duration, gap) is part of the contract:
+    the same seed replays the same storm against the same fleet.
+    """
+
+    n_events: int
+    kinds: tuple[str, ...]
+    duration_range: tuple[float, float] = (0.25, 0.7)
+    gap_range: tuple[float, float] = (0.15, 0.4)
+
+    def __post_init__(self) -> None:
+        if self.n_events < 0:
+            raise ValueError(f"n_events must be >= 0, got {self.n_events}")
+        if not self.kinds:
+            raise ValueError("at least one fault kind is required")
+
+    def draw_event(
+        self, rng: random.Random, victims: Sequence[Any]
+    ) -> tuple[Any, str, float, float]:
+        """Draw one ``(victim, kind, duration_s, gap_s)`` event."""
+        victim = rng.choice(list(victims))
+        kind = rng.choice(list(self.kinds))
+        duration = rng.uniform(*self.duration_range)
+        gap = rng.uniform(*self.gap_range)
+        return victim, kind, duration, gap
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark's declarative scenario description.
+
+    ``params`` are workload-specific knobs (support sizes, query counts);
+    ``quick`` holds the CI-smoke overrides merged over ``params`` (plus
+    optional ``repetitions``/``warmup`` keys) by :meth:`resolve` — the one
+    place quick-mode behaviour is defined.
+    """
+
+    name: str
+    kind: str
+    description: str = ""
+    seed: int | tuple[int, ...] = 0
+    warmup: int = 0
+    repetitions: int = 1
+    load: LoadSpec | None = None
+    faults: FaultScheduleSpec | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    quick: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+
+    def resolve(self, *, quick: bool = False) -> "WorkloadSpec":
+        """Apply the spec's own ``quick`` overrides (a no-op otherwise)."""
+        if not quick or not self.quick:
+            return self
+        overrides = dict(self.quick)
+        fields: dict[str, Any] = {}
+        for key in ("repetitions", "warmup", "seed"):
+            if key in overrides:
+                fields[key] = overrides.pop(key)
+        if "faults" in overrides:
+            fields["faults"] = overrides.pop("faults")
+        fields["params"] = {**dict(self.params), **overrides}
+        fields["quick"] = {}
+        return replace(self, **fields)
+
+    def to_config(self) -> dict:
+        """JSON-safe form recorded in the provenance ``config.json``."""
+        config: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "seed": list(self.seed) if isinstance(self.seed, tuple) else self.seed,
+            "warmup": self.warmup,
+            "repetitions": self.repetitions,
+            "params": dict(self.params),
+        }
+        if self.load is not None:
+            config["load"] = asdict(self.load)
+        if self.faults is not None:
+            config["faults"] = asdict(self.faults)
+        return config

@@ -1,0 +1,8 @@
+"""Workload implementations behind the benchmark registry.
+
+Each module implements the contract documented in
+:mod:`repro.bench.registry` (``get_spec`` / optional ``add_arguments`` /
+``run``) plus a ``main(argv, default_output=...)`` entry point that the
+thin ``benchmarks/bench_*.py`` shims call, so the historical script CLIs
+keep working unchanged.
+"""

@@ -1,0 +1,479 @@
+"""Seeded fault-injection drill for the evaluation cluster.
+
+Runs a real in-process cluster (router + supervisor + N workers on one
+event loop, real wire protocol) with every worker fronted by a
+:class:`repro.testing.ChaosProxy`, then drives client load while a
+*seeded* schedule of transport faults — latency, blackholes, resets,
+garbled frames, mid-frame truncation, slow drips — hits one worker at a
+time.  The schedule is a :class:`repro.bench.spec.FaultScheduleSpec`:
+the same seed replays the same storm, so a failing drill is a
+reproducible bug report.
+
+The drill does not measure speed; it measures that the failure model
+holds under fire.  Per seed it asserts the robustness invariants:
+
+* **bounded calls** — no client call outlives its deadline by more than
+  ``SLACK_S``: every attempt ends in an answer or a structured error
+  within budget.  (The drill itself runs under a hard ``wait_for``, so a
+  hang fails the run rather than wedging CI.)
+* **structured failures** — every failed attempt is a *documented*
+  outcome: a retryable ``Overloaded``/``Unavailable`` with a retry hint,
+  a terminal ``DeadlineExceeded``, or the client's own timeout.  Opaque
+  errors and unexpected kinds are invariant violations.
+* **bounded loss** — sessions are replicated before the storm; whatever
+  workers the health loop declares dead, ``sessions_lost`` stays 0 and
+  every session still answers from replicated state (the documented
+  replication-lag durability contract).
+* **reconvergence** — once the faults stop, the fleet settles: every
+  session answers an exact-hit probe, every owner in the routing table is
+  alive, and a clean load round completes without a single retry.
+
+Gated in CI by ``check_regression.py`` against the committed baseline:
+invariants everywhere, throughput floor only on multi-core machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import os
+import pathlib
+import platform
+import random
+import sys
+import tempfile
+import time
+
+from repro.bench.registry import RunResult
+from repro.bench.report import finalize_report, write_report
+from repro.bench.runner import latency_summary
+from repro.bench.spec import FaultScheduleSpec, LoadSpec, WorkloadSpec
+from repro.cluster import ClusterRouter, WorkerHandle, WorkerSupervisor
+from repro.service.client import RETRYABLE_KINDS, AsyncServiceClient
+from repro.service.protocol import RemoteError
+from repro.service.server import KrigingService
+from repro.testing import ChaosProxy, Fault
+from repro.testing.faults import FAULT_KINDS
+
+SEEDS = (101, 202, 303)
+N_WORKERS = 3
+N_SESSIONS = 4
+N_STREAMS = 4
+N_SUPPORT = 40
+N_EVENTS = 8
+QUICK_EVENTS = 4
+NUM_VARIABLES = 3
+SIMULATOR = {"kind": "linear", "coefficients": [1.0, -2.0, 0.5], "offset": -6.0}
+SESSION_KWARGS = dict(
+    simulator=SIMULATOR, num_variables=NUM_VARIABLES, distance=4.0,
+    variogram="linear",
+)
+
+#: Per-call budget and the acceptance slack on top of it.
+DEADLINE_S = 2.0
+SLACK_S = 1.0
+#: The router gives up on a worker well inside the budget.
+WORKER_TIMEOUT_S = 0.8
+#: Hard ceiling on one seed's drill: a hang fails loudly, never wedges CI.
+DRILL_TIMEOUT_S = 120.0
+RECONVERGE_TIMEOUT_S = 15.0
+
+SUPERVISOR_KWARGS = dict(
+    health_interval=0.15,
+    replication_interval=0.4,
+    ping_timeout=0.35,
+    max_ping_failures=2,
+)
+ROUTER_KWARGS = dict(
+    worker_timeout=WORKER_TIMEOUT_S,
+    breaker_threshold=3,
+    breaker_reset_ms=200.0,
+)
+
+#: Failure shapes a client is *allowed* to see during the storm.
+ALLOWED_ERROR_KINDS = RETRYABLE_KINDS | {"DeadlineExceeded"}
+
+SESSION_NAMES = [f"chaos{i}" for i in range(N_SESSIONS)]
+
+#: The seeded storm: one victim at a time, drawn kind/duration/gap.
+FAULT_SCHEDULE = FaultScheduleSpec(n_events=N_EVENTS, kinds=tuple(FAULT_KINDS))
+
+SPEC = WorkloadSpec(
+    name="chaos",
+    kind="chaos",
+    description=(
+        "Seeded fault-injection drill over the sharded cluster: robustness "
+        "invariants (bounded calls, structured failures, zero session loss, "
+        "reconvergence) under a reproducible transport-fault storm"
+    ),
+    seed=SEEDS,
+    load=LoadSpec(mode="closed", clients=N_STREAMS),
+    faults=FAULT_SCHEDULE,
+    params={
+        "n_workers": N_WORKERS,
+        "n_sessions": N_SESSIONS,
+        "n_support": N_SUPPORT,
+        "deadline_s": DEADLINE_S,
+        "slack_s": SLACK_S,
+    },
+    quick={
+        "faults": FaultScheduleSpec(n_events=QUICK_EVENTS, kinds=tuple(FAULT_KINDS)),
+    },
+)
+
+
+# ---------------------------------------------------------------------------
+# the drill
+# ---------------------------------------------------------------------------
+async def _evaluate_with_retries(client, session, config, *, attempts=40):
+    """The documented ride-through loop: honor ``retry_after_ms`` hints."""
+    for attempt in range(attempts):
+        try:
+            return await client.request(
+                "evaluate", session=session, config=config, timeout=DEADLINE_S
+            )
+        except RemoteError as exc:
+            if exc.kind not in RETRYABLE_KINDS or attempt == attempts - 1:
+                raise
+            await asyncio.sleep((exc.retry_after_ms or 50.0) / 1000.0)
+        except (asyncio.TimeoutError, TimeoutError):
+            if attempt == attempts - 1:
+                raise
+    raise AssertionError("unreachable")
+
+
+class _Drill:
+    def __init__(
+        self,
+        seed: int,
+        schedule: FaultScheduleSpec,
+        tmp: pathlib.Path,
+    ) -> None:
+        self.seed = seed
+        self.schedule = schedule
+        self.tmp = tmp
+        self.rng = random.Random(seed)
+        self.events: list[dict] = []
+        self.served = 0
+        self.retries = 0
+        self.errors: dict[str, int] = {}
+        self.unexpected: list[str] = []
+        self.latencies: list[float] = []
+        self.max_attempt_s = 0.0
+
+    def _count(self, key: str) -> None:
+        self.errors[key] = self.errors.get(key, 0) + 1
+
+    async def _stream(self, host, port, name, stop):
+        """One client stream: evaluate random configs until told to stop,
+        recording how every attempt ended and how long it took."""
+        client = await AsyncServiceClient.connect(host, port)
+        rng = random.Random(f"{self.seed}:{name}")  # str seeds hash stably
+        try:
+            while not stop.is_set():
+                config = [rng.uniform(0.0, 8.0) for _ in range(NUM_VARIABLES)]
+                t0 = time.perf_counter()
+                try:
+                    await client.request(
+                        "evaluate", session=name, config=config, timeout=DEADLINE_S
+                    )
+                    self.served += 1
+                    self.latencies.append(time.perf_counter() - t0)
+                except RemoteError as exc:
+                    self._count(exc.kind)
+                    if exc.kind in RETRYABLE_KINDS:
+                        self.retries += 1
+                        await asyncio.sleep((exc.retry_after_ms or 50.0) / 1000.0)
+                    elif exc.kind not in ALLOWED_ERROR_KINDS:
+                        self.unexpected.append(f"{exc.kind}: {exc}")
+                except (asyncio.TimeoutError, TimeoutError):
+                    self._count("ClientTimeout")
+                except ConnectionError as exc:
+                    # The client→router link must survive worker chaos.
+                    self.unexpected.append(f"ConnectionError: {exc!r}")
+                    return
+                finally:
+                    self.max_attempt_s = max(
+                        self.max_attempt_s, time.perf_counter() - t0
+                    )
+        finally:
+            await client.close()
+
+    async def _inject(self, router, proxies, stop):
+        """The seeded fault schedule: one worker at a time, never the last
+        survivor (an empty fleet has nothing to fail over to)."""
+        for _ in range(self.schedule.n_events):
+            alive = [
+                i for i, _ in enumerate(proxies) if router.workers[f"w{i}"].alive
+            ]
+            if len(alive) < 2:
+                break  # only one survivor left: it must stay clean
+            victim, kind, duration, gap = self.schedule.draw_event(self.rng, alive)
+            self.events.append(
+                {"worker": f"w{victim}", "kind": kind,
+                 "duration_s": round(duration, 3)}
+            )
+            proxies[victim].set_fault(Fault(kind))
+            if kind in ("reset", "truncate"):
+                proxies[victim].abort_connections()  # fire even when idle
+            await asyncio.sleep(duration)
+            proxies[victim].set_fault(None)
+            await asyncio.sleep(gap)
+        stop.set()
+
+    async def _reconverge(self, client, router, support_probe):
+        """After the storm: every session answers an exact-hit probe, every
+        owner is alive, and a clean round needs zero retries."""
+        deadline = time.monotonic() + RECONVERGE_TIMEOUT_S
+        exact = {}
+        for name in SESSION_NAMES:
+            while True:
+                try:
+                    out = await _evaluate_with_retries(client, name, support_probe)
+                    exact[name] = bool(out.get("exact_hit"))
+                    break
+                except (RemoteError, asyncio.TimeoutError, TimeoutError):
+                    if time.monotonic() > deadline:
+                        exact[name] = False
+                        break
+                    await asyncio.sleep(0.1)
+        stats = await client.request("cluster_stats")
+        live = {w["worker"] for w in stats["workers"] if w["alive"]}
+        owners_alive = all(owner in live for owner in stats["table"].values())
+        clean = 0
+        for name in SESSION_NAMES:  # a calm fleet answers first try
+            out = await client.request(
+                "evaluate", session=name, config=support_probe, timeout=DEADLINE_S
+            )
+            clean += 1 if "value" in out else 0
+        return {
+            "all_sessions_exact": all(exact.values()),
+            "owners_alive": owners_alive,
+            "clean_round_ok": clean == N_SESSIONS,
+            "sessions_lost": stats["counters"]["sessions_lost"],
+            "failovers": stats["counters"]["failovers"],
+            "deadline_misses": stats["counters"]["deadline_misses"],
+            "breaker_fast_fails": stats["counters"]["breaker_fast_fails"],
+            "workers_alive": len(live),
+        }
+
+    async def run(self) -> dict:
+        router = ClusterRouter(replica_dir=self.tmp, **ROUTER_KWARGS)
+        supervisor = WorkerSupervisor(router, **SUPERVISOR_KWARGS)
+        services, proxies, tasks = [], [], []
+        support = [
+            [float(self.rng.randint(0, 8)) for _ in range(NUM_VARIABLES)]
+            for _ in range(N_SUPPORT)
+        ]
+        for index in range(N_WORKERS):
+            service = KrigingService(snapshot_dir=self.tmp)
+            tasks.append(asyncio.create_task(service.serve("127.0.0.1", 0)))
+            while service.address is None:
+                await asyncio.sleep(0.005)
+            proxy = ChaosProxy(*service.address)
+            address = await proxy.start()
+            await router.add_worker(WorkerHandle(f"w{index}", *address))
+            services.append(service)
+            proxies.append(proxy)
+        router_task = asyncio.create_task(router.serve("127.0.0.1", 0))
+        try:
+            while router.address is None:
+                await asyncio.sleep(0.005)
+            host, port = router.address
+            async with await AsyncServiceClient.connect(host, port) as client:
+                for i, name in enumerate(SESSION_NAMES):
+                    await client.request(
+                        "create_session", session=name,
+                        worker=f"w{i % N_WORKERS}", **SESSION_KWARGS,
+                    )
+                    for row in support:
+                        await client.request("simulate", session=name, config=row)
+                await client.request("replicate")
+
+                stop = asyncio.Event()
+                t0 = time.perf_counter()
+                streams = [
+                    asyncio.create_task(
+                        self._stream(host, port, SESSION_NAMES[s % N_SESSIONS], stop)
+                    )
+                    for s in range(N_STREAMS)
+                ]
+                await self._inject(router, proxies, stop)
+                await asyncio.gather(*streams)
+                drill_seconds = time.perf_counter() - t0
+
+                for proxy in proxies:
+                    proxy.set_fault(None)
+                convergence = await self._reconverge(client, router, support[0])
+        finally:
+            router.stop()
+            for proxy in proxies:
+                proxy.set_fault(None)
+            await asyncio.wait_for(router_task, 15)
+            for proxy in proxies:
+                await proxy.stop()
+            for service, task in zip(services, tasks):
+                if not task.done():
+                    service.stop()
+                    await asyncio.wait_for(task, 10)
+
+        invariants = {
+            "no_call_outlives_deadline": self.max_attempt_s <= DEADLINE_S + SLACK_S,
+            "failures_structured": not self.unexpected,
+            "no_session_lost": convergence["sessions_lost"] == 0,
+            "reconverged": (
+                convergence["all_sessions_exact"]
+                and convergence["owners_alive"]
+                and convergence["clean_round_ok"]
+            ),
+            "made_progress": self.served > 0,
+        }
+        return {
+            "seed": self.seed,
+            "events": self.events,
+            "seconds": round(drill_seconds, 6),
+            "qps": round(self.served / drill_seconds, 2),
+            "served": self.served,
+            "retries": self.retries,
+            "errors": dict(sorted(self.errors.items())),
+            "unexpected_errors": self.unexpected[:10],
+            "max_attempt_seconds": round(self.max_attempt_s, 6),
+            "latency_ms": (
+                latency_summary(self.latencies) if self.latencies else None
+            ),
+            "convergence": convergence,
+            "invariants": invariants,
+            "invariants_ok": all(invariants.values()),
+        }
+
+
+def run_drill(seed: int, *, n_events: int = N_EVENTS) -> dict:
+    """One seed's drill under a hard timeout (the no-hang invariant)."""
+    schedule = FaultScheduleSpec(n_events=n_events, kinds=tuple(FAULT_KINDS))
+
+    async def main():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as tmp:
+            return await asyncio.wait_for(
+                _Drill(seed, schedule, pathlib.Path(tmp)).run(), DRILL_TIMEOUT_S
+            )
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# the benchmark
+# ---------------------------------------------------------------------------
+def run_benchmark(*, seeds=SEEDS, n_events: int = N_EVENTS) -> dict:
+    rows = [run_drill(seed, n_events=n_events) for seed in seeds]
+    all_ok = all(row["invariants_ok"] for row in rows)
+    total_served = sum(row["served"] for row in rows)
+    total_seconds = sum(row["seconds"] for row in rows)
+    return {
+        "benchmark": "chaos",
+        "hardware": {"cpus": os.cpu_count() or 1, "machine": platform.machine()},
+        "workload": {
+            "n_workers": N_WORKERS,
+            "n_sessions": N_SESSIONS,
+            "n_client_streams": N_STREAMS,
+            "n_support": N_SUPPORT,
+            "n_events": n_events,
+            "fault_kinds": list(FAULT_KINDS),
+            "deadline_s": DEADLINE_S,
+            "slack_s": SLACK_S,
+            "worker_timeout_s": WORKER_TIMEOUT_S,
+            "seeds": list(seeds),
+        },
+        "scenarios": {f"seed{row['seed']}": row for row in rows},
+        "qps_under_chaos": round(total_served / total_seconds, 2),
+        "acceptance": {
+            "seeds_run": len(rows),
+            "all_invariants_ok": all_ok,
+            "passed": all_ok and len(rows) >= 3,
+        },
+    }
+
+
+def print_summary(report: dict) -> None:
+    for name, row in report["scenarios"].items():
+        flags = " ".join(
+            k for k, ok in row["invariants"].items() if not ok
+        ) or "all invariants held"
+        print(
+            f"{name:<9s} {row['seconds']:>6.2f}s  served={row['served']:<5d} "
+            f"retries={row['retries']:<4d} errors={sum(row['errors'].values()):<4d} "
+            f"max_attempt={row['max_attempt_seconds']:.2f}s  "
+            f"failovers={row['convergence']['failovers']}  {flags}"
+        )
+    acceptance = report["acceptance"]
+    print(
+        f"chaos drill: {acceptance['seeds_run']} seeds, "
+        f"{report['qps_under_chaos']:.1f} q/s under fire, "
+        f"passed={acceptance['passed']}"
+    )
+
+
+def _extract_samples(report: dict) -> list[dict]:
+    """Flatten per-seed fault events into provenance sample rows."""
+    samples = []
+    for name, row in report.get("scenarios", {}).items():
+        for event in row.get("events", []):
+            samples.append({"label": f"{name}:{event['kind']}", **event})
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# registry contract
+# ---------------------------------------------------------------------------
+def get_spec(name: str) -> WorkloadSpec:
+    return SPEC
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"drill seeds (default: {list(SEEDS)})",
+    )
+
+
+def run(name: str, args: argparse.Namespace) -> RunResult:
+    spec = SPEC.resolve(quick=getattr(args, "quick", False))
+    seeds = tuple(getattr(args, "seeds", None) or spec.seed)
+    assert spec.faults is not None
+    if seeds != tuple(spec.seed):
+        spec = dataclasses.replace(spec, seed=seeds)
+    body = run_benchmark(seeds=seeds, n_events=spec.faults.n_events)
+    report = finalize_report("chaos", body, seed=seeds, argv=sys.argv[1:])
+    print_summary(report)
+    return RunResult(
+        report=report, config=spec.to_config(), samples=_extract_samples(report)
+    )
+
+
+def main(argv: list[str] | None = None, default_output: pathlib.Path | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer fault events per seed",
+    )
+    add_arguments(parser)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=default_output or pathlib.Path("BENCH_chaos.json"),
+        help="report destination",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(SPEC.name, args)
+    write_report(result.report, args.output)
+    print("written:", args.output)
+    return 0 if result.report["acceptance"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,561 @@
+"""Query-engine workload: the vectorized engine vs the seed hot path.
+
+Times a fixed interpolation-heavy sweep three ways at several support sizes:
+
+* ``seed``     — a faithful re-implementation of the seed hot path: a
+  list-of-rows cache whose ``points`` property re-``vstack``s on every
+  access, a brute-force neighbourhood scan over all simulated points, and
+  one bordered-system build + solve per query.  (Its only deviation from
+  the seed is exact-coordinate cache keys, so all three variants compute
+  identical results.)
+* ``evaluate`` — the current per-query path: contiguous zero-copy cache,
+  lattice bucket index, per-query solve.
+* ``batch``    — ``KrigingEstimator.evaluate_batch``: additionally groups
+  queries sharing a support set and factorizes each group's bordered
+  matrix once.
+
+Three engine-knob sections ride along: ``l2_index`` (brute vs KD-tree
+radius queries under the L2 metric), ``parallel`` (threaded group solves,
+recorded but not gated) and ``reuse`` (the incremental-growth
+factor-cache scenario).  The sweep mimics a dense surface exploration
+(cf. ``experiments/figure1``): query clusters jittered inside single
+lattice cells, so clusters share neighbourhoods and the batch path has
+real groups to exploit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.bench.registry import RunResult
+from repro.bench.report import finalize_report, write_report
+from repro.bench.runner import SampleLog, measure
+from repro.bench.spec import WorkloadSpec
+from repro.core.distances import distances_to
+from repro.core.estimator import KrigingEstimator
+from repro.core.kriging import ordinary_kriging
+from repro.core.models import ExponentialVariogram, LinearVariogram
+from repro.core.neighborhood import find_neighbors
+
+NUM_VARIABLES = 5
+LATTICE = 12
+DISTANCE = 4.0
+NN_MIN = 1
+N_QUERIES = 2000
+SUPPORT_SIZES = (500, 2000, 5000)
+QUICK_SUPPORT_SIZES = (500, 2000)
+ACCEPTANCE_N = 2000
+ACCEPTANCE_SPEEDUP = 5.0
+PARALLEL_JOBS = 4
+
+# Incremental-growth (factor reuse) scenario: a dense side-5 lattice so the
+# neighbourhood of one query cluster holds hundreds of support points, and a
+# bounded strictly-PD variogram so the shifted Gamma matrix factorizes (the
+# piecewise-linear variogram on this lattice is rank-deficient by design —
+# that regime falls back and is covered by the main sweep above).
+REUSE_LATTICE = 5
+REUSE_DISTANCE = 5.75
+REUSE_QUERIES = 32
+# The reuse scenario runs full-length even in --quick mode: shortening the
+# round count under-amortizes the first-round fresh factorizations and the
+# measured ratio drifts toward the regression-gate bound.
+REUSE_ROUNDS = 10
+REUSE_ACCEPTANCE_SPEEDUP = 1.5
+REUSE_VARIOGRAM = ExponentialVariogram(sill=25.0, range_=8.0)
+
+WORKLOAD_SEED = 0
+
+SPEC = WorkloadSpec(
+    name="query-engine",
+    kind="query_engine",
+    description=(
+        "Interpolation-heavy sweep: seed hot path vs evaluate vs batch, "
+        "plus l2-index, parallel and factor-reuse sections"
+    ),
+    seed=WORKLOAD_SEED,
+    repetitions=2,
+    params={
+        "support_sizes": list(SUPPORT_SIZES),
+        "n_queries": N_QUERIES,
+        "reuse_rounds": REUSE_ROUNDS,
+    },
+    quick={
+        "support_sizes": list(QUICK_SUPPORT_SIZES),
+        "repetitions": 1,
+    },
+)
+
+_COEFFS = np.array([1.0, -2.0, 0.5, 0.25, 1.5])
+
+
+def _field(config) -> float:
+    c = np.asarray(config, dtype=float)
+    return float(c @ np.resize(_COEFFS, c.size) - 60.0)
+
+
+# ----------------------------------------------------------------------
+# Seed-faithful reference implementation (PR-0 hot path)
+# ----------------------------------------------------------------------
+class _SeedCache:
+    """The seed's list-of-rows store: ``points`` vstacks on every access."""
+
+    def __init__(self, num_variables: int) -> None:
+        self.num_variables = num_variables
+        self._points: list[np.ndarray] = []
+        self._values: list[float] = []
+        self._index: dict[bytes, int] = {}
+
+    @property
+    def points(self) -> np.ndarray:
+        if not self._points:
+            return np.empty((0, self.num_variables))
+        return np.vstack(self._points)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def add(self, config: np.ndarray, value: float) -> None:
+        self._index[config.tobytes()] = len(self._points)
+        self._points.append(config.copy())
+        self._values.append(float(value))
+
+    def lookup(self, config: np.ndarray) -> float | None:
+        row = self._index.get(config.tobytes())
+        return self._values[row] if row is not None else None
+
+
+def _seed_sweep(support, support_values, queries, variogram) -> list[float]:
+    """The seed's evaluate loop: vstack + brute scan + per-query solve."""
+    cache = _SeedCache(support.shape[1])
+    for config, value in zip(support, support_values):
+        cache.add(config, value)
+    out: list[float] = []
+    for query in queries:
+        cached = cache.lookup(query)
+        if cached is not None:
+            out.append(cached)
+            continue
+        points = cache.points  # fresh vstack, every query
+        dist = distances_to(points, query)  # brute scan of all points
+        inside = np.flatnonzero(dist <= DISTANCE)
+        neighbors = inside[np.argsort(dist[inside], kind="stable")]
+        if neighbors.size > NN_MIN:
+            result = ordinary_kriging(
+                points[neighbors], cache.values[neighbors], query, variogram
+            )
+            out.append(result.estimate)
+        else:
+            value = _field(query)
+            cache.add(query, value)
+            out.append(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+def _make_workload(n_support: int, n_queries: int, seed: int = WORKLOAD_SEED):
+    rng = np.random.default_rng(seed)
+    support = set()
+    while len(support) < n_support:
+        point = tuple(int(x) for x in rng.integers(0, LATTICE, size=NUM_VARIABLES))
+        support.add(point)
+    support = np.asarray(sorted(support), dtype=np.float64)
+    rng.shuffle(support)
+    support_values = np.array([_field(p) for p in support])
+
+    # Clustered fractional queries: each cluster jitters inside one lattice
+    # cell around a support point, so its members share a neighbourhood.
+    cluster_size = 20
+    n_clusters = (n_queries + cluster_size - 1) // cluster_size
+    centers = support[rng.integers(0, n_support, size=n_clusters)]
+    queries = np.repeat(centers, cluster_size, axis=0)[:n_queries]
+    queries = queries + rng.uniform(0.05, 0.45, size=queries.shape)
+    return support, support_values, queries
+
+
+def _engine_estimator(support, support_values, **kwargs) -> KrigingEstimator:
+    kwargs.setdefault("distance", DISTANCE)
+    kwargs.setdefault("nn_min", NN_MIN)
+    kwargs.setdefault("variogram", LinearVariogram(1.0))
+    est = KrigingEstimator(_field, NUM_VARIABLES, **kwargs)
+    for config, value in zip(support, support_values):
+        row = est.cache.add(config, value)
+        est.neighbor_index.insert(config, row)
+    return est
+
+
+def _time(fn, *, repetitions: int = 1, samples: SampleLog | None = None, label: str = ""):
+    best, result = measure(fn, repetitions)
+    if samples is not None:
+        samples.record(best, label)
+    return best, result
+
+
+def run_l2_index_benchmark(
+    n_support: int = ACCEPTANCE_N,
+    n_queries: int = N_QUERIES,
+    repetitions: int = 2,
+    samples: SampleLog | None = None,
+) -> dict:
+    """The L2 radius-query path: brute-force index versus the KD-tree.
+
+    The gated ratio times :func:`~repro.core.neighborhood.find_neighbors`
+    itself — the exact work the index prunes, and a stable ratio to gate on.
+    The full interpolation sweep is recorded alongside for context (there
+    the kriging solves dilute the search win).
+    """
+    support, support_values, queries = _make_workload(n_support, n_queries)
+    query_timings = {}
+    sweep_timings = {}
+    outputs = {}
+    for kind in ("brute", "kdtree"):
+        est = _engine_estimator(
+            support, support_values, metric="l2", neighbor_index=kind
+        )
+        points = est.cache.points
+        index = est.neighbor_index
+        find_neighbors(points, queries[0], DISTANCE, metric="l2", index=index)  # warm
+
+        def _queries_only(points=points, index=index):
+            return [
+                find_neighbors(points, q, DISTANCE, metric="l2", index=index)
+                for q in queries
+            ]
+
+        def _sweep(kind=kind):
+            est = _engine_estimator(
+                support, support_values, metric="l2", neighbor_index=kind
+            )
+            return est.evaluate_batch(queries)
+
+        query_timings[kind], neighbor_lists = _time(
+            _queries_only, repetitions=repetitions,
+            samples=samples, label=f"l2_index.query_{kind}",
+        )
+        sweep_timings[kind], outputs[kind] = _time(
+            _sweep, repetitions=repetitions,
+            samples=samples, label=f"l2_index.sweep_{kind}",
+        )
+        outputs[f"{kind}_neighbors"] = neighbor_lists
+
+    # The index is a pruning knob only: identical neighbourhoods and values.
+    for brute_rows, kd_rows in zip(
+        outputs["brute_neighbors"], outputs["kdtree_neighbors"]
+    ):
+        np.testing.assert_array_equal(brute_rows, kd_rows)
+    np.testing.assert_allclose(
+        [o.value for o in outputs["brute"]],
+        [o.value for o in outputs["kdtree"]],
+        rtol=1e-9,
+        atol=1e-9,
+    )
+    return {
+        "n_support": n_support,
+        "n_queries": n_queries,
+        "metric": "l2",
+        "query_brute_seconds": round(query_timings["brute"], 6),
+        "query_kdtree_seconds": round(query_timings["kdtree"], 6),
+        "speedup_kdtree_vs_brute": round(
+            query_timings["brute"] / query_timings["kdtree"], 2
+        ),
+        "sweep_brute_seconds": round(sweep_timings["brute"], 6),
+        "sweep_kdtree_seconds": round(sweep_timings["kdtree"], 6),
+        "sweep_speedup_kdtree_vs_brute": round(
+            sweep_timings["brute"] / sweep_timings["kdtree"], 2
+        ),
+    }
+
+
+def run_parallel_benchmark(
+    n_support: int = ACCEPTANCE_N,
+    n_queries: int = N_QUERIES,
+    repetitions: int = 2,
+    n_jobs: int = PARALLEL_JOBS,
+    samples: SampleLog | None = None,
+) -> dict:
+    """``evaluate_batch`` wall clock: sequential versus threaded group solves."""
+    support, support_values, queries = _make_workload(n_support, n_queries)
+    timings = {}
+    for jobs in (1, n_jobs):
+        def _sweep(jobs=jobs):
+            est = _engine_estimator(support, support_values, n_jobs=jobs)
+            return est.evaluate_batch(queries)
+
+        timings[jobs], _ = _time(
+            _sweep, repetitions=repetitions,
+            samples=samples, label=f"parallel.jobs{jobs}",
+        )
+    return {
+        "n_support": n_support,
+        "n_queries": n_queries,
+        "n_jobs": n_jobs,
+        "serial_seconds": round(timings[1], 6),
+        "parallel_seconds": round(timings[n_jobs], 6),
+        "speedup_parallel_vs_serial": round(timings[1] / timings[n_jobs], 2),
+    }
+
+
+def run_reuse_benchmark(
+    n_support: int = ACCEPTANCE_N,
+    n_rounds: int = REUSE_ROUNDS,
+    n_queries: int = REUSE_QUERIES,
+    repetitions: int = 2,
+    samples: SampleLog | None = None,
+) -> dict:
+    """The incremental-growth scenario: factor-cache reuse on versus off.
+
+    Optimizer loops evaluate a cluster of candidates, simulate the winner,
+    and re-evaluate — so consecutive rounds krige over support sets that
+    differ by exactly one point.  With the reuse layer each round's
+    factorizations derive from the previous round's by rank-1 row edits;
+    without it every round refactorizes every group from scratch.  Both
+    variants must produce the same estimates to 1e-9.
+    """
+    rng = np.random.default_rng(7)
+    support = set()
+    while len(support) < n_support:
+        point = tuple(int(x) for x in rng.integers(0, REUSE_LATTICE, size=NUM_VARIABLES))
+        support.add(point)
+    support = np.asarray(sorted(support), dtype=np.float64)
+    support_values = np.array([_field(p) for p in support])
+    center = support[rng.integers(0, n_support)]
+    queries = center[None, :] + rng.uniform(0.1, 0.4, size=(n_queries, NUM_VARIABLES))
+    new_points = [
+        center + rng.uniform(0.45, 0.55, size=NUM_VARIABLES)
+        * rng.choice([-1.0, 1.0], size=NUM_VARIABLES)
+        for _ in range(n_rounds)
+    ]
+
+    def _incremental(factor_cache: bool, rounds: list | None = None):
+        est = _engine_estimator(
+            support,
+            support_values,
+            distance=REUSE_DISTANCE,
+            variogram=REUSE_VARIOGRAM,
+            factor_cache=factor_cache,
+        )
+        values = []
+        for new_point in rounds if rounds is not None else new_points:
+            values.append([o.value for o in est.evaluate_batch(queries)])
+            est.force_simulate(new_point)
+        return values, est.stats.factor
+
+    # Warm-up (both variants share it): BLAS pools, allocator arenas and the
+    # lattice index are all hot before anything is timed, so a single-
+    # repetition --quick run measures the same regime as the full run.
+    _incremental(True, rounds=new_points[:2])
+
+    timings = {}
+    outputs = {}
+    factor_stats = None
+    for enabled in (True, False):
+        key = "reuse" if enabled else "fresh"
+        timings[key], (outputs[key], stats) = _time(
+            lambda enabled=enabled: _incremental(enabled), repetitions=repetitions,
+            samples=samples, label=f"reuse.{key}",
+        )
+        if enabled:
+            factor_stats = stats
+
+    # The reuse layer is a performance knob only: identical estimates.
+    np.testing.assert_allclose(
+        outputs["reuse"], outputs["fresh"], rtol=1e-9, atol=1e-12
+    )
+    group_size = int(
+        np.flatnonzero(
+            np.abs(support - np.floor(queries[0])).sum(axis=1) <= REUSE_DISTANCE
+        ).size
+    )
+    counters = dict(factor_stats.as_pairs())
+    return {
+        "n_support": n_support,
+        "n_rounds": n_rounds,
+        "n_queries_per_round": n_queries,
+        "n_support_group": group_size,
+        "reuse_fresh_seconds": round(timings["fresh"], 6),
+        "reuse_cached_seconds": round(timings["reuse"], 6),
+        "speedup_reuse_vs_fresh": round(timings["fresh"] / timings["reuse"], 2),
+        "reuse_factor_hits": counters["hits"],
+        "reuse_factor_updates": counters["updates"],
+        "reuse_factor_update_points": counters["update_points"],
+        "reuse_factor_fresh": counters["fresh"],
+        "reuse_factor_fallbacks": counters["fallbacks"],
+    }
+
+
+def run_benchmark(
+    support_sizes=SUPPORT_SIZES,
+    n_queries: int = N_QUERIES,
+    repetitions: int = 2,
+    reuse_rounds: int = REUSE_ROUNDS,
+    samples: SampleLog | None = None,
+) -> dict:
+    variogram = LinearVariogram(1.0)
+    results = []
+    for n_support in support_sizes:
+        support, support_values, queries = _make_workload(n_support, n_queries)
+
+        def _eval_sweep():
+            est = _engine_estimator(support, support_values)
+            return [est.evaluate(query) for query in queries]
+
+        t_seed, seed_values = _time(
+            lambda: _seed_sweep(support, support_values, queries, variogram),
+            repetitions=repetitions,
+            samples=samples, label=f"n{n_support}.seed",
+        )
+        t_eval, eval_out = _time(
+            _eval_sweep, repetitions=repetitions,
+            samples=samples, label=f"n{n_support}.evaluate",
+        )
+        t_batch, batch_out = _time(
+            lambda: _engine_estimator(support, support_values).evaluate_batch(queries),
+            repetitions=repetitions,
+            samples=samples, label=f"n{n_support}.batch",
+        )
+
+        # All three variants answer the sweep identically.
+        np.testing.assert_allclose(
+            seed_values, [o.value for o in eval_out], rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            seed_values, [o.value for o in batch_out], rtol=1e-9, atol=1e-9
+        )
+
+        results.append(
+            {
+                "n_support": n_support,
+                "n_queries": n_queries,
+                "interpolated": sum(1 for o in batch_out if o.interpolated),
+                "seed_seconds": round(t_seed, 6),
+                "evaluate_seconds": round(t_eval, 6),
+                "evaluate_batch_seconds": round(t_batch, 6),
+                "speedup_evaluate_vs_seed": round(t_seed / t_eval, 2),
+                "speedup_batch_vs_seed": round(t_seed / t_batch, 2),
+                "speedup_batch_vs_evaluate": round(t_eval / t_batch, 2),
+            }
+        )
+
+    acceptance_row = next(r for r in results if r["n_support"] == ACCEPTANCE_N)
+    l2 = run_l2_index_benchmark(
+        n_queries=n_queries, repetitions=repetitions, samples=samples
+    )
+    parallel = run_parallel_benchmark(
+        n_queries=n_queries, repetitions=repetitions, samples=samples
+    )
+    reuse = run_reuse_benchmark(
+        n_rounds=reuse_rounds, repetitions=repetitions, samples=samples
+    )
+    report = {
+        "benchmark": "query_engine",
+        "workload": {
+            "num_variables": NUM_VARIABLES,
+            "lattice": LATTICE,
+            "distance": DISTANCE,
+            "nn_min": NN_MIN,
+            "query_model": "clustered fractional sweep (20 queries/cell)",
+        },
+        "results": results,
+        "l2_index": l2,
+        "parallel": parallel,
+        "reuse": reuse,
+        "acceptance": {
+            "n_support": ACCEPTANCE_N,
+            "speedup_batch_vs_seed": acceptance_row["speedup_batch_vs_seed"],
+            "threshold": ACCEPTANCE_SPEEDUP,
+            "speedup_kdtree_vs_brute": l2["speedup_kdtree_vs_brute"],
+            "speedup_reuse_vs_fresh": reuse["speedup_reuse_vs_fresh"],
+            "reuse_threshold": REUSE_ACCEPTANCE_SPEEDUP,
+            "passed": (
+                acceptance_row["speedup_batch_vs_seed"] >= ACCEPTANCE_SPEEDUP
+                and l2["speedup_kdtree_vs_brute"] > 1.0
+                and reuse["speedup_reuse_vs_fresh"] >= REUSE_ACCEPTANCE_SPEEDUP
+            ),
+        },
+    }
+    return report
+
+
+def print_summary(report: dict) -> None:
+    for row in report["results"]:
+        print(
+            f"n={row['n_support']:>5}  seed={row['seed_seconds']:.3f}s  "
+            f"evaluate={row['evaluate_seconds']:.3f}s  "
+            f"batch={row['evaluate_batch_seconds']:.3f}s  "
+            f"batch-vs-seed={row['speedup_batch_vs_seed']:.1f}x"
+        )
+    l2 = report["l2_index"]
+    print(
+        f"l2 n={l2['n_support']}  queries: brute={l2['query_brute_seconds']:.3f}s  "
+        f"kdtree={l2['query_kdtree_seconds']:.3f}s  "
+        f"({l2['speedup_kdtree_vs_brute']:.2f}x)  "
+        f"sweep: {l2['sweep_speedup_kdtree_vs_brute']:.2f}x"
+    )
+    par = report["parallel"]
+    print(
+        f"parallel n={par['n_support']}  serial={par['serial_seconds']:.3f}s  "
+        f"n_jobs={par['n_jobs']}: {par['parallel_seconds']:.3f}s  "
+        f"({par['speedup_parallel_vs_serial']:.2f}x)"
+    )
+    reuse = report["reuse"]
+    print(
+        f"reuse n={reuse['n_support']}  group~{reuse['n_support_group']}  "
+        f"fresh={reuse['reuse_fresh_seconds']:.3f}s  "
+        f"cached={reuse['reuse_cached_seconds']:.3f}s  "
+        f"({reuse['speedup_reuse_vs_fresh']:.2f}x, "
+        f"{reuse['reuse_factor_updates']} updates / "
+        f"{reuse['reuse_factor_fresh']} fresh)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry contract
+# ----------------------------------------------------------------------
+def get_spec(name: str) -> WorkloadSpec:
+    return SPEC
+
+
+def run(name: str, args: argparse.Namespace) -> RunResult:
+    spec = SPEC.resolve(quick=getattr(args, "quick", False))
+    samples = SampleLog()
+    body = run_benchmark(
+        support_sizes=tuple(spec.params["support_sizes"]),
+        n_queries=spec.params["n_queries"],
+        repetitions=spec.repetitions,
+        reuse_rounds=spec.params["reuse_rounds"],
+        samples=samples,
+    )
+    report = finalize_report(
+        "query_engine", body, seed=spec.seed, argv=sys.argv[1:]
+    )
+    return RunResult(report=report, config=spec.to_config(), samples=samples.rows())
+
+
+def main(argv: list[str] | None = None, default_output: pathlib.Path | None = None) -> int:
+    """The historical ``bench_query_engine.py`` CLI."""
+    default_output = default_output or pathlib.Path("BENCH_query_engine.json")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer support sizes, one repetition",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=default_output,
+        help=f"report destination (default: {default_output})",
+    )
+    args = parser.parse_args(argv)
+
+    result = run("query-engine", args)
+    write_report(result.report, args.output)
+    print_summary(result.report)
+    print("written:", args.output)
+    return 0

@@ -13,6 +13,9 @@ Commands
     Replay a saved trajectory under the kriging policy.
 ``benchmarks``
     List the available benchmark setups.
+``bench``
+    Run a registered benchmark through the load/latency harness
+    (``repro bench --list`` for the registry; see :mod:`repro.bench.cli`).
 ``serve``
     Run the multi-client kriging evaluation service (TCP, JSON lines).
 ``cluster``
@@ -130,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("benchmarks", help="list available benchmarks")
+
+    # ``bench`` owns its own two-stage parser (workloads add flags); main()
+    # dispatches to repro.bench.cli before this parser ever sees the args.
+    sub.add_parser(
+        "bench",
+        help="run a registered benchmark through the load/latency harness",
+        add_help=False,
+    )
 
     p_serve = sub.add_parser(
         "serve", help="run the multi-client kriging evaluation service"
@@ -508,6 +519,11 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["bench"]:
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 
