@@ -70,8 +70,13 @@ __all__ = [
 CLUSTER_MIN_CPUS = 4
 CLUSTER_SPEEDUP_FLOOR = 1.5
 
+#: Absolute floors for the zero-copy solve-path ratios (multi-core-guarded
+#: like the cluster floor: a single-core box records them with a note).
+SHM_SPEEDUP_FLOOR = 1.3
+STACKED_SPEEDUP_FLOOR = 1.2
+
 #: Report kinds the gate understands.
-KNOWN_BENCHMARKS = ("query_engine", "service", "cluster", "chaos")
+KNOWN_BENCHMARKS = ("query_engine", "solve", "service", "cluster", "chaos")
 
 
 class MalformedReport(Exception):
@@ -205,52 +210,78 @@ class GuardedRatchetGate:
     boxes (pure ratchet, no floor).  Under a failed guard the metric is
     recorded with a note, never gated.  Missing from the current report is
     always a failure.
+
+    ``section`` scopes the field inside a sub-dict of the report (the
+    solve-path ratios live in their sections).  A section the current run
+    marked ``{"skipped": true}`` — e.g. shared memory unavailable on the
+    platform — is noted, never gated.
     """
 
     field: str
     floor: float | None = None
     min_cpus: int = CLUSTER_MIN_CPUS
     guard: str = "current"
+    section: str | None = None
+
+    def _container(self, report: dict) -> dict:
+        if self.section is None:
+            return report
+        container = report.get(self.section)
+        return container if isinstance(container, dict) else {}
+
+    @property
+    def _label(self) -> str:
+        return f"{self.section}.{self.field}" if self.section else self.field
 
     def apply(self, baseline: dict, current: dict, factor: float, out: GateResult) -> None:
-        if self.field not in current:
-            out.fail(f"{self.field}: missing from the current report")
+        cur = self._container(current)
+        base = self._container(baseline)
+        if cur.get("skipped"):
+            out.note(
+                f"note: {self._label} skipped by the current run "
+                f"({cur.get('reason', 'unavailable on this platform')})"
+            )
             return
+        if self.field not in cur:
+            out.fail(f"{self._label}: missing from the current report")
+            return
+        if base.get("skipped"):
+            base = {}
         cpus = _cpus(current)
         baseline_cpus = _cpus(baseline)
         if self.guard == "both":
             if cpus < self.min_cpus or baseline_cpus < self.min_cpus:
                 out.note(
-                    f"note: {self.field} = {current[self.field]:.2f} recorded "
+                    f"note: {self._label} = {cur[self.field]:.2f} recorded "
                     f"but not gated ({cpus} cpu here, {baseline_cpus} in "
                     f"baseline; need {self.min_cpus}+ on both)"
                 )
                 return
-            if self.field in baseline:
-                bound = baseline[self.field] / factor
-                if current[self.field] < bound:
+            if self.field in base:
+                bound = base[self.field] / factor
+                if cur[self.field] < bound:
                     out.fail(
                         _ratchet_message(
-                            self.field,
-                            current[self.field], bound, baseline[self.field], factor,
+                            self._label,
+                            cur[self.field], bound, base[self.field], factor,
                         )
                     )
             return
         if cpus < self.min_cpus:
             out.note(
-                f"note: {self.field} = {current[self.field]:.2f} recorded "
+                f"note: {self._label} = {cur[self.field]:.2f} recorded "
                 f"but not gated ({cpus} cpu < {self.min_cpus}: one core "
                 f"cannot scale out)"
             )
             return
         bound = self.floor if self.floor is not None else 0.0
-        if baseline_cpus >= self.min_cpus and self.field in baseline:
-            bound = max(bound, baseline[self.field] / factor)
-        if current[self.field] < bound:
+        if baseline_cpus >= self.min_cpus and self.field in base:
+            bound = max(bound, base[self.field] / factor)
+        if cur[self.field] < bound:
             out.fail(
-                f"{self.field}: {current[self.field]:.2f} < {bound:.2f} "
+                f"{self._label}: {cur[self.field]:.2f} < {bound:.2f} "
                 f"(floor {self.floor:g}, baseline "
-                f"{baseline.get(self.field, 'n/a')} / {factor:g})"
+                f"{base.get(self.field, 'n/a')} / {factor:g})"
             )
 
 
@@ -348,12 +379,36 @@ REUSE_FIELDS = ("speedup_reuse_vs_fresh",)
 # The ``parallel`` section is recorded but not gated: thread scaling depends
 # on the runner's core count (a single-core runner honestly reports ~1x).
 
+#: The zero-copy solve-path gates, shared by the ``solve`` workload and the
+#: matching sections embedded in the query-engine report: process dispatch
+#: through the shm arena vs pickled group arrays, and stacked batched
+#: factorization vs per-group solves.  Multi-core-guarded: a single-core
+#: box cannot overlap worker processes, so the ratios are noted, not gated.
+SOLVE_RATIO_GATES = (
+    GuardedRatchetGate(
+        "speedup_shm_vs_pickled", floor=SHM_SPEEDUP_FLOOR, section="shm"
+    ),
+    GuardedRatchetGate(
+        "speedup_stacked_vs_pergroup",
+        floor=STACKED_SPEEDUP_FLOOR,
+        section="stacked",
+    ),
+)
+
 #: Gate specs per report kind — the whole regression policy, as data.
 GATE_SETS: dict[str, tuple] = {
     "query_engine": (
         RowRatchetGate(fields=ROW_FIELDS),
         SectionRatchetGate("l2_index", L2_FIELDS),
         SectionRatchetGate("reuse", REUSE_FIELDS),
+    )
+    + SOLVE_RATIO_GATES,
+    "solve": SOLVE_RATIO_GATES
+    + (
+        # Correctness on any hardware: a warm restore that refactorizes is
+        # a broken factor-cache snapshot, whatever the core count.
+        ValueGate(path=("warm_restore", "warm_fresh_factorizations"), expect=0),
+        SectionRatchetGate("warm_restore", ("speedup_warm_vs_cold",)),
     ),
     "service": (
         # The batched-vs-unbatched ratio is recorded but not gated (like

@@ -70,6 +70,17 @@ _DEFS = (
         baseline="BENCH_query_engine.json",
     ),
     BenchmarkDef(
+        name="solve",
+        kind="solve",
+        module=f"{_WORKLOADS}.solve",
+        description=(
+            "Zero-copy solve path: shm vs pickled process dispatch, stacked "
+            "batched factorization, warm vs cold factor-cache restore"
+        ),
+        gated=True,
+        baseline="BENCH_solve.json",
+    ),
+    BenchmarkDef(
         name="service",
         kind="service",
         module=f"{_WORKLOADS}.service",

@@ -313,16 +313,18 @@ def run_snapshot_roundtrip(
     out_orig = [o.value for o in client.evaluate_many(session, probes)]
     restored_bitwise = out_a == out_b
     np.testing.assert_allclose(out_orig, out_a, rtol=1e-9, atol=1e-12)
-    manifests_equal = all(
-        json.dumps(
-            {k: v for k, v in states[0]["estimator"].items() if k != "cache"},
+    # Compare the JSON manifests only: the cache and factor-cache sections
+    # are array payloads (and re-snapshotting a restored session rebuilds
+    # its factors from scratch, so they may legitimately differ).
+    _payload_keys = ("cache", "factor_entries")
+
+    def _manifest(state):
+        return json.dumps(
+            {k: v for k, v in state["estimator"].items() if k not in _payload_keys},
             sort_keys=True,
         )
-        == json.dumps(
-            {k: v for k, v in s["estimator"].items() if k != "cache"}, sort_keys=True
-        )
-        for s in states[1:]
-    )
+
+    manifests_equal = all(_manifest(states[0]) == _manifest(s) for s in states[1:])
     return {
         "cache_size": int(states[0]["estimator"]["cache"]["points"].shape[0]),
         "file_bytes": original.stat().st_size,

@@ -44,6 +44,7 @@ from repro.experiments.replay import MetricKind, replay_trace
 from repro.experiments.reporting import (
     format_factor_reuse,
     format_neighbor_distribution,
+    format_solve_phases,
     format_table1,
 )
 from repro.experiments.table1 import DISTANCES, rows_for_setup
@@ -377,6 +378,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     )
     print(format_neighbor_distribution(stats))
     print(format_factor_reuse(stats))
+    print(format_solve_phases(stats))
     return 0
 
 

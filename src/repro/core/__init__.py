@@ -17,7 +17,10 @@ The package implements the full geostatistical pipeline of Section III:
 5. :mod:`~repro.core.factor_cache` / :mod:`~repro.core.lowrank` — the
    factorization-reuse layer under the batch engine: an LRU of Cholesky
    factors of the (shifted) Gamma matrices keyed by support-set signature,
-   bridged across near-identical support sets by rank-1 row edits.
+   bridged across near-identical support sets by rank-1 row edits;
+6. :mod:`~repro.core.shm` — the shared-memory arena of the zero-copy
+   process solve path: the support cache is published once, workers attach
+   by segment name and per-flush payloads shrink to row offsets.
 """
 
 from repro.core.cache import SimulationCache
@@ -32,7 +35,11 @@ from repro.core.distances import (
     distance,
     pairwise_distances,
 )
-from repro.core.estimator import EstimationOutcome, KrigingEstimator
+from repro.core.estimator import (
+    EstimationOutcome,
+    KrigingEstimator,
+    SolvePhaseStats,
+)
 from repro.core.factor_cache import FactorCache, FactorCacheStats, GammaFactor
 from repro.core.fitting import FittedVariogram, fit_variogram, select_variogram
 from repro.core.index import (
@@ -43,13 +50,17 @@ from repro.core.index import (
 )
 from repro.core.kriging import (
     KrigingResult,
+    SolvePhases,
     ordinary_kriging,
     ordinary_kriging_batch,
     ordinary_kriging_grouped,
+    ordinary_kriging_grouped_shm,
     resolve_backend,
     resolve_n_jobs,
     simple_kriging,
+    solve_groups_stacked,
 )
+from repro.core.shm import ShmArena, ShmAttachError, shm_available
 from repro.core.lowrank import chol_append, chol_delete, choldowndate, cholupdate
 from repro.core.universal import linear_drift, quadratic_drift, universal_kriging
 from repro.core.models import (
@@ -84,6 +95,13 @@ __all__ = [
     "ordinary_kriging",
     "ordinary_kriging_batch",
     "ordinary_kriging_grouped",
+    "ordinary_kriging_grouped_shm",
+    "solve_groups_stacked",
+    "SolvePhases",
+    "SolvePhaseStats",
+    "ShmArena",
+    "ShmAttachError",
+    "shm_available",
     "resolve_backend",
     "resolve_n_jobs",
     "simple_kriging",

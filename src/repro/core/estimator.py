@@ -47,8 +47,10 @@ from __future__ import annotations
 
 import atexit
 import time
+import warnings
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -60,19 +62,22 @@ from repro.core.factor_cache import FactorCache, FactorCacheStats, GammaFactor
 from repro.core.fitting import MODEL_KINDS, fit_variogram, select_variogram
 from repro.core.index import NeighborIndex, make_index
 from repro.core.kriging import (
+    SolvePhases,
     make_model_ref,
     ordinary_kriging,
     ordinary_kriging_grouped,
+    ordinary_kriging_grouped_shm,
     resolve_backend,
     resolve_n_jobs,
 )
+from repro.core.shm import ShmArena, ShmAttachError, shm_available
 from repro.core.models import LinearVariogram, VariogramModel, variogram_from_state
 from repro.core.neighborhood import find_neighbors
 from repro.core.universal import adaptive_linear_drift, universal_kriging
 from repro.core.variogram import empirical_semivariogram
 from repro.utils.quantiles import QuantileSketch
 
-__all__ = ["EstimationOutcome", "KrigingEstimator"]
+__all__ = ["EstimationOutcome", "KrigingEstimator", "SolvePhaseStats"]
 
 SimulateFn = Callable[[np.ndarray], float]
 
@@ -87,6 +92,22 @@ _PREFIT_VARIOGRAM = LinearVariogram(1.0)
 #: pool workers past the parent's lifetime.  A ``WeakSet`` so registration
 #: never keeps an estimator alive (``__del__`` remains reachable).
 _LIVE_ESTIMATORS: "weakref.WeakSet[KrigingEstimator]" = weakref.WeakSet()
+
+
+_SHM_WARNED = False
+
+
+def _warn_shm_unavailable() -> None:
+    """One warning per process when ``shm=True`` cannot be honoured."""
+    global _SHM_WARNED
+    if not _SHM_WARNED:
+        _SHM_WARNED = True
+        warnings.warn(
+            "multiprocessing.shared_memory is unavailable on this platform; "
+            "falling back to the thread backend",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 @atexit.register
@@ -126,6 +147,77 @@ class EstimationOutcome:
 
 
 @dataclass
+class SolvePhaseStats:
+    """Per-flush solve-phase timing of the batch engine.
+
+    Every grouped flush splits its wall clock into *assembly* (distance /
+    variogram kernels and system construction), *factorize* (fresh LAPACK
+    factorizations, including the stacked batched calls) and *backsolve*
+    (cached-factor triangular solves plus weight/variance extraction).
+    Cumulative seconds are exact; per-flush distributions stream into P²
+    sketches like the neighbour counts, so ``repro replay`` can print the
+    split in O(1) memory.
+    """
+
+    assembly_seconds: float = 0.0
+    factorize_seconds: float = 0.0
+    backsolve_seconds: float = 0.0
+    n_flushes: int = 0
+    assembly_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    factorize_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    backsolve_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+
+    def record_flush(
+        self, assembly: float, factorize: float, backsolve: float
+    ) -> None:
+        """Fold one grouped flush's phase split into the aggregates."""
+        self.n_flushes += 1
+        self.assembly_seconds += assembly
+        self.factorize_seconds += factorize
+        self.backsolve_seconds += backsolve
+        self.assembly_sketch.update(assembly)
+        self.factorize_sketch.update(factorize)
+        self.backsolve_sketch.update(backsolve)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall clock attributed to the three phases, summed."""
+        return self.assembly_seconds + self.factorize_seconds + self.backsolve_seconds
+
+    def as_pairs(self) -> tuple[tuple[str, float], ...]:
+        """Cumulative name/value pairs, for frozen result dataclasses."""
+        return (
+            ("assembly_seconds", self.assembly_seconds),
+            ("factorize_seconds", self.factorize_seconds),
+            ("backsolve_seconds", self.backsolve_seconds),
+            ("n_flushes", float(self.n_flushes)),
+        )
+
+    def to_state(self) -> dict:
+        return {
+            "assembly_seconds": self.assembly_seconds,
+            "factorize_seconds": self.factorize_seconds,
+            "backsolve_seconds": self.backsolve_seconds,
+            "n_flushes": self.n_flushes,
+            "assembly_sketch": self.assembly_sketch.to_state(),
+            "factorize_sketch": self.factorize_sketch.to_state(),
+            "backsolve_sketch": self.backsolve_sketch.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SolvePhaseStats":
+        return cls(
+            assembly_seconds=float(state["assembly_seconds"]),
+            factorize_seconds=float(state["factorize_seconds"]),
+            backsolve_seconds=float(state["backsolve_seconds"]),
+            n_flushes=int(state["n_flushes"]),
+            assembly_sketch=QuantileSketch.from_state(state["assembly_sketch"]),
+            factorize_sketch=QuantileSketch.from_state(state["factorize_sketch"]),
+            backsolve_sketch=QuantileSketch.from_state(state["backsolve_sketch"]),
+        )
+
+
+@dataclass
 class EstimatorStats:
     """Aggregate counters of a :class:`KrigingEstimator`.
 
@@ -146,6 +238,12 @@ class EstimatorStats:
     """Factorization-reuse counters (hits / up-downdates / fresh solves) of
     the estimator's :class:`~repro.core.factor_cache.FactorCache`; all
     zeros when the reuse layer is disabled."""
+    solve: SolvePhaseStats = field(default_factory=SolvePhaseStats)
+    """Per-flush assembly / factorize / backsolve wall-clock split of the
+    batch engine's grouped solves (cumulative seconds plus P² sketches)."""
+    pool_failures: int = 0
+    """Process-pool breakdowns (a worker died mid-flush) absorbed by the
+    thread-backend fallback; the pool is rebuilt lazily on the next flush."""
 
     def record_interpolation(self, n_neighbors: int) -> None:
         """Count one interpolation answered with ``n_neighbors`` support points."""
@@ -202,6 +300,8 @@ class EstimatorStats:
             "kriging_seconds": self.kriging_seconds,
             "neighbor_sketch": self.neighbor_sketch.to_state(),
             "factor": [list(pair) for pair in self.factor.as_pairs()],
+            "solve": self.solve.to_state(),
+            "pool_failures": self.pool_failures,
         }
 
     @classmethod
@@ -218,6 +318,13 @@ class EstimatorStats:
             factor=FactorCacheStats.from_pairs(
                 tuple((str(name), int(value)) for name, value in state["factor"])
             ),
+            # Pre-PR-9 states carry neither field: restore them cold.
+            solve=(
+                SolvePhaseStats.from_state(state["solve"])
+                if "solve" in state
+                else SolvePhaseStats()
+            ),
+            pool_failures=int(state.get("pool_failures", 0)),
         )
         return stats
 
@@ -287,6 +394,27 @@ class KrigingEstimator:
         within the engine's ~1e-9 envelope; disable the cache for
         bit-equality *across* backends.  Call :meth:`close` (or use the
         estimator as a context manager) to release the pool.
+    stacking:
+        Batch same-size bordered systems into one stacked LAPACK call per
+        flush (:func:`~repro.core.kriging.solve_groups_stacked`).  ``True``
+        (default) on every backend; bins are computed before dispatch, so
+        for a fixed setting results stay bit-identical across ``n_jobs``
+        and backends, and toggling the knob stays within the engine's
+        ~1e-9 equivalence envelope.
+    shm:
+        Shared-memory dispatch for the process backend: publish the
+        simulation cache and per-flush group buffers into a
+        :class:`~repro.core.shm.ShmArena` so workers attach views instead
+        of receiving pickled arrays (bit-identical — workers rebuild the
+        exact gathers the parent would ship).  ``None`` (default) uses
+        shared memory whenever the platform supports it and silently keeps
+        the pickled path otherwise; ``True`` insists — where
+        ``multiprocessing.shared_memory`` is unavailable the estimator
+        warns once and falls back to the thread backend instead of
+        raising; ``False`` always pickles.  A worker that fails to attach
+        mid-run degrades the estimator to the pickled path for its
+        lifetime (structured, never a wedged flush).  Ignored on the
+        thread backend.
     factor_cache:
         The factorization-reuse layer: ``True`` (default) builds a
         :class:`~repro.core.factor_cache.FactorCache`, ``False`` disables
@@ -315,6 +443,8 @@ class KrigingEstimator:
         neighbor_index: str = "auto",
         n_jobs: int | None = 1,
         backend: str = "thread",
+        stacking: bool = True,
+        shm: bool | None = None,
         factor_cache: bool | FactorCache = True,
     ) -> None:
         if distance < 0:
@@ -347,6 +477,19 @@ class KrigingEstimator:
         )
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.backend = resolve_backend(backend)
+        self.stacking = bool(stacking)
+        self.shm = shm
+        if shm is True and not shm_available():
+            # Satellite fix: never raise at construction on platforms
+            # without shared memory — warn once, take the thread path.
+            _warn_shm_unavailable()
+            self.backend = "thread"
+            self._shm_enabled = False
+        elif shm is False:
+            self._shm_enabled = False
+        else:
+            self._shm_enabled = self.backend == "process" and shm_available()
+        self._arena: ShmArena | None = None  # lazy, created on first shm flush
         self._executor: Executor | None = None  # lazy, reused per flush
         self.stats = EstimatorStats()
         if isinstance(factor_cache, FactorCache):
@@ -609,9 +752,12 @@ class KrigingEstimator:
         # so near-identical neighbourhoods of consecutive queries reuse each
         # other's factorizations — goes through the grouped (and parallel)
         # batch solver; the universal interpolator keeps the per-query solve
-        # (its drift basis is per-query).
+        # (its drift basis is per-query).  Groups are carried by reference
+        # (support rows + queries): the shm path ships exactly those, the
+        # pickled/thread paths materialize the gathers just before dispatch.
         batched: list[list[tuple[int, np.ndarray, np.ndarray]]] = []
-        groups: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        supports: list[np.ndarray] = []
+        queries_list: list[np.ndarray] = []
         factors: list[GammaFactor | None] = []
         singles: list[tuple[int, np.ndarray, np.ndarray]] = []
         for signature, items in pending.items():
@@ -634,13 +780,14 @@ class KrigingEstimator:
                 )
                 queries = np.stack([config for _, config, _ in items])
                 batched.append(items)
-                groups.append((points[support], values[support], queries))
+                supports.append(support)
+                queries_list.append(queries)
                 factors.append(factor)
 
         # One long-lived pool per estimator: the batch engine flushes before
         # every simulation, so a per-flush executor would pay spawn/join
         # costs hundreds of times per sweep.
-        if self.n_jobs > 1 and len(groups) > 1 and self._executor is None:
+        if self.n_jobs > 1 and len(supports) > 1 and self._executor is None:
             if self.backend == "process":
                 self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
             else:
@@ -648,16 +795,12 @@ class KrigingEstimator:
                     max_workers=self.n_jobs, thread_name_prefix="kriging"
                 )
             _LIVE_ESTIMATORS.add(self)
-        grouped_results = ordinary_kriging_grouped(
-            groups,
-            variogram,
-            metric=self.metric,
-            n_jobs=self.n_jobs,
-            executor=self._executor,
-            backend=self.backend,
-            factors=factors if use_factors else None,
-            model_ref=self._process_model_ref(variogram),
+        phases = SolvePhases()
+        grouped_results = self._dispatch_groups(
+            supports, queries_list, factors, use_factors, variogram, phases
         )
+        if batched:
+            self.stats.solve.record_flush(*phases.totals())
         for items, results in zip(batched, grouped_results):
             for (pos, _, neighbors), result in zip(items, results):
                 outcomes[pos] = EstimationOutcome(
@@ -689,6 +832,121 @@ class KrigingEstimator:
         self.stats.kriging_seconds += time.perf_counter() - start
         pending.clear()
 
+    def _dispatch_groups(
+        self,
+        supports: list[np.ndarray],
+        queries_list: list[np.ndarray],
+        factors: list[GammaFactor | None],
+        use_factors: bool,
+        variogram: Callable[[np.ndarray], np.ndarray],
+        phases: SolvePhases,
+    ) -> list[list]:
+        """Route one flush's groups to the best available solve path.
+
+        Preference order on the process backend: shared-memory dispatch
+        (groups travel as row indices into the published cache mirror) →
+        pickled dispatch (on platforms without shared memory, or after a
+        worker failed to attach) → thread-backend retry (when the process
+        pool itself broke mid-flush).  Every step is a structured
+        degradation: the flush always completes, results are identical on
+        every path, and the event is observable (``pool_failures``, the shm
+        warning) rather than a wedged estimator.
+        """
+        points = self.cache.points
+        values = self.cache.values
+        model_ref = self._process_model_ref(variogram)
+
+        def run_pickled(
+            backend: str,
+            executor: Executor | None,
+            with_factors: bool,
+            with_ref: bool,
+            attempt: SolvePhases,
+        ) -> list[list]:
+            groups = [
+                (points[rows], values[rows], queries)
+                for rows, queries in zip(supports, queries_list)
+            ]
+            return ordinary_kriging_grouped(
+                groups,
+                variogram,
+                metric=self.metric,
+                n_jobs=self.n_jobs,
+                executor=executor,
+                backend=backend,
+                factors=factors if with_factors else None,
+                model_ref=model_ref if with_ref else None,
+                stacking=self.stacking,
+                phases=attempt,
+            )
+
+        # Phase totals accumulate per *attempt* and merge only on success,
+        # so a mid-flush fallback cannot double-count solve seconds.
+        try:
+            if (
+                self._shm_enabled
+                and self.backend == "process"
+                and self.n_jobs > 1
+                and len(supports) > 1
+            ):
+                attempt = SolvePhases()
+                try:
+                    if self._arena is None:
+                        self._arena = ShmArena()
+                        _LIVE_ESTIMATORS.add(self)
+                    results = ordinary_kriging_grouped_shm(
+                        self._arena,
+                        points,
+                        values,
+                        supports,
+                        queries_list,
+                        variogram,
+                        metric=self.metric,
+                        n_jobs=self.n_jobs,
+                        executor=self._executor,
+                        model_ref=model_ref,
+                        stacking=self.stacking,
+                        phases=attempt,
+                    )
+                    phases.merge(attempt.totals())
+                    return results
+                except ShmAttachError as exc:
+                    self._disable_shm(exc)
+            attempt = SolvePhases()
+            results = run_pickled(
+                self.backend, self._executor, use_factors, True, attempt
+            )
+            phases.merge(attempt.totals())
+            return results
+        except BrokenProcessPool:
+            # A worker died mid-flush (OOM kill, crash, SIGKILL): map the
+            # poisoned pool to a structured recovery instead of wedging the
+            # estimator.  Tear the pool down now, rebuild it lazily on the
+            # next flush, and answer *this* flush on the thread backend.
+            self.stats.pool_failures += 1
+            executor = self._executor
+            self._executor = None
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            attempt = SolvePhases()
+            results = run_pickled("thread", None, False, False, attempt)
+            phases.merge(attempt.totals())
+            return results
+
+    def _disable_shm(self, exc: ShmAttachError) -> None:
+        """A worker could not attach: pickled dispatch for this estimator's
+        lifetime (one warning; the arena's segments are unlinked now)."""
+        self._shm_enabled = False
+        warnings.warn(
+            f"shared-memory solve path disabled ({exc}); "
+            "using pickled process dispatch",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        arena, self._arena = self._arena, None
+        if arena is not None:
+            arena.close()
+
     def close(self) -> None:
         """Release the long-lived solve executor (idempotent).
 
@@ -699,11 +957,18 @@ class KrigingEstimator:
         called automatically on garbage collection (``__del__``) and at
         interpreter exit, so an abandoned estimator — a crashed service, an
         exception before the ``with`` block — never leaks worker processes.
+        The shared-memory arena (if any) is unlinked here too, so no
+        ``/dev/shm`` segment outlives the estimator.
         """
         executor = self._executor
-        if executor is not None:
+        arena = self._arena
+        if executor is not None or arena is not None:
             self._executor = None
+            self._arena = None
             _LIVE_ESTIMATORS.discard(self)
+        if arena is not None:
+            arena.close()
+        if executor is not None:
             executor.shutdown(wait=True)
 
     def __del__(self) -> None:
@@ -763,10 +1028,14 @@ class KrigingEstimator:
         The state bundles the policy configuration, the (possibly fitted)
         variogram, the full simulation cache (as float64 arrays — bitwise)
         and the statistics including the quantile-sketch markers.  The
-        ``simulate`` callable, the neighbour index and the factor cache are
-        **not** serialized: the first is supplied to :meth:`from_state`,
-        the other two are derived performance layers rebuilt on restore
-        (decisions and cache contents never depend on them).
+        ``simulate`` callable and the neighbour index are **not**
+        serialized: the first is supplied to :meth:`from_state`, the second
+        is a derived performance layer rebuilt on restore (decisions and
+        cache contents never depend on it).  Since version 2 the factor
+        cache's entries *are* included (``factor_entries``) so a restored
+        estimator starts warm — purely a performance payload: a state
+        without it (an old snapshot, a corrupted section) restores cold
+        with identical decisions.
 
         Raises ``ValueError`` when the variogram spec is a custom callable
         (only :class:`~repro.core.models.VariogramModel` instances and kind
@@ -788,7 +1057,7 @@ class KrigingEstimator:
                 "cannot serialize a fitted variogram that is not a VariogramModel"
             )
         return {
-            "version": 1,
+            "version": 2,
             "distance": self.distance,
             "nn_min": self.nn_min,
             "metric": self.metric.value,
@@ -801,11 +1070,18 @@ class KrigingEstimator:
             "neighbor_index": self._neighbor_index_kind,
             "n_jobs": self.n_jobs,
             "backend": self.backend,
+            "stacking": self.stacking,
+            "shm": self.shm,
             "factor_cache": self.factor_cache is not None,
             "fitted": fitted.to_state() if fitted is not None else None,
             "fitted_at": self._fitted_at,
             "cache": self.cache.to_state(),
             "stats": self.stats.to_state(),
+            "factor_entries": (
+                self.factor_cache.to_state()
+                if self.factor_cache is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -820,8 +1096,15 @@ class KrigingEstimator:
         The restored estimator makes bit-identical decisions and cache
         additions to the snapshotted one fed the same queries: cache rows,
         fitted model parameters and sketch markers all round-trip exactly.
+
+        Version-2 states additionally carry the factor cache's entries, so
+        the restored estimator's first flushes reuse the original's
+        factorizations instead of rebuilding them (warm start).  Version-1
+        states restore cold, silently; a malformed ``factor_entries``
+        section degrades to a cold restore with a warning instead of
+        failing the whole restore.
         """
-        if state.get("version") != 1:
+        if state.get("version") not in (1, 2):
             raise ValueError(
                 f"unsupported estimator state version {state.get('version')!r}"
             )
@@ -843,6 +1126,8 @@ class KrigingEstimator:
             "neighbor_index": state["neighbor_index"],
             "n_jobs": state["n_jobs"],
             "backend": state["backend"],
+            "stacking": state.get("stacking", True),
+            "shm": state.get("shm"),
             "factor_cache": state["factor_cache"],
         }
         kwargs.update(overrides)
@@ -858,4 +1143,20 @@ class KrigingEstimator:
         if estimator.factor_cache is not None:
             # The factor cache and the stats view share one counter object.
             estimator.factor_cache.stats = estimator.stats.factor
+            factor_entries = state.get("factor_entries")
+            if factor_entries is not None:
+                try:
+                    estimator.factor_cache.load_state(factor_entries)
+                except Exception as exc:
+                    # The warm-start payload is purely a performance layer:
+                    # a corrupted section must degrade to a cold restore,
+                    # never fail the whole restore.
+                    estimator.factor_cache.invalidate()
+                    estimator.stats.factor.invalidations -= 1  # not a refit
+                    warnings.warn(
+                        f"discarding corrupted factor-cache snapshot section "
+                        f"({exc}); restoring cold",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         return estimator

@@ -348,6 +348,81 @@ class FactorCache:
         return fresh
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The cached factors as arrays, in LRU order (oldest first).
+
+        Each entry carries the support rows, the unbordered Gamma block, the
+        Cholesky factor and the shift — everything :class:`GammaFactor`
+        needs except the lazily derived ``A^-1 1`` memo.  Rides inside the
+        estimator/session snapshot so restore, cluster migration and
+        failover start *warm*: a restored session replaying its workload
+        refactorizes nothing.
+        """
+        return {
+            "version": 1,
+            "entries": [
+                {
+                    "rows": np.asarray(factor.rows, dtype=np.int64),
+                    "gamma": np.asarray(factor.gamma, dtype=np.float64),
+                    "chol": np.asarray(factor.chol, dtype=np.float64),
+                    "shift": float(factor.shift),
+                }
+                for factor in self._entries.values()
+            ],
+        }
+
+    def load_state(self, state: dict) -> int:
+        """Restore factors from :meth:`to_state` output; returns the count.
+
+        Every entry is validated (shapes, finiteness) before the first one
+        is inserted, so a corrupted snapshot raises ``ValueError`` and
+        leaves the cache cold rather than half-loaded.  Entries beyond the
+        cache's capacity/byte budget are trimmed oldest-first without
+        counting as runtime evictions — restore trimming is a sizing
+        artifact, not cache behaviour.
+        """
+        if int(state.get("version", -1)) != 1:
+            raise ValueError(
+                f"unsupported factor-cache state version {state.get('version')!r}"
+            )
+        loaded: list[GammaFactor] = []
+        for entry in state["entries"]:
+            # Copies, not views: rank-1 updates edit factors in place, and
+            # one state dict may seed several restores (or be re-snapshot).
+            rows = np.array(entry["rows"], dtype=np.int64)
+            gamma = np.array(entry["gamma"], dtype=np.float64)
+            chol = np.array(entry["chol"], dtype=np.float64)
+            shift = float(entry["shift"])
+            n = rows.shape[0]
+            if rows.ndim != 1 or n == 0 or gamma.shape != (n, n) or chol.shape != (n, n):
+                raise ValueError("malformed factor-cache entry")
+            if not (
+                np.isfinite(shift)
+                and bool(np.all(np.isfinite(gamma)))
+                and bool(np.all(np.isfinite(chol)))
+            ):
+                raise ValueError("non-finite factor-cache entry")
+            loaded.append(GammaFactor(rows, gamma, shift, chol, stats=self.stats))
+        for factor in loaded:
+            signature = tuple(sorted(factor.rows.tolist()))
+            self._entries[signature] = factor
+            self._entries.move_to_end(signature)
+            self._touch(signature)
+            for row in signature:
+                self._row_index.setdefault(row, set()).add(signature)
+            self._by_size.setdefault(len(signature), set()).add(signature)
+            self._bytes += self._factor_bytes(factor)
+            while len(self._entries) > 1 and (
+                len(self._entries) > self.capacity or self._bytes > self.max_bytes
+            ):
+                evicted, old = self._entries.popitem(last=False)
+                self._unindex(evicted)
+                self._bytes -= self._factor_bytes(old)
+        return len(loaded)
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     @staticmethod

@@ -10,12 +10,34 @@ The paper calls this construction "simple kriging"; the bordered system is
 the textbook *ordinary* kriging formulation, which we name accordingly.  A
 true simple-kriging variant (known mean, no Lagrange border) is provided for
 completeness and for the ablation benches.
+
+Solve dispatch
+--------------
+:func:`ordinary_kriging_grouped` is the batch engine's solve layer.  Besides
+the thread/process pool fan-out it supports two zero-copy/batching levers:
+
+* ``stacking=True`` bins same-size bordered systems and factorizes each bin
+  as **one** batched ``numpy.linalg.solve`` call over a 3-D stack (LAPACK
+  runs the same per-matrix routine, so results stay inside the ~1e-9
+  equivalence envelope, and the per-call Python/LAPACK dispatch overhead is
+  paid once per bin instead of once per group).  Serial, thread and process
+  backends all route through the same binning, so results are bit-identical
+  across ``n_jobs`` and backends for a fixed ``stacking`` setting.  A slice
+  whose residual check fails falls back to the per-group solver,
+  transparently.  The stack seam (`solve_groups_stacked`) is also where an
+  optional torch/cupy batched-Cholesky backend can plug in later.
+* :func:`ordinary_kriging_grouped_shm` is the shared-memory process path:
+  support *row indices* and query coordinates travel through a
+  :class:`~repro.core.shm.ShmArena` instead of per-group pickles — see
+  :mod:`repro.core.shm`.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -31,15 +53,26 @@ from repro.core.distances import (
     distances_to,
     pairwise_distances,
 )
+from repro.core.shm import (
+    CacheSpec,
+    FlushSpec,
+    ShmArena,
+    ShmAttachError,
+    attach_cache,
+    attach_flush,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.factor_cache import GammaFactor
 
 __all__ = [
     "KrigingResult",
+    "SolvePhases",
     "ordinary_kriging",
     "ordinary_kriging_batch",
     "ordinary_kriging_grouped",
+    "ordinary_kriging_grouped_shm",
+    "solve_groups_stacked",
     "simple_kriging",
     "resolve_n_jobs",
     "resolve_backend",
@@ -79,6 +112,44 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}")
     return n_jobs
+
+
+class SolvePhases:
+    """Thread-safe wall-clock accumulator for the three solve phases.
+
+    *assembly* — distance/variogram kernels and system construction;
+    *factorize* — fresh LAPACK factorizations (``gesv`` / batched solve);
+    *backsolve* — cached-factor triangular solves plus per-query weight,
+    estimate and variance extraction.  Process workers accumulate locally
+    and return :meth:`totals` with each chunk; the parent :meth:`merge`\\ s
+    them, so the split stays exact across backends.
+    """
+
+    __slots__ = ("assembly", "factorize", "backsolve", "_lock")
+
+    def __init__(self) -> None:
+        self.assembly = 0.0
+        self.factorize = 0.0
+        self.backsolve = 0.0
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        assembly: float = 0.0,
+        factorize: float = 0.0,
+        backsolve: float = 0.0,
+    ) -> None:
+        with self._lock:
+            self.assembly += assembly
+            self.factorize += factorize
+            self.backsolve += backsolve
+
+    def totals(self) -> tuple[float, float, float]:
+        with self._lock:
+            return (self.assembly, self.factorize, self.backsolve)
+
+    def merge(self, totals: tuple[float, float, float]) -> None:
+        self.add(*totals)
 
 
 @dataclass(frozen=True)
@@ -259,6 +330,92 @@ def ordinary_kriging(
     )
 
 
+class _PreparedGroup:
+    """The support-validated, exact-hit-resolved front half of a group solve.
+
+    Shared by the per-group and the stacked solvers so both paths make
+    byte-identical decisions about deduplication, exact hits and right-hand
+    side construction.
+    """
+
+    __slots__ = ("pts", "vals", "n", "results", "pending", "gamma_queries", "rhs")
+
+
+def _prepare_group(
+    points: np.ndarray,
+    values: np.ndarray,
+    queries: np.ndarray,
+    variogram: Variogram,
+    metric: DistanceMetric | str,
+    factor: "GammaFactor | None" = None,
+) -> _PreparedGroup | None:
+    if factor is not None and factor.n_support == np.shape(points)[0]:
+        # Factored supports come straight from the estimator's simulation
+        # cache (unique rows by construction): skip the duplicate collapse,
+        # keep the cheap finiteness guard.
+        pts = np.asarray(points, dtype=np.float64)
+        vals = np.asarray(values, dtype=np.float64)
+        if not np.all(np.isfinite(vals)):
+            raise ValueError("support values contain non-finite entries")
+    else:
+        pts, vals = _validate_support(points, values)
+    qs = np.asarray(queries, dtype=np.float64)
+    if qs.ndim != 2 or qs.shape[1] != pts.shape[1]:
+        raise ValueError(
+            f"queries must have shape (m, {pts.shape[1]}), got {qs.shape}"
+        )
+    m = qs.shape[0]
+    if m == 0:
+        return None
+    n = pts.shape[0]
+
+    prep = _PreparedGroup()
+    prep.pts = pts
+    prep.vals = vals
+    prep.n = n
+    prep.results = [None] * m
+    prep.pending = []
+    dist_q = cross_distances(pts, qs, metric)  # (n, m)
+    for j in range(m):
+        exact = np.flatnonzero(dist_q[:, j] == 0.0)
+        if exact.size:
+            row = int(exact[0])
+            weights = np.zeros(n)
+            weights[row] = 1.0
+            prep.results[j] = KrigingResult(
+                estimate=float(vals[row]), variance=0.0, weights=weights, lagrange=0.0
+            )
+        else:
+            prep.pending.append(j)
+    if prep.pending:
+        gamma_queries = np.asarray(
+            variogram(dist_q[:, prep.pending]), dtype=np.float64
+        )
+        prep.gamma_queries = gamma_queries
+        prep.rhs = np.vstack([gamma_queries, np.ones((1, len(prep.pending)))])
+    else:
+        prep.gamma_queries = None
+        prep.rhs = None
+    return prep
+
+
+def _finish_group(prep: _PreparedGroup, solution: np.ndarray) -> list[KrigingResult]:
+    """Turn a pending-column solution into per-query results."""
+    n = prep.n
+    weights = solution[:n]
+    lagrange = solution[n]
+    estimates = prep.vals @ weights
+    variances = np.einsum("ij,ij->j", solution, prep.rhs)
+    for col, j in enumerate(prep.pending):
+        prep.results[j] = KrigingResult(
+            estimate=float(estimates[col]),
+            variance=max(float(variances[col]), 0.0),
+            weights=weights[:, col].copy(),
+            lagrange=float(lagrange[col]),
+        )
+    return [r for r in prep.results if r is not None]
+
+
 def ordinary_kriging_batch(
     points: np.ndarray,
     values: np.ndarray,
@@ -267,6 +424,7 @@ def ordinary_kriging_batch(
     *,
     metric: DistanceMetric | str = DistanceMetric.L1,
     factor: "GammaFactor | None" = None,
+    phases: SolvePhases | None = None,
 ) -> list[KrigingResult]:
     """Ordinary kriging of many queries over one shared support set.
 
@@ -295,6 +453,9 @@ def ordinary_kriging_batch(
         backsolves) and verifies its residual against the true bordered
         system; a residual miss transparently falls back to the fresh
         solver, so a stale or ill-conditioned factor costs accuracy nothing.
+    phases:
+        Optional :class:`SolvePhases` accumulator receiving the
+        assembly / factorize / backsolve wall-clock split.
 
     Returns
     -------
@@ -303,75 +464,193 @@ def ordinary_kriging_batch(
         support point take the exactness shortcut, as in the single-query
         path.
     """
-    if factor is not None and factor.n_support == np.shape(points)[0]:
-        # Factored supports come straight from the estimator's simulation
-        # cache (unique rows by construction): skip the duplicate collapse,
-        # keep the cheap finiteness guard.
-        pts = np.asarray(points, dtype=np.float64)
-        vals = np.asarray(values, dtype=np.float64)
-        if not np.all(np.isfinite(vals)):
-            raise ValueError("support values contain non-finite entries")
-    else:
-        pts, vals = _validate_support(points, values)
-    qs = np.asarray(queries, dtype=np.float64)
-    if qs.ndim != 2 or qs.shape[1] != pts.shape[1]:
-        raise ValueError(
-            f"queries must have shape (m, {pts.shape[1]}), got {qs.shape}"
-        )
-    m = qs.shape[0]
-    if m == 0:
+    t0 = time.perf_counter()
+    prep = _prepare_group(points, values, queries, variogram, metric, factor=factor)
+    if prep is None:
         return []
-    n = pts.shape[0]
+    if phases is not None:
+        phases.add(assembly=time.perf_counter() - t0)
+    if not prep.pending:
+        return [r for r in prep.results if r is not None]
 
-    dist_q = cross_distances(pts, qs, metric)  # (n, m)
-    results: list[KrigingResult | None] = [None] * m
-    pending: list[int] = []
-    for j in range(m):
-        exact = np.flatnonzero(dist_q[:, j] == 0.0)
-        if exact.size:
-            row = int(exact[0])
-            weights = np.zeros(n)
-            weights[row] = 1.0
-            results[j] = KrigingResult(
-                estimate=float(vals[row]), variance=0.0, weights=weights, lagrange=0.0
+    solution = None
+    if factor is not None and factor.n_support == prep.n:
+        t1 = time.perf_counter()
+        solution = factor.solve(prep.gamma_queries)  # None: residual fallback
+        if phases is not None:
+            phases.add(backsolve=time.perf_counter() - t1)
+    if solution is None:
+        t1 = time.perf_counter()
+        system = _bordered_system(prep.pts, variogram, metric)
+        t2 = time.perf_counter()
+        solution = _solve(system, prep.rhs)  # one factorization, many RHS
+        if phases is not None:
+            t3 = time.perf_counter()
+            phases.add(assembly=t2 - t1, factorize=t3 - t2)
+    t1 = time.perf_counter()
+    out = _finish_group(prep, solution)
+    if phases is not None:
+        phases.add(backsolve=time.perf_counter() - t1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Stacked batched factorization
+# ---------------------------------------------------------------------------
+def _size_bins(sizes: Sequence[int]) -> list[list[int]]:
+    """Group indices binned by raw support size, in first-encounter order.
+
+    The one binning used by every backend (serial runs it inside
+    :func:`solve_groups_stacked`, thread/process dispatch bins in the parent
+    and ships whole bins), so bin composition — and with it every stacked
+    slice's arithmetic — is independent of ``n_jobs`` and backend.
+    """
+    bins: "OrderedDict[int, list[int]]" = OrderedDict()
+    for idx, size in enumerate(sizes):
+        bins.setdefault(int(size), []).append(idx)
+    return list(bins.values())
+
+
+def _solve_stack(
+    members: list[tuple[int, _PreparedGroup]],
+    variogram: Variogram,
+    metric: DistanceMetric | str,
+    results: list,
+    phases: SolvePhases | None,
+) -> None:
+    """Solve same-size prepared groups as one batched ``gesv`` call.
+
+    Right-hand sides are zero-padded to the widest member (a zero column
+    back-substitutes to an exactly zero column, so padding is free); each
+    slice is then residual-checked with the same criterion as :func:`_solve`
+    and failing slices fall back to the per-group fresh solver.
+    """
+    if len(members) == 1:
+        idx, prep = members[0]
+        t0 = time.perf_counter()
+        system = _bordered_system(prep.pts, variogram, metric)
+        t1 = time.perf_counter()
+        solution = _solve(system, prep.rhs)
+        t2 = time.perf_counter()
+        results[idx] = _finish_group(prep, solution)
+        if phases is not None:
+            phases.add(
+                assembly=t1 - t0,
+                factorize=t2 - t1,
+                backsolve=time.perf_counter() - t2,
             )
+        return
+
+    size = members[0][1].n
+    m_max = max(len(prep.pending) for _, prep in members)
+    t0 = time.perf_counter()
+    systems = np.empty((len(members), size + 1, size + 1))
+    rhs = np.zeros((len(members), size + 1, m_max))
+    for slot, (_, prep) in enumerate(members):
+        systems[slot] = _bordered_system(prep.pts, variogram, metric)
+        rhs[slot, :, : len(prep.pending)] = prep.rhs
+    t1 = time.perf_counter()
+
+    solutions = None
+    try:
+        solutions = np.linalg.solve(systems, rhs)  # one batched gesv
+    except np.linalg.LinAlgError:
+        pass  # some slice is hard-singular: per-group fallback below
+    ok = np.zeros(len(members), dtype=bool)
+    if solutions is not None:
+        finite = np.isfinite(solutions).all(axis=(1, 2))
+        residuals = np.abs(systems @ solutions - rhs).max(axis=(1, 2))
+        scales = np.maximum(1.0, np.abs(rhs).max(axis=(1, 2)))
+        ok = finite & (residuals <= 1e-6 * scales)
+    t2 = time.perf_counter()
+    if phases is not None:
+        phases.add(assembly=t1 - t0, factorize=t2 - t1)
+
+    for slot, (idx, prep) in enumerate(members):
+        if ok[slot]:
+            t3 = time.perf_counter()
+            results[idx] = _finish_group(
+                prep, solutions[slot, :, : len(prep.pending)]
+            )
+            if phases is not None:
+                phases.add(backsolve=time.perf_counter() - t3)
         else:
-            pending.append(j)
+            # Recompute this slice exactly as the unstacked path would
+            # (LU-with-residual-check, then least squares).
+            t3 = time.perf_counter()
+            solution = _solve(systems[slot], rhs[slot, :, : len(prep.pending)])
+            t4 = time.perf_counter()
+            results[idx] = _finish_group(prep, solution)
+            if phases is not None:
+                phases.add(
+                    factorize=t4 - t3, backsolve=time.perf_counter() - t4
+                )
 
-    if pending:
-        gamma_queries = np.asarray(variogram(dist_q[:, pending]), dtype=np.float64)
-        rhs = np.vstack([gamma_queries, np.ones((1, len(pending)))])
-        solution = None
-        if factor is not None and factor.n_support == n:
-            solution = factor.solve(gamma_queries)  # None: residual fallback
-        if solution is None:
-            system = _bordered_system(pts, variogram, metric)
-            solution = _solve(system, rhs)  # one factorization, len(pending) RHS
-        weights = solution[:n]
-        lagrange = solution[n]
-        estimates = vals @ weights
-        variances = np.einsum("ij,ij->j", solution, rhs)
-        for col, j in enumerate(pending):
-            results[j] = KrigingResult(
-                estimate=float(estimates[col]),
-                variance=max(float(variances[col]), 0.0),
-                weights=weights[:, col].copy(),
-                lagrange=float(lagrange[col]),
+
+def solve_groups_stacked(
+    groups: Sequence[KrigingGroup],
+    variogram: Variogram,
+    *,
+    metric: DistanceMetric | str = DistanceMetric.L1,
+    factors: "Sequence[GammaFactor | None] | None" = None,
+    phases: SolvePhases | None = None,
+) -> list[list[KrigingResult]]:
+    """Solve many groups, stacking same-size systems into batched calls.
+
+    Per-group semantics (dedup, exact hits, residual checks, factor reuse)
+    are identical to :func:`ordinary_kriging_batch` — groups with a usable
+    cached factor take the factor path per group; the rest are binned by
+    support size and each bin is factorized as one 3-D batched solve.  This
+    is the stacking seam an optional torch/cupy batched-Cholesky backend
+    can reuse.
+    """
+    results: list[list[KrigingResult] | None] = [None] * len(groups)
+    stacks: "OrderedDict[int, list[tuple[int, _PreparedGroup]]]" = OrderedDict()
+    for idx, (points, values, queries) in enumerate(groups):
+        factor = factors[idx] if factors is not None else None
+        if factor is not None and factor.n_support == np.shape(points)[0]:
+            results[idx] = ordinary_kriging_batch(
+                points, values, queries, variogram,
+                metric=metric, factor=factor, phases=phases,
             )
-    return [r for r in results if r is not None]
+            continue
+        t0 = time.perf_counter()
+        prep = _prepare_group(points, values, queries, variogram, metric)
+        if phases is not None:
+            phases.add(assembly=time.perf_counter() - t0)
+        if prep is None:
+            results[idx] = []
+        elif not prep.pending:
+            results[idx] = [r for r in prep.results if r is not None]
+        else:
+            # Bin by the *validated* size: duplicate collapse may shrink a
+            # group below its raw size, and slices in a stack must agree.
+            stacks.setdefault(prep.n, []).append((idx, prep))
+    for members in stacks.values():
+        _solve_stack(members, variogram, metric, results, phases)
+    return results  # type: ignore[return-value]
 
 
 def _solve_group_chunk(
     chunk: list[KrigingGroup],
     variogram: Variogram,
     metric: DistanceMetric | str,
-) -> list[list[KrigingResult]]:
-    """Solve a contiguous chunk of groups (module-level: picklable, so the
-    process backend can ship it to workers)."""
-    return [
-        ordinary_kriging_batch(points, values, queries, variogram, metric=metric)
-        for points, values, queries in chunk
-    ]
+    stacking: bool = False,
+) -> tuple[list[list[KrigingResult]], tuple[float, float, float]]:
+    """Solve a chunk of groups (module-level: picklable, so the process
+    backend can ship it to workers).  Returns the per-group results plus the
+    chunk's solve-phase totals for the parent to merge."""
+    phases = SolvePhases()
+    if stacking:
+        results = solve_groups_stacked(chunk, variogram, metric=metric, phases=phases)
+    else:
+        results = [
+            ordinary_kriging_batch(
+                points, values, queries, variogram, metric=metric, phases=phases
+            )
+            for points, values, queries in chunk
+        ]
+    return results, phases.totals()
 
 
 # ---------------------------------------------------------------------------
@@ -419,9 +698,52 @@ def _solve_group_chunk_ref(
     model_key: int,
     blob: bytes,
     metric: DistanceMetric | str,
-) -> list[list[KrigingResult]]:
+    stacking: bool = False,
+) -> tuple[list[list[KrigingResult]], tuple[float, float, float]]:
     """Chunk solver taking the variogram by fit-generation reference."""
-    return _solve_group_chunk(chunk, _resolve_model_ref(model_key, blob), metric)
+    return _solve_group_chunk(
+        chunk, _resolve_model_ref(model_key, blob), metric, stacking=stacking
+    )
+
+
+ShmGroupDesc = tuple[int, int, int, int]
+"""Worker-side group addressing: ``(rows_offset, n_rows, query_offset,
+n_queries)`` into the flush segment's concatenated arrays."""
+
+
+def _solve_group_chunk_shm(
+    descs: list[ShmGroupDesc],
+    cache: CacheSpec,
+    flush: FlushSpec,
+    metric: DistanceMetric | str,
+    stacking: bool = False,
+    model_key: int | None = None,
+    blob: bytes | None = None,
+    variogram: Variogram | None = None,
+) -> tuple[list[list[KrigingResult]], tuple[float, float, float]]:
+    """Shared-memory chunk solver: groups arrive as index ranges, not arrays.
+
+    Attaches the published cache and flush segments (memoized per segment
+    generation), gathers each group's support rows locally and runs the
+    ordinary chunk solver.  Raises :class:`~repro.core.shm.ShmAttachError`
+    — picklable, so the parent sees a structured failure and falls back to
+    the pickled path — when a segment cannot be mapped.
+    """
+    if variogram is None:
+        variogram = _resolve_model_ref(model_key, blob)
+    cache_points, cache_values = attach_cache(cache)
+    all_rows, all_queries = attach_flush(flush)
+    chunk: list[KrigingGroup] = []
+    for rows_off, n_rows, q_off, n_queries in descs:
+        rows = all_rows[rows_off : rows_off + n_rows]
+        chunk.append(
+            (
+                cache_points[rows],  # fancy index: worker-local copy
+                cache_values[rows],
+                all_queries[q_off : q_off + n_queries],
+            )
+        )
+    return _solve_group_chunk(chunk, variogram, metric, stacking=stacking)
 
 
 def _contiguous_group(group: KrigingGroup) -> KrigingGroup:
@@ -434,6 +756,17 @@ def _contiguous_group(group: KrigingGroup) -> KrigingGroup:
     )
 
 
+def _scatter(
+    bins: list[list[int]], parts: Sequence[list[list[KrigingResult]]], total: int
+) -> list[list[KrigingResult]]:
+    """Reassemble per-bin result lists into original group order."""
+    out: list[list[KrigingResult] | None] = [None] * total
+    for bin_indices, part in zip(bins, parts):
+        for idx, group_results in zip(bin_indices, part):
+            out[idx] = group_results
+    return out  # type: ignore[return-value]
+
+
 def ordinary_kriging_grouped(
     groups: Sequence[KrigingGroup],
     variogram: Variogram,
@@ -444,6 +777,8 @@ def ordinary_kriging_grouped(
     backend: str = "thread",
     factors: "Sequence[GammaFactor | None] | None" = None,
     model_ref: tuple[int, bytes] | None = None,
+    stacking: bool = False,
+    phases: SolvePhases | None = None,
 ) -> list[list[KrigingResult]]:
     """Solve many independent shared-support kriging groups, optionally in
     parallel.
@@ -460,12 +795,17 @@ def ordinary_kriging_grouped(
     ``ProcessPoolExecutor`` as contiguous pickled arrays — worth it when the
     workload is dominated by the GIL-holding Python-level group assembly
     (many small groups) rather than the solves; the variogram callable must
-    then be picklable (every fitted model is).
+    then be picklable (every fitted model is).  (The estimator's
+    shared-memory path, :func:`ordinary_kriging_grouped_shm`, removes the
+    pickled-array tax when the supports live in a published cache.)
 
     Results are **deterministic and identical** to the sequential loop
     regardless of ``n_jobs`` or ``backend``: every group's arithmetic happens
     on a single worker in a fixed order, so scheduling cannot change a
     single bit of the output — parallelism is purely a wall-clock knob.
+    With ``stacking=True`` the same holds (bins are computed identically on
+    every backend); stacking on-vs-off stays within the engine's ~1e-9
+    equivalence envelope.
 
     Parameters
     ----------
@@ -499,6 +839,14 @@ def ordinary_kriging_grouped(
         pickled once per (re)fit rather than once per flush.  Purely a
         dispatch-overhead knob: the resolved model is the same object
         either way, so results are bit-identical.
+    stacking:
+        Route groups through :func:`solve_groups_stacked`: same-size
+        systems are factorized as one batched LAPACK call per bin.  Bins
+        are computed before dispatch, so the setting is bit-identical
+        across ``n_jobs`` and backends.
+    phases:
+        Optional :class:`SolvePhases` accumulator; process workers return
+        their per-chunk totals and the parent merges them here.
 
     Returns
     -------
@@ -523,10 +871,74 @@ def ordinary_kriging_grouped(
             variogram,
             metric=metric,
             factor=factors[index] if factors is not None else None,
+            phases=phases,
         )
 
     if workers <= 1 or len(groups) <= 1:
+        if stacking:
+            return solve_groups_stacked(
+                groups, variogram, metric=metric, factors=factors, phases=phases
+            )
         return [solve(index, group) for index, group in enumerate(groups)]
+
+    if stacking:
+        # One task per same-size bin: the bin *is* the batched-solve unit,
+        # and shipping it whole keeps stacked arithmetic independent of the
+        # worker count.
+        bins = _size_bins([np.shape(g[0])[0] for g in groups])
+        if backend == "process":
+            chunks = [[_contiguous_group(groups[j]) for j in b] for b in bins]
+            if model_ref is not None:
+                key, blob = model_ref
+                task = partial(
+                    _solve_group_chunk_ref,
+                    model_key=key,
+                    blob=blob,
+                    metric=metric,
+                    stacking=True,
+                )
+            else:
+                task = partial(
+                    _solve_group_chunk,
+                    variogram=variogram,
+                    metric=metric,
+                    stacking=True,
+                )
+
+            def run_process_stacked(pool: Executor) -> list[list[KrigingResult]]:
+                parts = []
+                for results_part, totals in pool.map(task, chunks):
+                    if phases is not None:
+                        phases.merge(totals)
+                    parts.append(results_part)
+                return _scatter(bins, parts, len(groups))
+
+            if executor is not None:
+                return run_process_stacked(executor)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return run_process_stacked(pool)
+
+        def run_bin(bin_indices: list[int]) -> list[list[KrigingResult]]:
+            return solve_groups_stacked(
+                [groups[j] for j in bin_indices],
+                variogram,
+                metric=metric,
+                factors=(
+                    [factors[j] for j in bin_indices]
+                    if factors is not None
+                    else None
+                ),
+                phases=phases,
+            )
+
+        def run_thread_stacked(pool: Executor) -> list[list[KrigingResult]]:
+            return _scatter(bins, list(pool.map(run_bin, bins)), len(groups))
+
+        if executor is not None:
+            return run_thread_stacked(executor)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return run_thread_stacked(pool)
+
     # Chunk so each task amortizes pool dispatch over several (often tiny)
     # solves; map() preserves submission order.
     chunk = max(1, (len(groups) + 4 * workers - 1) // (4 * workers))
@@ -545,8 +957,12 @@ def ordinary_kriging_grouped(
             task = partial(_solve_group_chunk, variogram=variogram, metric=metric)
 
         def run_process(pool: Executor) -> list[list[KrigingResult]]:
-            solved = pool.map(task, chunks)
-            return [results for part in solved for results in part]
+            out: list[list[KrigingResult]] = []
+            for results_part, totals in pool.map(task, chunks):
+                if phases is not None:
+                    phases.merge(totals)
+                out.extend(results_part)
+            return out
 
         if executor is not None:
             return run_process(executor)
@@ -565,6 +981,108 @@ def ordinary_kriging_grouped(
         return run(executor)
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return run(pool)
+
+
+def ordinary_kriging_grouped_shm(
+    arena: ShmArena,
+    points: np.ndarray,
+    values: np.ndarray,
+    supports: Sequence[np.ndarray],
+    queries_list: Sequence[np.ndarray],
+    variogram: Variogram,
+    *,
+    metric: DistanceMetric | str = DistanceMetric.L1,
+    n_jobs: int | None = 1,
+    executor: Executor | None = None,
+    model_ref: tuple[int, bytes] | None = None,
+    stacking: bool = False,
+    phases: SolvePhases | None = None,
+) -> list[list[KrigingResult]]:
+    """Grouped solve over the shared-memory process path.
+
+    The groups are given *by reference*: ``supports[i]`` holds row indices
+    into the published cache arrays (``points``/``values``) and
+    ``queries_list[i]`` the group's query coordinates.  The arena publishes
+    the cache mirror incrementally plus one flush segment of concatenated
+    rows/queries; workers attach and gather locally, so the per-task pickle
+    payload is a handful of offsets per group instead of the group arrays.
+
+    Results are bit-identical to the pickled process path (and therefore to
+    thread/serial): workers rebuild exactly the ``points[rows]`` gathers the
+    parent would have shipped.  Raises
+    :class:`~repro.core.shm.ShmAttachError` when a worker cannot map a
+    segment — the estimator catches it, disables shm for its lifetime and
+    retries the flush over the pickled path.
+
+    With one worker (or one group) no segment is touched: the call
+    materializes the groups and delegates to the serial path.
+    """
+    if len(supports) != len(queries_list):
+        raise ValueError(
+            f"supports length {len(supports)} != queries length {len(queries_list)}"
+        )
+    workers = min(resolve_n_jobs(n_jobs), len(supports))
+    if workers <= 1 or len(supports) <= 1:
+        groups = [
+            (points[rows], values[rows], queries)
+            for rows, queries in zip(supports, queries_list)
+        ]
+        return ordinary_kriging_grouped(
+            groups,
+            variogram,
+            metric=metric,
+            n_jobs=1,
+            stacking=stacking,
+            phases=phases,
+        )
+
+    rows_concat = np.concatenate([np.asarray(s, dtype=np.int64) for s in supports])
+    queries_concat = np.vstack(queries_list)
+    cache_spec = arena.publish_cache(points, values)
+    flush_spec = arena.publish_flush(rows_concat, queries_concat)
+
+    descs: list[ShmGroupDesc] = []
+    rows_off = 0
+    q_off = 0
+    for rows, queries in zip(supports, queries_list):
+        descs.append((rows_off, len(rows), q_off, len(queries)))
+        rows_off += len(rows)
+        q_off += len(queries)
+
+    if stacking:
+        bins = _size_bins([len(rows) for rows in supports])
+    else:
+        chunk = max(1, (len(descs) + 4 * workers - 1) // (4 * workers))
+        bins = [
+            list(range(i, min(i + chunk, len(descs))))
+            for i in range(0, len(descs), chunk)
+        ]
+    chunks = [[descs[j] for j in b] for b in bins]
+
+    kwargs: dict = {
+        "cache": cache_spec,
+        "flush": flush_spec,
+        "metric": metric,
+        "stacking": stacking,
+    }
+    if model_ref is not None:
+        kwargs["model_key"], kwargs["blob"] = model_ref
+    else:
+        kwargs["variogram"] = variogram
+    task = partial(_solve_group_chunk_shm, **kwargs)
+
+    def run_shm(pool: Executor) -> list[list[KrigingResult]]:
+        parts = []
+        for results_part, totals in pool.map(task, chunks):
+            if phases is not None:
+                phases.merge(totals)
+            parts.append(results_part)
+        return _scatter(bins, parts, len(descs))
+
+    if executor is not None:
+        return run_shm(executor)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return run_shm(pool)
 
 
 def simple_kriging(

@@ -1,0 +1,375 @@
+"""Shared-memory arena for the zero-copy process solve path.
+
+``backend="process"`` historically shipped every flush's group arrays to the
+``ProcessPoolExecutor`` as contiguous pickles — one serialized copy of the
+support rows *per group per flush*, even though every support row lives in
+the estimator's :class:`~repro.core.cache.SimulationCache` and the cache is
+append-only.  :class:`ShmArena` removes that tax: the cache's coordinate and
+value arrays are published **once** into a ``multiprocessing.shared_memory``
+segment (only newly appended rows are copied on later flushes), and each
+flush publishes just the concatenated support *row indices* and query
+coordinates.  Workers attach by segment name, build zero-copy views, and
+gather their support slices locally — the per-task payload shrinks to a few
+integers per group.
+
+Layout
+------
+*Cache segment* (rebuilt only when the cache outgrows its capacity):
+``float64 points (capacity, dim)`` followed by ``float64 values (capacity,)``.
+Rows never move (the cache is append-only), so a regrow is the only event
+that invalidates worker views — it allocates a *new* segment under a new
+name and bumps the arena generation, which is the invalidation key for the
+worker-side attach memo (mirroring the fit-generation key of the pickled
+model refs in :mod:`repro.core.kriging`).
+
+*Flush segment* (overwritten in place every flush, regrown geometrically):
+``int64 rows (row_capacity,)`` followed by
+``float64 queries (query_capacity, dim)``.  Grouped solves are synchronous —
+the parent blocks on the pool ``map`` — so a segment is never overwritten
+while a worker still reads it.
+
+Cleanup
+-------
+Segments are unlinked from :meth:`ShmArena.close`, which the estimator calls
+from :meth:`~repro.core.estimator.KrigingEstimator.close`, ``__del__`` and
+its atexit hook — nothing leaks past the parent's lifetime.  Workers
+``close()`` (but never unlink) the mappings they evict from the attach memo.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where the module is missing
+    from multiprocessing.shared_memory import SharedMemory
+except ImportError:  # pragma: no cover
+    SharedMemory = None  # type: ignore[assignment]
+
+__all__ = [
+    "CacheSpec",
+    "FlushSpec",
+    "ShmArena",
+    "ShmAttachError",
+    "attach_cache",
+    "attach_flush",
+    "shm_available",
+]
+
+_FLOAT = np.dtype(np.float64)
+_INT = np.dtype(np.int64)
+
+
+class ShmAttachError(RuntimeError):
+    """A worker could not map a published segment.
+
+    Raised worker-side (picklable: plain message) and caught by the
+    estimator, which disables the shm path for the estimator's lifetime and
+    re-dispatches the flush through the pickled path — a structured
+    degradation, never a wedged flush.
+    """
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Addressing info for the published simulation-cache segment."""
+
+    name: str
+    generation: int
+    rows: int
+    dim: int
+    capacity: int
+
+
+@dataclass(frozen=True)
+class FlushSpec:
+    """Addressing info for the per-flush rows/queries segment."""
+
+    name: str
+    generation: int
+    n_rows: int
+    n_queries: int
+    dim: int
+    row_capacity: int
+
+
+def _probe() -> bool:
+    if SharedMemory is None:
+        return False
+    try:
+        seg = SharedMemory(create=True, size=16)
+    except Exception:
+        return False
+    try:
+        twin = SharedMemory(name=seg.name)
+        twin.close()
+        return True
+    except Exception:
+        return False
+    finally:
+        try:
+            seg.close()
+            seg.unlink()
+        except Exception:  # pragma: no cover - cleanup best-effort
+            pass
+
+
+_AVAILABLE: bool | None = None
+
+
+def shm_available() -> bool:
+    """Whether shared-memory segments can be created *and* re-attached here.
+
+    Probed once per process (create + self-attach round-trip); platforms
+    without ``multiprocessing.shared_memory`` or with a sealed ``/dev/shm``
+    report ``False`` and the estimator silently keeps the pickled path.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        _AVAILABLE = _probe()
+    return _AVAILABLE
+
+
+def _round_capacity(needed: int, floor: int = 64) -> int:
+    capacity = max(int(floor), 1)
+    while capacity < needed:
+        capacity *= 2
+    return capacity
+
+
+class ShmArena:
+    """Parent-side owner of the cache and flush segments (one per estimator)."""
+
+    def __init__(self) -> None:
+        self._generation = 0
+        self._cache_seg: "SharedMemory | None" = None
+        self._cache_capacity = 0
+        self._cache_dim = -1
+        self._cache_published = 0
+        self._cache_generation = 0
+        self._flush_seg: "SharedMemory | None" = None
+        self._flush_row_capacity = 0
+        self._flush_query_capacity = 0
+        self._flush_dim = -1
+        self._flush_generation = 0
+        self._closed = False
+
+    # -- cache ---------------------------------------------------------
+    def publish_cache(self, points: np.ndarray, values: np.ndarray) -> CacheSpec:
+        """Mirror the simulation cache into shared memory, incrementally.
+
+        Only rows appended since the previous call are copied; a capacity or
+        dimension change allocates a fresh segment (new name + generation)
+        and unlinks the old one — safe mid-stream because solves are
+        synchronous and worker memos close stale mappings as they evict.
+        """
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        n, dim = points.shape
+        if self._cache_seg is None or self._cache_capacity < n or self._cache_dim != dim:
+            capacity = _round_capacity(n)
+            size = capacity * dim * _FLOAT.itemsize + capacity * _FLOAT.itemsize
+            seg = SharedMemory(create=True, size=max(size, 16))
+            self._release(self._cache_seg)
+            self._cache_seg = seg
+            self._cache_capacity = capacity
+            self._cache_dim = dim
+            self._cache_published = 0
+            self._generation += 1
+            self._cache_generation = self._generation
+        seg = self._cache_seg
+        capacity = self._cache_capacity
+        pts_view = np.ndarray((capacity, dim), dtype=np.float64, buffer=seg.buf)
+        vals_view = np.ndarray(
+            (capacity,),
+            dtype=np.float64,
+            buffer=seg.buf,
+            offset=capacity * dim * _FLOAT.itemsize,
+        )
+        start = min(self._cache_published, n)
+        if start < n:
+            pts_view[start:n] = points[start:n]
+            vals_view[start:n] = values[start:n]
+        self._cache_published = n
+        return CacheSpec(
+            name=seg.name,
+            generation=self._cache_generation,
+            rows=n,
+            dim=dim,
+            capacity=capacity,
+        )
+
+    # -- flush ---------------------------------------------------------
+    def publish_flush(self, rows: np.ndarray, queries: np.ndarray) -> FlushSpec:
+        """Publish one flush's concatenated support rows and query points."""
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        n_rows = rows.shape[0]
+        n_queries, dim = queries.shape
+        if (
+            self._flush_seg is None
+            or self._flush_row_capacity < n_rows
+            or self._flush_query_capacity < n_queries
+            or self._flush_dim != dim
+        ):
+            row_capacity = _round_capacity(max(n_rows, self._flush_row_capacity))
+            query_capacity = _round_capacity(
+                max(n_queries, self._flush_query_capacity)
+            )
+            size = (
+                row_capacity * _INT.itemsize
+                + query_capacity * dim * _FLOAT.itemsize
+            )
+            seg = SharedMemory(create=True, size=max(size, 16))
+            self._release(self._flush_seg)
+            self._flush_seg = seg
+            self._flush_row_capacity = row_capacity
+            self._flush_query_capacity = query_capacity
+            self._flush_dim = dim
+            self._generation += 1
+            self._flush_generation = self._generation
+        seg = self._flush_seg
+        rows_view = np.ndarray(
+            (self._flush_row_capacity,), dtype=np.int64, buffer=seg.buf
+        )
+        queries_view = np.ndarray(
+            (self._flush_query_capacity, dim),
+            dtype=np.float64,
+            buffer=seg.buf,
+            offset=self._flush_row_capacity * _INT.itemsize,
+        )
+        rows_view[:n_rows] = rows
+        queries_view[:n_queries] = queries
+        return FlushSpec(
+            name=seg.name,
+            generation=self._flush_generation,
+            n_rows=n_rows,
+            n_queries=n_queries,
+            dim=dim,
+            row_capacity=self._flush_row_capacity,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    @staticmethod
+    def _release(seg: "SharedMemory | None") -> None:
+        if seg is None:
+            return
+        try:
+            seg.close()
+        except Exception:  # pragma: no cover - cleanup best-effort
+            pass
+        try:
+            seg.unlink()
+        except Exception:  # pragma: no cover - already unlinked / gone
+            pass
+
+    def close(self) -> None:
+        """Unlink every segment this arena owns (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release(self._cache_seg)
+        self._release(self._flush_seg)
+        self._cache_seg = None
+        self._flush_seg = None
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Worker-side attach memo
+# ---------------------------------------------------------------------------
+#: Mapped segments keyed by ``(name, generation)``.  Names are unique per
+#: segment allocation, so a regrown cache (new generation) can never serve a
+#: stale mapping; bounded like the model-ref memo so pools shared between
+#: estimators stay small.
+_ATTACHED: "OrderedDict[tuple[str, int], SharedMemory]" = OrderedDict()
+_ATTACH_LIMIT = 8
+
+#: Whether this process runs its *own* resource tracker (None: not yet
+#: decided).  Decided once, at the first attach: if no tracker fd is live
+#: by then, every tracker this process talks to is its own.
+_TRACKER_OWN: bool | None = None
+
+
+def _attach(name: str, generation: int) -> "SharedMemory":
+    key = (name, generation)
+    seg = _ATTACHED.get(key)
+    if seg is not None:
+        _ATTACHED.move_to_end(key)
+        return seg
+    if SharedMemory is None:
+        raise ShmAttachError("multiprocessing.shared_memory is unavailable")
+    # Attaching re-registers the segment with the resource tracker.  In a
+    # worker running its *own* tracker (spawned, or forked before the
+    # parent's tracker started) that registration makes the worker's exit
+    # unlink a segment the parent still owns (bpo-39959) — undo it.  In a
+    # fork-inherited tracker shared with the parent the re-registration is
+    # a set no-op, and unregistering would strip the parent's crash-cleanup
+    # entry (and spam KeyErrors when the parent later unlinks) — leave it.
+    # Ownership is decided once, before this process's first attach starts
+    # a tracker of its own.
+    global _TRACKER_OWN
+    resource_tracker = None
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        if _TRACKER_OWN is None:
+            _TRACKER_OWN = (
+                getattr(resource_tracker._resource_tracker, "_fd", None) is None
+            )
+    except Exception:
+        pass
+    try:
+        seg = SharedMemory(name=name)
+    except Exception as exc:
+        raise ShmAttachError(f"cannot attach shared segment {name!r}: {exc}") from None
+    if _TRACKER_OWN and resource_tracker is not None:
+        try:  # pragma: no cover - best-effort; failure only risks an unlink
+            resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    _ATTACHED[key] = seg
+    while len(_ATTACHED) > _ATTACH_LIMIT:
+        _, stale = _ATTACHED.popitem(last=False)
+        try:
+            stale.close()
+        except Exception:  # pragma: no cover - cleanup best-effort
+            pass
+    return seg
+
+
+def attach_cache(spec: CacheSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Worker-side zero-copy views of the published cache arrays."""
+    seg = _attach(spec.name, spec.generation)
+    points = np.ndarray((spec.rows, spec.dim), dtype=np.float64, buffer=seg.buf)
+    values = np.ndarray(
+        (spec.rows,),
+        dtype=np.float64,
+        buffer=seg.buf,
+        offset=spec.capacity * spec.dim * _FLOAT.itemsize,
+    )
+    return points, values
+
+
+def attach_flush(spec: FlushSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Worker-side zero-copy views of a flush's rows and queries."""
+    seg = _attach(spec.name, spec.generation)
+    rows = np.ndarray((spec.n_rows,), dtype=np.int64, buffer=seg.buf)
+    queries = np.ndarray(
+        (spec.n_queries, spec.dim),
+        dtype=np.float64,
+        buffer=seg.buf,
+        offset=spec.row_capacity * _INT.itemsize,
+    )
+    return rows, queries

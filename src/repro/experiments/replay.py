@@ -71,6 +71,18 @@ class ReplayStats:
     ``fallbacks`` ...) from the estimator's
     :class:`~repro.core.factor_cache.FactorCacheStats`; all zeros when the
     reuse layer was disabled."""
+    solve_phases: tuple[tuple[str, float], ...] = ()
+    """Cumulative solve-phase wall clock (``assembly_seconds`` /
+    ``factorize_seconds`` / ``backsolve_seconds`` / ``n_flushes``) from the
+    estimator's :class:`~repro.core.estimator.SolvePhaseStats`; empty when
+    no grouped flush ran."""
+
+    def solve_phase(self, name: str) -> float:
+        """One cumulative solve-phase value by name (0.0 when untracked)."""
+        for key, value in self.solve_phases:
+            if key == name:
+                return value
+        return 0.0
 
     def factor_counter(self, name: str) -> int:
         """One reuse counter by name (0 when untracked)."""
@@ -235,6 +247,7 @@ def replay_trajectory(
         errors=np.asarray(errors, dtype=np.float64),
         neighbor_quantiles=quantiles,
         factor_reuse=stats.factor.as_pairs(),
+        solve_phases=stats.solve.as_pairs() if stats.solve.n_flushes else (),
     )
 
 

@@ -17,6 +17,7 @@ __all__ = [
     "format_row",
     "format_neighbor_distribution",
     "format_factor_reuse",
+    "format_solve_phases",
 ]
 
 _HEADER = (
@@ -80,6 +81,33 @@ def format_factor_reuse(stats: ReplayStats) -> str:
         f"updates={stats.factor_counter('updates')} "
         f"fresh={stats.factor_counter('fresh')} "
         f"fallbacks={stats.factor_counter('fallbacks')}"
+    )
+
+
+def format_solve_phases(stats: ReplayStats) -> str:
+    """Render a replay's solve-phase wall-clock split.
+
+    One line per replay: cumulative seconds the batch engine spent on
+    system *assembly* (distances + variogram kernels), *factorize* (fresh
+    LAPACK factorizations, stacked or per-group) and *backsolve*
+    (cached-factor triangular solves plus weight extraction), with each
+    phase's share of their sum.  Returns a placeholder line when the
+    replay never ran a grouped flush.
+    """
+    label = f"{stats.benchmark or 'replay':<12} d={stats.distance:<4.0f}"
+    if not stats.solve_phases:
+        return f"{label} solve phases: n/a"
+    assembly = stats.solve_phase("assembly_seconds")
+    factorize = stats.solve_phase("factorize_seconds")
+    backsolve = stats.solve_phase("backsolve_seconds")
+    total = assembly + factorize + backsolve
+    share = (lambda x: 100.0 * x / total) if total > 0.0 else (lambda x: 0.0)
+    return (
+        f"{label} solve "
+        f"assembly={assembly:.3f}s ({share(assembly):4.1f}%) "
+        f"factorize={factorize:.3f}s ({share(factorize):4.1f}%) "
+        f"backsolve={backsolve:.3f}s ({share(backsolve):4.1f}%) "
+        f"flushes={int(stats.solve_phase('n_flushes'))}"
     )
 
 

@@ -15,6 +15,14 @@ simulate callable does not serialize; it is rebuilt from the session's
 JSON *simulator spec* (:func:`make_simulator`), which is stored in the
 manifest.
 
+Format version 2 adds the estimator's Cholesky factor cache as dedicated
+``factor{i}_rows`` / ``factor{i}_gamma`` / ``factor{i}_chol`` NPZ members
+(shifts and entry count in the manifest), so a restored session starts
+*warm* — zero refactorizations on a replayed workload.  Version-1 files
+still load; they simply restore with a cold factor cache.  A corrupted or
+missing factor section likewise degrades to a cold restore (with a
+``RuntimeWarning``) instead of failing the whole restore.
+
 Simulator specs
 ---------------
 
@@ -36,6 +44,7 @@ import asyncio
 import json
 import pathlib
 import re
+import warnings
 from typing import Callable, Sequence
 
 import numpy as np
@@ -52,7 +61,11 @@ __all__ = [
     "load_snapshot",
 ]
 
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+#: Snapshot versions this build can read.  Version 1 predates the factor
+#: cache section — those files restore with a cold cache.
+_READABLE_VERSIONS = (1, 2)
 
 #: Session (and snapshot) names must be filesystem- and protocol-safe
 #: (matched with fullmatch: unlike ``$``, it rejects trailing newlines).
@@ -142,6 +155,27 @@ def save_snapshot(path: object, state: dict) -> pathlib.Path:
     points = np.ascontiguousarray(cache.pop("points"), dtype=np.float64)
     values = np.ascontiguousarray(cache.pop("values"), dtype=np.float64)
     estimator["cache"] = cache
+    members: dict[str, np.ndarray] = {}
+    factor_state = estimator.pop("factor_entries", None)
+    if factor_state is not None:
+        entries = factor_state["entries"]
+        for i, entry in enumerate(entries):
+            members[f"factor{i}_rows"] = np.ascontiguousarray(
+                entry["rows"], dtype=np.int64
+            )
+            members[f"factor{i}_gamma"] = np.ascontiguousarray(
+                entry["gamma"], dtype=np.float64
+            )
+            members[f"factor{i}_chol"] = np.ascontiguousarray(
+                entry["chol"], dtype=np.float64
+            )
+        estimator["factor_section"] = {
+            "version": int(factor_state["version"]),
+            "count": len(entries),
+            "shifts": [float(entry["shift"]) for entry in entries],
+        }
+    else:
+        estimator["factor_section"] = None
     state["estimator"] = estimator
     manifest = json.dumps({"snapshot_version": SNAPSHOT_VERSION, **state})
     path = pathlib.Path(path)
@@ -153,8 +187,37 @@ def save_snapshot(path: object, state: dict) -> pathlib.Path:
         manifest=np.frombuffer(manifest.encode(), dtype=np.uint8),
         cache_points=points,
         cache_values=values,
+        **members,
     )
     return path
+
+
+def _load_factor_entries(archive: object, meta: dict | None) -> dict | None:
+    """Reassemble the factor-cache state from its NPZ members.
+
+    Raises on any inconsistency; the caller degrades to a cold restore.
+    """
+    if meta is None:
+        return None
+    count = int(meta["count"])
+    shifts = meta["shifts"]
+    if len(shifts) != count:
+        raise ValueError("factor-cache shift count mismatch")
+    entries = []
+    for i in range(count):
+        entries.append(
+            {
+                "rows": np.ascontiguousarray(archive[f"factor{i}_rows"], dtype=np.int64),
+                "gamma": np.ascontiguousarray(
+                    archive[f"factor{i}_gamma"], dtype=np.float64
+                ),
+                "chol": np.ascontiguousarray(
+                    archive[f"factor{i}_chol"], dtype=np.float64
+                ),
+                "shift": float(shifts[i]),
+            }
+        )
+    return {"version": int(meta["version"]), "entries": entries}
 
 
 def load_snapshot(path: object) -> dict:
@@ -168,11 +231,25 @@ def load_snapshot(path: object) -> dict:
             values = np.ascontiguousarray(archive["cache_values"], dtype=np.float64)
         except KeyError as exc:
             raise ValueError(f"{path} is not a session snapshot: missing {exc}") from exc
-    version = state.get("snapshot_version")
-    if version != SNAPSHOT_VERSION:
-        raise ValueError(f"unsupported snapshot version {version!r} in {path}")
+        version = state.get("snapshot_version")
+        if version not in _READABLE_VERSIONS:
+            raise ValueError(f"unsupported snapshot version {version!r} in {path}")
+        factor_meta = state["estimator"].pop("factor_section", None)
+        factor_entries = None
+        if version >= 2 and factor_meta is not None:
+            try:
+                factor_entries = _load_factor_entries(archive, factor_meta)
+            except Exception as exc:
+                warnings.warn(
+                    f"discarding corrupted factor-cache section in {path}: {exc}; "
+                    "restoring with a cold factor cache",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                factor_entries = None
     state["estimator"]["cache"]["points"] = points
     state["estimator"]["cache"]["values"] = values
+    state["estimator"]["factor_entries"] = factor_entries
     return state
 
 

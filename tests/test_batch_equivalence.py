@@ -313,3 +313,73 @@ class TestProcessModelRef:
                 LinearVariogram(1.0),
                 factors=[None, None],
             )
+
+
+def test_shm_backend_bitwise_matches_pickled_process():
+    """The shared-memory arena is a transport knob only: backend='process'
+    with shm on and off answers bit-identically (workers rebuild the exact
+    points[rows] gathers the pickled path would have shipped)."""
+    from repro.core.shm import shm_available
+
+    if not shm_available():
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    configs, lookup = _workload_configs("fir")
+    nv = configs.shape[1]
+    kwargs = dict(distance=3, variogram="auto", min_fit_points=4, refit_interval=1)
+    results = {}
+    for shm in (True, False):
+        with KrigingEstimator(
+            lookup, nv, n_jobs=2, backend="process", shm=shm, **kwargs
+        ) as estimator:
+            results[shm] = estimator.evaluate_batch(configs)
+            assert estimator._shm_enabled is shm  # never silently degraded
+    assert [o.value for o in results[True]] == [o.value for o in results[False]]
+    assert [o.variance for o in results[True]] == [o.variance for o in results[False]]
+
+
+@pytest.mark.parametrize("shm", [False, True])
+def test_shm_and_stacking_compose_bitwise(shm):
+    """stacking x shm: every combination answers bit-identically to the
+    serial non-stacked reference on the paper workload."""
+    from repro.core.shm import shm_available
+
+    if shm and not shm_available():
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    configs, lookup = _workload_configs("fir")
+    nv = configs.shape[1]
+    kwargs = dict(distance=3, variogram="auto", min_fit_points=4, refit_interval=1)
+    with KrigingEstimator(
+        lookup, nv, n_jobs=1, stacking=False, **kwargs
+    ) as reference:
+        ref = reference.evaluate_batch(configs)
+    with KrigingEstimator(
+        lookup, nv, n_jobs=2, backend="process", shm=shm, stacking=True, **kwargs
+    ) as estimator:
+        out = estimator.evaluate_batch(configs)
+    assert [o.interpolated for o in out] == [o.interpolated for o in ref]
+    assert [o.value for o in out] == [o.value for o in ref]
+    assert [o.variance for o in out] == [o.variance for o in ref]
+
+
+@pytest.mark.parametrize("n_jobs", [1, 3])
+def test_stacking_on_off_equivalence(n_jobs):
+    """Stacked batched factorization is a pure performance knob at the
+    estimator level: decisions and cache contents match the unstacked path
+    bitwise, values bitwise too (same gesv arithmetic per stack slice)."""
+    configs, lookup = _workload_configs("fir")
+    nv = configs.shape[1]
+    kwargs = dict(distance=3, variogram="auto", min_fit_points=4, refit_interval=1)
+    results = {}
+    for stacking in (True, False):
+        with KrigingEstimator(
+            lookup, nv, n_jobs=n_jobs, stacking=stacking,
+            factor_cache=False, **kwargs
+        ) as estimator:
+            results[stacking] = estimator.evaluate_batch(configs)
+            cache_points = estimator.cache.points
+        results[(stacking, "cache")] = cache_points
+    assert [o.value for o in results[True]] == [o.value for o in results[False]]
+    assert [o.variance for o in results[True]] == [o.variance for o in results[False]]
+    np.testing.assert_array_equal(
+        results[(True, "cache")], results[(False, "cache")]
+    )

@@ -387,7 +387,7 @@ class TestBenchCli:
         payload = capsys.readouterr().out.strip()
         rows = json.loads(payload)
         assert {row["name"] for row in rows} == {
-            "query-engine", "service", "cluster", "chaos"
+            "query-engine", "solve", "service", "cluster", "chaos"
         }
 
     def test_unknown_benchmark_errors(self, capsys):
@@ -397,3 +397,103 @@ class TestBenchCli:
             main(["bench", "definitely-not-a-bench"])
         assert exc.value.code == 2
         assert "known:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# solve gates (zero-copy solve path)
+# ---------------------------------------------------------------------------
+def _solve_report(
+    shm_speedup=1.6, stacked_speedup=1.5, warm_speedup=5.0,
+    warm_fresh=0, cpus=8, shm_skipped=False,
+):
+    shm = (
+        {"skipped": True, "reason": "shared_memory unavailable"}
+        if shm_skipped
+        else {
+            "n_groups": 256,
+            "speedup_shm_vs_pickled": shm_speedup,
+            "bitwise_equal": True,
+        }
+    )
+    return {
+        "benchmark": "solve",
+        "hardware": {"cpus": cpus, "machine": "test"},
+        "shm": shm,
+        "stacked": {
+            "n_groups": 120,
+            "speedup_stacked_vs_pergroup": stacked_speedup,
+            "bitwise_equal": True,
+        },
+        "warm_restore": {
+            "speedup_warm_vs_cold": warm_speedup,
+            "warm_fresh_factorizations": warm_fresh,
+            "cold_fresh_factorizations": 10,
+        },
+    }
+
+
+class TestSolveGates:
+    def test_healthy_pair_no_false_alarm(self):
+        report = _solve_report()
+        assert compare(report, report, factor=2.0) == []
+
+    def test_shm_floor_fails_on_multicore(self):
+        failures = compare(
+            _solve_report(), _solve_report(shm_speedup=1.1), factor=2.0
+        )
+        assert any("shm.speedup_shm_vs_pickled" in f for f in failures)
+
+    def test_stacked_floor_fails_on_multicore(self):
+        failures = compare(
+            _solve_report(), _solve_report(stacked_speedup=0.9), factor=2.0
+        )
+        assert any("stacked.speedup_stacked_vs_pergroup" in f for f in failures)
+
+    def test_ratios_not_gated_on_single_core(self, capsys):
+        failures = compare(
+            _solve_report(),
+            _solve_report(shm_speedup=0.8, stacked_speedup=0.7, cpus=1),
+            factor=2.0,
+        )
+        assert failures == []
+        assert "not gated" in capsys.readouterr().out
+
+    def test_skipped_shm_section_noted_never_gated(self, capsys):
+        failures = compare(
+            _solve_report(), _solve_report(shm_skipped=True), factor=2.0
+        )
+        assert failures == []
+        assert "skipped by the current run" in capsys.readouterr().out
+
+    def test_skipped_baseline_section_still_floors_current(self):
+        # A baseline from a no-shm platform must not weaken the floor.
+        failures = compare(
+            _solve_report(shm_skipped=True), _solve_report(shm_speedup=1.1),
+            factor=2.0,
+        )
+        assert any("shm.speedup_shm_vs_pickled" in f for f in failures)
+
+    def test_warm_refactorization_fails_on_any_hardware(self):
+        failures = compare(
+            _solve_report(), _solve_report(warm_fresh=3, cpus=1), factor=2.0
+        )
+        assert any("warm_fresh_factorizations" in f for f in failures)
+
+    def test_warm_speedup_ratchets(self):
+        failures = compare(
+            _solve_report(warm_speedup=6.0), _solve_report(warm_speedup=1.5),
+            factor=2.0,
+        )
+        assert any("speedup_warm_vs_cold" in f for f in failures)
+
+    def test_query_engine_report_carries_solve_ratios(self):
+        """The reduced-scale shm/stacked sections embedded in the
+        query-engine report gate through the same guarded specs."""
+        from repro.bench.gates import GATE_SETS, GuardedRatchetGate
+
+        sections = {
+            gate.section
+            for gate in GATE_SETS["query_engine"]
+            if isinstance(gate, GuardedRatchetGate)
+        }
+        assert {"shm", "stacked"} <= sections

@@ -222,3 +222,35 @@ class TestPickTarget:
                 pick_target(router, exclude={"w0", "w1", "w2"})
 
         run_cluster(body, tmp_path=tmp_path, workers=3)
+
+
+class TestWarmFactorCacheMigration:
+    def test_migration_preserves_warm_factor_cache(self, tmp_path):
+        """Migration travels over a format-v2 snapshot, so the warm factor
+        cache rides along: replaying the pre-migration queries on the
+        target refactorizes zero groups."""
+        support = _support(n=40, seed=11)
+        queries = [[c + 0.25 for c in cfg] for cfg in support[:8]]
+
+        async def body(client, router, services, supervisor):
+            await client.request(
+                "create_session", session="warm", worker="w0", **SESSION_KWARGS
+            )
+            await client.simulate_many("warm", support)
+            before = await client.evaluate_many("warm", queries)
+            source_est = services[0].sessions["warm"].estimator
+            assert dict(source_est.stats.factor.as_pairs())["fresh"] > 0
+
+            await client.migrate("warm")
+            target_est = services[1].sessions["warm"].estimator
+            fresh_restored = dict(target_est.stats.factor.as_pairs())["fresh"]
+            assert len(target_est.factor_cache) > 0  # arrived warm
+
+            after = await client.evaluate_many("warm", queries)
+            fresh_after = dict(target_est.stats.factor.as_pairs())["fresh"]
+            assert fresh_after - fresh_restored == 0  # zero refactorizations
+            assert [(o.value, o.variance) for o in after] == [
+                (o.value, o.variance) for o in before
+            ]
+
+        run_cluster(body, tmp_path=tmp_path)

@@ -298,3 +298,114 @@ class TestRecordMeasurementAndRefit:
 
         est = KrigingEstimator(self._field, 2, variogram=fixed)
         assert est.refit_variogram() is fixed
+
+
+class TestPoolFailure:
+    """A BrokenProcessPool mid-flush must map to a structured recovery: the
+    flush completes on the thread backend, the poisoned pool is torn down,
+    the counter ticks, and the next flush rebuilds the pool lazily."""
+
+    @staticmethod
+    def _field(config):
+        return float(np.asarray(config, dtype=float).sum())
+
+    class _PoisonedPool:
+        """Quacks like an executor whose workers all died."""
+
+        def __init__(self):
+            self.shutdown_calls = []
+
+        def map(self, *args, **kwargs):
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool("a child process terminated abruptly")
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            self.shutdown_calls.append((wait, cancel_futures))
+
+    def _seeded(self, **kwargs):
+        est = KrigingEstimator(
+            self._field, 2, distance=2.0, variogram="linear",
+            n_jobs=2, backend="process", shm=False, **kwargs,
+        )
+        for x in range(3):
+            for y in range(3):
+                est.record_measurement([x, y], self._field([x, y]))
+                est.record_measurement(
+                    [x + 50, y + 50], self._field([x + 50, y + 50])
+                )
+        return est
+
+    def test_broken_pool_recovers_on_thread_backend(self):
+        queries = [[0.5, 0.5], [0.6, 0.5], [50.5, 50.5], [50.6, 50.5]]
+        with self._seeded() as est:
+            poisoned = self._PoisonedPool()
+            est._executor = poisoned
+            out = est.evaluate_batch(queries)
+
+            # The flush completed despite the poisoned pool...
+            assert all(o.interpolated for o in out)
+            # ...the event is counted, the pool torn down without waiting...
+            assert est.stats.pool_failures == 1
+            assert poisoned.shutdown_calls == [(False, True)]
+            assert est._executor is None
+
+            # ...and the answers match the serial reference bit for bit.
+            with self._seeded() as twin:
+                twin.n_jobs = 1
+                ref = twin.evaluate_batch(queries)
+            assert [o.value for o in out] == [o.value for o in ref]
+            assert [o.variance for o in out] == [o.variance for o in ref]
+
+            # The next flush rebuilds a real pool lazily.
+            from concurrent.futures import ProcessPoolExecutor
+
+            again = est.evaluate_batch([[0.4, 0.5], [0.7, 0.4], [50.4, 50.5], [50.7, 50.4]])
+            assert all(o.interpolated for o in again)
+            assert isinstance(est._executor, ProcessPoolExecutor)
+            assert est.stats.pool_failures == 1  # no new failure
+
+
+class TestSolvePhaseStats:
+    """Per-flush assembly/factorize/backsolve split of the batch engine."""
+
+    @staticmethod
+    def _field(config):
+        return float(np.asarray(config, dtype=float).sum())
+
+    def test_flushes_accumulate_phase_seconds(self):
+        est = KrigingEstimator(self._field, 2, distance=3.0, variogram="linear")
+        rng = np.random.default_rng(2)
+        pts = np.unique(rng.integers(0, 7, size=(60, 2)), axis=0).astype(float)
+        est.evaluate_batch(pts)
+        est.evaluate_batch(pts[:15] + 0.25)
+        solve = est.stats.solve
+        assert solve.n_flushes >= 1
+        assert solve.total_seconds > 0.0
+        assert solve.assembly_sketch.count == solve.n_flushes
+        pairs = dict(solve.as_pairs())
+        assert pairs["n_flushes"] == float(solve.n_flushes)
+        assert (
+            pairs["assembly_seconds"]
+            + pairs["factorize_seconds"]
+            + pairs["backsolve_seconds"]
+        ) == pytest.approx(solve.total_seconds)
+
+    def test_phase_split_round_trips_through_state(self):
+        from repro.core.estimator import SolvePhaseStats
+
+        est = KrigingEstimator(self._field, 2, distance=3.0, variogram="linear")
+        rng = np.random.default_rng(4)
+        pts = np.unique(rng.integers(0, 7, size=(50, 2)), axis=0).astype(float)
+        est.evaluate_batch(pts)
+        est.evaluate_batch(pts[:10] + 0.3)
+        restored = SolvePhaseStats.from_state(est.stats.solve.to_state())
+        assert restored.to_state() == est.stats.solve.to_state()
+        twin = KrigingEstimator.from_state(self._field, est.to_state())
+        assert twin.stats.solve.to_state() == est.stats.solve.to_state()
+
+    def test_no_interpolations_no_flushes(self):
+        est = KrigingEstimator(self._field, 2, distance=0.0)
+        est.evaluate_batch(np.arange(8.0).reshape(4, 2))
+        assert est.stats.solve.n_flushes == 0
+        assert est.stats.solve.total_seconds == 0.0

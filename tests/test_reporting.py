@@ -206,3 +206,64 @@ class TestFactorReuse:
         np.testing.assert_allclose(
             stats.errors, disabled.errors, rtol=1e-9, atol=1e-12
         )
+
+
+class TestSolvePhases:
+    def _stats(self, **overrides):
+        defaults = dict(
+            benchmark="fir",
+            metric_kind=MetricKind.NOISE_POWER_DB,
+            distance=3.0,
+            nn_min=1,
+            n_configs=40,
+            n_interpolated=25,
+            n_simulated=15,
+            mean_neighbors=2.4,
+            errors=np.zeros(25),
+            solve_phases=(
+                ("assembly_seconds", 0.6),
+                ("factorize_seconds", 0.3),
+                ("backsolve_seconds", 0.1),
+                ("n_flushes", 12.0),
+            ),
+        )
+        defaults.update(overrides)
+        return ReplayStats(**defaults)
+
+    def test_renders_split_with_shares(self):
+        from repro.experiments.reporting import format_solve_phases
+
+        line = format_solve_phases(self._stats())
+        assert "assembly=0.600s" in line
+        assert "60.0%" in line
+        assert "factorize=0.300s" in line
+        assert "backsolve=0.100s" in line
+        assert "flushes=12" in line
+
+    def test_no_flushes_placeholder(self):
+        from repro.experiments.reporting import format_solve_phases
+
+        assert "n/a" in format_solve_phases(self._stats(solve_phases=()))
+
+    def test_accessor_defaults_to_zero(self):
+        stats = self._stats()
+        assert stats.solve_phase("assembly_seconds") == pytest.approx(0.6)
+        assert stats.solve_phase("no_such_phase") == 0.0
+
+    def test_replay_surfaces_solve_phase_split(self):
+        """End to end: the estimator's per-flush phase split reaches
+        ReplayStats whenever the replay interpolates anything."""
+        rng = np.random.default_rng(6)
+        configs = np.unique(rng.integers(2, 8, size=(60, 2)), axis=0)
+        values = configs.astype(float) @ np.array([-2.0, -1.0])
+        stats = replay_trajectory(
+            configs, values, distance=4, variogram="exponential"
+        )
+        assert stats.n_interpolated > 0
+        phases = dict(stats.solve_phases)
+        assert phases["n_flushes"] >= 1.0
+        assert (
+            phases["assembly_seconds"]
+            + phases["factorize_seconds"]
+            + phases["backsolve_seconds"]
+        ) > 0.0

@@ -124,8 +124,13 @@ class TestEstimatorState:
     def test_roundtrip_preserves_stats_and_decisions(self):
         est, pts = self._loaded(variogram="auto", min_fit_points=6, refit_interval=7)
         state = est.to_state()
-        manifest = _json_roundtrip({k: v for k, v in state.items() if k != "cache"})
+        # "cache" and "factor_entries" hold raw arrays (NPZ members in the
+        # file format); everything else must survive a JSON round trip.
+        manifest = _json_roundtrip(
+            {k: v for k, v in state.items() if k not in ("cache", "factor_entries")}
+        )
         manifest["cache"] = state["cache"]
+        manifest["factor_entries"] = state["factor_entries"]
         twin_a = KrigingEstimator.from_state(self._simulate, manifest)
         twin_b = KrigingEstimator.from_state(self._simulate, manifest)
 
@@ -214,11 +219,26 @@ class TestSessionSnapshotFile:
             again["estimator"]["cache"]["values"],
         )
         def strip(state):
-            return {k: v for k, v in state["estimator"].items() if k != "cache"}
+            return {
+                k: v
+                for k, v in state["estimator"].items()
+                if k not in ("cache", "factor_entries")
+            }
 
         assert json.dumps(strip(first), sort_keys=True) == json.dumps(
             strip(again), sort_keys=True
         )
+        # The factor-cache section (format v2) round-trips byte for byte.
+        fe_first = first["estimator"]["factor_entries"]
+        fe_again = again["estimator"]["factor_entries"]
+        assert (fe_first is None) == (fe_again is None)
+        if fe_first is not None:
+            assert len(fe_first["entries"]) == len(fe_again["entries"])
+            for a, b in zip(fe_first["entries"], fe_again["entries"]):
+                assert a["shift"] == b["shift"]
+                np.testing.assert_array_equal(a["rows"], b["rows"])
+                np.testing.assert_array_equal(a["gamma"], b["gamma"])
+                np.testing.assert_array_equal(a["chol"], b["chol"])
 
     def test_dimension_mismatch_rejected(self, tmp_path):
         simulate, nv = make_simulator({"kind": "linear"}, 2)

@@ -1,0 +1,265 @@
+"""Shared-memory arena and zero-copy solve path (:mod:`repro.core.shm`).
+
+The arena's contract: published arrays re-attach bitwise, appends copy
+incrementally into the same segment, a capacity regrow allocates a fresh
+segment under a new generation (the worker memo's invalidation key), and
+``close`` unlinks everything idempotently.  The solve path's contract:
+``ordinary_kriging_grouped_shm`` answers bit-identically to every other
+backend, and failures degrade structurally (``ShmAttachError`` → pickled
+dispatch, one warning) instead of wedging a flush.
+"""
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import estimator as estimator_module
+from repro.core import shm
+from repro.core.estimator import KrigingEstimator
+from repro.core.kriging import (
+    ordinary_kriging_grouped,
+    ordinary_kriging_grouped_shm,
+)
+from repro.core.models import ExponentialVariogram
+from repro.core.shm import (
+    CacheSpec,
+    ShmArena,
+    ShmAttachError,
+    attach_cache,
+    attach_flush,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+VARIOGRAM = ExponentialVariogram(sill=25.0, range_=8.0)
+
+
+def _pool(rng, n, dim=4):
+    points = rng.uniform(0.0, 9.0, size=(n, dim))
+    values = points.sum(axis=1)
+    return points, values
+
+
+class TestArena:
+    def test_cache_publish_attach_bitwise(self):
+        rng = np.random.default_rng(0)
+        points, values = _pool(rng, 37)
+        arena = ShmArena()
+        try:
+            spec = arena.publish_cache(points, values)
+            got_points, got_values = attach_cache(spec)
+            np.testing.assert_array_equal(got_points, points)
+            np.testing.assert_array_equal(got_values, values)
+        finally:
+            arena.close()
+
+    def test_incremental_append_same_segment(self):
+        rng = np.random.default_rng(1)
+        points, values = _pool(rng, 20)
+        arena = ShmArena()
+        try:
+            first = arena.publish_cache(points[:10], values[:10])
+            second = arena.publish_cache(points, values)
+            # Under capacity: same segment, same generation, more rows.
+            assert second.name == first.name
+            assert second.generation == first.generation
+            assert second.rows == 20
+            got_points, got_values = attach_cache(second)
+            np.testing.assert_array_equal(got_points, points)
+            np.testing.assert_array_equal(got_values, values)
+        finally:
+            arena.close()
+
+    def test_regrow_bumps_generation_and_renames(self):
+        rng = np.random.default_rng(2)
+        points, values = _pool(rng, 70)
+        arena = ShmArena()
+        try:
+            small = arena.publish_cache(points[:60], values[:60])
+            big_points, big_values = _pool(rng, small.capacity + 1)
+            grown = arena.publish_cache(big_points, big_values)
+            assert grown.name != small.name
+            assert grown.generation > small.generation
+            got_points, _ = attach_cache(grown)
+            np.testing.assert_array_equal(got_points, big_points)
+        finally:
+            arena.close()
+
+    def test_flush_publish_attach_bitwise(self):
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 100, size=55).astype(np.int64)
+        queries = rng.uniform(0.0, 9.0, size=(13, 4))
+        arena = ShmArena()
+        try:
+            spec = arena.publish_flush(rows, queries)
+            got_rows, got_queries = attach_flush(spec)
+            np.testing.assert_array_equal(got_rows, rows)
+            np.testing.assert_array_equal(got_queries, queries)
+            # Overwritten in place on the next flush (same capacity).
+            spec2 = arena.publish_flush(rows[:5] + 1, queries[:3] + 0.5)
+            assert spec2.name == spec.name
+            got_rows2, got_queries2 = attach_flush(spec2)
+            np.testing.assert_array_equal(got_rows2, rows[:5] + 1)
+            np.testing.assert_array_equal(got_queries2, queries[:3] + 0.5)
+        finally:
+            arena.close()
+
+    def test_close_idempotent_and_publish_after_close_raises(self):
+        arena = ShmArena()
+        arena.publish_cache(np.zeros((3, 2)), np.zeros(3))
+        arena.close()
+        arena.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.publish_cache(np.zeros((3, 2)), np.zeros(3))
+
+    def test_attach_unknown_segment_raises_structured(self):
+        spec = CacheSpec(
+            name="repro-no-such-segment", generation=999, rows=1, dim=1, capacity=64
+        )
+        with pytest.raises(ShmAttachError, match="cannot attach"):
+            attach_cache(spec)
+
+    def test_round_capacity_powers_of_two(self):
+        assert shm._round_capacity(0) == 64
+        assert shm._round_capacity(64) == 64
+        assert shm._round_capacity(65) == 128
+        assert shm._round_capacity(1000) == 1024
+
+
+def _groups(rng, n_groups=8, sizes=(12, 16), m=3, n_pool=96, dim=4):
+    points, values = _pool(rng, n_pool, dim)
+    supports, queries_list = [], []
+    for g in range(n_groups):
+        size = sizes[g % len(sizes)]
+        rows = rng.choice(n_pool, size=size, replace=False).astype(np.int64)
+        supports.append(rows)
+        queries_list.append(
+            points[rows[0]][None, :] + rng.uniform(0.05, 0.45, size=(m, dim))
+        )
+    return points, values, supports, queries_list
+
+
+def _flat(results):
+    return [(r.estimate, r.variance) for group in results for r in group]
+
+
+class TestShmSolvePath:
+    @pytest.mark.parametrize("stacking", [False, True])
+    def test_shm_grouped_bitwise_matches_serial(self, stacking):
+        """The shm dispatch is a transport knob only: workers rebuild the
+        exact ``points[rows]`` gathers, so every bit matches the serial
+        reference (with stacking on or off)."""
+        rng = np.random.default_rng(7)
+        points, values, supports, queries_list = _groups(rng)
+        groups = [
+            (points[rows], values[rows], queries)
+            for rows, queries in zip(supports, queries_list)
+        ]
+        reference = ordinary_kriging_grouped(
+            groups, VARIOGRAM, n_jobs=1, stacking=stacking
+        )
+        arena = ShmArena()
+        try:
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                via_shm = ordinary_kriging_grouped_shm(
+                    arena, points, values, supports, queries_list, VARIOGRAM,
+                    n_jobs=2, executor=pool, stacking=stacking,
+                )
+        finally:
+            arena.close()
+        assert _flat(via_shm) == _flat(reference)
+
+    def test_shm_single_worker_avoids_segments(self):
+        """n_jobs=1 delegates to the serial path without touching the arena."""
+        rng = np.random.default_rng(8)
+        points, values, supports, queries_list = _groups(rng, n_groups=3)
+        arena = ShmArena()
+        try:
+            results = ordinary_kriging_grouped_shm(
+                arena, points, values, supports, queries_list, VARIOGRAM, n_jobs=1
+            )
+            assert arena._cache_seg is None  # nothing was published
+        finally:
+            arena.close()
+        groups = [
+            (points[rows], values[rows], queries)
+            for rows, queries in zip(supports, queries_list)
+        ]
+        assert _flat(results) == _flat(
+            ordinary_kriging_grouped(groups, VARIOGRAM, n_jobs=1)
+        )
+
+    def test_shm_length_mismatch_rejected(self):
+        arena = ShmArena()
+        try:
+            with pytest.raises(ValueError, match="supports length"):
+                ordinary_kriging_grouped_shm(
+                    arena,
+                    np.zeros((4, 2)),
+                    np.zeros(4),
+                    [np.array([0, 1])],
+                    [],
+                    VARIOGRAM,
+                )
+        finally:
+            arena.close()
+
+
+class TestEstimatorDegradation:
+    def _simulate(self, config):
+        c = np.asarray(config, dtype=float)
+        return float(c @ np.resize(np.array([1.0, -2.0, 0.5]), c.size) - 6.0)
+
+    def test_shm_true_unavailable_falls_back_with_one_warning(self, monkeypatch):
+        """``shm=True`` where shared memory is missing: thread backend,
+        exactly one warning per process."""
+        monkeypatch.setattr(estimator_module, "shm_available", lambda: False)
+        monkeypatch.setattr(estimator_module, "_SHM_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="shared_memory is unavailable"):
+            est = KrigingEstimator(
+                self._simulate, 3, backend="process", n_jobs=2, shm=True
+            )
+        assert est.backend == "thread"
+        assert not est._shm_enabled
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second construction: silent
+            KrigingEstimator(self._simulate, 3, backend="process", n_jobs=2, shm=True)
+
+    def test_attach_failure_disables_shm_and_answers_via_pickled(self, monkeypatch):
+        """A worker-side ShmAttachError mid-flush: the flush still completes
+        (pickled path), shm stays off for the estimator's lifetime, one
+        warning is emitted."""
+
+        def broken_shm(*args, **kwargs):
+            raise ShmAttachError("cannot attach shared segment 'x': gone")
+
+        monkeypatch.setattr(
+            estimator_module, "ordinary_kriging_grouped_shm", broken_shm
+        )
+        rng = np.random.default_rng(9)
+        pts = np.unique(rng.integers(0, 6, size=(60, 3)), axis=0).astype(float)
+        with KrigingEstimator(
+            self._simulate, 3, distance=4.0, n_jobs=2, backend="process", shm=True
+        ) as est:
+            assert est._shm_enabled
+            with pytest.warns(RuntimeWarning, match="solve path disabled"):
+                est.evaluate_batch(pts)
+                out = est.evaluate_batch(pts[:20] + 0.25)
+            assert not est._shm_enabled
+            assert est._arena is None  # segments unlinked on disable
+            assert all(o.interpolated for o in out)
+
+            # Reference: the same replay with shm off is bit-identical.
+            with KrigingEstimator(
+                self._simulate, 3, distance=4.0, n_jobs=2,
+                backend="process", shm=False,
+            ) as twin:
+                twin.evaluate_batch(pts)
+                ref = twin.evaluate_batch(pts[:20] + 0.25)
+            assert [o.value for o in out] == [o.value for o in ref]
+            assert [o.variance for o in out] == [o.variance for o in ref]

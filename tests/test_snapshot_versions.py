@@ -1,0 +1,182 @@
+"""Snapshot format-version compatibility (:mod:`repro.service.session`).
+
+Format v2 added the factor-cache section (warm-start restores).  The
+compatibility contract: the current version round-trips the factor cache
+byte for byte and replays with **zero** fresh factorizations; a version-1
+snapshot restores cold *silently*; a corrupted factor section degrades to
+a cold restore with a warning instead of failing the load; an unknown
+version is rejected outright.
+"""
+
+import json
+import warnings
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import KrigingEstimator
+from repro.service.session import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    save_snapshot,
+)
+
+COEFFS = np.array([1.0, -2.0, 0.5, 0.25])
+
+
+def _simulate(config):
+    c = np.asarray(config, dtype=float)
+    return float(c @ np.resize(COEFFS, c.size) - 6.0)
+
+
+def _warm_session(tmp_path):
+    """A snapshotted session whose factor cache is warm, plus its queries."""
+    rng = np.random.default_rng(17)
+    est = KrigingEstimator(_simulate, 3, distance=4.0, nn_min=1, variogram="linear")
+    pts = np.unique(rng.integers(0, 6, size=(120, 3)), axis=0).astype(float)
+    for p in pts:
+        row = est.cache.add(p, _simulate(p))
+        est.neighbor_index.insert(p, row)
+    queries = pts[:12] + 0.25
+    est.evaluate_batch(queries)
+    assert dict(est.stats.factor.as_pairs())["fresh"] > 0
+    path = save_snapshot(
+        tmp_path / "warm",
+        {
+            "name": "versions",
+            "simulator": {"kind": "linear", "num_variables": 3},
+            "estimator": est.to_state(),
+        },
+    )
+    return est, path, queries
+
+
+def _fresh_delta(state, queries):
+    est = KrigingEstimator.from_state(_simulate, state)
+    before = dict(est.stats.factor.as_pairs())["fresh"]
+    est.evaluate_batch(queries)
+    return dict(est.stats.factor.as_pairs())["fresh"] - before
+
+
+def _rewrite(src, dst, *, drop=(), patch_manifest=None):
+    """Copy an .npz, dropping members and/or editing the JSON manifest."""
+    with zipfile.ZipFile(src) as zin, zipfile.ZipFile(dst, "w") as zout:
+        for info in zin.infolist():
+            if info.filename.removesuffix(".npy") in drop:
+                continue
+            data = zin.read(info.filename)
+            if info.filename == "manifest.npy" and patch_manifest is not None:
+                # The manifest member is a raw uint8 .npy; its JSON payload
+                # sits after the numpy header.
+                header_end = data.index(b"\n") + 1
+                manifest = json.loads(data[header_end:].decode())
+                manifest = patch_manifest(manifest)
+                payload = json.dumps(manifest).encode()
+                arr = np.frombuffer(payload, dtype=np.uint8)
+                import io
+
+                buf = io.BytesIO()
+                np.save(buf, arr)
+                data = buf.getvalue()
+            zout.writestr(info.filename, data)
+    return dst
+
+
+class TestCurrentVersion:
+    def test_factor_cache_roundtrips_byte_for_byte(self, tmp_path):
+        est, path, _ = _warm_session(tmp_path)
+        source = est.to_state()["factor_entries"]
+        restored = load_snapshot(path)["estimator"]["factor_entries"]
+        assert restored is not None
+        assert restored["version"] == source["version"]
+        assert len(restored["entries"]) == len(source["entries"])
+        for a, b in zip(source["entries"], restored["entries"]):
+            assert a["shift"] == b["shift"]
+            np.testing.assert_array_equal(a["rows"], b["rows"])
+            np.testing.assert_array_equal(a["gamma"], b["gamma"])
+            np.testing.assert_array_equal(a["chol"], b["chol"])
+
+    def test_warm_restore_refactorizes_nothing(self, tmp_path):
+        _, path, queries = _warm_session(tmp_path)
+        state = load_snapshot(path)["estimator"]
+        assert _fresh_delta(state, queries) == 0
+        # Stripping the section reproduces the cold (v1) behaviour.
+        assert _fresh_delta({**state, "factor_entries": None}, queries) > 0
+
+    def test_two_restores_do_not_share_factors(self, tmp_path):
+        """Entries are copied per restore: rank-1 updates in one twin must
+        not leak into the other's factors."""
+        _, path, queries = _warm_session(tmp_path)
+        state = load_snapshot(path)["estimator"]
+        twin_a = KrigingEstimator.from_state(_simulate, state)
+        twin_b = KrigingEstimator.from_state(_simulate, state)
+        twin_a.cache.add([9.0, 9.0, 9.0], _simulate([9.0, 9.0, 9.0]))
+        twin_a.neighbor_index.insert(
+            np.array([9.0, 9.0, 9.0]), len(twin_a.cache) - 1
+        )
+        out_a = twin_a.evaluate_batch(queries)
+        out_b = twin_b.evaluate_batch(queries)
+        del out_a
+        # twin_b's factors are untouched by twin_a's updates: replaying the
+        # original queries stays warm and bitwise-stable.
+        ref = KrigingEstimator.from_state(_simulate, load_snapshot(path)["estimator"])
+        out_ref = ref.evaluate_batch(queries)
+        assert [o.value for o in out_b] == [o.value for o in out_ref]
+
+
+class TestPreviousVersion:
+    def test_v1_snapshot_restores_cold_silently(self, tmp_path):
+        _, path, queries = _warm_session(tmp_path)
+        factor_members = [
+            name.removesuffix(".npy")
+            for name in zipfile.ZipFile(path).namelist()
+            if name.startswith("factor")
+        ]
+        assert factor_members  # the warm snapshot really has a section
+
+        def to_v1(manifest):
+            manifest["snapshot_version"] = 1
+            manifest["estimator"].pop("factor_section", None)
+            return manifest
+
+        v1 = _rewrite(path, tmp_path / "v1.npz", drop=factor_members,
+                      patch_manifest=to_v1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # silent: no deprecation theatre
+            state = load_snapshot(v1)
+        assert state["estimator"]["factor_entries"] is None
+        assert _fresh_delta(state["estimator"], queries) > 0  # cold, but works
+
+    def test_unknown_version_rejected(self, tmp_path):
+        _, path, _ = _warm_session(tmp_path)
+
+        def to_v99(manifest):
+            manifest["snapshot_version"] = SNAPSHOT_VERSION + 97
+            return manifest
+
+        bad = _rewrite(path, tmp_path / "v99.npz", patch_manifest=to_v99)
+        with pytest.raises(ValueError, match="unsupported snapshot version"):
+            load_snapshot(bad)
+
+
+class TestCorruption:
+    def test_missing_factor_member_degrades_to_cold(self, tmp_path):
+        _, path, queries = _warm_session(tmp_path)
+        truncated = _rewrite(path, tmp_path / "trunc.npz", drop=["factor0_chol"])
+        with pytest.warns(RuntimeWarning, match="corrupted factor-cache section"):
+            state = load_snapshot(truncated)
+        assert state["estimator"]["factor_entries"] is None
+        assert _fresh_delta(state["estimator"], queries) > 0
+
+    def test_shift_count_mismatch_degrades_to_cold(self, tmp_path):
+        _, path, _ = _warm_session(tmp_path)
+
+        def drop_a_shift(manifest):
+            manifest["estimator"]["factor_section"]["shifts"].pop()
+            return manifest
+
+        bad = _rewrite(path, tmp_path / "shift.npz", patch_manifest=drop_a_shift)
+        with pytest.warns(RuntimeWarning, match="corrupted factor-cache section"):
+            state = load_snapshot(bad)
+        assert state["estimator"]["factor_entries"] is None
