@@ -117,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
             report=result.report,
             config=result.config,
             samples=result.samples,
+            slow_traces=getattr(result, "slow_traces", ()),
         )
         print("experiment:", directory)
 

@@ -10,6 +10,10 @@ A provenance dir captures everything needed to reread or replay a run:
 ``samples.jsonl``
     Raw per-request samples from the runner's :class:`SampleLog`, one JSON
     object per line — the data behind the summarized percentiles.
+``slow_traces.json``
+    Slow traces the serving stack captured during the run (whole span
+    trees above the server's ``--slow-trace-ms`` threshold); only written
+    when the run captured any.
 ``README.md``
     Human summary with the replay command line.
 
@@ -54,6 +58,7 @@ def write_experiment(
     report: Mapping[str, Any],
     config: Mapping[str, Any],
     samples: Iterable[Mapping[str, Any]] = (),
+    slow_traces: Iterable[Mapping[str, Any]] = (),
 ) -> Path:
     """Populate a provenance dir with config, report, raw samples, README."""
     directory = Path(directory)
@@ -68,6 +73,12 @@ def write_experiment(
         for row in sample_rows:
             fh.write(json.dumps(dict(row)) + "\n")
 
+    trace_rows = [dict(trace) for trace in slow_traces]
+    if trace_rows:
+        (directory / "slow_traces.json").write_text(
+            json.dumps(trace_rows, indent=2) + "\n"
+        )
+
     name = config.get("name", report.get("benchmark", "unknown"))
     provenance = report.get("provenance", {}) if isinstance(report, Mapping) else {}
     lines = [
@@ -79,6 +90,8 @@ def write_experiment(
         f"- git commit: {provenance.get('git_commit')}",
         f"- timestamp: {provenance.get('timestamp')}",
         f"- raw samples: {len(sample_rows)} rows in `samples.jsonl`",
+        f"- captured slow traces: {len(trace_rows)}"
+        + (" (see `slow_traces.json`)" if trace_rows else ""),
         "",
         "Replay this run (the spec in `config.json` is authoritative):",
         "",

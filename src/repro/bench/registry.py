@@ -33,6 +33,9 @@ class RunResult:
     report: dict
     config: dict = field(default_factory=dict)
     samples: list = field(default_factory=list)
+    #: Slow traces the serving stack captured during the run (each one a
+    #: whole span tree); written to the provenance dir as slow_traces.json.
+    slow_traces: list = field(default_factory=list)
 
 
 @dataclass(frozen=True)

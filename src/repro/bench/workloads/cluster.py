@@ -54,8 +54,10 @@ from repro.bench.workloads.service import (
     NUM_VARIABLES,
     SESSION_KWARGS,
     SIMULATOR,
+    SLOW_TRACE_MS,
     _make_workload,
     _scenario_row,
+    _wire_waits,
 )
 from repro.core.estimator import KrigingEstimator
 from repro.core.models import variogram_from_state
@@ -170,15 +172,19 @@ def run_load(host: str, port: int, streams) -> dict:
     """All client streams at once, each on its own router connection."""
     latencies: list[float] = []
     values: dict[tuple[str, int], list[float]] = {}
+    waits: list[tuple] = []
 
     async def one(name: str, si: int, stream) -> None:
         async with await AsyncServiceClient.connect(host, port) as client:
             out = []
             for query in stream:
                 t0 = time.perf_counter()
-                outcome = await client.evaluate(name, query)
+                result = await client.request(
+                    "evaluate", session=name, config=list(query)
+                )
                 latencies.append(time.perf_counter() - t0)
-                out.append(outcome.value)
+                out.append(result["value"])
+                waits.append(_wire_waits(result))
             values[(name, si)] = out
 
     async def main():
@@ -190,7 +196,7 @@ def run_load(host: str, port: int, streams) -> dict:
     asyncio.run(main())
     seconds = time.perf_counter() - start
     ordered = [v for key in sorted(values) for v in values[key]]
-    return _scenario_row(seconds, latencies, ordered)
+    return _scenario_row(seconds, latencies, ordered, waits)
 
 
 # ---------------------------------------------------------------------------
@@ -347,6 +353,10 @@ class _SpawnedCluster:
                 "0.5",
                 "--health-interval",
                 "0.2",
+                # Slow requests (router + workers) capture their whole span
+                # tree; the run dumps them into the provenance dir.
+                "--slow-trace-ms",
+                str(float(SLOW_TRACE_MS)),
             ],
             env=env,
             stdout=subprocess.DEVNULL,
@@ -434,6 +444,10 @@ def run_benchmark(
             with tempfile.TemporaryDirectory(prefix="repro-bench-migr-") as tmp:
                 migration = run_migration_drill(client, pathlib.Path(tmp))
         failover = run_failover_drill(cluster.host, cluster.port, streams, support)
+        # Whatever the router + surviving workers captured above the
+        # slow-trace threshold rides into the provenance dir.
+        with ServiceClient(cluster.host, cluster.port, retries=3) as client:
+            slow_traces = client.traces().get("slow_traces", [])
     finally:
         cluster.stop()
 
@@ -475,6 +489,7 @@ def run_benchmark(
         "migration": migration,
         "failover": failover,
         "equivalence_ok": equivalence_ok,
+        "_slow_traces": slow_traces,  # stripped from the report; provenance only
         "acceptance": {
             "speedup_cluster_vs_single": speedup,
             "threshold": ACCEPTANCE_SPEEDUP,
@@ -500,6 +515,13 @@ def print_summary(report: dict) -> None:
             f"{name:<16s} {row['seconds']:>7.3f}s  {row['qps']:>8.1f} q/s  "
             f"p50={row['latency_ms']['p50']:.2f}ms  p99={row['latency_ms']['p99']:.2f}ms"
         )
+        if row.get("queue_wait_ms"):
+            print(
+                f"{'':<16s} waits: queue p50={row['queue_wait_ms']['p50']:.2f}ms "
+                f"p99={row['queue_wait_ms']['p99']:.2f}ms, "
+                f"flush p50={row['flush_wait_ms']['p50']:.2f}ms "
+                f"p99={row['flush_wait_ms']['p99']:.2f}ms"
+            )
     migration = report["migration"]
     print(
         f"migration: {migration['session']} {migration['source']}->{migration['target']} "
@@ -526,8 +548,12 @@ def print_summary(report: dict) -> None:
 def _extract_samples(report: dict) -> list[dict]:
     samples: list[dict] = []
     for name, row in (report.get("scenarios") or {}).items():
-        for seconds in row.get("_latencies", []):
-            samples.append({"label": name, "seconds": round(seconds, 6)})
+        waits = row.get("_waits") or []
+        for i, seconds in enumerate(row.get("_latencies", [])):
+            sample = {"label": name, "seconds": round(seconds, 6)}
+            if i < len(waits):
+                sample["queue_wait_ms"], sample["flush_wait_ms"] = waits[i]
+            samples.append(sample)
     return samples
 
 
@@ -546,8 +572,14 @@ def run(name: str, args: argparse.Namespace) -> RunResult:
         repetitions=spec.repetitions,
     )
     samples = _extract_samples(body)
+    slow_traces = body.pop("_slow_traces", [])
     report = finalize_report("cluster", body, seed=spec.seed, argv=sys.argv[1:])
-    return RunResult(report=report, config=spec.to_config(), samples=samples)
+    return RunResult(
+        report=report,
+        config=spec.to_config(),
+        samples=samples,
+        slow_traces=slow_traces,
+    )
 
 
 def main(argv: list[str] | None = None, default_output: pathlib.Path | None = None) -> int:

@@ -169,9 +169,14 @@ def _make_workload(n_support: int, queries_per_client: int, seed: int = WORKLOAD
     return support, streams
 
 
-def _scenario_row(seconds: float, latencies: list[float], values: list[float]) -> dict:
+def _scenario_row(
+    seconds: float,
+    latencies: list[float],
+    values: list[float],
+    waits: list[tuple] | None = None,
+) -> dict:
     n = len(latencies)
-    return {
+    row = {
         "n_queries": n,
         "seconds": round(seconds, 6),
         "qps": round(n / seconds, 2),
@@ -179,6 +184,16 @@ def _scenario_row(seconds: float, latencies: list[float], values: list[float]) -
         "_values": values,  # stripped before writing; equivalence check only
         "_latencies": list(latencies),  # stripped; raw samples for provenance
     }
+    if waits:
+        # Per-request hop timings the server stamps on every coalesced
+        # evaluate response: time spent in the micro-batcher queue and in
+        # the flush that solved it (latency_summary wants seconds).
+        queue = [w[0] / 1000.0 for w in waits if isinstance(w[0], (int, float))]
+        flush = [w[1] / 1000.0 for w in waits if isinstance(w[1], (int, float))]
+        row["queue_wait_ms"] = latency_summary(queue)
+        row["flush_wait_ms"] = latency_summary(flush)
+        row["_waits"] = [list(w) for w in waits]
+    return row
 
 
 def _seed_session(client: ServiceClient, session: str, support, *, max_batch: int) -> None:
@@ -195,38 +210,57 @@ def _seed_session(client: ServiceClient, session: str, support, *, max_batch: in
         client.simulate_many(session, rows[start : start + 500])
 
 
+def _wire_waits(result: dict) -> tuple:
+    return (result.get("queue_wait_ms"), result.get("flush_wait_ms"))
+
+
 def run_sequential(client: ServiceClient, session: str, streams) -> dict:
     """Each client's loop in turn, one blocking round trip per query."""
     latencies: list[float] = []
     values: list[float] = []
+    waits: list[tuple] = []
     start = time.perf_counter()
     for stream in streams:
         for query in stream:
             t0 = time.perf_counter()
-            outcome = client.evaluate(session, query)
+            result = client.request("evaluate", session=session, config=list(query))
             latencies.append(time.perf_counter() - t0)
-            values.append(outcome.value)
-    return _scenario_row(time.perf_counter() - start, latencies, values)
+            values.append(result["value"])
+            waits.append(_wire_waits(result))
+    return _scenario_row(time.perf_counter() - start, latencies, values, waits)
 
 
-async def _client_loop(host, port, session, stream, latencies, values):
-    async with await AsyncServiceClient.connect(host, port) as client:
+async def _client_loop(
+    host, port, session, stream, latencies, values, waits, trace_sample=0.0
+):
+    async with await AsyncServiceClient.connect(
+        host, port, trace_sample=trace_sample
+    ) as client:
         for query in stream:
             t0 = time.perf_counter()
-            outcome = await client.evaluate(session, query)
+            result = await client.request(
+                "evaluate", session=session, config=list(query)
+            )
             latencies.append((query, time.perf_counter() - t0))
-            values.append((tuple(query), outcome.value))
+            values.append((tuple(query), result["value"]))
+            waits.append(_wire_waits(result))
 
 
-def run_concurrent(host: str, port: int, session: str, streams) -> dict:
+def run_concurrent(
+    host: str, port: int, session: str, streams, *, trace_sample: float = 0.0
+) -> dict:
     """All client loops at once, each on its own connection."""
     latencies: list = []
     values: list = []
+    waits: list = []
 
     async def main():
         await asyncio.gather(
             *(
-                _client_loop(host, port, session, stream, latencies, values)
+                _client_loop(
+                    host, port, session, stream, latencies, values, waits,
+                    trace_sample,
+                )
                 for stream in streams
             )
         )
@@ -236,10 +270,12 @@ def run_concurrent(host: str, port: int, session: str, streams) -> dict:
     seconds = time.perf_counter() - start
     by_query = {key: value for key, value in values}
     ordered = [by_query[tuple(q)] for stream in streams for q in stream]
-    return _scenario_row(seconds, [lat for _, lat in latencies], ordered)
+    return _scenario_row(seconds, [lat for _, lat in latencies], ordered, waits)
 
 
-async def _open_loop_client(host, port, session, stream, rate_hz, latencies, values):
+async def _open_loop_client(
+    host, port, session, stream, rate_hz, latencies, values, waits
+):
     """One paced client: requests due at ``i / rate_hz``; each latency is
     measured from the request's *scheduled* arrival, so a response that
     blocks the connection pushes schedule slip into the next latencies."""
@@ -251,9 +287,12 @@ async def _open_loop_client(host, port, session, stream, rate_hz, latencies, val
             delay = due - (time.perf_counter() - t0)
             if delay > 0:
                 await asyncio.sleep(delay)
-            outcome = await client.evaluate(session, query)
+            result = await client.request(
+                "evaluate", session=session, config=list(query)
+            )
             latencies.append((query, time.perf_counter() - t0 - due))
-            values.append((tuple(query), outcome.value))
+            values.append((tuple(query), result["value"]))
+            waits.append(_wire_waits(result))
 
 
 def run_open_loop(
@@ -262,12 +301,13 @@ def run_open_loop(
     """All clients on fixed arrival schedules against the batched session."""
     latencies: list = []
     values: list = []
+    waits: list = []
 
     async def main():
         await asyncio.gather(
             *(
                 _open_loop_client(
-                    host, port, session, stream, rate_hz, latencies, values
+                    host, port, session, stream, rate_hz, latencies, values, waits
                 )
                 for stream in streams
             )
@@ -278,7 +318,7 @@ def run_open_loop(
     seconds = time.perf_counter() - start
     by_query = {key: value for key, value in values}
     ordered = [by_query[tuple(q)] for stream in streams for q in stream]
-    row = _scenario_row(seconds, [lat for _, lat in latencies], ordered)
+    row = _scenario_row(seconds, [lat for _, lat in latencies], ordered, waits)
     row["offered_rate_hz"] = round(rate_hz * len(streams), 2)
     return row
 
@@ -368,6 +408,14 @@ def run_benchmark(
         scenarios["concurrent_batched"] = best_of(
             "bench-batched", MAX_BATCH, lambda s: run_concurrent(host, port, s, streams)
         )
+        # The batched scenario again with every request traced end to end:
+        # the qps delta is the tracing overhead, and the value-equivalence
+        # check below proves tracing never touches the numerics.
+        scenarios["concurrent_batched_traced"] = best_of(
+            "bench-traced",
+            MAX_BATCH,
+            lambda s: run_concurrent(host, port, s, streams, trace_sample=1.0),
+        )
         # Open-loop rides on its own batched session, once (fixed offered
         # load: best-of-N would only pick the luckiest schedule).
         scenarios["open_loop"] = best_of(
@@ -376,13 +424,21 @@ def run_benchmark(
             lambda s: run_open_loop(host, port, s, streams, open_loop_rate_hz),
         )
 
-        # Pure-scheduling contract: all scenarios answered identically.
+        # Pure-scheduling contract: all scenarios answered identically
+        # (tracing included — observability must be invisible to results).
         reference = scenarios["sequential"].pop("_values")
-        for name in ("concurrent_unbatched", "concurrent_batched", "open_loop"):
+        for name in (
+            "concurrent_unbatched",
+            "concurrent_batched",
+            "concurrent_batched_traced",
+            "open_loop",
+        ):
             np.testing.assert_allclose(
                 reference, scenarios[name].pop("_values"), rtol=1e-9, atol=1e-12
             )
-        for name in ("bench-seq", "bench-solo", "bench-batched", "bench-open"):
+        for name in (
+            "bench-seq", "bench-solo", "bench-batched", "bench-traced", "bench-open"
+        ):
             stats = client.stats(name)
             assert stats["n_simulated"] == len(support), (
                 f"{name}: {stats['n_simulated']} simulations != {len(support)} "
@@ -395,6 +451,19 @@ def run_benchmark(
             snapshot = run_snapshot_roundtrip(
                 client, "bench-batched", streams, pathlib.Path(tmp)
             )
+
+        # Whatever the server promoted to its slow-trace buffer during the
+        # run rides into the provenance dir (slow_traces.json).
+        slow_traces = client.traces().get("slow_traces", [])
+
+    traced_qps = scenarios["concurrent_batched_traced"]["qps"]
+    untraced_qps = scenarios["concurrent_batched"]["qps"]
+    tracing = {
+        "sample_rate": 1.0,
+        "qps_untraced": untraced_qps,
+        "qps_traced": traced_qps,
+        "overhead_pct": round(100.0 * (untraced_qps / traced_qps - 1.0), 2),
+    }
 
     speedup_seq = round(
         scenarios["concurrent_batched"]["qps"] / scenarios["sequential"]["qps"], 2
@@ -421,6 +490,8 @@ def run_benchmark(
         "scenarios": scenarios,
         "batcher": batcher_stats,
         "snapshot": snapshot,
+        "tracing": tracing,
+        "_slow_traces": slow_traces,  # stripped from the report; provenance only
         "speedup_batched_vs_sequential": speedup_seq,
         "speedup_batched_vs_unbatched": speedup_solo,
         "acceptance": {
@@ -438,10 +509,16 @@ def run_benchmark(
 # ---------------------------------------------------------------------------
 # server lifecycle
 # ---------------------------------------------------------------------------
+#: Dispatch spans at least this slow are always captured by a spawned
+#: server, whatever the client sampling rate — they land in the provenance
+#: dir as ``slow_traces.json``.
+SLOW_TRACE_MS = 250.0
+
+
 class _SpawnedServer:
     """A ``repro serve`` subprocess on an ephemeral port."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, slow_trace_ms: float = SLOW_TRACE_MS) -> None:
         self._dir = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
         port_file = pathlib.Path(self._dir.name) / "port"
         env = dict(os.environ)
@@ -458,6 +535,8 @@ class _SpawnedServer:
                 "0",
                 "--port-file",
                 str(port_file),
+                "--slow-trace-ms",
+                str(float(slow_trace_ms)),
             ],
             env=env,
             stdout=subprocess.DEVNULL,
@@ -488,11 +567,32 @@ class _SpawnedServer:
 
 
 def print_summary(report: dict) -> None:
-    for name in ("sequential", "concurrent_unbatched", "concurrent_batched", "open_loop"):
+    for name in (
+        "sequential",
+        "concurrent_unbatched",
+        "concurrent_batched",
+        "concurrent_batched_traced",
+        "open_loop",
+    ):
         row = report["scenarios"][name]
         print(
-            f"{name:<22s} {row['seconds']:>7.3f}s  {row['qps']:>8.1f} q/s  "
+            f"{name:<25s} {row['seconds']:>7.3f}s  {row['qps']:>8.1f} q/s  "
             f"p50={row['latency_ms']['p50']:.2f}ms  p99={row['latency_ms']['p99']:.2f}ms"
+        )
+    batched = report["scenarios"]["concurrent_batched"]
+    if batched.get("queue_wait_ms"):
+        print(
+            f"batched waits: queue p50={batched['queue_wait_ms']['p50']:.2f}ms "
+            f"p99={batched['queue_wait_ms']['p99']:.2f}ms, "
+            f"flush p50={batched['flush_wait_ms']['p50']:.2f}ms "
+            f"p99={batched['flush_wait_ms']['p99']:.2f}ms"
+        )
+    tracing = report.get("tracing", {})
+    if tracing:
+        print(
+            f"tracing: {tracing['qps_traced']:.1f} q/s traced vs "
+            f"{tracing['qps_untraced']:.1f} untraced "
+            f"({tracing['overhead_pct']:+.1f}% overhead)"
         )
     batcher = report["batcher"]
     print(
@@ -515,8 +615,12 @@ def _extract_samples(report: dict) -> list[dict]:
     """Pull the private per-request latency lists into provenance rows."""
     samples: list[dict] = []
     for name, row in (report.get("scenarios") or {}).items():
-        for seconds in row.get("_latencies", []):
-            samples.append({"label": name, "seconds": round(seconds, 6)})
+        waits = row.get("_waits") or []
+        for i, seconds in enumerate(row.get("_latencies", [])):
+            sample = {"label": name, "seconds": round(seconds, 6)}
+            if i < len(waits):
+                sample["queue_wait_ms"], sample["flush_wait_ms"] = waits[i]
+            samples.append(sample)
     return samples
 
 
@@ -559,8 +663,14 @@ def run(name: str, args: argparse.Namespace) -> RunResult:
         if server is not None:
             server.stop()
     samples = _extract_samples(body)
+    slow_traces = body.pop("_slow_traces", [])
     report = finalize_report("service", body, seed=spec.seed, argv=sys.argv[1:])
-    return RunResult(report=report, config=spec.to_config(), samples=samples)
+    return RunResult(
+        report=report,
+        config=spec.to_config(),
+        samples=samples,
+        slow_traces=slow_traces,
+    )
 
 
 def main(argv: list[str] | None = None, default_output: pathlib.Path | None = None) -> int:

@@ -68,6 +68,35 @@ def _jobs_arg(value: str) -> int:
     return jobs
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability knobs shared by ``serve`` and ``cluster``."""
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve GET /metrics (Prometheus text) on this extra port",
+    )
+    parser.add_argument(
+        "--slow-trace-ms",
+        type=float,
+        default=None,
+        help="always capture (and log) traces whose root span is at least "
+        "this slow, regardless of the client sampling rate",
+    )
+    parser.add_argument(
+        "--trace-ring",
+        type=int,
+        default=2048,
+        help="finished spans kept per process (oldest evicted first)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="structured (JSON lines) log level on stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -172,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="micro-batcher: flush an incomplete batch after this delay",
     )
+    _add_obs_args(p_serve)
 
     p_cluster = sub.add_parser(
         "cluster", help="run a sharded multi-worker kriging cluster"
@@ -251,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=250.0,
         help="circuit breaker: cool-off before the half-open probe",
     )
+    _add_obs_args(p_cluster)
 
     p_client = sub.add_parser("client", help="talk to a running service")
     p_client.add_argument("--host", default="127.0.0.1")
@@ -289,6 +320,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     v_stats = verb.add_parser("stats", help="session (or whole-service) statistics")
     v_stats.add_argument("session", nargs="?", default=None)
+
+    v_metrics = verb.add_parser(
+        "metrics",
+        help="unified metrics snapshot (a cluster router aggregates its fleet)",
+    )
+    v_metrics.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print Prometheus text exposition instead of JSON",
+    )
+
+    v_traces = verb.add_parser(
+        "traces", help="recent spans and captured slow traces"
+    )
+    v_traces.add_argument(
+        "--trace-id", default=None, help="only spans of this trace"
+    )
 
     v_snap = verb.add_parser("snapshot", help="snapshot a session to disk")
     v_snap.add_argument("session")
@@ -392,6 +440,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             snapshot_dir=args.snapshot_dir,
             max_batch=args.max_batch,
             max_delay_ms=args.max_delay_ms,
+            slow_trace_ms=args.slow_trace_ms,
+            trace_ring=args.trace_ring,
+            metrics_port=args.metrics_port,
+            log_level=args.log_level,
             port_file=args.port_file,
             on_ready=lambda host, port: print(
                 f"repro service listening on {host}:{port}", flush=True
@@ -420,6 +472,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             worker_timeout=args.worker_timeout,
             breaker_threshold=args.breaker_threshold,
             breaker_reset_ms=args.breaker_reset_ms,
+            slow_trace_ms=args.slow_trace_ms,
+            trace_ring=args.trace_ring,
+            metrics_port=args.metrics_port,
+            log_level=args.log_level,
             port_file=args.port_file,
             on_ready=lambda host, port: print(
                 f"repro cluster router listening on {host}:{port} "
@@ -467,6 +523,16 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 result = client.fit(args.session)
             elif args.verb == "stats":
                 result = client.stats(args.session)
+            elif args.verb == "metrics":
+                families = client.metrics()
+                if args.prometheus:
+                    from repro.obs.metrics import render_prometheus
+
+                    print(render_prometheus(families), end="")
+                    return 0
+                result = {"families": families}
+            elif args.verb == "traces":
+                result = client.traces(trace_id=args.trace_id)
             elif args.verb == "snapshot":
                 result = client.snapshot(args.session, name=args.name, path=args.path)
             elif args.verb == "restore":

@@ -33,6 +33,7 @@ from repro.cluster.migration import migrate_session, restore_lost_sessions
 from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
 from repro.cluster.router import ClusterRouter, WorkerHandle
 from repro.cluster.supervisor import WorkerSupervisor
+from repro.obs.logs import configure_logging
 
 __all__ = [
     "AdmissionController",
@@ -65,6 +66,10 @@ def run_cluster(
     worker_timeout: float = 30.0,
     breaker_threshold: int = 3,
     breaker_reset_ms: float = 250.0,
+    slow_trace_ms: float | None = None,
+    trace_ring: int = 2048,
+    metrics_port: int | None = None,
+    log_level: str = "info",
     port_file: object | None = None,
     on_ready: Callable[[str, int], None] | None = None,
 ) -> None:
@@ -78,6 +83,7 @@ def run_cluster(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    configure_logging(log_level)
 
     async def _amain(replicas: object) -> None:
         router = ClusterRouter(
@@ -87,6 +93,9 @@ def run_cluster(
             worker_timeout=worker_timeout,
             breaker_threshold=breaker_threshold,
             breaker_reset_ms=breaker_reset_ms,
+            slow_trace_ms=slow_trace_ms,
+            trace_ring=trace_ring,
+            metrics_port=metrics_port,
         )
         supervisor = WorkerSupervisor(
             router,
@@ -94,7 +103,11 @@ def run_cluster(
             replication_interval=replication_interval,
         )
         await supervisor.spawn_workers(
-            workers, host=host, max_batch=max_batch, max_delay_ms=max_delay_ms
+            workers,
+            host=host,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            slow_trace_ms=slow_trace_ms,
         )
         await router.serve(
             host, port, port_file=port_file, on_ready=on_ready, handle_signals=True

@@ -32,6 +32,7 @@ instead of sleeping.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Callable
 
@@ -55,6 +56,13 @@ class CircuitBreaker:
         is allowed to probe in its place.
     clock:
         Monotonic seconds source (injectable for tests).
+    on_trip / on_reset:
+        Optional observers: ``on_trip`` fires each time the breaker trips
+        open (closed→open and a failed half-open probe), ``on_reset`` when
+        a success closes a non-closed breaker.  The router hangs its
+        structured log lines here so the state machine itself stays free
+        of logging concerns.  Observer exceptions are swallowed — a broken
+        log sink must not change breaker behaviour.
     """
 
     def __init__(
@@ -63,6 +71,8 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_after_ms: float = 250.0,
         clock: Callable[[], float] = time.monotonic,
+        on_trip: Callable[[], None] | None = None,
+        on_reset: Callable[[], None] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
@@ -71,6 +81,8 @@ class CircuitBreaker:
         self.failure_threshold = int(failure_threshold)
         self.reset_after_ms = float(reset_after_ms)
         self._clock = clock
+        self._on_trip = on_trip
+        self._on_reset = on_reset
         self.state = CLOSED
         self.consecutive_failures = 0
         self.trips = 0
@@ -120,9 +132,13 @@ class CircuitBreaker:
     # ------------------------------------------------------------------
     def record_success(self) -> None:
         """A request reached the worker and got an answer (any answer)."""
+        recovered = self.state != CLOSED
         self.consecutive_failures = 0
         self.state = CLOSED
         self._probe_at = None
+        if recovered and self._on_reset is not None:
+            with contextlib.suppress(Exception):
+                self._on_reset()
 
     def record_failure(self) -> None:
         """A request failed at the transport level (reset, EOF, garbled
@@ -133,11 +149,15 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        if self.state != OPEN:
+        tripped = self.state != OPEN
+        if tripped:
             self.trips += 1
         self.state = OPEN
         self._opened_at = self._clock()
         self._probe_at = None
+        if tripped and self._on_trip is not None:
+            with contextlib.suppress(Exception):
+                self._on_trip()
 
     # ------------------------------------------------------------------
     def describe(self) -> dict:

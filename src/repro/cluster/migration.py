@@ -21,7 +21,10 @@ import asyncio
 import pathlib
 import time
 
+from repro.obs.logs import get_logger
 from repro.service.server import ServiceError
+
+logger = get_logger("cluster.migration")
 
 __all__ = [
     "STEP_TIMEOUT",
@@ -155,9 +158,15 @@ async def migrate_session(
             )
         except Exception as exc:  # noqa: BLE001 - post-commit cleanup only
             source_deleted = False
-            router.log(
-                f"migration of {session!r}: deleting the source copy on "
-                f"{source_id!r} failed (shadow copy left behind): {exc}"
+            logger.warning(
+                "migration committed but deleting the source copy failed; "
+                "a harmless shadow copy is left behind",
+                extra={
+                    "session": session,
+                    "source": source_id,
+                    "target": target,
+                    "reason": repr(exc),
+                },
             )
     finally:
         router.draining.pop(session, None)
@@ -211,8 +220,14 @@ async def restore_lost_sessions(router, dead) -> dict:
                     timeout=STEP_TIMEOUT,
                 )
             except Exception as exc:  # noqa: BLE001 - try the next candidate
-                router.log(
-                    f"failover: restoring {session!r} on {candidate!r} failed: {exc!r}"
+                logger.warning(
+                    "failover restore attempt failed; trying the next "
+                    "ring-preferred survivor",
+                    extra={
+                        "session": session,
+                        "candidate": candidate,
+                        "reason": repr(exc),
+                    },
                 )
                 continue
             target_id = candidate

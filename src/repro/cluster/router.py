@@ -47,13 +47,17 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import pathlib
-import sys
+import time
 from typing import Awaitable, Callable
 
 from repro.cluster import migration
 from repro.cluster.admission import AdmissionController, Overloaded, WorkerLost
-from repro.cluster.breaker import CircuitBreaker
+from repro.cluster.breaker import CLOSED, HALF_OPEN, CircuitBreaker
 from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.obs.httpexp import start_metrics_http
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry, aggregate_families
+from repro.obs.trace import Tracer
 from repro.service import protocol
 from repro.service.client import AsyncServiceClient
 from repro.service.protocol import RemoteError
@@ -77,7 +81,9 @@ def _forwarded(request: dict) -> dict:
     annotation (``_deadline`` is a live object, not JSON), and restamps
     ``deadline_ms`` with the budget actually *left* — the time the request
     spent queued at the router is gone and must not be granted again
-    downstream.
+    downstream.  ``parent_span`` is restamped the same way: the worker's
+    spans must hang under the router's dispatch span, not the client's
+    (``trace_id`` forwards untouched, as the wire contract says).
     """
     fields = {
         key: value
@@ -87,6 +93,10 @@ def _forwarded(request: dict) -> dict:
     deadline = request.get("_deadline")
     if deadline is not None:
         fields["deadline_ms"] = max(0.0, deadline.remaining_ms())
+    span = request.get("_span")
+    if span is not None:
+        fields["trace_id"] = span.trace_id
+        fields["parent_span"] = span.span_id
     return fields
 
 
@@ -172,7 +182,17 @@ class ClusterRouter(JsonLineServer):
     breaker_threshold / breaker_reset_ms:
         Per-worker circuit-breaker knobs (consecutive transport failures
         that trip it open; cool-off before the half-open probe).
+    slow_trace_ms / trace_ring:
+        Router-side tracer knobs (see :class:`~repro.obs.trace.Tracer`);
+        like the workers, the router never samples — it traces whatever
+        arrives already stamped with a ``trace_id``.
+    metrics_port:
+        When set, ``GET /metrics`` on this port serves the router's *own*
+        metrics in Prometheus text (the ``metrics`` verb additionally
+        aggregates the workers').
     """
+
+    span_prefix = "router"
 
     def __init__(
         self,
@@ -184,6 +204,9 @@ class ClusterRouter(JsonLineServer):
         worker_timeout: float = 30.0,
         breaker_threshold: int = 3,
         breaker_reset_ms: float = 250.0,
+        slow_trace_ms: float | None = None,
+        trace_ring: int = 2048,
+        metrics_port: int | None = None,
     ) -> None:
         super().__init__()
         self.replica_dir = pathlib.Path(replica_dir)
@@ -204,12 +227,23 @@ class ClusterRouter(JsonLineServer):
         self.deadline_misses = 0
         self.breaker_fast_fails = 0
         self.supervisor = None  # attached by WorkerSupervisor
+        self.logger = get_logger("cluster")
+        self.tracer = Tracer(
+            ring_size=trace_ring,
+            slow_ms=float("inf") if slow_trace_ms is None else float(slow_trace_ms),
+        )
+        self.metrics_port = metrics_port
+        self._metrics_http: asyncio.AbstractServer | None = None
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
         self._ops: dict[str, Callable[[dict], Awaitable[dict]]] = {
             "ping": self._op_ping,
             "create_session": self._op_create_session,
             "restore": self._op_restore,
             "list_sessions": self._op_list_sessions,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
+            "traces": self._op_traces,
             "delete_session": self._op_delete_session,
             "migrate": self._op_migrate,
             "replicate": self._op_replicate,
@@ -218,11 +252,91 @@ class ClusterRouter(JsonLineServer):
             "shutdown": self._op_shutdown,
         }
 
+    def _register_metrics(self) -> None:
+        """The router's plain counter attributes under the one registry.
+
+        The attributes stay the storage (``cluster_stats`` and existing
+        tests read them directly); the registry reads them at collect time.
+        Families that both sides export (``repro_deadline_misses_total``,
+        ``repro_slow_traces_total``) aggregate across the fleet when the
+        ``metrics`` verb merges worker snapshots into this one.
+        """
+        m = self.metrics
+        for name, attr, help_text in (
+            ("repro_proxied_requests_total", "proxied", "requests proxied to workers"),
+            ("repro_migrations_total", "migrations", "completed live migrations"),
+            ("repro_failovers_total", "failovers", "workers declared dead"),
+            (
+                "repro_sessions_lost_total",
+                "sessions_lost",
+                "sessions lost in failover (no usable replica)",
+            ),
+            (
+                "repro_deadline_misses_total",
+                "deadline_misses",
+                "requests shed because their deadline budget ran out (all sheds)",
+            ),
+            (
+                "repro_breaker_fast_fails_total",
+                "breaker_fast_fails",
+                "requests fast-failed by an open circuit breaker",
+            ),
+        ):
+            m.counter_fn(name, lambda a=attr: float(getattr(self, a)), help_text)
+        m.counter_fn(
+            "repro_breaker_trips_total",
+            lambda: [
+                ({"worker": handle.id}, float(handle.breaker.trips))
+                for _, handle in sorted(self.workers.items())
+            ],
+            "circuit-breaker trips per worker",
+        )
+        m.gauge_fn(
+            "repro_breaker_state",
+            lambda: [
+                (
+                    {"worker": handle.id},
+                    {CLOSED: 0.0, HALF_OPEN: 1.0}.get(handle.breaker.state, 2.0),
+                )
+                for _, handle in sorted(self.workers.items())
+            ],
+            "per-worker breaker state (0 closed, 1 half-open, 2 open)",
+        )
+        m.gauge_fn(
+            "repro_admission_inflight",
+            lambda: [
+                ({"worker": handle.id}, float(self.admission.inflight(handle.id)))
+                for handle in self.live_workers()
+            ],
+            "admitted in-flight requests per worker",
+        )
+        m.gauge_fn(
+            "repro_admission_waiting",
+            lambda: [
+                ({"worker": handle.id}, float(self.admission.waiting(handle.id)))
+                for handle in self.live_workers()
+            ],
+            "requests waiting in the admission queue per worker",
+        )
+        # Deliberately NOT named repro_sessions: the workers export that,
+        # and the fan-out merge would double-count every session.
+        m.gauge_fn(
+            "repro_routed_sessions", lambda: float(len(self.table)), "routed sessions"
+        )
+        m.gauge_fn(
+            "repro_workers", lambda: float(len(self.live_workers())), "live workers"
+        )
+        m.counter_fn(
+            "repro_slow_traces_total",
+            lambda: float(self.tracer.slow_traces_captured),
+            "traces promoted to the slow-trace buffer",
+        )
+
     # ------------------------------------------------------------------
     # fleet management
     # ------------------------------------------------------------------
     def log(self, message: str) -> None:
-        print(f"[cluster] {message}", file=sys.stderr, flush=True)
+        self.logger.info(message)
 
     async def add_worker(self, handle: WorkerHandle) -> None:
         """Register (and connect to) a worker; it starts receiving sessions."""
@@ -231,6 +345,8 @@ class ClusterRouter(JsonLineServer):
         handle.breaker = CircuitBreaker(
             failure_threshold=self.breaker_threshold,
             reset_after_ms=self.breaker_reset_ms,
+            on_trip=lambda wid=handle.id: self._breaker_tripped(wid),
+            on_reset=lambda wid=handle.id: self._breaker_reset(wid),
         )
         if handle.client is None:
             await handle.connect()
@@ -239,6 +355,27 @@ class ClusterRouter(JsonLineServer):
 
     def live_workers(self) -> list[WorkerHandle]:
         return [handle for handle in self.workers.values() if handle.alive]
+
+    def _breaker_tripped(self, worker_id: str) -> None:
+        handle = self.workers.get(worker_id)
+        breaker = handle.breaker if handle is not None else None
+        self.logger.warning(
+            "circuit breaker tripped open; requests to this worker will "
+            "fast-fail until a half-open probe succeeds",
+            extra={
+                "worker": worker_id,
+                "trips": breaker.trips if breaker is not None else None,
+                "consecutive_failures": (
+                    breaker.consecutive_failures if breaker is not None else None
+                ),
+            },
+        )
+
+    def _breaker_reset(self, worker_id: str) -> None:
+        self.logger.info(
+            "circuit breaker closed; worker is answering again",
+            extra={"worker": worker_id},
+        )
 
     async def mark_dead(self, handle: WorkerHandle) -> dict:
         """Declare a worker dead and fail its sessions over to survivors.
@@ -255,9 +392,13 @@ class ClusterRouter(JsonLineServer):
         with contextlib.suppress(Exception):
             await handle.close()
         outcome = await migration.restore_lost_sessions(self, handle)
-        self.log(
-            f"worker {handle.id!r} died: restored "
-            f"{[r['session'] for r in outcome['restored']]}, lost {outcome['lost']}"
+        self.logger.warning(
+            "worker died; sessions failed over from replicas",
+            extra={
+                "worker": handle.id,
+                "restored": [r["session"] for r in outcome["restored"]],
+                "lost": outcome["lost"],
+            },
         )
         return outcome
 
@@ -284,6 +425,7 @@ class ClusterRouter(JsonLineServer):
         op: str,
         fields: dict,
         deadline: protocol.Deadline | None = None,
+        span: object | None = None,
     ) -> dict:
         """One admitted, breaker-gated, deadline-bounded round trip.
 
@@ -318,7 +460,7 @@ class ClusterRouter(JsonLineServer):
         try:
             try:
                 result = await asyncio.wait_for(
-                    self._admitted_request(handle, op, fields), timeout
+                    self._admitted_request(handle, op, fields, span), timeout
                 )
                 breaker.record_success()
                 return result
@@ -361,10 +503,27 @@ class ClusterRouter(JsonLineServer):
                 retry_after_ms=FAILOVER_RETRY_HINT_MS,
             ) from exc
 
-    async def _admitted_request(self, handle: WorkerHandle, op: str, fields: dict) -> dict:
+    async def _admitted_request(
+        self,
+        handle: WorkerHandle,
+        op: str,
+        fields: dict,
+        span: object | None = None,
+    ) -> dict:
         """Admission slot + (re)connect + the actual worker round trip —
         one awaitable so :meth:`_forward` can bound all of it at once."""
+        t_admit = time.perf_counter()
         async with self.admission.admit(handle.id):
+            if span is not None:
+                # Post-hoc: how long this request waited for a worker slot.
+                self.tracer.emit(
+                    "router.admission",
+                    span.trace_id,
+                    span.span_id,
+                    t_admit,
+                    time.perf_counter(),
+                    attrs={"worker": handle.id},
+                )
             self.proxied += 1
             await handle.ensure_connected()
             return await handle.client.request(op, **fields)
@@ -394,7 +553,11 @@ class ClusterRouter(JsonLineServer):
             worker_id, context=f"session {name!r} is failing over"
         )
         return await self._forward(
-            handle, request["op"], _forwarded(request), request.get("_deadline")
+            handle,
+            request["op"],
+            _forwarded(request),
+            request.get("_deadline"),
+            span=request.get("_span"),
         )
 
     def _placement(self, name: str, pin: object) -> WorkerHandle:
@@ -430,7 +593,11 @@ class ClusterRouter(JsonLineServer):
         await self._wait_not_draining(name)
         handle = self._placement(name, request.get("worker"))
         result = await self._forward(
-            handle, "create_session", _forwarded(request), request.get("_deadline")
+            handle,
+            "create_session",
+            _forwarded(request),
+            request.get("_deadline"),
+            span=request.get("_span"),
         )
         self.table[name] = handle.id
         handle.sessions.add(name)
@@ -450,7 +617,10 @@ class ClusterRouter(JsonLineServer):
         await self._wait_not_draining(name)
         handle = self._placement(name, request.get("worker"))
         fields = {**_forwarded(request), "session": name}
-        result = await self._forward(handle, "restore", fields, request.get("_deadline"))
+        result = await self._forward(
+            handle, "restore", fields, request.get("_deadline"),
+            span=request.get("_span"),
+        )
         self.table[name] = handle.id
         handle.sessions.add(name)
         return {**result, "worker": handle.id}
@@ -474,6 +644,46 @@ class ClusterRouter(JsonLineServer):
                 merged.append({**row, "worker": handle.id})
         merged.sort(key=lambda row: row.get("session", ""))
         return merged
+
+    async def _op_metrics(self, request: dict) -> dict:
+        """One metric snapshot for the whole cluster.
+
+        The router's own families and every live worker's are merged with
+        :func:`~repro.obs.metrics.aggregate_families`, so the response has
+        exactly the shape a single worker's ``metrics`` verb has — scrape
+        tooling points at either without caring which one it found.  Pass
+        ``local: true`` for the router's families alone.
+        """
+        local = self.metrics.collect()
+        if request.get("local"):
+            return protocol.json_safe({"families": local})
+        deadline = request.get("_deadline")
+        family_lists = [local]
+        for handle in self.live_workers():
+            result = await self._forward(handle, "metrics", {}, deadline)
+            family_lists.append(result.get("families", []))
+        return protocol.json_safe({"families": aggregate_families(family_lists)})
+
+    async def _op_traces(self, request: dict) -> dict:
+        """Span rings and slow-trace buffers of the router and the fleet.
+
+        Worker spans are tagged with their worker id so a merged trace can
+        still say which process measured what (the clocks are per-process
+        and must never be compared across the tag boundary).
+        """
+        trace_id = request.get("trace_id")
+        wanted = trace_id if isinstance(trace_id, str) else None
+        spans = self.tracer.spans(wanted)
+        slow = self.tracer.slow_traces()
+        deadline = request.get("_deadline")
+        fields = {} if wanted is None else {"trace_id": wanted}
+        for handle in self.live_workers():
+            result = await self._forward(handle, "traces", dict(fields), deadline)
+            for record in result.get("spans", []):
+                spans.append({**record, "worker": handle.id})
+            for trace in result.get("slow_traces", []):
+                slow.append({**trace, "worker": handle.id})
+        return protocol.json_safe({"spans": spans, "slow_traces": slow})
 
     async def _op_delete_session(self, request: dict) -> dict:
         result = await self._proxy_session_op(request)
@@ -591,10 +801,23 @@ class ClusterRouter(JsonLineServer):
 
     async def _started(self) -> None:
         self.replica_dir.mkdir(parents=True, exist_ok=True)
+        if self.metrics_port is not None and self.address is not None:
+            self._metrics_http = await start_metrics_http(
+                self._collect_cluster_metrics, self.address[0], self.metrics_port
+            )
         if self.supervisor is not None:
             self.supervisor.start()
 
+    async def _collect_cluster_metrics(self) -> list[dict]:
+        result = await self._op_metrics({})
+        return result["families"]
+
     async def _cleanup(self) -> None:
+        if self._metrics_http is not None:
+            self._metrics_http.close()
+            with contextlib.suppress(Exception):
+                await self._metrics_http.wait_closed()
+            self._metrics_http = None
         if self.supervisor is not None:
             await self.supervisor.stop()
         for handle in self.workers.values():

@@ -32,8 +32,11 @@ import sys
 import time
 
 from repro.cluster.router import ClusterRouter, WorkerHandle
+from repro.obs.logs import get_logger
 
 __all__ = ["WorkerSupervisor", "spawn_worker_process"]
+
+logger = get_logger("cluster.supervisor")
 
 #: How long to wait for a freshly spawned worker's port file.
 SPAWN_TIMEOUT = 60.0
@@ -55,6 +58,7 @@ def spawn_worker_process(
     host: str = "127.0.0.1",
     max_batch: int = 64,
     max_delay_ms: float = 2.0,
+    slow_trace_ms: float | None = None,
     timeout: float = SPAWN_TIMEOUT,
 ) -> tuple[subprocess.Popen, int]:
     """Start one ``repro serve`` worker and wait for its bound port.
@@ -64,25 +68,28 @@ def spawn_worker_process(
     port_file = pathlib.Path(port_file)
     with contextlib.suppress(FileNotFoundError):
         port_file.unlink()
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        host,
+        "--port",
+        "0",
+        "--port-file",
+        str(port_file),
+        "--snapshot-dir",
+        str(snapshot_dir),
+        "--max-batch",
+        str(int(max_batch)),
+        "--max-delay-ms",
+        str(float(max_delay_ms)),
+    ]
+    if slow_trace_ms is not None:
+        argv += ["--slow-trace-ms", str(float(slow_trace_ms))]
     process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            "--host",
-            host,
-            "--port",
-            "0",
-            "--port-file",
-            str(port_file),
-            "--snapshot-dir",
-            str(snapshot_dir),
-            "--max-batch",
-            str(int(max_batch)),
-            "--max-delay-ms",
-            str(float(max_delay_ms)),
-        ],
+        argv,
         env=_worker_env(),
         stdout=subprocess.DEVNULL,
     )
@@ -135,6 +142,7 @@ class WorkerSupervisor:
         host: str = "127.0.0.1",
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
+        slow_trace_ms: float | None = None,
     ) -> list[WorkerHandle]:
         """Spawn ``count`` subprocess workers and register them."""
         replica_dir = self.router.replica_dir
@@ -150,6 +158,7 @@ class WorkerSupervisor:
                     host=host,
                     max_batch=max_batch,
                     max_delay_ms=max_delay_ms,
+                    slow_trace_ms=slow_trace_ms,
                 )
             )
             handle = WorkerHandle(worker_id, host, port, process=process)
@@ -216,7 +225,12 @@ class WorkerSupervisor:
                 if await self.router.replicate_session(session):
                     refreshed.append(session)
             except Exception as exc:  # noqa: BLE001 - keep replicating the rest
-                self.router.log(f"replication of {session!r} failed: {exc}")
+                # Not silent: every failed pass widens the durability window
+                # (how much simulated data a worker death can lose).
+                logger.warning(
+                    "replication failed; replica is stale until the next pass",
+                    extra={"session": session, "reason": repr(exc)},
+                )
         return refreshed
 
     async def _health_loop(self) -> None:

@@ -46,6 +46,7 @@ The query hot path is a vectorized engine with three layers:
 from __future__ import annotations
 
 import atexit
+import logging
 import time
 import warnings
 import weakref
@@ -96,12 +97,30 @@ _LIVE_ESTIMATORS: "weakref.WeakSet[KrigingEstimator]" = weakref.WeakSet()
 
 _SHM_WARNED = False
 
+logger = logging.getLogger("repro.core.estimator")
+
+#: Process-wide count of shared-memory attach failures that forced the
+#: pickled (or thread) fallback — surfaced by the service's metrics
+#: registry as ``repro_shm_attach_failures_total``.  Module-level on
+#: purpose: the failure is a property of this process's shm machinery, not
+#: of any one estimator instance.
+_SHM_ATTACH_FAILURES = 0
+
+
+def shm_attach_failures() -> int:
+    """Shared-memory attach failures seen by this process so far."""
+    return _SHM_ATTACH_FAILURES
+
 
 def _warn_shm_unavailable() -> None:
     """One warning per process when ``shm=True`` cannot be honoured."""
     global _SHM_WARNED
     if not _SHM_WARNED:
         _SHM_WARNED = True
+        logger.warning(
+            "multiprocessing.shared_memory is unavailable on this platform; "
+            "falling back to the thread backend"
+        )
         warnings.warn(
             "multiprocessing.shared_memory is unavailable on this platform; "
             "falling back to the thread backend",
@@ -924,6 +943,15 @@ class KrigingEstimator:
             # estimator.  Tear the pool down now, rebuild it lazily on the
             # next flush, and answer *this* flush on the thread backend.
             self.stats.pool_failures += 1
+            logger.warning(
+                "solve process pool broke mid-flush; answering this flush on "
+                "the thread backend and rebuilding the pool lazily",
+                extra={
+                    "backend": self.backend,
+                    "n_jobs": self.n_jobs,
+                    "pool_failures": self.stats.pool_failures,
+                },
+            )
             executor = self._executor
             self._executor = None
             if executor is not None:
@@ -936,7 +964,13 @@ class KrigingEstimator:
     def _disable_shm(self, exc: ShmAttachError) -> None:
         """A worker could not attach: pickled dispatch for this estimator's
         lifetime (one warning; the arena's segments are unlinked now)."""
+        global _SHM_ATTACH_FAILURES
+        _SHM_ATTACH_FAILURES += 1
         self._shm_enabled = False
+        logger.warning(
+            "shared-memory solve path disabled; using pickled process dispatch",
+            extra={"reason": str(exc), "attach_failures": _SHM_ATTACH_FAILURES},
+        )
         warnings.warn(
             f"shared-memory solve path disabled ({exc}); "
             "using pickled process dispatch",

@@ -38,10 +38,13 @@ its atexit hook — nothing leaks past the parent's lifetime.  Workers
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
+
+logger = logging.getLogger("repro.core.shm")
 
 try:  # pragma: no cover - exercised only where the module is missing
     from multiprocessing.shared_memory import SharedMemory
@@ -333,6 +336,14 @@ def _attach(name: str, generation: int) -> "SharedMemory":
     try:
         seg = SharedMemory(name=name)
     except Exception as exc:
+        # Logged here (in the worker) as well as raised: the parent only
+        # sees the ShmAttachError it falls back on, while the worker-side
+        # log carries the segment name and generation that failed.
+        logger.warning(
+            "cannot attach shared segment; caller will fall back to "
+            "pickled dispatch",
+            extra={"segment": name, "generation": generation, "reason": repr(exc)},
+        )
         raise ShmAttachError(f"cannot attach shared segment {name!r}: {exc}") from None
     if _TRACKER_OWN and resource_tracker is not None:
         try:  # pragma: no cover - best-effort; failure only risks an unlink

@@ -1,0 +1,89 @@
+"""Minimal HTTP listener for Prometheus scraping (``--metrics-port``).
+
+A deliberately tiny asyncio HTTP/1.0-style responder — no routing library,
+no keep-alive, no TLS: a scraper GETs ``/metrics``, gets the Prometheus
+text exposition of the owning server's registry snapshot, and the
+connection closes.  Anything else is a 404.  It shares the server's event
+loop, so a scrape sees exactly the same snapshot the ``metrics`` verb
+would return.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.obs.logs import get_logger
+from repro.obs.metrics import render_prometheus
+
+__all__ = ["start_metrics_http"]
+
+logger = get_logger("obs.http")
+
+_MAX_REQUEST_BYTES = 8192
+
+
+async def start_metrics_http(
+    collect: Callable[[], Awaitable[list[dict]] | list[dict]],
+    host: str,
+    port: int,
+) -> asyncio.AbstractServer:
+    """Serve ``GET /metrics`` from ``collect()`` snapshots.
+
+    ``collect`` may be sync (a worker reading its own registry) or async
+    (the router, which fans out to workers).  Returns the listening server;
+    the caller owns its lifecycle (``close()`` + ``wait_closed()``).
+    """
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > _MAX_REQUEST_BYTES:
+                return
+            # Drain headers until the blank line; ignore their content.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if parts[:1] != ["GET"] or path.split("?")[0] != "/metrics":
+                body = b"not found\n"
+                status = "404 Not Found"
+                ctype = "text/plain"
+            else:
+                families = collect()
+                if asyncio.iscoroutine(families):
+                    families = await families
+                body = render_prometheus(families).encode("utf-8")
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # pragma: no cover - scraper misbehaviour
+            logger.warning("metrics scrape failed", extra={"exc": repr(exc)})
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    server = await asyncio.start_server(handle, host, port)
+    bound = server.sockets[0].getsockname() if server.sockets else (host, port)
+    logger.info(
+        "metrics listener up", extra={"host": bound[0], "port": bound[1]}
+    )
+    return server

@@ -1,0 +1,107 @@
+"""Structured JSON logging with trace correlation.
+
+All serving-stack components log through stdlib :mod:`logging` under the
+``repro.*`` namespace; :func:`configure_logging` (called once by
+``run_server`` / ``run_cluster``) attaches a stderr handler whose formatter
+emits one JSON object per line::
+
+    {"ts": "2026-08-08T12:00:00.123Z", "level": "warning",
+     "logger": "repro.cluster", "message": "...", "trace_id": "9f2c..."}
+
+``trace_id`` comes from :data:`trace_id_var`, a context variable the
+servers set around dispatch of a traced request — any log line emitted
+while handling that request correlates to its trace without the call site
+knowing tracing exists.
+
+The formatter deliberately never renders tracebacks: exceptions passed via
+``exc_info`` (or stamped as an ``exc`` extra) are collapsed to their
+``repr``.  Operational tooling greps server stderr for ``Traceback`` to
+distinguish crashes from handled failures, and a *handled* failure that is
+merely being reported must not trip that check.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+import time
+
+__all__ = ["configure_logging", "get_logger", "trace_id_var", "JsonFormatter"]
+
+#: Trace id of the request currently being handled in this context (set by
+#: the servers around dispatch; empty string when untraced).
+trace_id_var: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_trace_id", default=""
+)
+
+_ROOT = "repro"
+
+#: ``logging.LogRecord`` attributes that are plumbing, not payload — any
+#: *other* record attribute (i.e. anything passed via ``extra=``) is
+#: emitted as a top-level JSON field.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; ``extra=`` fields pass through."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": self.formatTime(record),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = trace_id_var.get()
+        if trace_id:
+            payload["trace_id"] = trace_id
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            payload[key] = value
+        if record.exc_info and record.exc_info[1] is not None:
+            payload["exc"] = repr(record.exc_info[1])
+        try:
+            return json.dumps(payload, default=repr)
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            return json.dumps({"level": "error", "message": record.getMessage()})
+
+    def formatTime(self, record: logging.LogRecord, datefmt: str | None = None) -> str:
+        # ISO-8601 UTC with millisecond precision.
+        base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+        return f"{base}.{int(record.msecs):03d}Z"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` namespace (``get_logger('cluster')`` →
+    ``repro.cluster``)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_logging(level: str = "info", stream=None) -> logging.Logger:
+    """Attach the JSON stderr handler to the ``repro`` logger (idempotent).
+
+    Only the ``repro`` namespace is touched — the root logger and any
+    host-application handlers are left alone.  Calling again replaces the
+    handler (so tests can re-point ``stream``) rather than stacking
+    duplicates.
+    """
+    logger = logging.getLogger(_ROOT)
+    numeric = getattr(logging, str(level).upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    for existing in [h for h in logger.handlers if getattr(h, "_repro_obs", False)]:
+        logger.removeHandler(existing)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,317 @@
+"""Wire-level request tracing (spans, ring buffer, slow-trace capture).
+
+Propagation copies the ``deadline_ms`` model of
+:mod:`repro.service.protocol` exactly: the *client* decides (by sampling)
+whether a request is traced and stamps two plain JSON fields onto it —
+
+``trace_id``
+    32 hex chars naming the whole end-to-end request tree; and
+``parent_span``
+    16 hex chars naming the sender's own span, so the receiver's spans
+    attach under it.
+
+Every hop restamps ``parent_span`` with its own span id before forwarding
+(the cluster router does this in ``_forwarded`` right next to the deadline
+restamp) and ``trace_id`` travels untouched.  A request without the fields
+is simply not traced: the server-side fast path is one dict lookup and
+returns ``None`` before any allocation happens, which is what keeps the
+sampling-off overhead at zero.
+
+Spans are timed with ``time.perf_counter`` (monotonic); ``start_ms`` /
+``end_ms`` therefore compare *within* one process only — cross-process
+ordering comes from the parent/child links, never from the clocks.
+
+Finished spans land in a bounded per-process ring buffer
+(:attr:`Tracer.ring_size`); when a *root* span (a dispatch, or a client
+round trip) finishes above :attr:`Tracer.slow_ms`, the whole trace — every
+ring span sharing its ``trace_id`` — is copied into a separate slow-trace
+buffer and logged as one structured JSON line, regardless of how full the
+ring is or what the edge sampling rate was.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from typing import Iterable
+
+from repro.obs.logs import get_logger
+
+__all__ = ["Span", "Tracer", "new_span_id", "new_trace_id", "wire_context"]
+
+logger = get_logger("obs.trace")
+
+#: How many slow traces a process keeps (each one holds its full span list,
+#: so this buffer is deliberately much smaller than the span ring).
+SLOW_TRACE_BUFFER = 64
+
+#: Ids only need to be collision-resistant within a deployment's trace
+#: horizon, not unpredictable — the PRNG skips the ``os.urandom`` syscall
+#: on the per-span hot path.  Seeded from real entropy at import.
+_ids = random.Random()
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 hex chars)."""
+    return f"{_ids.getrandbits(128):032x}"
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 hex chars)."""
+    return f"{_ids.getrandbits(64):016x}"
+
+
+def wire_context(request: dict) -> tuple[str, str | None] | None:
+    """The ``(trace_id, parent_span)`` a request carries, or ``None``.
+
+    Lenient like :meth:`~repro.service.protocol.Deadline.from_request`: a
+    malformed field means "not traced", never an error — tracing is an
+    observability aid and must not reject old clients.
+    """
+    trace_id = request.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    parent = request.get("parent_span")
+    return trace_id, parent if isinstance(parent, str) and parent else None
+
+
+class Span:
+    """One timed operation inside a trace (monotonic-clock bounds)."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        trace_id: str,
+        name: str,
+        parent_id: str | None = None,
+        *,
+        attrs: dict | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.attrs = attrs
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return (end - self.start) * 1000.0
+
+    def set(self, **attrs: object) -> None:
+        """Attach (or update) span attributes."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict:
+        """JSON-safe record (the shape the ring buffer and verbs expose)."""
+        end = self.end if self.end is not None else self.start
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ms": round(self.start * 1000.0, 3),
+            "end_ms": round(end * 1000.0, 3),
+            "duration_ms": round((end - self.start) * 1000.0, 3),
+            "attrs": self.attrs or {},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, trace={self.trace_id[:8]}, {self.duration_ms:.2f} ms)"
+
+
+class Tracer:
+    """Per-process span collection: sampling, ring buffer, slow-trace log.
+
+    Parameters
+    ----------
+    sample_rate:
+        Probability that :meth:`sample` starts a new trace — the *client
+        edge* decision.  Servers do not sample; they trace whatever arrives
+        with a ``trace_id`` (the router restamped it, someone upstream paid
+        the sampling roll already).
+    ring_size:
+        Finished spans kept per process (oldest evicted first).
+    slow_ms:
+        Root spans at or above this duration promote their whole trace
+        into the slow-trace buffer and emit one warning log line.
+        ``inf`` disables slow-trace capture.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_rate: float = 0.0,
+        ring_size: int = 2048,
+        slow_ms: float = float("inf"),
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.sample_rate = float(sample_rate)
+        self.ring_size = int(ring_size)
+        self.slow_ms = float(slow_ms)
+        self._ring: deque[dict] = deque(maxlen=self.ring_size)
+        self._slow: deque[dict] = deque(maxlen=SLOW_TRACE_BUFFER)
+        self._lock = threading.Lock()
+        #: Spans ever started / finished — the sampling-off test pins
+        #: ``started == 0`` to prove the hot path allocates nothing.
+        self.started = 0
+        self.finished = 0
+        self.slow_traces_captured = 0
+
+    # -- starting spans -------------------------------------------------
+    def sample(self) -> bool:
+        """Roll the edge sampling decision for a brand-new trace."""
+        if self.sample_rate <= 0.0:
+            return False
+        if self.sample_rate >= 1.0:
+            return True
+        return random.random() < self.sample_rate
+
+    def start_trace(self, name: str, *, attrs: dict | None = None) -> Span | None:
+        """Root span of a new trace, or ``None`` when sampling says no."""
+        if not self.sample():
+            return None
+        self.started += 1
+        return Span(new_trace_id(), name, None, attrs=attrs)
+
+    def start(
+        self,
+        name: str,
+        parent: Span | None,
+        *,
+        context: tuple[str, str | None] | None = None,
+        attrs: dict | None = None,
+    ) -> Span | None:
+        """Child span under ``parent``, or under a wire ``context``.
+
+        With neither, the request is untraced: return ``None`` before
+        allocating anything (the hot path).
+        """
+        if parent is not None:
+            self.started += 1
+            return Span(parent.trace_id, name, parent.span_id, attrs=attrs)
+        if context is not None:
+            self.started += 1
+            return Span(context[0], name, context[1], attrs=attrs)
+        return None
+
+    # -- finishing spans ------------------------------------------------
+    def finish(self, span: Span | None, *, root: bool = False) -> None:
+        """Close a span into the ring; roots are checked for slowness.
+
+        ``None`` is accepted so call sites do not need their own guard:
+        ``tracer.finish(maybe_span)`` is the idiom.
+        """
+        if span is None:
+            return
+        span.end = time.perf_counter()
+        record = span.to_dict()
+        with self._lock:
+            self._ring.append(record)
+            self.finished += 1
+            if root and span.duration_ms >= self.slow_ms:
+                self._capture_slow(record)
+
+    def _capture_slow(self, root_record: dict) -> None:
+        # Called under the lock.  Copy every ring span of this trace so the
+        # slow record survives ring eviction.
+        trace_id = root_record["trace_id"]
+        spans = [rec for rec in self._ring if rec["trace_id"] == trace_id]
+        self._slow.append(
+            {
+                "trace_id": trace_id,
+                "root": root_record["name"],
+                "duration_ms": root_record["duration_ms"],
+                "threshold_ms": self.slow_ms,
+                "spans": spans,
+            }
+        )
+        self.slow_traces_captured += 1
+        logger.warning(
+            "slow trace: %s took %.1f ms (threshold %.1f ms, %d spans)",
+            root_record["name"],
+            root_record["duration_ms"],
+            self.slow_ms,
+            len(spans),
+            extra={"trace_id": trace_id},
+        )
+
+    # -- reading back ---------------------------------------------------
+    def spans(self, trace_id: str | None = None) -> list[dict]:
+        """Ring-buffer snapshot (optionally one trace's spans only)."""
+        with self._lock:
+            records = list(self._ring)
+        if trace_id is None:
+            return records
+        return [rec for rec in records if rec["trace_id"] == trace_id]
+
+    def slow_traces(self) -> list[dict]:
+        """Captured slow traces, oldest first (non-destructive)."""
+        with self._lock:
+            return list(self._slow)
+
+    def drain_slow(self) -> list[dict]:
+        """Captured slow traces; clears the buffer (bench provenance dump)."""
+        with self._lock:
+            drained = list(self._slow)
+            self._slow.clear()
+        return drained
+
+    def emit(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        start: float,
+        end: float,
+        *,
+        attrs: dict | None = None,
+    ) -> dict:
+        """Record a span post-hoc from already-measured monotonic bounds.
+
+        The batcher uses this: it times queue/lock/solve waits regardless of
+        tracing (the metrics histograms want them), then — only for traced
+        requests — turns the measurements into spans after the flush, so the
+        flush hot path never mutates live span objects across threads.
+        Returns the span record (the caller may parent further spans on its
+        ``span_id``).
+        """
+        span = Span(trace_id, name, parent_id, attrs=attrs)
+        span.start = start
+        span.end = max(start, end)
+        self.started += 1
+        record = span.to_dict()
+        with self._lock:
+            self._ring.append(record)
+            self.finished += 1
+        return record
+
+    def record_phases(
+        self,
+        trace_id: str,
+        parent_id: str | None,
+        phase_start: float,
+        pairs: Iterable[tuple[str, float]],
+    ) -> None:
+        """Synthesize consecutive child spans from measured phase durations.
+
+        The batch engine times its assembly/factorize/backsolve split as
+        *durations* (:class:`~repro.core.kriging.SolvePhases`), not as
+        intervals; lay them end to end from ``phase_start`` so the
+        synthesized spans stay monotone and inside their parent.
+        """
+        cursor = phase_start
+        for name, seconds in pairs:
+            step = max(0.0, float(seconds))
+            self.emit(name, trace_id, parent_id, cursor, cursor + step)
+            cursor += step

@@ -28,16 +28,27 @@ solves run.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.estimator import EstimationOutcome
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Span, Tracer
 from repro.service.protocol import Deadline, DeadlineExceeded
 from repro.utils.quantiles import QuantileSketch
 
 __all__ = ["BatcherStats", "MicroBatcher"]
 
 FlushFn = Callable[[Sequence[object]], "list[EstimationOutcome]"]
+
+#: One queued request: (config, future, deadline, dispatch span, waits
+#: sink, submit timestamp).  A plain tuple — this is the hot path.
+_PendingRequest = tuple
+
+#: Duration pairs the solve-phase span synthesis consumes: the names of the
+#: spans and the order they execute in inside one flush.
+PHASE_SPAN_NAMES = ("solve.assembly", "solve.factorize", "solve.backsolve")
 
 
 @dataclass
@@ -98,6 +109,18 @@ class MicroBatcher:
     lock:
         Flush serialization lock — pass the session's lock so flushes,
         direct simulations and snapshots never interleave.
+    tracer / phase_totals:
+        Optional observability hooks.  A traced request's dispatch span
+        rides into the pending tuple; at flush time one ``batch.flush``
+        span is emitted linked to every coalesced member, with
+        ``server.lock_wait`` and the solve-phase split (``phase_totals``
+        returns the cumulative assembly/factorize/backsolve seconds; the
+        flush takes before/after deltas) as children.  Untraced requests
+        cost nothing beyond two clock reads.
+    queue_wait_hist / flush_wait_hist:
+        Optional :class:`~repro.obs.metrics.Histogram` sinks fed the
+        per-request queue wait (submit → session lock acquired) and flush
+        wait (lock acquired → outcomes ready), tracing or not.
     """
 
     def __init__(
@@ -107,6 +130,10 @@ class MicroBatcher:
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
         lock: asyncio.Lock | None = None,
+        tracer: Tracer | None = None,
+        phase_totals: Callable[[], tuple[float, float, float]] | None = None,
+        queue_wait_hist: Histogram | None = None,
+        flush_wait_hist: Histogram | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -115,8 +142,12 @@ class MicroBatcher:
         self._flush_fn = flush_fn
         self.max_batch = int(max_batch)
         self.max_delay_ms = float(max_delay_ms)
+        self.tracer = tracer
+        self._phase_totals = phase_totals
+        self._queue_wait_hist = queue_wait_hist
+        self._flush_wait_hist = flush_wait_hist
         self._lock = lock if lock is not None else asyncio.Lock()
-        self._pending: list[tuple[object, asyncio.Future, Deadline | None]] = []
+        self._pending: list[_PendingRequest] = []
         self._timer: asyncio.Task | None = None
         # Strong references to in-flight flush tasks: the event loop only
         # holds tasks weakly, and an unreferenced task's failure would
@@ -131,7 +162,12 @@ class MicroBatcher:
         return len(self._pending)
 
     async def submit(
-        self, config: object, deadline: Deadline | None = None
+        self,
+        config: object,
+        deadline: Deadline | None = None,
+        *,
+        span: Span | None = None,
+        waits: dict | None = None,
     ) -> EstimationOutcome:
         """Enqueue one configuration; resolves with its outcome after the
         flush it lands in completes.
@@ -141,10 +177,17 @@ class MicroBatcher:
         instead of spending a solve on an answer nobody is waiting for —
         and, because a flush solves many clients' requests together,
         instead of delaying everyone else's batch with it.
+
+        ``span`` is the request's dispatch span when it is traced (the
+        flush links to it and parents a ``server.queue_wait`` child on it).
+        ``waits`` is an optional dict the flush fills with the request's
+        measured ``queue_wait_ms``/``flush_wait_ms`` before resolving — the
+        server attaches them to the response so clients and the bench
+        harness can trend hop-level latency.
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((config, future, deadline))
+        self._pending.append((config, future, deadline, span, waits, time.perf_counter()))
         self.stats.requests += 1
         if len(self._pending) >= self.max_batch:
             self._cancel_timer()
@@ -241,7 +284,7 @@ class MicroBatcher:
             # have already given up, and a batch entry costs every coalesced
             # request solve time.
             batch = []
-            for config, future, deadline in taken:
+            for config, future, deadline, span, waits, t_submit in taken:
                 if deadline is not None and deadline.expired:
                     self.stats.deadline_misses += 1
                     if not future.done():
@@ -252,20 +295,97 @@ class MicroBatcher:
                             )
                         )
                     continue
-                batch.append((config, future))
+                batch.append((config, future, span, waits, t_submit))
             if not batch:
                 continue
+            t_flush = time.perf_counter()
             async with self._lock:
-                configs = [config for config, _ in batch]
+                t_lock = time.perf_counter()
+                # Read the cumulative phase totals only once the lock is
+                # held: a concurrent flush of the same session mutates them,
+                # and a pre-lock read would inflate this flush's deltas.
+                phases_before = self._phase_totals() if self._phase_totals else None
+                configs = [entry[0] for entry in batch]
                 try:
                     outcomes = await asyncio.to_thread(self._flush_fn, configs)
                 except Exception as exc:
-                    for _, future in batch:
+                    for _, future, _, _, _ in batch:
                         if not future.done():
                             future.set_exception(exc)
                     continue
+                t_done = time.perf_counter()
+                phases_after = self._phase_totals() if phases_before is not None else None
             self.stats.flushes += 1
             self.stats.batch_sketch.update(float(len(batch)))
-            for (_, future), outcome in zip(batch, outcomes):
+            flush_ms = (t_done - t_lock) * 1000.0
+            if self._flush_wait_hist is not None:
+                self._flush_wait_hist.observe(flush_ms)
+            for _, _, _, _, t_submit in batch:
+                if self._queue_wait_hist is not None:
+                    self._queue_wait_hist.observe((t_lock - t_submit) * 1000.0)
+            for _, _, _, waits, t_submit in batch:
+                if waits is not None:
+                    waits["queue_wait_ms"] = (t_lock - t_submit) * 1000.0
+                    waits["flush_wait_ms"] = flush_ms
+            self._emit_flush_spans(
+                batch, phases_before, phases_after, t_flush, t_lock, t_done
+            )
+            for (_, future, _, _, _), outcome in zip(batch, outcomes):
                 if not future.done():
                     future.set_result(outcome)
+
+    def _emit_flush_spans(
+        self,
+        batch: list,
+        phases_before: tuple[float, float, float] | None,
+        phases_after: tuple[float, float, float] | None,
+        t_flush: float,
+        t_lock: float,
+        t_done: float,
+    ) -> None:
+        """One ``batch.flush`` span linked to its N coalesced request spans.
+
+        The flush span parents on the *first* traced member (batches have no
+        span of their own on the wire) and carries every member's span id in
+        its ``links`` attribute; each traced member additionally gets a
+        ``server.queue_wait`` child of its own dispatch span.  Children of
+        the flush: ``server.lock_wait`` and the synthesized solve phases.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        traced = [entry for entry in batch if entry[2] is not None]
+        if not traced:
+            return
+        for _, _, span, _, t_submit in traced:
+            tracer.emit("server.queue_wait", span.trace_id, span.span_id, t_submit, t_lock)
+        anchor = traced[0][2]
+        flush_record = tracer.emit(
+            "batch.flush",
+            anchor.trace_id,
+            anchor.span_id,
+            t_flush,
+            t_done,
+            attrs={
+                "batch_size": len(batch),
+                "traced": len(traced),
+                "links": [entry[2].span_id for entry in traced],
+            },
+        )
+        tracer.emit(
+            "server.lock_wait",
+            anchor.trace_id,
+            flush_record["span_id"],
+            t_flush,
+            t_lock,
+        )
+        if phases_before is not None and phases_after is not None:
+            tracer.record_phases(
+                anchor.trace_id,
+                flush_record["span_id"],
+                t_lock,
+                [
+                    (name, phases_after[i] - phases_before[i])
+                    for i, name in enumerate(PHASE_SPAN_NAMES)
+                ],
+            )

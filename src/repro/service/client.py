@@ -29,6 +29,7 @@ from itertools import count
 from typing import Any, Sequence
 
 from repro.core.estimator import EstimationOutcome
+from repro.obs.trace import Tracer
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -83,6 +84,14 @@ class _VerbsMixin:
     def _outcomes(result: dict) -> list[EstimationOutcome]:
         return [outcome_from_wire(data) for data in result["outcomes"]]
 
+    @staticmethod
+    def _stamp_trace(message: dict, span) -> None:
+        """Put a sampled request's trace context on the wire (the exact
+        analogue of the ``deadline_ms`` stamp below it)."""
+        if span is not None and "trace_id" not in message:
+            message["trace_id"] = span.trace_id
+            message["parent_span"] = span.span_id
+
 
 class ServiceClient(_VerbsMixin):
     """Blocking newline-delimited JSON client (one request in flight).
@@ -111,6 +120,7 @@ class ServiceClient(_VerbsMixin):
         retries: int = 0,
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
+        trace_sample: float = 0.0,
     ):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -120,6 +130,10 @@ class ServiceClient(_VerbsMixin):
         self.retries = int(retries)
         self.backoff_base = float(backoff_base)
         self.backoff_max = float(backoff_max)
+        #: Edge sampling: the client decides which requests are traced and
+        #: stamps ``trace_id``/``parent_span``; with the default 0.0 no
+        #: trace field ever hits the wire and no span is ever allocated.
+        self.tracer = Tracer(sample_rate=trace_sample, ring_size=512)
         self._sock: socket.socket | None = None
         self._file = None
         self._ids = count(1)
@@ -170,16 +184,21 @@ class ServiceClient(_VerbsMixin):
             self._connect()
         request_id = next(self._ids)
         message = {"id": request_id, "op": op, **fields}
+        span = self.tracer.start_trace("client.request", attrs={"op": op})
+        self._stamp_trace(message, span)
         if "deadline_ms" not in message and self._timeout is not None:
             # Stamp the read timeout as the request's time budget: the
             # server sheds it once we would have stopped listening anyway.
             message["deadline_ms"] = self._timeout * 1000.0
-        self._file.write(encode(message))
-        self._file.flush()
-        line = self._file.readline(MAX_LINE_BYTES)
-        if not line:
-            raise ConnectionError("server closed the connection")
-        response = decode(line)
+        try:
+            self._file.write(encode(message))
+            self._file.flush()
+            line = self._file.readline(MAX_LINE_BYTES)
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = decode(line)
+        finally:
+            self.tracer.finish(span, root=True)
         if response.get("id") != request_id:
             raise ProtocolError(
                 f"response id {response.get('id')!r} != request id {request_id}"
@@ -288,6 +307,16 @@ class ServiceClient(_VerbsMixin):
     def stats(self, session: str | None = None) -> dict:
         return self.request("stats", session=session)
 
+    def metrics(self) -> list[dict]:
+        """Metrics-registry snapshot (family list; router = aggregated
+        fan-out, structurally identical to a worker's)."""
+        return self.request("metrics")["families"]
+
+    def traces(self, *, trace_id: str | None = None) -> dict:
+        """Span ring-buffer snapshot (``spans`` + ``slow_traces``); a
+        ``trace_id`` filters to one trace's spans."""
+        return self.request("traces", trace_id=trace_id)
+
     def snapshot(
         self, session: str, *, name: str | None = None, path: str | None = None
     ) -> dict:
@@ -344,10 +373,12 @@ class AsyncServiceClient(_VerbsMixin):
         writer: asyncio.StreamWriter,
         *,
         timeout: float | None = None,
+        trace_sample: float = 0.0,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._timeout = timeout
+        self.tracer = Tracer(sample_rate=trace_sample, ring_size=512)
         self._ids = count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._receiver = asyncio.create_task(self._receive_loop())
@@ -359,13 +390,14 @@ class AsyncServiceClient(_VerbsMixin):
         port: int = 0,
         *,
         timeout: float | None = None,
+        trace_sample: float = 0.0,
     ) -> "AsyncServiceClient":
         opening = asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
         if timeout is not None:
             reader, writer = await asyncio.wait_for(opening, timeout)
         else:
             reader, writer = await opening
-        return cls(reader, writer, timeout=timeout)
+        return cls(reader, writer, timeout=timeout, trace_sample=trace_sample)
 
     @property
     def is_broken(self) -> bool:
@@ -436,6 +468,8 @@ class AsyncServiceClient(_VerbsMixin):
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         message = {"id": request_id, "op": op, **self._fields(**fields)}
+        span = self.tracer.start_trace("client.request", attrs={"op": op})
+        self._stamp_trace(message, span)
         if "deadline_ms" not in message and timeout is not None:
             message["deadline_ms"] = timeout * 1000.0
         try:
@@ -445,6 +479,7 @@ class AsyncServiceClient(_VerbsMixin):
             else:
                 response = await future
         finally:
+            self.tracer.finish(span, root=True)
             self._pending.pop(request_id, None)
             # If this request was cancelled (e.g. a timed-out health ping)
             # in the same tick the receive loop failed the future, nobody
@@ -529,6 +564,12 @@ class AsyncServiceClient(_VerbsMixin):
 
     async def stats(self, session: str | None = None) -> dict:
         return await self.request("stats", session=session)
+
+    async def metrics(self) -> list[dict]:
+        return (await self.request("metrics"))["families"]
+
+    async def traces(self, *, trace_id: str | None = None) -> dict:
+        return await self.request("traces", trace_id=trace_id)
 
     async def snapshot(
         self, session: str, *, name: str | None = None, path: str | None = None

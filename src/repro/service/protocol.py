@@ -34,6 +34,20 @@ any hop may *shed* a request whose budget has already run out, answering a
 structured ``DeadlineExceeded`` error instead of doing work nobody is
 waiting for.  Requests without the field have no deadline (the pre-v2
 behaviour).
+
+Tracing
+-------
+
+Requests may additionally carry a ``trace_id`` (32 hex chars naming the
+end-to-end request tree) and a ``parent_span`` (16 hex chars naming the
+sender's span).  Propagation follows the ``deadline_ms`` model exactly:
+the *client* decides — by sampling — whether a request is traced and
+stamps both fields; every hop that forwards the request restamps
+``parent_span`` with its own span id while ``trace_id`` travels untouched,
+so the spans each process records (see :mod:`repro.obs.trace`) assemble
+into one tree.  Requests without the fields are simply not traced — the
+fields are advisory observability context, never validated and never a
+reason to reject a request.
 """
 
 from __future__ import annotations

@@ -42,10 +42,16 @@ import contextlib
 import math
 import pathlib
 import signal
+import time
 from typing import Awaitable, Callable
 
+from repro.core import estimator as estimator_mod
 from repro.core.estimator import KrigingEstimator
 from repro.core.models import variogram_from_state
+from repro.obs.httpexp import start_metrics_http
+from repro.obs.logs import configure_logging, trace_id_var
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, wire_context
 from repro.service import protocol
 from repro.service.session import EstimatorSession, check_name, load_snapshot, make_simulator
 
@@ -104,10 +110,17 @@ class JsonLineServer:
     #: in-flight requests after the listener closed before giving up.
     drain_timeout: float = 30.0
 
+    #: Prefix of this server's dispatch spans (the router overrides it, so
+    #: a trace distinguishes the router hop from the worker hop by name).
+    span_prefix: str = "server"
+
     def __init__(self) -> None:
         self.address: tuple[str, int] | None = None
         self._stopping = asyncio.Event()
         self._request_tasks: set[asyncio.Task] = set()
+        #: Span collector; subclasses that trace set one.  ``None`` keeps
+        #: the transport entirely tracing-free.
+        self.tracer: Tracer | None = None
 
     # -- subclass surface ----------------------------------------------
     async def dispatch(self, request: dict) -> dict:
@@ -147,6 +160,23 @@ class JsonLineServer:
     ) -> None:
         request_id = request.get("id")
         self._request_begun(request)
+        # The dispatch span of a traced request: the per-process root every
+        # downstream span (queue wait, flush, solve phases) hangs under.
+        # trace_id_var correlates any log line emitted while handling it.
+        span = None
+        token = None
+        tracer = self.tracer
+        if tracer is not None:
+            ctx = request.get("_trace")
+            if ctx is not None:
+                span = tracer.start(
+                    f"{self.span_prefix}.dispatch",
+                    None,
+                    context=ctx,
+                    attrs={"op": request.get("op")},
+                )
+                request["_span"] = span
+                token = trace_id_var.set(span.trace_id)
         try:
             deadline = request.get("_deadline")
             if deadline is not None and deadline.expired:
@@ -169,6 +199,15 @@ class JsonLineServer:
             response = protocol.error_response(request_id, "InternalError", repr(exc))
         finally:
             self._request_ended(request)
+            if token is not None:
+                trace_id_var.reset(token)
+        if span is not None:
+            if not response.get("ok", False):
+                error = response.get("error") or {}
+                span.set(error=error.get("type", "Error"))
+            # root=True: the dispatch span is this process's top of the
+            # trace, so it is what the slow-trace threshold judges.
+            tracer.finish(span, root=True)
         try:
             payload = protocol.encode(response)
         except protocol.ProtocolError as exc:
@@ -218,6 +257,14 @@ class JsonLineServer:
                 # moment the frame is read, and everything downstream —
                 # dispatch, batcher, proxied calls — shares this one object.
                 request["_deadline"] = protocol.Deadline.from_request(request)
+                # Same moment for the trace context: one dict lookup for
+                # untraced requests (wire_context returns None), the parsed
+                # (trace_id, parent_span) tuple for traced ones.  Underscore
+                # fields never forward — the router restamps explicitly.
+                if self.tracer is not None:
+                    ctx = wire_context(request)
+                    if ctx is not None:
+                        request["_trace"] = ctx
                 task = asyncio.create_task(self._respond(request, writer, write_lock))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
@@ -318,6 +365,14 @@ class KrigingService(JsonLineServer):
     max_batch / max_delay_ms:
         Default micro-batcher knobs for new sessions (overridable per
         session at ``create_session``).
+    slow_trace_ms / trace_ring:
+        Span ring-buffer size and the always-captured slow-trace threshold
+        of this server's :class:`~repro.obs.trace.Tracer` (``None``
+        disables slow-trace capture).  The server never *samples* — it
+        traces whatever arrives already stamped with a ``trace_id``.
+    metrics_port:
+        When set, an HTTP listener on this port serves ``GET /metrics`` in
+        Prometheus text format (same snapshot as the ``metrics`` verb).
     """
 
     def __init__(
@@ -326,6 +381,9 @@ class KrigingService(JsonLineServer):
         snapshot_dir: object | None = None,
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
+        slow_trace_ms: float | None = None,
+        trace_ring: int = 2048,
+        metrics_port: int | None = None,
     ) -> None:
         super().__init__()
         self.sessions: dict[str, EstimatorSession] = {}
@@ -336,6 +394,14 @@ class KrigingService(JsonLineServer):
         #: per-session sheds live on the sessions themselves.
         self.deadline_misses = 0
         self._inflight: dict[str, int] = {}
+        self.tracer = Tracer(
+            ring_size=trace_ring,
+            slow_ms=float("inf") if slow_trace_ms is None else float(slow_trace_ms),
+        )
+        self.metrics_port = metrics_port
+        self._metrics_http: asyncio.AbstractServer | None = None
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
         self._ops: dict[str, Callable[[dict], Awaitable[dict]]] = {
             "ping": self._op_ping,
             "create_session": self._op_create_session,
@@ -344,11 +410,84 @@ class KrigingService(JsonLineServer):
             "simulate": self._op_simulate,
             "fit": self._op_fit,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
+            "traces": self._op_traces,
             "snapshot": self._op_snapshot,
             "restore": self._op_restore,
             "delete_session": self._op_delete_session,
             "shutdown": self._op_shutdown,
         }
+
+    def _register_metrics(self) -> None:
+        """Re-register the scattered counters under one roof.
+
+        Counters that components already keep (batcher stats, factor-cache
+        stats, estimator pool failures) stay where they are and are read at
+        collect time — one source of truth, no double bookkeeping.  Only
+        the wait histograms are registry-owned storage, because nothing
+        recorded them before.
+        """
+        m = self.metrics
+        self._queue_wait_hist = m.histogram(
+            "repro_queue_wait_ms",
+            "per-request micro-batcher wait: submit to session lock acquired",
+        )
+        self._flush_wait_hist = m.histogram(
+            "repro_flush_wait_ms",
+            "per-flush solve time: session lock acquired to outcomes ready",
+        )
+        m.counter_fn(
+            "repro_deadline_misses_total",
+            lambda: float(self.total_deadline_misses()),
+            "requests shed because their deadline budget ran out (all sheds)",
+        )
+        m.counter_fn(
+            "repro_pool_failures_total",
+            lambda: float(
+                sum(s.estimator.stats.pool_failures for s in self.sessions.values())
+            ),
+            "BrokenProcessPool recoveries across sessions",
+        )
+        m.counter_fn(
+            "repro_shm_attach_failures_total",
+            lambda: float(estimator_mod.shm_attach_failures()),
+            "shared-memory attach failures that forced the pickled fallback",
+        )
+        m.counter_fn(
+            "repro_batcher_requests_total",
+            lambda: float(sum(s.batcher.stats.requests for s in self.sessions.values())),
+            "evaluate requests entering the micro-batchers",
+        )
+        m.counter_fn(
+            "repro_batcher_flushes_total",
+            lambda: float(sum(s.batcher.stats.flushes for s in self.sessions.values())),
+            "micro-batcher flushes (coalesced solve calls)",
+        )
+        m.counter_fn(
+            "repro_factor_cache_events_total",
+            self._factor_cache_events,
+            "factor-cache outcomes by event (hits, updates, fresh, ...)",
+        )
+        m.gauge_fn(
+            "repro_sessions", lambda: float(len(self.sessions)), "live sessions"
+        )
+        m.gauge_fn(
+            "repro_inflight_requests",
+            lambda: float(self.inflight()),
+            "requests currently in dispatch",
+        )
+        m.counter_fn(
+            "repro_slow_traces_total",
+            lambda: float(self.tracer.slow_traces_captured),
+            "traces promoted to the slow-trace buffer",
+        )
+
+    def _factor_cache_events(self) -> list[tuple[dict, float]]:
+        totals: dict[str, float] = {}
+        for session in self.sessions.values():
+            for event, value in session.estimator.stats.factor.as_pairs():
+                totals[event] = totals.get(event, 0.0) + float(value)
+        return [({"event": event}, value) for event, value in sorted(totals.items())]
 
     # ------------------------------------------------------------------
     # helpers
@@ -474,11 +613,13 @@ class KrigingService(JsonLineServer):
     # verbs
     # ------------------------------------------------------------------
     async def _op_ping(self, request: dict) -> dict:
+        # deadline_misses comes from the metrics registry — the same single
+        # source the stats verb reads, so the two can never drift apart.
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "sessions": len(self.sessions),
             "inflight": self.inflight(),
-            "deadline_misses": self.total_deadline_misses(),
+            "deadline_misses": int(self.metrics.value("repro_deadline_misses_total")),
         }
 
     async def _op_create_session(self, request: dict) -> dict:
@@ -507,6 +648,9 @@ class KrigingService(JsonLineServer):
             spec,
             max_batch=int(request.get("max_batch", self.max_batch)),
             max_delay_ms=float(request.get("max_delay_ms", self.max_delay_ms)),
+            tracer=self.tracer,
+            queue_wait_hist=self._queue_wait_hist,
+            flush_wait_hist=self._flush_wait_hist,
         )
         await self._register(session, bool(request.get("replace", False)))
         return {
@@ -532,26 +676,50 @@ class KrigingService(JsonLineServer):
         session = self._session(request)
         configs, was_batch = self._configs(request)
         deadline = request.get("_deadline")
+        span = request.get("_span")
         if was_batch:
             # A bulk request is already a batch: go straight to
             # evaluate_batch under the session lock (deterministic grouping,
             # no reason to trickle it through the coalescer).
             checked = [self._checked_config(session, config) for config in configs]
+            t_wait = time.perf_counter()
             async with session.lock:
+                t_lock = time.perf_counter()
+                if span is not None:
+                    self.tracer.emit(
+                        "server.lock_wait", span.trace_id, span.span_id, t_wait, t_lock
+                    )
                 # Re-check after the lock wait: the budget may have run out
                 # queueing behind other flushes — shed before the solve.
                 if deadline is not None and deadline.expired:
                     session.deadline_misses += 1
                     deadline.raise_if_expired("evaluate")
+                phases_before = session.solve_phase_totals() if span is not None else None
                 outcomes = await asyncio.to_thread(session.evaluate_batch, checked)
-        else:
-            outcomes = [
-                await session.evaluate(
-                    self._checked_config(session, configs[0]), deadline
-                )
-            ]
-        wired = [protocol.outcome_to_wire(outcome) for outcome in outcomes]
-        return {"outcomes": wired} if was_batch else wired[0]
+                if span is not None and phases_before is not None:
+                    after = session.solve_phase_totals()
+                    self.tracer.record_phases(
+                        span.trace_id,
+                        span.span_id,
+                        t_lock,
+                        [
+                            ("solve.assembly", after[0] - phases_before[0]),
+                            ("solve.factorize", after[1] - phases_before[1]),
+                            ("solve.backsolve", after[2] - phases_before[2]),
+                        ],
+                    )
+            wired = [protocol.outcome_to_wire(outcome) for outcome in outcomes]
+            return {"outcomes": wired}
+        waits: dict = {}
+        outcome = await session.evaluate(
+            self._checked_config(session, configs[0]), deadline, span=span, waits=waits
+        )
+        wired_one = protocol.outcome_to_wire(outcome)
+        # Hop-level latency in the response itself (tracing-independent):
+        # how long this request sat in the coalescer and how long its flush
+        # solved.  Extra keys are ignored by outcome_from_wire.
+        wired_one.update(waits)
+        return wired_one
 
     async def _op_simulate(self, request: dict) -> dict:
         session = self._session(request)
@@ -599,7 +767,27 @@ class KrigingService(JsonLineServer):
             stats["inflight"] = self.inflight(session.name)
             return protocol.json_safe(stats)
         return protocol.json_safe(
-            {"sessions": [session.stats() for session in self.sessions.values()]}
+            {
+                "sessions": [session.stats() for session in self.sessions.values()],
+                # Registry-derived, like ping's: one assembly, no drift.
+                "deadline_misses": int(
+                    self.metrics.value("repro_deadline_misses_total")
+                ),
+            }
+        )
+
+    async def _op_metrics(self, request: dict) -> dict:
+        return protocol.json_safe({"families": self.metrics.collect()})
+
+    async def _op_traces(self, request: dict) -> dict:
+        trace_id = request.get("trace_id")
+        return protocol.json_safe(
+            {
+                "spans": self.tracer.spans(
+                    trace_id if isinstance(trace_id, str) else None
+                ),
+                "slow_traces": self.tracer.slow_traces(),
+            }
         )
 
     async def _op_snapshot(self, request: dict) -> dict:
@@ -625,6 +813,9 @@ class KrigingService(JsonLineServer):
                 name=request.get("session"),
                 max_batch=int(request.get("max_batch", self.max_batch)),
                 max_delay_ms=float(request.get("max_delay_ms", self.max_delay_ms)),
+                tracer=self.tracer,
+                queue_wait_hist=self._queue_wait_hist,
+                flush_wait_hist=self._flush_wait_hist,
             )
 
         try:
@@ -660,6 +851,12 @@ class KrigingService(JsonLineServer):
             raise ServiceError("UnknownOp", f"unknown op {op!r}")
         return await handler(request)
 
+    async def _started(self) -> None:
+        if self.metrics_port is not None and self.address is not None:
+            self._metrics_http = await start_metrics_http(
+                lambda: self.metrics.collect(), self.address[0], self.metrics_port
+            )
+
     async def _drained(self) -> None:
         # Every request task has answered; flush whatever the batchers
         # still hold (e.g. requests whose flush task had not run yet).
@@ -667,6 +864,11 @@ class KrigingService(JsonLineServer):
             await session.batcher.drain()
 
     async def _cleanup(self) -> None:
+        if self._metrics_http is not None:
+            self._metrics_http.close()
+            with contextlib.suppress(Exception):
+                await self._metrics_http.wait_closed()
+            self._metrics_http = None
         for session in self.sessions.values():
             session.close()
 
@@ -680,6 +882,10 @@ def run_server(
     max_delay_ms: float = 2.0,
     port_file: object | None = None,
     on_ready: Callable[[str, int], None] | None = None,
+    slow_trace_ms: float | None = None,
+    trace_ring: int = 2048,
+    metrics_port: int | None = None,
+    log_level: str = "info",
 ) -> None:
     """Blocking entry point used by ``repro serve``.
 
@@ -687,8 +893,14 @@ def run_server(
     drain (stop accepting, answer in-flight requests, flush batchers) and
     the process exits 0.
     """
+    configure_logging(log_level)
     service = KrigingService(
-        snapshot_dir=snapshot_dir, max_batch=max_batch, max_delay_ms=max_delay_ms
+        snapshot_dir=snapshot_dir,
+        max_batch=max_batch,
+        max_delay_ms=max_delay_ms,
+        slow_trace_ms=slow_trace_ms,
+        trace_ring=trace_ring,
+        metrics_port=metrics_port,
     )
     asyncio.run(
         service.serve(

@@ -277,6 +277,9 @@ class EstimatorSession:
         *,
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
+        tracer: object | None = None,
+        queue_wait_hist: object | None = None,
+        flush_wait_hist: object | None = None,
     ) -> None:
         self.name = check_name(name)
         self.estimator = estimator
@@ -285,11 +288,17 @@ class EstimatorSession:
         #: Requests shed at the dispatch door because their deadline had
         #: already expired (the batcher counts its own flush-time sheds).
         self.deadline_misses = 0
+        # Observability rides along but never into snapshots: to_state()
+        # must stay byte-identical with tracing on or off.
         self.batcher = MicroBatcher(
             self.evaluate_batch,
             max_batch=max_batch,
             max_delay_ms=max_delay_ms,
             lock=self.lock,
+            tracer=tracer,
+            phase_totals=self.solve_phase_totals,
+            queue_wait_hist=queue_wait_hist,
+            flush_wait_hist=flush_wait_hist,
         )
 
     # -- query paths ----------------------------------------------------
@@ -298,10 +307,31 @@ class EstimatorSession:
         return self.estimator.evaluate_batch(np.asarray(configs, dtype=np.float64))
 
     async def evaluate(
-        self, config: object, deadline: Deadline | None = None
+        self,
+        config: object,
+        deadline: Deadline | None = None,
+        *,
+        span: object | None = None,
+        waits: dict | None = None,
     ) -> EstimationOutcome:
-        """One query through the micro-batcher (coalesces across clients)."""
-        return await self.batcher.submit(config, deadline)
+        """One query through the micro-batcher (coalesces across clients).
+
+        ``span``/``waits`` forward to :meth:`MicroBatcher.submit`: the
+        request's dispatch span when traced, and an optional sink for its
+        measured queue/flush waits.
+        """
+        return await self.batcher.submit(config, deadline, span=span, waits=waits)
+
+    def solve_phase_totals(self) -> tuple[float, float, float]:
+        """Cumulative assembly/factorize/backsolve seconds (the batcher
+        takes before/after deltas around each flush to synthesize
+        solve-phase spans)."""
+        solve = self.estimator.stats.solve
+        return (
+            solve.assembly_seconds,
+            solve.factorize_seconds,
+            solve.backsolve_seconds,
+        )
 
     def simulate(self, config: object, value: float | None = None) -> EstimationOutcome:
         """Force a simulation — or record a client-measured ``value``."""
@@ -362,6 +392,9 @@ class EstimatorSession:
         name: str | None = None,
         max_batch: int = 64,
         max_delay_ms: float = 2.0,
+        tracer: object | None = None,
+        queue_wait_hist: object | None = None,
+        flush_wait_hist: object | None = None,
         **overrides: object,
     ) -> "EstimatorSession":
         """Rebuild a session from a state dict (``name`` optionally renames).
@@ -385,6 +418,9 @@ class EstimatorSession:
             spec,
             max_batch=max_batch,
             max_delay_ms=max_delay_ms,
+            tracer=tracer,
+            queue_wait_hist=queue_wait_hist,
+            flush_wait_hist=flush_wait_hist,
         )
 
     @classmethod

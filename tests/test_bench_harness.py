@@ -355,6 +355,27 @@ class TestProvenance:
         assert json.loads(line)["label"] == "a"
         readme = (directory / "README.md").read_text()
         assert "check_regression" in readme
+        # No slow traces captured: the file is not written at all.
+        assert not (directory / "slow_traces.json").exists()
+
+    def test_write_experiment_slow_traces(self, tmp_path):
+        directory = tmp_path / "run-2026-08-08"
+        trace = {
+            "trace_id": "ab" * 16,
+            "root": "server.dispatch",
+            "duration_ms": 312.5,
+            "threshold_ms": 250.0,
+            "spans": [{"name": "server.dispatch"}],
+        }
+        write_experiment(
+            directory,
+            report=finalize_report("cluster", _cluster_report(), seed=0),
+            config={"name": "cluster"},
+            slow_traces=[trace],
+        )
+        (written,) = json.loads((directory / "slow_traces.json").read_text())
+        assert written == trace
+        assert "slow_traces.json" in (directory / "README.md").read_text()
 
 
 class TestRegistry:

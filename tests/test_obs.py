@@ -1,0 +1,406 @@
+"""Unit tests for ``repro.obs``: tracer, metrics registry, JSON logging.
+
+The integration-level tracing contract (one trace across client → router →
+worker → flush → solve phases) lives in ``test_obs_tracing.py``; this file
+pins the building blocks those tests are made of.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import JsonFormatter, configure_logging, get_logger, trace_id_var
+from repro.obs.metrics import (
+    MetricsRegistry,
+    aggregate_families,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    SLOW_TRACE_BUFFER,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+    wire_context,
+)
+
+
+class TestIds:
+    def test_shapes(self):
+        trace_id = new_trace_id()
+        span_id = new_span_id()
+        assert len(trace_id) == 32 and int(trace_id, 16) >= 0
+        assert len(span_id) == 16 and int(span_id, 16) >= 0
+
+    def test_distinct(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+
+class TestWireContext:
+    def test_absent_means_untraced(self):
+        assert wire_context({"op": "evaluate"}) is None
+
+    @pytest.mark.parametrize("bad", ["", None, 7, ["x"], {"a": 1}])
+    def test_malformed_trace_id_is_lenient(self, bad):
+        # Like Deadline.from_request: garbage means "not traced", never an
+        # error — old clients must keep working.
+        assert wire_context({"trace_id": bad}) is None
+
+    def test_parent_optional_and_lenient(self):
+        assert wire_context({"trace_id": "ab" * 16}) == ("ab" * 16, None)
+        assert wire_context({"trace_id": "ab" * 16, "parent_span": 9}) == (
+            "ab" * 16,
+            None,
+        )
+        assert wire_context(
+            {"trace_id": "ab" * 16, "parent_span": "cd" * 8}
+        ) == ("ab" * 16, "cd" * 8)
+
+
+class TestTracer:
+    def test_sampling_zero_allocates_nothing(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.start_trace("client.request") is None
+        assert tracer.start("server.dispatch", None, context=None) is None
+        tracer.finish(None)  # the no-guard idiom at call sites
+        assert tracer.started == 0
+        assert tracer.finished == 0
+        assert tracer.spans() == []
+
+    def test_sampling_one_always_traces(self):
+        tracer = Tracer(sample_rate=1.0)
+        span = tracer.start_trace("client.request", attrs={"op": "evaluate"})
+        assert span is not None
+        tracer.finish(span, root=True)
+        (record,) = tracer.spans()
+        assert record["name"] == "client.request"
+        assert record["attrs"] == {"op": "evaluate"}
+        assert record["parent_id"] is None
+        assert record["end_ms"] >= record["start_ms"]
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_sample_rate_validated(self, rate):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=rate)
+
+    def test_child_spans_inherit_trace_and_parent(self):
+        tracer = Tracer(sample_rate=1.0)
+        root = tracer.start_trace("root")
+        child = tracer.start("child", root)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        from_wire = tracer.start("hop", None, context=("ff" * 16, "ee" * 8))
+        assert from_wire.trace_id == "ff" * 16
+        assert from_wire.parent_id == "ee" * 8
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(sample_rate=1.0, ring_size=4)
+        for i in range(10):
+            tracer.finish(tracer.start_trace(f"s{i}"))
+        names = [rec["name"] for rec in tracer.spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+        assert tracer.finished == 10
+
+    def test_slow_root_promotes_whole_trace(self):
+        tracer = Tracer(sample_rate=1.0, slow_ms=0.0)
+        root = tracer.start_trace("server.dispatch")
+        tracer.finish(tracer.start("batch.flush", root))
+        tracer.finish(root, root=True)
+        (slow,) = tracer.slow_traces()
+        assert slow["trace_id"] == root.trace_id
+        assert slow["root"] == "server.dispatch"
+        assert {s["name"] for s in slow["spans"]} == {
+            "batch.flush",
+            "server.dispatch",
+        }
+        assert tracer.slow_traces_captured == 1
+        # Non-root spans never trigger capture.
+        tracer.finish(tracer.start_trace("not-a-root"))
+        assert len(tracer.slow_traces()) == 1
+
+    def test_slow_buffer_bounded_and_drainable(self):
+        tracer = Tracer(sample_rate=1.0, slow_ms=0.0)
+        for _ in range(SLOW_TRACE_BUFFER + 5):
+            tracer.finish(tracer.start_trace("r"), root=True)
+        assert len(tracer.slow_traces()) == SLOW_TRACE_BUFFER
+        drained = tracer.drain_slow()
+        assert len(drained) == SLOW_TRACE_BUFFER
+        assert tracer.slow_traces() == []
+
+    def test_emit_post_hoc_span(self):
+        tracer = Tracer()
+        record = tracer.emit(
+            "server.queue_wait", "ab" * 16, "cd" * 8, 10.0, 10.5, attrs={"n": 3}
+        )
+        assert record["duration_ms"] == pytest.approx(500.0)
+        assert record["parent_id"] == "cd" * 8
+        assert tracer.spans("ab" * 16) == [record]
+        # end < start is clamped, never negative.
+        clamped = tracer.emit("x", "ab" * 16, None, 10.0, 9.0)
+        assert clamped["duration_ms"] == 0.0
+
+    def test_record_phases_lays_durations_end_to_end(self):
+        tracer = Tracer()
+        tracer.record_phases(
+            "ab" * 16,
+            "cd" * 8,
+            100.0,
+            [("solve.assembly", 0.25), ("solve.factorize", 1.0), ("solve.backsolve", 0.5)],
+        )
+        spans = tracer.spans("ab" * 16)
+        assert [s["name"] for s in spans] == [
+            "solve.assembly",
+            "solve.factorize",
+            "solve.backsolve",
+        ]
+        for earlier, later in zip(spans, spans[1:]):
+            assert later["start_ms"] == pytest.approx(earlier["end_ms"])
+        assert spans[0]["start_ms"] == pytest.approx(100.0 * 1000.0)
+        assert spans[-1]["end_ms"] == pytest.approx((100.0 + 1.75) * 1000.0)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_collect(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_a_total", "help a")
+        gauge = registry.gauge("repro_b", "help b")
+        hist = registry.histogram("repro_c_ms", "help c")
+        counter.inc()
+        counter.inc(2.0)
+        gauge.set(7.0)
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        families = registry.collect()
+        assert [f["name"] for f in families] == [
+            "repro_a_total",
+            "repro_b",
+            "repro_c_ms",
+        ]
+        by_name = {f["name"]: f for f in families}
+        assert by_name["repro_a_total"]["samples"] == [
+            {"labels": {}, "value": 3.0}
+        ]
+        assert by_name["repro_b"]["samples"][0]["value"] == 7.0
+        hist_sample = by_name["repro_c_ms"]["samples"][0]
+        assert hist_sample["count"] == 3
+        assert hist_sample["sum"] == pytest.approx(6.0)
+        assert hist_sample["min"] == 1.0 and hist_sample["max"] == 3.0
+
+    def test_counters_are_monotone(self):
+        counter = MetricsRegistry().counter("repro_x_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_duplicate_registration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_dup_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_dup_total")
+
+    def test_callback_metrics_read_at_collect_time(self):
+        registry = MetricsRegistry()
+        box = {"n": 0.0}
+        registry.counter_fn("repro_cb_total", lambda: box["n"])
+        registry.gauge_fn(
+            "repro_state",
+            lambda: [({"worker": "w0"}, 1.0), ({"worker": "w1"}, 2.0)],
+        )
+        box["n"] = 5.0  # mutated after registration: fn is live, not a copy
+        by_name = {f["name"]: f for f in registry.collect()}
+        assert by_name["repro_cb_total"]["samples"][0]["value"] == 5.0
+        assert by_name["repro_state"]["samples"] == [
+            {"labels": {"worker": "w0"}, "value": 1.0},
+            {"labels": {"worker": "w1"}, "value": 2.0},
+        ]
+
+    def test_value_sums_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter_fn(
+            "repro_multi_total", lambda: [({"w": "a"}, 2.0), ({"w": "b"}, 3.0)]
+        )
+        hist = registry.histogram("repro_h_ms")
+        hist.observe(1.0)
+        assert registry.value("repro_multi_total") == 5.0
+        assert registry.value("repro_h_ms") == 1.0  # histograms: total count
+        with pytest.raises(KeyError):
+            registry.value("repro_missing")
+
+    def test_empty_histogram_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_empty_ms")
+        (family,) = registry.collect()
+        sample = family["samples"][0]
+        assert sample["count"] == 0
+        assert sample["min"] is None and sample["max"] is None
+        assert all(v is None for v in sample["quantiles"].values())
+        # The whole snapshot must survive strict json (the verb path):
+        # NaN/inf would produce invalid JSON for wire clients.
+        json.dumps(registry.collect(), allow_nan=False)
+
+
+class TestAggregateFamilies:
+    def _worker(self, misses: float, waits: list[float]) -> list[dict]:
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_deadline_misses_total")
+        counter.inc(misses)
+        hist = registry.histogram("repro_queue_wait_ms")
+        for v in waits:
+            hist.observe(v)
+        return registry.collect()
+
+    def test_counters_sum_and_histograms_merge(self):
+        merged = aggregate_families(
+            [self._worker(2.0, [1.0, 2.0]), self._worker(3.0, [10.0, 20.0])]
+        )
+        by_name = {f["name"]: f for f in merged}
+        assert by_name["repro_deadline_misses_total"]["samples"][0]["value"] == 5.0
+        hist = by_name["repro_queue_wait_ms"]["samples"][0]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(33.0)
+        assert hist["min"] == 1.0 and hist["max"] == 20.0
+
+    def test_distinct_label_sets_union(self):
+        a = [
+            {
+                "name": "repro_breaker_state",
+                "type": "gauge",
+                "help": "",
+                "samples": [{"labels": {"worker": "w0"}, "value": 0.0}],
+            }
+        ]
+        b = [
+            {
+                "name": "repro_breaker_state",
+                "type": "gauge",
+                "help": "",
+                "samples": [{"labels": {"worker": "w1"}, "value": 2.0}],
+            }
+        ]
+        (family,) = aggregate_families([a, b])
+        assert {
+            s["labels"]["worker"]: s["value"] for s in family["samples"]
+        } == {"w0": 0.0, "w1": 2.0}
+
+    def test_merge_with_empty_histogram_keeps_other_side(self):
+        merged = aggregate_families([self._worker(0.0, []), self._worker(0.0, [4.0])])
+        hist = {f["name"]: f for f in merged}["repro_queue_wait_ms"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["min"] == 4.0 and hist["max"] == 4.0
+        assert hist["quantiles"]["0.5"] == 4.0
+
+    def test_same_shape_as_input(self):
+        # The structural-identity contract: a merged snapshot has exactly
+        # the shape of a single worker's snapshot.
+        single = self._worker(1.0, [1.0])
+        merged = aggregate_families([single, self._worker(2.0, [2.0])])
+        assert [f["name"] for f in merged] == [f["name"] for f in single]
+        for fam_m, fam_s in zip(merged, single):
+            assert set(fam_m) == set(fam_s)
+            assert set(fam_m["samples"][0]) == set(fam_s["samples"][0])
+
+
+class TestRenderPrometheus:
+    def test_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "things counted").inc(3.0)
+        registry.gauge_fn("repro_state", lambda: [({"worker": "w0"}, 1.0)])
+        hist = registry.histogram("repro_wait_ms", "waits")
+        hist.observe(2.0)
+        text = render_prometheus(registry.collect())
+        assert "# HELP repro_a_total things counted" in text
+        assert "# TYPE repro_a_total counter" in text
+        assert "repro_a_total 3.0" in text
+        assert 'repro_state{worker="w0"} 1.0' in text
+        assert "# TYPE repro_wait_ms summary" in text
+        assert 'repro_wait_ms{quantile="0.5"} 2.0' in text
+        assert "repro_wait_ms_sum 2.0" in text
+        assert "repro_wait_ms_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_histogram_renders_nan(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_empty_ms")
+        text = render_prometheus(registry.collect())
+        assert 'repro_empty_ms{quantile="0.5"} NaN' in text
+
+    def test_label_escaping(self):
+        families = [
+            {
+                "name": "repro_g",
+                "type": "gauge",
+                "help": "",
+                "samples": [{"labels": {"k": 'a"b\\c'}, "value": 1.0}],
+            }
+        ]
+        assert 'repro_g{k="a\\"b\\\\c"} 1.0' in render_prometheus(families)
+
+
+class TestJsonLogging:
+    def _format(self, make_record):
+        logger = logging.getLogger("repro.test_obs")
+        record = make_record(logger)
+        return json.loads(JsonFormatter().format(record))
+
+    def _record(self, logger, level=logging.WARNING, msg="boom", **extra):
+        record = logger.makeRecord(
+            logger.name, level, __file__, 1, msg, (), None, extra=extra
+        )
+        return record
+
+    def test_one_json_object_with_extras(self):
+        payload = self._format(
+            lambda lg: self._record(lg, msg="replication failed", session="s0")
+        )
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.test_obs"
+        assert payload["message"] == "replication failed"
+        assert payload["session"] == "s0"
+        assert payload["ts"].endswith("Z")
+
+    def test_trace_id_correlation_via_contextvar(self):
+        token = trace_id_var.set("ab" * 16)
+        try:
+            payload = self._format(lambda lg: self._record(lg))
+            assert payload["trace_id"] == "ab" * 16
+        finally:
+            trace_id_var.reset(token)
+        payload = self._format(lambda lg: self._record(lg))
+        assert "trace_id" not in payload
+
+    def test_exceptions_collapse_to_repr_never_traceback(self):
+        def make(logger):
+            try:
+                raise RuntimeError("kaput")
+            except RuntimeError:
+                import sys
+
+                record = logger.makeRecord(
+                    logger.name, logging.ERROR, __file__, 1, "failed", (), sys.exc_info()
+                )
+            return record
+
+        rendered = JsonFormatter().format(make(logging.getLogger("repro.test_obs")))
+        assert "Traceback" not in rendered
+        assert json.loads(rendered)["exc"] == "RuntimeError('kaput')"
+
+    def test_configure_logging_idempotent(self):
+        import io
+
+        logger = configure_logging("debug", stream=io.StringIO())
+        try:
+            configure_logging("info", stream=io.StringIO())
+            ours = [h for h in logger.handlers if getattr(h, "_repro_obs", False)]
+            assert len(ours) == 1
+            assert logger.level == logging.INFO
+            assert logger.propagate is False
+            with pytest.raises(ValueError):
+                configure_logging("loud")
+        finally:
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_obs", False):
+                    logger.removeHandler(handler)
+
+    def test_get_logger_namespacing(self):
+        assert get_logger("cluster").name == "repro.cluster"
+        assert get_logger("repro.service").name == "repro.service"
+        assert get_logger("repro").name == "repro"

@@ -1,0 +1,264 @@
+"""End-to-end tracing and metrics-verb tests against live servers.
+
+The tentpole contract: with tracing on, ONE cluster evaluate yields one
+trace whose spans cover client → router dispatch → admission → worker
+dispatch → batch flush → solve phases, with correct parentage and
+monotone bounds — and with sampling off the serving stack allocates no
+span at all (``Tracer.started == 0``).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from cluster_testkit import NV, SESSION_KWARGS, run_cluster
+from repro.service.client import AsyncServiceClient
+from repro.service.server import KrigingService
+
+TRACE_ID = "ab" * 16
+CLIENT_SPAN = "cd" * 8
+
+
+def _support(n=25, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.unique(rng.integers(0, 6, size=(n, NV)), axis=0).astype(float)
+
+
+def _by_name(spans):
+    out = {}
+    for span in spans:
+        out.setdefault(span["name"], []).append(span)
+    return out
+
+
+async def _seed(client, session, support):
+    await client.create_session(session, **SESSION_KWARGS)
+    for row in support.tolist():
+        await client.request("simulate", session=session, config=row)
+
+
+class TestClusterTraceRoundTrip:
+    def test_one_evaluate_yields_one_parented_trace(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            support = _support()
+            await _seed(client, "traced", support)
+            result = await client.request(
+                "evaluate",
+                session="traced",
+                config=[0.5, 0.5, 0.5],
+                trace_id=TRACE_ID,
+                parent_span=CLIENT_SPAN,
+            )
+            assert "value" in result
+
+            # -- router hop ------------------------------------------------
+            router_spans = _by_name(router.tracer.spans(TRACE_ID))
+            (dispatch,) = router_spans["router.dispatch"]
+            assert dispatch["parent_id"] == CLIENT_SPAN
+            assert dispatch["attrs"]["op"] == "evaluate"
+            (admission,) = router_spans["router.admission"]
+            assert admission["parent_id"] == dispatch["span_id"]
+            assert dispatch["start_ms"] <= admission["start_ms"]
+            assert admission["end_ms"] <= dispatch["end_ms"]
+
+            # -- worker hop (exactly one worker saw the trace) -------------
+            traced_workers = [
+                s for s in services if s.tracer.spans(TRACE_ID)
+            ]
+            assert len(traced_workers) == 1
+            worker = _by_name(traced_workers[0].tracer.spans(TRACE_ID))
+            (server_dispatch,) = worker["server.dispatch"]
+            # The router restamped parent_span with its own dispatch span:
+            # the worker's spans hang under the router hop, not the client.
+            assert server_dispatch["parent_id"] == dispatch["span_id"]
+
+            (queue_wait,) = worker["server.queue_wait"]
+            assert queue_wait["parent_id"] == server_dispatch["span_id"]
+            (flush,) = worker["batch.flush"]
+            assert flush["parent_id"] == server_dispatch["span_id"]
+            assert flush["attrs"]["batch_size"] >= 1
+            assert server_dispatch["span_id"] in flush["attrs"]["links"]
+            (lock_wait,) = worker["server.lock_wait"]
+            assert lock_wait["parent_id"] == flush["span_id"]
+            for phase in ("solve.assembly", "solve.factorize", "solve.backsolve"):
+                (span,) = worker[phase]
+                assert span["parent_id"] == flush["span_id"]
+
+            # -- monotone bounds (worker clocks compare within-process) ----
+            for spans in worker.values():
+                for span in spans:
+                    assert span["end_ms"] >= span["start_ms"]
+            assert server_dispatch["start_ms"] <= queue_wait["start_ms"]
+            assert queue_wait["end_ms"] <= flush["end_ms"]
+            assert flush["end_ms"] <= server_dispatch["end_ms"] + 1e-6
+            phases = [
+                worker[name][0]
+                for name in ("solve.assembly", "solve.factorize", "solve.backsolve")
+            ]
+            for earlier, later in zip(phases, phases[1:]):
+                assert later["start_ms"] == pytest.approx(earlier["end_ms"])
+            assert phases[0]["start_ms"] >= flush["start_ms"]
+
+            # -- the traces verb returns the same tree, worker-tagged ------
+            fetched = await client.request("traces", trace_id=TRACE_ID)
+            assert all(s["trace_id"] == TRACE_ID for s in fetched["spans"])
+            names = {s["name"] for s in fetched["spans"]}
+            assert {
+                "router.dispatch",
+                "router.admission",
+                "server.dispatch",
+                "server.queue_wait",
+                "batch.flush",
+                "server.lock_wait",
+                "solve.assembly",
+                "solve.factorize",
+                "solve.backsolve",
+            } <= names
+            worker_tags = {
+                s.get("worker") for s in fetched["spans"] if "server." in s["name"]
+            }
+            assert len(worker_tags) == 1 and None not in worker_tags
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_client_edge_sampling_stamps_the_wire(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            support = _support()
+            await _seed(client, "edge", support)
+            async with await AsyncServiceClient.connect(
+                *router.address, trace_sample=1.0
+            ) as traced:
+                outcome = await traced.evaluate("edge", [0.5, 0.5, 0.5])
+                assert outcome.value is not None
+                (client_span,) = traced.tracer.spans()
+                assert client_span["name"] == "client.request"
+                # The whole downstream tree hangs under the client's span.
+                router_spans = router.tracer.spans(client_span["trace_id"])
+                dispatch = _by_name(router_spans)["router.dispatch"][0]
+                assert dispatch["parent_id"] == client_span["span_id"]
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_values_bit_identical_with_tracing_on_and_off(self, tmp_path):
+        # Two identically-seeded sessions see the identical query sequence,
+        # one with every request traced, one untraced: the answers must
+        # match exactly (not approximately) — observability reads clocks
+        # and emits spans but never touches the numeric path.  (Re-running
+        # queries on ONE session would compare cold vs warm factor-cache
+        # solves, a last-ulp difference that has nothing to do with
+        # tracing.)
+        async def body(client, router, services, supervisor):
+            support = _support()
+            await _seed(client, "ident-off", support)
+            await _seed(client, "ident-on", support)
+            queries = [[0.5, 0.5, 0.5], [1.5, 0.25, 2.0], [3.0, 1.0, 0.0]]
+            untraced = [
+                (
+                    await client.request(
+                        "evaluate", session="ident-off", config=q
+                    )
+                )["value"]
+                for q in queries
+            ]
+            traced = [
+                (
+                    await client.request(
+                        "evaluate",
+                        session="ident-on",
+                        config=q,
+                        trace_id=f"{i:032x}",
+                        parent_span=CLIENT_SPAN,
+                    )
+                )["value"]
+                for i, q in enumerate(queries, start=1)
+            ]
+            assert traced == untraced  # bit-identical, not approx
+
+        run_cluster(body, tmp_path=tmp_path)
+
+    def test_sampling_zero_allocates_no_spans(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            support = _support()
+            await _seed(client, "cold", support)
+            for _ in range(3):
+                await client.evaluate("cold", [0.5, 0.5, 0.5])
+            assert router.tracer.started == 0
+            assert router.tracer.spans() == []
+            for service in services:
+                assert service.tracer.started == 0
+                assert service.tracer.spans() == []
+
+        run_cluster(body, tmp_path=tmp_path)
+
+
+class TestMetricsVerb:
+    def test_router_output_structurally_identical_to_worker(self, tmp_path):
+        async def body(client, router, services, supervisor):
+            await _seed(client, "m0", _support())
+            await client.evaluate("m0", [0.5, 0.5, 0.5])
+
+            worker_result = await services[0]._op_metrics({})
+            router_result = await client.request("metrics")
+            for result in (worker_result, router_result):
+                assert set(result) == {"families"}
+                for family in result["families"]:
+                    assert set(family) == {"name", "type", "help", "samples"}
+                    assert family["type"] in ("counter", "gauge", "histogram")
+                    for sample in family["samples"]:
+                        assert "labels" in sample
+                        if family["type"] == "histogram":
+                            assert {"count", "sum", "min", "max", "quantiles"} <= set(
+                                sample
+                            )
+                        else:
+                            assert "value" in sample
+                names = [f["name"] for f in result["families"]]
+                assert names == sorted(names)
+
+            merged = {f["name"]: f for f in router_result["families"]}
+            # Fan-out aggregation: worker families are present in the
+            # router's snapshot alongside the router-only ones.
+            worker_names = {f["name"] for f in worker_result["families"]}
+            assert worker_names <= set(merged)
+            assert "repro_proxied_requests_total" in merged
+            # Session gauges must not double-count across the fleet.
+            sessions = sum(
+                s["value"] for s in merged["repro_sessions"]["samples"]
+            )
+            assert sessions == 1.0
+            assert (
+                merged["repro_routed_sessions"]["samples"][0]["value"] == 1.0
+            )
+            # The wait histograms actually saw the evaluate above.
+            queue = merged["repro_queue_wait_ms"]["samples"][0]
+            assert queue["count"] >= 1
+
+            local_only = await client.request("metrics", local=True)
+            local_names = {f["name"] for f in local_only["families"]}
+            assert "repro_queue_wait_ms" not in local_names
+            assert "repro_routed_sessions" in local_names
+
+        run_cluster(body, tmp_path=tmp_path)
+
+
+class TestPingStatsAgreement:
+    def test_deadline_misses_single_source(self):
+        async def main():
+            service = KrigingService()
+            await service._op_create_session(
+                {"session": "s", **SESSION_KWARGS}
+            )
+            session = service.sessions["s"]
+            # Scatter misses across every counter that feeds the total:
+            # dispatch-door sheds, session-lock sheds, flush-time sheds.
+            service.deadline_misses += 2
+            session.deadline_misses += 1
+            session.batcher.stats.deadline_misses += 3
+            ping = await service._op_ping({})
+            stats = await service._op_stats({})
+            assert ping["deadline_misses"] == 6
+            assert stats["deadline_misses"] == 6
+            assert service.metrics.value("repro_deadline_misses_total") == 6.0
+
+        asyncio.run(main())
